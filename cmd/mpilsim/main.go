@@ -1,0 +1,145 @@
+// Command mpilsim runs ad-hoc MPIL workloads over generated overlays and
+// reports insertion/lookup statistics — a workbench for exploring the
+// algorithm's parameter space beyond the paper's fixed configurations.
+//
+// Example:
+//
+//	mpilsim -topology powerlaw -nodes 4000 -requests 200 \
+//	        -maxflows 10 -replicas 3 -perturb 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"discovery/internal/idspace"
+	"discovery/internal/metrics"
+	"discovery/internal/mpil"
+	"discovery/internal/overlay"
+	"discovery/internal/topology"
+	"discovery/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		topo     = flag.String("topology", "random", "overlay family: random, powerlaw, complete")
+		nodes    = flag.Int("nodes", 1000, "overlay size")
+		degree   = flag.Int("degree", 20, "degree of random overlays")
+		gamma    = flag.Float64("gamma", 2.2, "power-law exponent")
+		requests = flag.Int("requests", 100, "insert/lookup pairs")
+		maxFlows = flag.Int("maxflows", 10, "max_flows per request")
+		replicas = flag.Int("replicas", 5, "per-flow replicas")
+		digitB   = flag.Int("b", 4, "digit width in bits (1, 2, 4, 8)")
+		ds       = flag.Bool("ds", true, "duplicate suppression")
+		perturbF = flag.Float64("perturb", 0, "fraction of nodes to mark unresponsive before lookups")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *topology.Graph
+	var err error
+	switch *topo {
+	case "random":
+		g, err = topology.RandomRegular(*nodes, *degree, rng)
+	case "powerlaw":
+		g, err = topology.PowerLaw(*nodes, *gamma, 2, rng)
+	case "complete":
+		g = topology.Complete(*nodes)
+	default:
+		err = fmt.Errorf("unknown topology %q", *topo)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpilsim:", err)
+		return 1
+	}
+	if *perturbF < 0 || *perturbF >= 1 {
+		fmt.Fprintln(os.Stderr, "mpilsim: -perturb must be in [0,1)")
+		return 2
+	}
+
+	space, err := idspace.NewSpace(*digitB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpilsim:", err)
+		return 2
+	}
+	avail := &maskAvailability{offline: make([]bool, *nodes)}
+	nw := overlay.New(g, rng, avail)
+	eng, err := mpil.NewEngine(nw, mpil.Config{
+		Space:                space,
+		MaxFlows:             *maxFlows,
+		PerFlowReplicas:      *replicas,
+		DuplicateSuppression: *ds,
+	}, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpilsim:", err)
+		return 1
+	}
+
+	pairs, err := workload.RandomOrigins(*requests, *nodes, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpilsim:", err)
+		return 1
+	}
+
+	var insReplicas, insTraffic, insFlows metrics.Sample
+	for _, p := range pairs {
+		st := eng.Insert(p.InsertOrigin, p.Key, nil, 0)
+		insReplicas.AddInt(st.Replicas)
+		insTraffic.AddInt(st.Messages)
+		insFlows.AddInt(st.Flows)
+	}
+
+	// Perturb the requested fraction (never node 0, so at least one
+	// origin stays alive).
+	perturbed := 0
+	for i := 1; i < *nodes && float64(perturbed) < *perturbF*float64(*nodes); i++ {
+		if rng.Float64() < *perturbF*1.5 {
+			avail.offline[i] = true
+			perturbed++
+		}
+	}
+
+	var success metrics.Rate
+	var hops, lkTraffic, lkFlows metrics.Sample
+	for _, p := range pairs {
+		st := eng.Lookup(p.LookupOrigin, p.Key, 0)
+		success.Record(st.Found)
+		if st.Found {
+			hops.AddInt(st.FirstReplyHops)
+		}
+		lkTraffic.AddInt(st.Messages)
+		lkFlows.AddInt(st.Flows)
+	}
+
+	fmt.Printf("overlay: %s, %d nodes, %d edges, degrees [%d..%d], avg %.1f\n",
+		*topo, g.N(), g.M(), g.MinDegree(), g.MaxDegree(), g.AvgDegree())
+	fmt.Printf("config: max_flows=%d per-flow replicas=%d b=%d DS=%v\n", *maxFlows, *replicas, *digitB, *ds)
+	fmt.Printf("perturbed nodes: %d/%d\n\n", perturbed, *nodes)
+	tb := metrics.NewTable("metric", "mean", "min", "max")
+	tb.AddRow("insert replicas", f1(insReplicas.Mean()), f1(insReplicas.Min()), f1(insReplicas.Max()))
+	tb.AddRow("insert traffic", f1(insTraffic.Mean()), f1(insTraffic.Min()), f1(insTraffic.Max()))
+	tb.AddRow("insert flows", f1(insFlows.Mean()), f1(insFlows.Min()), f1(insFlows.Max()))
+	tb.AddRow("lookup hops", f1(hops.Mean()), f1(hops.Min()), f1(hops.Max()))
+	tb.AddRow("lookup traffic", f1(lkTraffic.Mean()), f1(lkTraffic.Min()), f1(lkTraffic.Max()))
+	tb.AddRow("lookup flows", f1(lkFlows.Mean()), f1(lkFlows.Min()), f1(lkFlows.Max()))
+	fmt.Print(tb)
+	fmt.Printf("\nlookup success: %.1f%% (%d/%d)\n", success.Percent(), success.Successes(), success.Total())
+	return 0
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// maskAvailability marks a settable subset of nodes unresponsive.
+type maskAvailability struct {
+	offline []bool
+}
+
+func (m *maskAvailability) Online(node int, _ time.Duration) bool { return !m.offline[node] }

@@ -1,0 +1,300 @@
+// Command repro regenerates the tables and figures of Ko & Gupta,
+// "Perturbation-Resistant and Overlay-Independent Resource Discovery"
+// (DSN 2005), printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	repro [-scale quick|medium|paper] [-seed N] <experiment>
+//
+// where experiment is one of: fig1 fig7 fig8 fig9 fig10 fig11 fig12
+// table1 table2 table3 all.
+//
+// Absolute numbers come from this repository's simulators (see DESIGN.md
+// for the substitutions); the shapes are what reproduce the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"discovery/internal/experiments"
+	"discovery/internal/metrics"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick, medium, or paper")
+	seed := flag.Int64("seed", 1, "root RNG seed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: repro [-scale quick|medium|paper] [-seed N] <fig1|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+
+	static, perturbScale, err := scales(*scaleFlag, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		return 2
+	}
+
+	experimentsByName := map[string]func(experiments.StaticScale, experiments.PerturbScale) error{
+		"fig1":  func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig1(p) },
+		"fig7":  func(experiments.StaticScale, experiments.PerturbScale) error { return fig7() },
+		"fig8":  func(experiments.StaticScale, experiments.PerturbScale) error { return fig8() },
+		"fig9":  func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig9(s) },
+		"fig10": func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig10(s) },
+		"fig11": func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig11(p) },
+		"fig12": func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig12(p) },
+		"table1": func(s experiments.StaticScale, p experiments.PerturbScale) error {
+			return lookupTable(s, experiments.TopoPowerLaw, "Table 1 (power-law)")
+		},
+		"table2": func(s experiments.StaticScale, p experiments.PerturbScale) error {
+			return lookupTable(s, experiments.TopoRandom, "Table 2 (random)")
+		},
+		"table3": func(s experiments.StaticScale, p experiments.PerturbScale) error { return table3(s) },
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		order := []string{"fig7", "fig8", "fig9", "table1", "table2", "table3", "fig10", "fig1", "fig11", "fig12"}
+		for _, n := range order {
+			if err := timed(n, func() error { return experimentsByName[n](static, perturbScale) }); err != nil {
+				fmt.Fprintln(os.Stderr, "repro:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+	fn, ok := experimentsByName[name]
+	if !ok {
+		flag.Usage()
+		return 2
+	}
+	if err := timed(name, func() error { return fn(static, perturbScale) }); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		return 1
+	}
+	return 0
+}
+
+func timed(name string, fn func() error) error {
+	start := time.Now()
+	if err := fn(); err != nil {
+		return err
+	}
+	fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func scales(name string, seed int64) (experiments.StaticScale, experiments.PerturbScale, error) {
+	var st experiments.StaticScale
+	var pt experiments.PerturbScale
+	switch name {
+	case "quick":
+		st, pt = experiments.QuickStaticScale(), experiments.QuickPerturbScale()
+	case "medium":
+		st = experiments.StaticScale{
+			Sizes:            []int{1000, 2000, 4000},
+			GraphsPerSize:    4,
+			RequestsPerGraph: 100,
+			RandomDegree:     100,
+		}
+		pt = experiments.MediumPerturbScale()
+	case "paper":
+		st, pt = experiments.PaperStaticScale(), experiments.PaperPerturbScale()
+	default:
+		return st, pt, fmt.Errorf("unknown scale %q", name)
+	}
+	st.Seed = seed
+	pt.Seed = seed
+	return st, pt, nil
+}
+
+func fig7() error {
+	ns := []int{4000, 8000, 16000}
+	rows, err := experiments.RunFig7(ns)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 7: expected number of local maxima, random regular topologies")
+	tb := metrics.NewTable("neighbors", "4000 nodes", "8000 nodes", "16000 nodes")
+	for _, r := range rows {
+		tb.AddRow(r.Neighbors, fmt.Sprintf("%.1f", r.Maxima[0]), fmt.Sprintf("%.1f", r.Maxima[1]), fmt.Sprintf("%.1f", r.Maxima[2]))
+	}
+	fmt.Print(tb)
+	return nil
+}
+
+func fig8() error {
+	rows, err := experiments.RunFig8()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 8: expected number of replicas, complete topologies")
+	tb := metrics.NewTable("nodes", "replicas")
+	for _, r := range rows {
+		tb.AddRow(r.N, fmt.Sprintf("%.4f", r.Replicas))
+	}
+	fmt.Print(tb)
+	return nil
+}
+
+func fig9(scale experiments.StaticScale) error {
+	fmt.Println("Figure 9: MPIL insertion behavior (max_flows 30, 5 per-flow replicas)")
+	for _, kind := range []experiments.TopoKind{experiments.TopoPowerLaw, experiments.TopoRandom} {
+		rows, err := experiments.RunFig9(scale, kind)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %v overlays --\n", kind)
+		tb := metrics.NewTable("nodes", "avg replicas", "avg traffic", "duplicate msgs")
+		for _, r := range rows {
+			tb.AddRow(r.N, fmt.Sprintf("%.1f", r.Replicas), fmt.Sprintf("%.1f", r.Traffic), fmt.Sprintf("%.0f", r.Duplicates))
+		}
+		fmt.Print(tb)
+	}
+	return nil
+}
+
+func lookupTable(scale experiments.StaticScale, kind experiments.TopoKind, title string) error {
+	rows, err := experiments.RunLookupTable(scale, kind)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: MPIL lookup success rate (%%)\n", title)
+	tb := metrics.NewTable("nodes", "max flows", "r=1", "r=2", "r=3", "r=4", "r=5")
+	for _, r := range rows {
+		tb.AddRow(r.N, r.MaxFlows,
+			fmt.Sprintf("%.1f", r.SuccessPct[0]), fmt.Sprintf("%.1f", r.SuccessPct[1]),
+			fmt.Sprintf("%.1f", r.SuccessPct[2]), fmt.Sprintf("%.1f", r.SuccessPct[3]),
+			fmt.Sprintf("%.1f", r.SuccessPct[4]))
+	}
+	fmt.Print(tb)
+	return nil
+}
+
+func table3(scale experiments.StaticScale) error {
+	fmt.Println("Table 3: actual number of flows of lookups (max_flows 10, 3 per-flow replicas)")
+	tb := metrics.NewTable("topology", "nodes", "actual flows")
+	for _, kind := range []experiments.TopoKind{experiments.TopoPowerLaw, experiments.TopoRandom} {
+		rows, err := experiments.RunTable3(scale, kind)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			tb.AddRow(kind, r.N, fmt.Sprintf("%.3f", r.Flows))
+		}
+	}
+	fmt.Print(tb)
+	return nil
+}
+
+func fig10(scale experiments.StaticScale) error {
+	fmt.Println("Figure 10: MPIL lookup latency and traffic (max_flows 10, 5 per-flow replicas)")
+	tb := metrics.NewTable("topology", "nodes", "latency (hops)", "traffic (msgs)")
+	for _, kind := range []experiments.TopoKind{experiments.TopoPowerLaw, experiments.TopoRandom} {
+		rows, err := experiments.RunFig10(scale, kind)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			tb.AddRow(kind, r.N, fmt.Sprintf("%.2f", r.Hops), fmt.Sprintf("%.1f", r.Traffic))
+		}
+	}
+	fmt.Print(tb)
+	return nil
+}
+
+func fig1(scale experiments.PerturbScale) error {
+	fmt.Println("Figure 1: effect of perturbation on MSPastry (success rate %)")
+	probs := experiments.PaperFlapProbs()
+	out, err := experiments.RunFig1(scale, experiments.PaperFlapSettings(), probs)
+	if err != nil {
+		return err
+	}
+	header := []string{"idle:offline"}
+	for _, p := range probs {
+		header = append(header, fmt.Sprintf("p=%.1f", p))
+	}
+	tb := metrics.NewTable(header...)
+	for _, set := range experiments.PaperFlapSettings() {
+		row := []interface{}{set.Label}
+		for _, r := range out[set.Label] {
+			row = append(row, fmt.Sprintf("%.1f", r.SuccessPct))
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Print(tb)
+	return nil
+}
+
+func fig11(scale experiments.PerturbScale) error {
+	fmt.Println("Figure 11: success rate under perturbation, all variants (%)")
+	probs := experiments.PaperFlapProbs()
+	out, err := experiments.RunFig11(scale, experiments.Fig11FlapSettings(), probs)
+	if err != nil {
+		return err
+	}
+	variants := []experiments.Variant{
+		experiments.VariantPastry, experiments.VariantPastryRR,
+		experiments.VariantMPILDS, experiments.VariantMPILNoDS,
+	}
+	for _, set := range experiments.Fig11FlapSettings() {
+		fmt.Printf("-- idle:offline = %s --\n", set.Label)
+		header := []string{"variant"}
+		for _, p := range probs {
+			header = append(header, fmt.Sprintf("p=%.1f", p))
+		}
+		tb := metrics.NewTable(header...)
+		for _, v := range variants {
+			row := []interface{}{v.String()}
+			for _, r := range out[set.Label+"/"+v.String()] {
+				row = append(row, fmt.Sprintf("%.1f", r.SuccessPct))
+			}
+			tb.AddRow(row...)
+		}
+		fmt.Print(tb)
+	}
+	return nil
+}
+
+func fig12(scale experiments.PerturbScale) error {
+	fmt.Println("Figure 12: lookup traffic and total traffic at idle:offline = 30:30")
+	probs := experiments.PaperFlapProbs()
+	out, err := experiments.RunFig12(scale, probs)
+	if err != nil {
+		return err
+	}
+	for _, panel := range []struct {
+		title string
+		pick  func(experiments.PerturbResult) uint64
+	}{
+		{"lookup messages", func(r experiments.PerturbResult) uint64 { return r.LookupTraffic }},
+		{"total messages (incl. maintenance)", func(r experiments.PerturbResult) uint64 { return r.TotalTraffic }},
+	} {
+		fmt.Printf("-- %s --\n", panel.title)
+		header := []string{"variant"}
+		for _, p := range probs {
+			header = append(header, fmt.Sprintf("p=%.1f", p))
+		}
+		tb := metrics.NewTable(header...)
+		for _, v := range []experiments.Variant{experiments.VariantPastry, experiments.VariantMPILDS, experiments.VariantMPILNoDS} {
+			row := []interface{}{v.String()}
+			for _, r := range out[v.String()] {
+				row = append(row, panel.pick(r))
+			}
+			tb.AddRow(row...)
+		}
+		fmt.Print(tb)
+	}
+	return nil
+}

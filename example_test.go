@@ -1,0 +1,84 @@
+package discovery_test
+
+import (
+	"fmt"
+
+	discovery "discovery"
+)
+
+// The basic publish/discover/withdraw cycle over a generated overlay.
+func Example() {
+	ov, err := discovery.RandomOverlay(500, 16, 7)
+	if err != nil {
+		panic(err)
+	}
+	svc, err := discovery.New(ov)
+	if err != nil {
+		panic(err)
+	}
+
+	key := discovery.NewID("build-cache/v1")
+	ins := svc.Insert(42, key, []byte("http://node42/cache"))
+	fmt.Println("stored at least one replica:", ins.Replicas >= 1)
+
+	res := svc.Lookup(317, key)
+	fmt.Println("found:", res.Found)
+
+	svc.Delete(42, key)
+	fmt.Println("found after delete:", svc.Lookup(317, key).Found)
+	// Output:
+	// stored at least one replica: true
+	// found: true
+	// found after delete: false
+}
+
+// Wrapping an existing system's adjacency lists: overlay-independence
+// means any neighbor lists work, including asymmetric ones.
+func ExampleNewNamedOverlay() {
+	// A toy 4-node legacy overlay with named hosts.
+	neighbors := [][]int{
+		{1, 2}, // gateway knows both workers
+		{0, 3}, // worker-a
+		{0, 3}, // worker-b
+		{1, 2}, // storage
+	}
+	names := []string{"gateway:9000", "worker-a:9000", "worker-b:9000", "storage:9000"}
+	ov, err := discovery.NewNamedOverlay(neighbors, names)
+	if err != nil {
+		panic(err)
+	}
+	svc, err := discovery.New(ov, discovery.WithMaxFlows(2), discovery.WithPerFlowReplicas(1))
+	if err != nil {
+		panic(err)
+	}
+	key := discovery.NewID("job-results/17")
+	svc.Insert(3, key, []byte("stored on storage"))
+	fmt.Println("gateway can discover it:", svc.Lookup(0, key).Found)
+	// Output:
+	// gateway can discover it: true
+}
+
+// Perturbation-resistance: lookups keep succeeding while part of the
+// overlay is unresponsive.
+func ExampleStaticOverlay_SetOnline() {
+	ov, err := discovery.RandomOverlay(500, 16, 11)
+	if err != nil {
+		panic(err)
+	}
+	svc, err := discovery.New(ov, discovery.WithMaxFlows(15))
+	if err != nil {
+		panic(err)
+	}
+	key := discovery.NewID("resilient-object")
+	svc.Insert(0, key, nil)
+
+	// A tenth of the overlay goes dark.
+	for i := 5; i < ov.N(); i += 10 {
+		ov.SetOnline(i, false)
+	}
+	fmt.Println("online nodes:", ov.OnlineCount())
+	fmt.Println("still found:", svc.Lookup(0, key).Found)
+	// Output:
+	// online nodes: 450
+	// still found: true
+}

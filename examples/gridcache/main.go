@@ -1,0 +1,84 @@
+// Gridcache: cooperative web caching on a legacy Grid overlay — the
+// motivating scenario of the paper's introduction. A computing Grid
+// already maintains its own power-law overlay for scheduling; we deploy
+// cooperative caching ON TOP of it, with zero extra overlay maintenance,
+// by routing cache-location lookups with MPIL over the existing links.
+//
+// Nodes request URLs with Zipf-like popularity. On a miss, a node fetches
+// from the origin server (expensive) and publishes a pointer to its cached
+// copy; later requesters discover a nearby cached copy instead.
+//
+// Run with: go run ./examples/gridcache
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	discovery "discovery"
+)
+
+const (
+	nodes    = 2000
+	urls     = 500
+	requests = 5000
+	zipfS    = 1.1
+)
+
+func main() {
+	// The "legacy Grid overlay": Internet-like, power-law, NOT built for
+	// caching — exactly the overlay-independence setting.
+	ov, err := discovery.PowerLawOverlay(nodes, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := discovery.New(ov, discovery.WithMaxFlows(10), discovery.WithPerFlowReplicas(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, zipfS, 1, urls-1)
+
+	published := make(map[uint64]bool)
+	var hits, misses, originFetches int
+	var discoveryHops, discoveryMsgs float64
+
+	for i := 0; i < requests; i++ {
+		u := zipf.Uint64()
+		node := rng.Intn(nodes)
+		key := discovery.NewID(fmt.Sprintf("http://origin/objects/%d", u))
+
+		res := svc.Lookup(node, key)
+		if res.Found {
+			hits++
+			discoveryHops += float64(res.FirstReplyHops)
+			discoveryMsgs += float64(res.Messages)
+			continue
+		}
+		misses++
+		originFetches++
+		if !published[u] {
+			// First fetcher publishes its cached copy's location.
+			svc.Insert(node, key, []byte(fmt.Sprintf("cache://node%d/%d", node, u)))
+			published[u] = true
+		}
+	}
+
+	fmt.Printf("cooperative cache over a %d-node legacy Grid overlay\n", nodes)
+	fmt.Printf("requests: %d over %d URLs (zipf s=%.1f)\n", requests, urls, zipfS)
+	fmt.Printf("cache hit rate: %.1f%% (%d hits, %d misses)\n",
+		100*float64(hits)/float64(requests), hits, misses)
+	fmt.Printf("origin-server fetches avoided: %d of %d requests\n", requests-originFetches, requests)
+	if hits > 0 {
+		fmt.Printf("avg discovery latency: %.2f hops, %.1f messages per hit\n",
+			discoveryHops/float64(hits), discoveryMsgs/float64(hits))
+	}
+	// The punchline: hit rate approaches the theoretical max (requests
+	// to already-seen URLs) without any overlay changes.
+	maxPossible := requests - len(published)
+	fmt.Printf("theoretical max hits (already-cached requests): %d; achieved %.1f%% of that\n",
+		maxPossible, 100*float64(hits)/math.Max(1, float64(maxPossible)))
+}

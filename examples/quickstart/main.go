@@ -1,0 +1,47 @@
+// Quickstart: publish and discover an object pointer over an arbitrary
+// overlay in a dozen lines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	discovery "discovery"
+)
+
+func main() {
+	// Any overlay works; here, a 1000-node random overlay where every
+	// node knows 20 peers. In a real deployment you would wrap your
+	// existing overlay's neighbor lists in a discovery.Overlay instead.
+	ov, err := discovery.RandomOverlay(1000, 20, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := discovery.New(ov)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Node 17 publishes where it serves "dataset-v2".
+	key := discovery.NewID("dataset-v2")
+	ins := svc.Insert(17, key, []byte("tcp://node17:7700/dataset-v2"))
+	fmt.Printf("inserted %q: %d replicas, %d messages, %d flows\n",
+		"dataset-v2", ins.Replicas, ins.Messages, ins.Flows)
+
+	// Any other node can now discover it without knowing node 17.
+	res := svc.Lookup(941, key)
+	if !res.Found {
+		log.Fatal("lookup failed")
+	}
+	holder := svc.Holders(key)[0]
+	val, _ := svc.Value(holder, key)
+	fmt.Printf("node 941 found it in %d hops (%d messages): %s\n",
+		res.FirstReplyHops, res.Messages, val)
+
+	// The owner withdraws the object.
+	removed := svc.Delete(17, key)
+	fmt.Printf("owner deleted %d replicas; lookup now finds it: %v\n",
+		removed, svc.Lookup(941, key).Found)
+}

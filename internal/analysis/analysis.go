@@ -1,0 +1,193 @@
+// Package analysis implements the closed-form results of the paper's
+// Section 5: the probability that a node is a local maximum for a random
+// message ID, the expected number of local maxima (an upper bound on the
+// number of replicas), the expected random-walk hop count to a local
+// maximum, and the expected replica count on complete topologies.
+//
+// Notation follows the paper: IDs are M-digit strings over a base-2^b
+// alphabet, a node is "k-common" with a message when exactly k digit
+// positions match, and
+//
+//	A(k) = C(M,k) (1/2^b)^k ((2^b-1)/2^b)^(M-k)      (pmf of k-commonness)
+//	B(k) = sum_{j<k}  A(j)                           (all-below CDF)
+//	D(k) = sum_{j<=k} A(j)                           (at-or-below CDF)
+//	C    = sum_{k>=1} A(k) B(k)^d                    (local-maximum prob.)
+//
+// Everything is evaluated in log space where exponents get large (the
+// complete-topology case raises D to the N-1 power with N up to 16000).
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"discovery/internal/idspace"
+)
+
+// CommonDigitsPMF returns A(k) for k = 0..M: the probability that a
+// uniformly random node ID shares exactly k digit positions with a given
+// message ID.
+func CommonDigitsPMF(s idspace.Space) []float64 {
+	m := s.Digits()
+	p := 1 / float64(s.Base())
+	out := make([]float64, m+1)
+	for k := 0; k <= m; k++ {
+		out[k] = math.Exp(logBinomPMF(m, k, p))
+	}
+	return out
+}
+
+// LocalMaximaProb returns C, the probability that a node with d neighbors
+// is a local maximum for a random message ID (paper Section 5.1, inner
+// sum). Neighbor IDs are treated as independent uniform draws, the
+// approximation the paper's analysis makes.
+func LocalMaximaProb(s idspace.Space, d int) (float64, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("analysis: negative degree %d", d)
+	}
+	if d == 0 {
+		return 1, nil // no neighbors: vacuously a local maximum
+	}
+	m := s.Digits()
+	p := 1 / float64(s.Base())
+	c := 0.0
+	cdf := 0.0 // B(k) accumulates A(0..k-1)
+	for k := 0; k <= m; k++ {
+		a := math.Exp(logBinomPMF(m, k, p))
+		if k >= 1 && cdf > 0 {
+			// A(k) * B(k)^d, in log space for large d.
+			c += a * math.Exp(float64(d)*math.Log(cdf))
+		}
+		cdf += a
+	}
+	return c, nil
+}
+
+// ExpectedLocalMaxima returns N*C for a random regular topology of n nodes
+// with degree d — the series plotted in the paper's Figure 7.
+func ExpectedLocalMaxima(s idspace.Space, n, d int) (float64, error) {
+	c, err := LocalMaximaProb(s, d)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * c, nil
+}
+
+// ExpectedHops returns 1/C, the expected number of random-walk hops to
+// reach a local maximum under the paper's uniform-distribution assumption
+// (Section 5.1).
+func ExpectedHops(s idspace.Space, d int) (float64, error) {
+	c, err := LocalMaximaProb(s, d)
+	if err != nil {
+		return 0, err
+	}
+	if c == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / c, nil
+}
+
+// LocalMaximaProbTies is the tie-aware variant of LocalMaximaProb: it uses
+// D(k)^d (at-or-below) instead of B(k)^d (strictly-below), so it counts
+// nodes that no neighbor strictly exceeds — the condition MPIL's insertion
+// actually stores under (Section 4.4). The paper's Figure 7 plots the
+// strict form; the gap between the two is exactly the tie mass that gives
+// MPIL its free redundancy, so both are exposed and benchmarked.
+func LocalMaximaProbTies(s idspace.Space, d int) (float64, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("analysis: negative degree %d", d)
+	}
+	if d == 0 {
+		return 1, nil
+	}
+	m := s.Digits()
+	p := 1 / float64(s.Base())
+	c := 0.0
+	cdf := 0.0
+	for k := 0; k <= m; k++ {
+		a := math.Exp(logBinomPMF(m, k, p))
+		cdf += a // D(k) includes k
+		if k >= 1 {
+			c += a * math.Exp(float64(d)*math.Log(cdf))
+		}
+	}
+	return c, nil
+}
+
+// ExpectedLocalMaximaTies returns N * LocalMaximaProbTies.
+func ExpectedLocalMaximaTies(s idspace.Space, n, d int) (float64, error) {
+	c, err := LocalMaximaProbTies(s, d)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * c, nil
+}
+
+// LocalMaximaProbDist generalizes LocalMaximaProb to an arbitrary degree
+// distribution (paper Section 5.1's outer sum over P(#neighbors = d)).
+// dist maps degree to probability; probabilities must be non-negative and
+// sum to 1 within a small tolerance.
+func LocalMaximaProbDist(s idspace.Space, dist map[int]float64) (float64, error) {
+	total := 0.0
+	for d, p := range dist {
+		if d < 0 {
+			return 0, fmt.Errorf("analysis: negative degree %d in distribution", d)
+		}
+		if p < 0 {
+			return 0, fmt.Errorf("analysis: negative probability %v for degree %d", p, d)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return 0, fmt.Errorf("analysis: degree distribution sums to %v, want 1", total)
+	}
+	c := 0.0
+	for d, p := range dist {
+		cd, err := LocalMaximaProb(s, d)
+		if err != nil {
+			return 0, err
+		}
+		c += p * cd
+	}
+	return c, nil
+}
+
+// ExpectedReplicasComplete returns the expected number of replicas on the
+// complete topology K_n (paper Section 5.2, Figure 8):
+//
+//	N * sum_k A(k) * D(k)^(N-1)
+//
+// where D includes ties because an insertion stores at every node whose
+// metric value no neighbor strictly exceeds.
+func ExpectedReplicasComplete(s idspace.Space, n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("analysis: node count %d must be positive", n)
+	}
+	if n == 1 {
+		return 1, nil
+	}
+	m := s.Digits()
+	p := 1 / float64(s.Base())
+	sum := 0.0
+	cdf := 0.0
+	for k := 0; k <= m; k++ {
+		a := math.Exp(logBinomPMF(m, k, p))
+		cdf += a // D(k): at-or-below, includes k
+		if cdf > 0 {
+			sum += a * math.Exp(float64(n-1)*math.Log(cdf))
+		}
+	}
+	return float64(n) * sum, nil
+}
+
+// logBinomPMF returns log of the Binomial(m, p) pmf at k.
+func logBinomPMF(m, k int, p float64) float64 {
+	if k < 0 || k > m {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(m) - lg(k) - lg(m-k) + float64(k)*math.Log(p) + float64(m-k)*math.Log1p(-p)
+}

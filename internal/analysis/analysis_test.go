@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"discovery/internal/idspace"
+	"discovery/internal/overlay"
+	"discovery/internal/topology"
+)
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, b := range []int{1, 2, 4, 8} {
+		s := idspace.MustSpace(b)
+		pmf := CommonDigitsPMF(s)
+		sum := 0.0
+		for _, v := range pmf {
+			if v < 0 {
+				t.Fatalf("b=%d: negative pmf value %v", b, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("b=%d: pmf sums to %v, want 1", b, sum)
+		}
+	}
+}
+
+func TestPMFMeanMatchesTheory(t *testing.T) {
+	// Mean of Binomial(M, 1/base) is M/base.
+	for _, b := range []int{2, 4} {
+		s := idspace.MustSpace(b)
+		pmf := CommonDigitsPMF(s)
+		mean := 0.0
+		for k, v := range pmf {
+			mean += float64(k) * v
+		}
+		want := float64(s.Digits()) / float64(s.Base())
+		if math.Abs(mean-want) > 1e-6 {
+			t.Errorf("b=%d: pmf mean %v, want %v", b, mean, want)
+		}
+	}
+}
+
+func TestLocalMaximaProbMonotoneInDegree(t *testing.T) {
+	// More neighbors means a harder local-maximum test, so C must be
+	// non-increasing in d.
+	s := idspace.MustSpace(4)
+	prev := math.Inf(1)
+	for _, d := range []int{1, 2, 5, 10, 20, 50, 100, 500} {
+		c, err := LocalMaximaProb(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= 0 || c >= 1 {
+			t.Errorf("d=%d: C = %v outside (0,1)", d, c)
+		}
+		if c > prev {
+			t.Errorf("C not monotone: C(%d) = %v > previous %v", d, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestLocalMaximaProbEdgeCases(t *testing.T) {
+	s := idspace.MustSpace(4)
+	if c, err := LocalMaximaProb(s, 0); err != nil || c != 1 {
+		t.Errorf("C(d=0) = %v, %v; want 1, nil", c, err)
+	}
+	if _, err := LocalMaximaProb(s, -1); err == nil {
+		t.Error("negative degree accepted")
+	}
+}
+
+func TestExpectedLocalMaximaScalesWithN(t *testing.T) {
+	// Figure 7's family property: at fixed d, E[maxima] is linear in N.
+	s := idspace.MustSpace(4)
+	e4, err := ExpectedLocalMaxima(s, 4000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8, err := ExpectedLocalMaxima(s, 8000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e8-2*e4) > 1e-6 {
+		t.Errorf("E[8000] = %v, want exactly 2x E[4000] = %v", e8, 2*e4)
+	}
+}
+
+func TestExpectedHopsInverse(t *testing.T) {
+	s := idspace.MustSpace(4)
+	c, err := LocalMaximaProb(s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ExpectedHops(s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h*c-1) > 1e-9 {
+		t.Errorf("hops * C = %v, want 1", h*c)
+	}
+}
+
+func TestLocalMaximaProbDist(t *testing.T) {
+	s := idspace.MustSpace(4)
+	// A point mass must agree with the fixed-degree form.
+	cd, err := LocalMaximaProb(s, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdist, err := LocalMaximaProbDist(s, map[int]float64{25: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cd-cdist) > 1e-12 {
+		t.Errorf("point-mass dist %v != fixed-degree %v", cdist, cd)
+	}
+	// A mixture must lie between its components.
+	c10, _ := LocalMaximaProb(s, 10)
+	c100, _ := LocalMaximaProb(s, 100)
+	mix, err := LocalMaximaProbDist(s, map[int]float64{10: 0.5, 100: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix < c100 || mix > c10 {
+		t.Errorf("mixture %v outside [%v, %v]", mix, c100, c10)
+	}
+}
+
+func TestLocalMaximaProbDistErrors(t *testing.T) {
+	s := idspace.MustSpace(4)
+	cases := []map[int]float64{
+		{10: 0.5},           // does not sum to 1
+		{-3: 1},             // negative degree
+		{10: -0.5, 20: 1.5}, // negative probability
+	}
+	for i, dist := range cases {
+		if _, err := LocalMaximaProbDist(s, dist); err == nil {
+			t.Errorf("case %d accepted: %v", i, dist)
+		}
+	}
+}
+
+func TestExpectedReplicasCompleteMatchesFigure8(t *testing.T) {
+	// The paper's Figure 8 plots roughly 1.55 at N=2000 rising to 1.63
+	// at N=16000; base-4 digits (b=2) reproduce that curve.
+	s := idspace.MustSpace(2)
+	prev := 0.0
+	for _, n := range []int{2000, 4000, 8000, 16000} {
+		r, err := ExpectedReplicasComplete(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 1.45 || r > 1.7 {
+			t.Errorf("N=%d: E[replicas] = %v, want in (1.45, 1.7) per Figure 8", n, r)
+		}
+		if r < prev {
+			t.Errorf("E[replicas] decreased: %v after %v", r, prev)
+		}
+		prev = r
+	}
+	// Spot values from the probe of the paper's axis range.
+	r16k, err := ExpectedReplicasComplete(s, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r16k-1.625) > 0.01 {
+		t.Errorf("E[replicas](16000) = %v, want about 1.625", r16k)
+	}
+}
+
+func TestExpectedLocalMaximaMatchesFigure7(t *testing.T) {
+	// Figure 7 at d=10 plots about 300/600/1200 maxima for
+	// 4000/8000/16000 nodes; base-4 digits give 299/598/1196.
+	s := idspace.MustSpace(2)
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{4000, 299}, {8000, 598}, {16000, 1196},
+	}
+	for _, tt := range tests {
+		got, err := ExpectedLocalMaxima(s, tt.n, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 3 {
+			t.Errorf("E[maxima](N=%d, d=10) = %.1f, want about %.0f", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTiesProbAtLeastStrict(t *testing.T) {
+	// The tie-aware local-maximum event contains the strict event.
+	for _, b := range []int{1, 2, 4} {
+		s := idspace.MustSpace(b)
+		for _, d := range []int{1, 10, 100} {
+			strict, err := LocalMaximaProb(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ties, err := LocalMaximaProbTies(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ties < strict {
+				t.Errorf("b=%d d=%d: ties %v < strict %v", b, d, ties, strict)
+			}
+		}
+	}
+}
+
+func TestExpectedReplicasCompleteEdgeCases(t *testing.T) {
+	s := idspace.MustSpace(4)
+	if r, err := ExpectedReplicasComplete(s, 1); err != nil || r != 1 {
+		t.Errorf("K_1 replicas = %v, %v; want 1", r, err)
+	}
+	if _, err := ExpectedReplicasComplete(s, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestMonteCarloLocalMaxima cross-validates the closed form against a
+// direct simulation: build random regular overlays, draw random message
+// IDs, count nodes whose metric value no neighbor exceeds.
+func TestMonteCarloLocalMaxima(t *testing.T) {
+	s := idspace.MustSpace(4)
+	rng := rand.New(rand.NewSource(77))
+	const n, d = 600, 20
+	g, err := topology.RandomRegular(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := overlay.New(g, rng, nil)
+
+	const trials = 60
+	strictMaxima, tieMaxima := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		key := idspace.Random(rng)
+		for u := 0; u < n; u++ {
+			self := s.CommonDigits(key, nw.ID(u))
+			strict, withTies := true, true
+			for _, v := range nw.Neighbors(u) {
+				c := s.CommonDigits(key, nw.ID(v))
+				if c >= self {
+					strict = false
+				}
+				if c > self {
+					withTies = false
+				}
+			}
+			if strict && self >= 1 {
+				strictMaxima++
+			}
+			if withTies && self >= 1 {
+				tieMaxima++
+			}
+		}
+	}
+	wantStrict, err := ExpectedLocalMaxima(s, n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTies, err := ExpectedLocalMaximaTies(s, n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analysis assumes independent neighbor draws; a real graph has
+	// slight dependence, so allow 15% relative error.
+	check := func(name string, measuredCount int, want float64) {
+		measured := float64(measuredCount) / float64(trials)
+		if measured < want*0.85 || measured > want*1.15 {
+			t.Errorf("%s Monte Carlo local maxima %.1f, closed form %.1f: beyond 15%%", name, measured, want)
+		}
+	}
+	check("strict", strictMaxima, wantStrict)
+	check("ties", tieMaxima, wantTies)
+}
+
+// TestMonteCarloCompleteReplicas does the same for the tie-counting
+// complete-topology formula.
+func TestMonteCarloCompleteReplicas(t *testing.T) {
+	s := idspace.MustSpace(4)
+	rng := rand.New(rand.NewSource(78))
+	const n = 800
+	ids := make([]idspace.ID, n)
+	for i := range ids {
+		ids[i] = idspace.Random(rng)
+	}
+	const trials = 400
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		key := idspace.Random(rng)
+		best := -1
+		count := 0
+		for _, id := range ids {
+			c := s.CommonDigits(key, id)
+			switch {
+			case c > best:
+				best, count = c, 1
+			case c == best:
+				count++
+			}
+		}
+		total += count
+	}
+	measured := float64(total) / float64(trials)
+	want, err := ExpectedReplicasComplete(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured < want*0.9 || measured > want*1.1 {
+		t.Errorf("Monte Carlo replicas %.3f, closed form %.3f: beyond 10%%", measured, want)
+	}
+}
+
+func BenchmarkLocalMaximaProb(b *testing.B) {
+	s := idspace.MustSpace(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LocalMaximaProb(s, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

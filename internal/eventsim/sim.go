@@ -1,0 +1,201 @@
+// Package eventsim provides the deterministic discrete-event simulator the
+// rest of the reproduction runs on.
+//
+// The paper evaluates MPIL with two simulators: a message-level Python
+// simulator for static overlays, and MSPastry's own packet simulator for
+// the perturbation experiments. This package is the Go substitute for
+// both: a single-threaded virtual-time scheduler with a deterministic
+// seeded RNG, so every experiment in the repository is exactly
+// reproducible from its seed.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event scheduler over a virtual clock. It is not safe
+// for concurrent use; simulations are single-goroutine by design so that
+// runs are bit-for-bit reproducible.
+type Sim struct {
+	now    time.Duration
+	queue  eventQueue
+	nextID uint64
+	rng    *rand.Rand
+
+	// events counts every executed event, a cheap progress/cost signal
+	// for harnesses and tests.
+	events uint64
+}
+
+// New returns a simulator whose RNG is seeded with seed. Virtual time
+// starts at zero.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source. All
+// randomness inside a simulation must come from here.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.events }
+
+// Timer is a handle to a scheduled event; Cancel prevents a pending event
+// from firing. For periodic timers created with Every, Cancel also stops
+// future re-arming, and is safe to call from inside the tick function.
+type Timer struct {
+	ev      *event
+	stopped *bool // non-nil only for periodic timers
+}
+
+// Cancel marks the timer's event as dead. Cancelling an already-fired or
+// already-cancelled timer is a no-op. Cancel on a nil Timer is a no-op, so
+// callers may unconditionally cancel optional timers.
+func (t *Timer) Cancel() {
+	if t == nil {
+		return
+	}
+	if t.stopped != nil {
+		*t.stopped = true
+	}
+	if t.ev != nil {
+		t.ev.fn = nil
+	}
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) is a programming error and panics, because it would
+// silently corrupt causality in a simulation.
+func (s *Sim) At(at time.Duration, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.nextID, fn: fn}
+	s.nextID++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run delay after the current virtual time.
+func (s *Sim) After(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Every schedules fn to run now+first, then repeatedly every period until
+// the returned Timer is cancelled. It reproduces the periodic maintenance
+// loops (leafset probing, routing-table probing) of MSPastry.
+func (s *Sim) Every(first, period time.Duration, fn func()) *Timer {
+	if period <= 0 {
+		panic(fmt.Sprintf("eventsim: non-positive period %v", period))
+	}
+	stopped := false
+	t := &Timer{stopped: &stopped}
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if stopped {
+			// The caller cancelled from inside fn; do not re-arm.
+			return
+		}
+		next := s.After(period, tick)
+		t.ev = next.ev
+	}
+	first0 := s.After(first, tick)
+	t.ev = first0.ev
+	return t
+}
+
+// Run executes events in timestamp order until the queue is empty. Events
+// with equal timestamps run in scheduling order (FIFO), which keeps runs
+// deterministic.
+func (s *Sim) Run() {
+	for s.queue.Len() > 0 {
+		s.step()
+	}
+}
+
+// RunUntil executes events until virtual time would exceed deadline or the
+// queue empties. Events scheduled exactly at the deadline still run. The
+// clock is left at min(deadline, time of last executed event).
+func (s *Sim) RunUntil(deadline time.Duration) {
+	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current virtual time.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled ones that have not yet been discarded.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+func (s *Sim) step() {
+	ev := heap.Pop(&s.queue).(*event)
+	if ev.fn == nil { // cancelled
+		return
+	}
+	s.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	s.events++
+	fn()
+}
+
+// event is a queue entry. fn == nil marks a cancelled event.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	idx int
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x interface{}) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,242 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", s.Now())
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("FIFO violated at %d: order = %v", i, order)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New(1)
+	var fired time.Duration
+	s.At(5*time.Second, func() {
+		s.After(2*time.Second, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 7*time.Second {
+		t.Errorf("nested After fired at %v, want 7s", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.At(time.Second, func() { fired = true })
+	tm.Cancel()
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelNilSafe(t *testing.T) {
+	var tm *Timer
+	tm.Cancel() // must not panic
+	(&Timer{}).Cancel()
+}
+
+func TestCancelIdempotentAfterFire(t *testing.T) {
+	s := New(1)
+	count := 0
+	tm := s.At(time.Second, func() { count++ })
+	s.Run()
+	tm.Cancel() // after firing: no-op
+	s.Run()
+	if count != 1 {
+		t.Errorf("event fired %d times, want 1", count)
+	}
+}
+
+func TestEveryRepeatsAndCancels(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	var tm *Timer
+	tm = s.Every(time.Second, 2*time.Second, func() {
+		times = append(times, s.Now())
+		if len(times) == 3 {
+			tm.Cancel()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if len(times) != 3 {
+		t.Fatalf("Every fired %d times, want 3", len(times))
+	}
+	want := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fire times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEveryCancelBetweenTicks(t *testing.T) {
+	s := New(1)
+	count := 0
+	tm := s.Every(time.Second, time.Second, func() { count++ })
+	s.RunUntil(2500 * time.Millisecond) // ticks at 1s, 2s
+	tm.Cancel()
+	s.RunUntil(10 * time.Second)
+	if count != 2 {
+		t.Errorf("ticks = %d, want 2", count)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (deadline-inclusive)", len(fired))
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", s.Now())
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Errorf("remaining event did not fire after deadline extension")
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New(1)
+	s.RunUntil(time.Hour)
+	if s.Now() != time.Hour {
+		t.Errorf("idle RunUntil left clock at %v, want 1h", s.Now())
+	}
+}
+
+func TestRunForRelative(t *testing.T) {
+	s := New(1)
+	s.RunUntil(10 * time.Second)
+	fired := false
+	s.After(5*time.Second, func() { fired = true })
+	s.RunFor(5 * time.Second)
+	if !fired {
+		t.Error("event within RunFor window did not fire")
+	}
+	if s.Now() != 15*time.Second {
+		t.Errorf("Now = %v, want 15s", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10*time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(time.Second, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-time.Second, func() {})
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	draw := func() []int64 {
+		s := New(99)
+		out := make([]int64, 5)
+		for i := range out {
+			out[i] = s.Rand().Int63()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different streams")
+		}
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Second, func() {})
+	}
+	tm := s.After(100*time.Second, func() {})
+	tm.Cancel()
+	s.Run()
+	if got := s.Executed(); got != 7 {
+		t.Errorf("Executed = %d, want 7 (cancelled events don't count)", got)
+	}
+}
+
+func TestHeavyInterleaving(t *testing.T) {
+	// A stress shape: events scheduling more events, all interleaved.
+	s := New(5)
+	total := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		total++
+		if depth == 0 {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Millisecond
+			s.After(d, func() { spawn(depth - 1) })
+		}
+	}
+	s.After(0, func() { spawn(6) })
+	s.Run()
+	want := (3*3*3*3*3*3*3 - 1) / 2 // geometric series 3^0+...+3^6
+	if total != want {
+		t.Errorf("executed %d spawns, want %d", total, want)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		for j := 0; j < 1000; j++ {
+			s.After(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"discovery/internal/analysis"
+	"discovery/internal/idspace"
+)
+
+// analysisSpace is the digit base of the paper's Section 5 analysis
+// figures. The plotted magnitudes of Figures 7 and 8 (about 1200 local
+// maxima at d=10 for 16000 nodes; expected replicas rising 1.55 to 1.63)
+// match base-4 digits, consistent with the base-4 examples in Section 4.2.
+var analysisSpace = idspace.MustSpace(2)
+
+// Fig7Row is one point of Figure 7: the expected number of local maxima
+// in a random regular topology.
+type Fig7Row struct {
+	Neighbors int
+	// Maxima[i] corresponds to Ns[i] from the request.
+	Maxima []float64
+}
+
+// RunFig7 reproduces Figure 7 over the given node counts (paper: 4000,
+// 8000, 16000) and neighbor counts 10..100 in steps of 10.
+func RunFig7(ns []int) ([]Fig7Row, error) {
+	var out []Fig7Row
+	for d := 10; d <= 100; d += 10 {
+		row := Fig7Row{Neighbors: d}
+		for _, n := range ns {
+			v, err := analysis.ExpectedLocalMaxima(analysisSpace, n, d)
+			if err != nil {
+				return nil, err
+			}
+			row.Maxima = append(row.Maxima, v)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig8Row is one point of Figure 8: the expected number of replicas on
+// the complete topology K_n.
+type Fig8Row struct {
+	N        int
+	Replicas float64
+}
+
+// RunFig8 reproduces Figure 8 over n = 2000..16000 in steps of 2000.
+func RunFig8() ([]Fig8Row, error) {
+	var out []Fig8Row
+	for n := 2000; n <= 16000; n += 2000 {
+		v, err := analysis.ExpectedReplicasComplete(analysisSpace, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Row{N: n, Replicas: v})
+	}
+	return out, nil
+}

@@ -1,0 +1,380 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, each regenerating the corresponding rows/series:
+//
+//	Figure 1    MSPastry success under perturbation        (RunFig1)
+//	Figure 7    expected local maxima, random regular      (RunFig7)
+//	Figure 8    expected replicas, complete topologies     (RunFig8)
+//	Figure 9    MPIL insertion behavior vs N               (RunFig9)
+//	Figure 10   MPIL lookup latency and traffic vs N       (RunFig10)
+//	Tables 1-2  MPIL lookup success grids                  (RunLookupTable)
+//	Table 3     actual flows of lookups                    (RunTable3)
+//	Figure 11   success under perturbation, all variants   (RunFig11)
+//	Figure 12   lookup and total traffic under flapping    (RunFig12)
+//
+// Every run is deterministic from its Scale's seed. Scales come in Paper
+// (the paper's parameters) and Quick (CI-sized) presets; anything in
+// between can be configured directly.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"discovery/internal/idspace"
+	"discovery/internal/metrics"
+	"discovery/internal/mpil"
+	"discovery/internal/overlay"
+	"discovery/internal/topology"
+	"discovery/internal/workload"
+)
+
+// TopoKind selects the overlay family of the static experiments.
+type TopoKind int
+
+// The two families of Section 6.1.
+const (
+	TopoPowerLaw TopoKind = iota + 1
+	TopoRandom
+)
+
+// String implements fmt.Stringer.
+func (k TopoKind) String() string {
+	switch k {
+	case TopoPowerLaw:
+		return "power-law"
+	case TopoRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("TopoKind(%d)", int(k))
+	}
+}
+
+// StaticScale sizes the static-overlay experiments.
+type StaticScale struct {
+	// Sizes are the node counts swept (paper: 4000, 8000, 16000).
+	Sizes []int
+	// GraphsPerSize is how many independent graphs are averaged
+	// (paper: 10).
+	GraphsPerSize int
+	// RequestsPerGraph is the number of insert/lookup pairs per graph
+	// (paper: 100).
+	RequestsPerGraph int
+	// RandomDegree is the fixed degree of the random overlays
+	// (paper: 100).
+	RandomDegree int
+	// Seed makes the whole experiment reproducible.
+	Seed int64
+}
+
+// PaperStaticScale returns the paper's Section 6.1 parameters. A full run
+// takes minutes; use QuickStaticScale for tests.
+func PaperStaticScale() StaticScale {
+	return StaticScale{
+		Sizes:            []int{4000, 8000, 16000},
+		GraphsPerSize:    10,
+		RequestsPerGraph: 100,
+		RandomDegree:     100,
+		Seed:             1,
+	}
+}
+
+// QuickStaticScale returns a CI-sized configuration preserving the
+// experiment's structure.
+func QuickStaticScale() StaticScale {
+	return StaticScale{
+		Sizes:            []int{300, 600},
+		GraphsPerSize:    2,
+		RequestsPerGraph: 40,
+		RandomDegree:     20,
+		Seed:             1,
+	}
+}
+
+// validate rejects unusable scales.
+func (s StaticScale) validate() error {
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("experiments: no sizes configured")
+	}
+	for _, n := range s.Sizes {
+		if n < 8 {
+			return fmt.Errorf("experiments: size %d too small", n)
+		}
+		if s.RandomDegree >= n {
+			return fmt.Errorf("experiments: random degree %d >= size %d", s.RandomDegree, n)
+		}
+	}
+	if s.GraphsPerSize < 1 || s.RequestsPerGraph < 1 {
+		return fmt.Errorf("experiments: graphs (%d) and requests (%d) must be positive", s.GraphsPerSize, s.RequestsPerGraph)
+	}
+	if s.RandomDegree < 1 {
+		return fmt.Errorf("experiments: random degree %d must be positive", s.RandomDegree)
+	}
+	return nil
+}
+
+// insertConfig is the paper's fixed insertion configuration for the
+// static experiments: max_flows 30, 5 per-flow replicas, duplicate
+// suppression on ("a node silently discards a message if the node
+// receives the same message more than once").
+func insertConfig() mpil.Config {
+	return mpil.Config{
+		Space:                idspace.MustSpace(4),
+		MaxFlows:             30,
+		PerFlowReplicas:      5,
+		DuplicateSuppression: true,
+	}
+}
+
+// buildOverlay constructs one overlay of the requested family.
+func buildOverlay(kind TopoKind, n, randomDegree int, rng *rand.Rand) (*overlay.Network, error) {
+	var g *topology.Graph
+	var err error
+	switch kind {
+	case TopoPowerLaw:
+		// Inet substitute: configuration-model power law with exponent
+		// 2.2 and minimum degree 2 (the paper's "0% of degree 1
+		// nodes").
+		g, err = topology.PowerLaw(n, 2.2, 2, rng)
+	case TopoRandom:
+		g, err = topology.RandomRegular(n, randomDegree, rng)
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology kind %v", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building %v overlay: %w", kind, err)
+	}
+	return overlay.New(g, rng, nil), nil
+}
+
+// Fig9Row is one point of Figure 9's three panels.
+type Fig9Row struct {
+	N          int
+	Replicas   float64 // average replicas per insertion (left panel)
+	Traffic    float64 // average messages per insertion (center panel)
+	Duplicates float64 // total duplicate messages, averaged over graphs (right panel)
+}
+
+// RunFig9 reproduces Figure 9: MPIL insertion behavior over overlays of
+// increasing size, with max_flows 30 and 5 per-flow replicas.
+func RunFig9(scale StaticScale, kind TopoKind) ([]Fig9Row, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Fig9Row, 0, len(scale.Sizes))
+	for si, n := range scale.Sizes {
+		var replicas, traffic, dupTotals metrics.Sample
+		for gi := 0; gi < scale.GraphsPerSize; gi++ {
+			rng := rand.New(rand.NewSource(scale.Seed + int64(1000*si+gi)))
+			nw, err := buildOverlay(kind, n, scale.RandomDegree, rng)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := mpil.NewEngine(nw, insertConfig(), rng)
+			if err != nil {
+				return nil, err
+			}
+			pairs, err := workload.RandomOrigins(scale.RequestsPerGraph, n, rng)
+			if err != nil {
+				return nil, err
+			}
+			graphDups := 0
+			for _, p := range pairs {
+				st := eng.Insert(p.InsertOrigin, p.Key, nil, 0)
+				replicas.AddInt(st.Replicas)
+				traffic.AddInt(st.Messages)
+				graphDups += st.Duplicates
+			}
+			dupTotals.AddInt(graphDups)
+		}
+		out = append(out, Fig9Row{
+			N:          n,
+			Replicas:   replicas.Mean(),
+			Traffic:    traffic.Mean(),
+			Duplicates: dupTotals.Mean(),
+		})
+	}
+	return out, nil
+}
+
+// LookupGridRow is one row of Table 1 or Table 2: success percentages for
+// per-flow replicas 1..5 at a given (N, max_flows).
+type LookupGridRow struct {
+	N        int
+	MaxFlows int
+	// SuccessPct[r-1] is the success percentage with r per-flow
+	// replicas.
+	SuccessPct [5]float64
+}
+
+// LookupMaxFlows is the paper's lookup max_flows sweep for Tables 1-2.
+var LookupMaxFlows = []int{5, 10, 15}
+
+// RunLookupTable reproduces Table 1 (power-law) or Table 2 (random):
+// lookup success rates over a (max_flows, per-flow replicas) grid, with
+// insertions fixed at max_flows 30 and 5 per-flow replicas.
+func RunLookupTable(scale StaticScale, kind TopoKind) ([]LookupGridRow, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	var out []LookupGridRow
+	for si, n := range scale.Sizes {
+		rates := make(map[[2]int]*metrics.Rate) // (maxFlows, r) -> rate
+		for _, mf := range LookupMaxFlows {
+			for r := 1; r <= 5; r++ {
+				rates[[2]int{mf, r}] = &metrics.Rate{}
+			}
+		}
+		for gi := 0; gi < scale.GraphsPerSize; gi++ {
+			rng := rand.New(rand.NewSource(scale.Seed + int64(1000*si+gi)))
+			nw, err := buildOverlay(kind, n, scale.RandomDegree, rng)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := mpil.NewEngine(nw, insertConfig(), rng)
+			if err != nil {
+				return nil, err
+			}
+			pairs, err := workload.RandomOrigins(scale.RequestsPerGraph, n, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pairs {
+				eng.Insert(p.InsertOrigin, p.Key, nil, 0)
+			}
+			for _, mf := range LookupMaxFlows {
+				for r := 1; r <= 5; r++ {
+					cfg := mpil.Config{
+						Space:                idspace.MustSpace(4),
+						MaxFlows:             mf,
+						PerFlowReplicas:      r,
+						DuplicateSuppression: true,
+					}
+					rate := rates[[2]int{mf, r}]
+					for _, p := range pairs {
+						st, err := eng.LookupWith(cfg, p.LookupOrigin, p.Key, 0)
+						if err != nil {
+							return nil, err
+						}
+						rate.Record(st.Found)
+					}
+				}
+			}
+		}
+		for _, mf := range LookupMaxFlows {
+			row := LookupGridRow{N: n, MaxFlows: mf}
+			for r := 1; r <= 5; r++ {
+				row.SuccessPct[r-1] = rates[[2]int{mf, r}].Percent()
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// Table3Row is one row of Table 3: the actual number of flows created by
+// lookups with max_flows 10 and 3 per-flow replicas.
+type Table3Row struct {
+	Kind  TopoKind
+	N     int
+	Flows float64
+}
+
+// RunTable3 reproduces Table 3 for one topology family.
+func RunTable3(scale StaticScale, kind TopoKind) ([]Table3Row, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	lookupCfg := mpil.Config{
+		Space:                idspace.MustSpace(4),
+		MaxFlows:             10,
+		PerFlowReplicas:      3,
+		DuplicateSuppression: true,
+	}
+	var out []Table3Row
+	for si, n := range scale.Sizes {
+		var flows metrics.Sample
+		for gi := 0; gi < scale.GraphsPerSize; gi++ {
+			rng := rand.New(rand.NewSource(scale.Seed + int64(1000*si+gi)))
+			nw, err := buildOverlay(kind, n, scale.RandomDegree, rng)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := mpil.NewEngine(nw, insertConfig(), rng)
+			if err != nil {
+				return nil, err
+			}
+			pairs, err := workload.RandomOrigins(scale.RequestsPerGraph, n, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pairs {
+				eng.Insert(p.InsertOrigin, p.Key, nil, 0)
+			}
+			for _, p := range pairs {
+				st, err := eng.LookupWith(lookupCfg, p.LookupOrigin, p.Key, 0)
+				if err != nil {
+					return nil, err
+				}
+				flows.AddInt(st.Flows)
+			}
+		}
+		out = append(out, Table3Row{Kind: kind, N: n, Flows: flows.Mean()})
+	}
+	return out, nil
+}
+
+// Fig10Row is one point of Figure 10: lookup latency in hops (left panel)
+// and lookup traffic in messages (right panel), with max_flows 10 and 5
+// per-flow replicas.
+type Fig10Row struct {
+	N       int
+	Hops    float64 // first successful reply, successful lookups only
+	Traffic float64 // total messages per lookup
+}
+
+// RunFig10 reproduces Figure 10 for one topology family.
+func RunFig10(scale StaticScale, kind TopoKind) ([]Fig10Row, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	lookupCfg := mpil.Config{
+		Space:                idspace.MustSpace(4),
+		MaxFlows:             10,
+		PerFlowReplicas:      5,
+		DuplicateSuppression: true,
+	}
+	var out []Fig10Row
+	for si, n := range scale.Sizes {
+		var hops, traffic metrics.Sample
+		for gi := 0; gi < scale.GraphsPerSize; gi++ {
+			rng := rand.New(rand.NewSource(scale.Seed + int64(1000*si+gi)))
+			nw, err := buildOverlay(kind, n, scale.RandomDegree, rng)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := mpil.NewEngine(nw, insertConfig(), rng)
+			if err != nil {
+				return nil, err
+			}
+			pairs, err := workload.RandomOrigins(scale.RequestsPerGraph, n, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pairs {
+				eng.Insert(p.InsertOrigin, p.Key, nil, 0)
+			}
+			for _, p := range pairs {
+				st, err := eng.LookupWith(lookupCfg, p.LookupOrigin, p.Key, 0)
+				if err != nil {
+					return nil, err
+				}
+				if st.Found {
+					hops.AddInt(st.FirstReplyHops)
+				}
+				traffic.AddInt(st.Messages)
+			}
+		}
+		out = append(out, Fig10Row{N: n, Hops: hops.Mean(), Traffic: traffic.Mean()})
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"testing"
+
+	"discovery/internal/mpil"
+)
+
+func TestStaticScaleValidation(t *testing.T) {
+	bad := []StaticScale{
+		{},
+		{Sizes: []int{4}, GraphsPerSize: 1, RequestsPerGraph: 1, RandomDegree: 2},
+		{Sizes: []int{100}, GraphsPerSize: 0, RequestsPerGraph: 1, RandomDegree: 2},
+		{Sizes: []int{100}, GraphsPerSize: 1, RequestsPerGraph: 0, RandomDegree: 2},
+		{Sizes: []int{100}, GraphsPerSize: 1, RequestsPerGraph: 1, RandomDegree: 0},
+		{Sizes: []int{100}, GraphsPerSize: 1, RequestsPerGraph: 1, RandomDegree: 100},
+	}
+	for i, s := range bad {
+		if err := s.validate(); err == nil {
+			t.Errorf("scale %d accepted: %+v", i, s)
+		}
+	}
+	if err := QuickStaticScale().validate(); err != nil {
+		t.Errorf("quick scale invalid: %v", err)
+	}
+	if err := PaperStaticScale().validate(); err != nil {
+		t.Errorf("paper scale invalid: %v", err)
+	}
+}
+
+func TestRunFig9Shapes(t *testing.T) {
+	scale := QuickStaticScale()
+	bound := float64(insertConfig().MaxFlows * insertConfig().PerFlowReplicas)
+	for _, kind := range []TopoKind{TopoPowerLaw, TopoRandom} {
+		rows, err := RunFig9(scale, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(rows) != len(scale.Sizes) {
+			t.Fatalf("%v: %d rows, want %d", kind, len(rows), len(scale.Sizes))
+		}
+		for _, r := range rows {
+			if r.Replicas < 1 {
+				t.Errorf("%v N=%d: %.1f replicas, want >= 1", kind, r.N, r.Replicas)
+			}
+			if r.Replicas > bound {
+				t.Errorf("%v N=%d: %.1f replicas exceed max_flows*r bound %.0f", kind, r.N, r.Replicas, bound)
+			}
+			if r.Traffic <= 0 {
+				t.Errorf("%v N=%d: no insertion traffic", kind, r.N)
+			}
+			if r.Duplicates < 0 {
+				t.Errorf("%v N=%d: negative duplicates", kind, r.N)
+			}
+		}
+	}
+}
+
+func TestRunLookupTableShapes(t *testing.T) {
+	scale := QuickStaticScale()
+	for _, kind := range []TopoKind{TopoPowerLaw, TopoRandom} {
+		rows, err := RunLookupTable(scale, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(rows) != len(scale.Sizes)*len(LookupMaxFlows) {
+			t.Fatalf("%v: %d rows", kind, len(rows))
+		}
+		for _, row := range rows {
+			// Paper shape: success non-decreasing in per-flow replicas
+			// (allowing small sampling noise), and high at r=5.
+			for r := 1; r < 5; r++ {
+				if row.SuccessPct[r] < row.SuccessPct[r-1]-8 {
+					t.Errorf("%v N=%d mf=%d: success drops from r=%d (%.1f) to r=%d (%.1f)",
+						kind, row.N, row.MaxFlows, r, row.SuccessPct[r-1], r+1, row.SuccessPct[r])
+				}
+			}
+			if row.SuccessPct[4] < 80 {
+				t.Errorf("%v N=%d mf=%d: r=5 success %.1f%%, want >= 80%%",
+					kind, row.N, row.MaxFlows, row.SuccessPct[4])
+			}
+		}
+	}
+}
+
+func TestRandomBeatsPowerLawAtLowReplicas(t *testing.T) {
+	// Paper Tables 1 vs 2: random overlays dominate power-law at r=1.
+	scale := QuickStaticScale()
+	pl, err := RunLookupTable(scale, TopoPowerLaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := RunLookupTable(scale, TopoRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd[0].SuccessPct[0] <= pl[0].SuccessPct[0] {
+		t.Errorf("random r=1 success %.1f%% not above power-law %.1f%%",
+			rd[0].SuccessPct[0], pl[0].SuccessPct[0])
+	}
+}
+
+func TestRunTable3Shapes(t *testing.T) {
+	scale := QuickStaticScale()
+	for _, kind := range []TopoKind{TopoPowerLaw, TopoRandom} {
+		rows, err := RunTable3(scale, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for _, row := range rows {
+			if row.Flows < 1 {
+				t.Errorf("%v N=%d: %.2f flows, want >= 1", kind, row.N, row.Flows)
+			}
+			if row.Flows > 10 {
+				t.Errorf("%v N=%d: %.2f flows exceed max_flows 10", kind, row.N, row.Flows)
+			}
+		}
+	}
+}
+
+func TestRunFig10Shapes(t *testing.T) {
+	scale := QuickStaticScale()
+	for _, kind := range []TopoKind{TopoPowerLaw, TopoRandom} {
+		rows, err := RunFig10(scale, kind)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for _, row := range rows {
+			// Paper: latency small (roughly 2-3 hops) and steady in N.
+			if row.Hops < 0.5 || row.Hops > 8 {
+				t.Errorf("%v N=%d: %.2f hops outside plausible range", kind, row.N, row.Hops)
+			}
+			if row.Traffic <= 0 {
+				t.Errorf("%v N=%d: no lookup traffic", kind, row.N)
+			}
+		}
+	}
+}
+
+func TestRunFig7MatchesAnalysisShape(t *testing.T) {
+	rows, err := RunFig7([]int{4000, 8000, 16000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows, want 10 (d = 10..100)", len(rows))
+	}
+	// Monotone decreasing in d; scaling linear in N.
+	for i, row := range rows {
+		if len(row.Maxima) != 3 {
+			t.Fatalf("row %d has %d series", i, len(row.Maxima))
+		}
+		if i > 0 && row.Maxima[0] >= rows[i-1].Maxima[0] {
+			t.Errorf("maxima not decreasing in d at row %d", i)
+		}
+		ratio := row.Maxima[2] / row.Maxima[0]
+		if ratio < 3.99 || ratio > 4.01 {
+			t.Errorf("d=%d: 16000/4000 ratio %.3f, want 4", row.Neighbors, ratio)
+		}
+	}
+	// Paper's headline value: ~1200 maxima at d=10 for 16000 nodes.
+	if v := rows[0].Maxima[2]; v < 1100 || v > 1300 {
+		t.Errorf("d=10 N=16000: %.0f maxima, want about 1200", v)
+	}
+}
+
+func TestRunFig8MatchesAnalysisShape(t *testing.T) {
+	rows, err := RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	prev := 0.0
+	for _, r := range rows {
+		if r.Replicas < 1.5 || r.Replicas > 1.7 {
+			t.Errorf("N=%d: %.3f replicas outside the paper's 1.55-1.63 band (with tolerance)", r.N, r.Replicas)
+		}
+		if r.Replicas < prev {
+			t.Errorf("replicas not non-decreasing at N=%d", r.N)
+		}
+		prev = r.Replicas
+	}
+}
+
+func TestInsertConfigIsPaper(t *testing.T) {
+	cfg := insertConfig()
+	if cfg.MaxFlows != 30 || cfg.PerFlowReplicas != 5 || !cfg.DuplicateSuppression {
+		t.Errorf("insertion config %+v does not match the paper's Section 6.1", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+	var _ = mpil.Config{} // keep import meaningful under refactors
+}

@@ -1,0 +1,140 @@
+package idspace
+
+import "fmt"
+
+// Space describes a positional view of the 160-bit ID space: IDs read as
+// strings of Digits() digits, each B bits wide (base 2^B). The paper's
+// analysis (Section 5) is parameterized the same way, with m = M*b.
+//
+// The zero value is not valid; construct with NewSpace.
+type Space struct {
+	b int // bits per digit
+}
+
+// NewSpace returns the base-2^b view of the ID space. b must be one of
+// 1, 2, 4 or 8 so that digits pack evenly into bytes.
+func NewSpace(b int) (Space, error) {
+	switch b {
+	case 1, 2, 4, 8:
+		return Space{b: b}, nil
+	default:
+		return Space{}, fmt.Errorf("idspace: unsupported digit width %d bits (want 1, 2, 4 or 8)", b)
+	}
+}
+
+// MustSpace is NewSpace that panics on invalid b. Intended for
+// package-level defaults and tests.
+func MustSpace(b int) Space {
+	s, err := NewSpace(b)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// B returns the digit width in bits.
+func (s Space) B() int { return s.b }
+
+// Base returns the radix 2^b of the digit alphabet.
+func (s Space) Base() int { return 1 << uint(s.b) }
+
+// Digits returns M, the number of digits in an ID under this view.
+func (s Space) Digits() int { return Bits / s.b }
+
+// Digit extracts digit i of the ID, where digit 0 is the most significant.
+func (s Space) Digit(id ID, i int) int {
+	if i < 0 || i >= s.Digits() {
+		panic(fmt.Sprintf("idspace: digit index %d out of range for %d-digit space", i, s.Digits()))
+	}
+	bitOff := i * s.b
+	byteIdx := bitOff / 8
+	shift := 8 - s.b - (bitOff % 8)
+	return int(id[byteIdx]>>uint(shift)) & (s.Base() - 1)
+}
+
+// SetDigit returns a copy of id with digit i replaced by v. It is used by
+// tests and by ID constructors that need precise digit patterns.
+func (s Space) SetDigit(id ID, i, v int) ID {
+	if v < 0 || v >= s.Base() {
+		panic(fmt.Sprintf("idspace: digit value %d out of range for base %d", v, s.Base()))
+	}
+	bitOff := i * s.b
+	byteIdx := bitOff / 8
+	shift := uint(8 - s.b - (bitOff % 8))
+	mask := byte((s.Base() - 1) << shift)
+	id[byteIdx] = (id[byteIdx] &^ mask) | byte(v)<<shift
+	return id
+}
+
+// CommonDigits is the MPIL routing metric (paper Section 4.1): the number
+// of digit positions at which a and b hold the same value — equivalently
+// the number of zero digits in a XOR b. Higher is closer.
+func (s Space) CommonDigits(a, b ID) int {
+	x := a.XOR(b)
+	switch s.b {
+	case 8:
+		n := 0
+		for i := 0; i < Bytes; i++ {
+			if x[i] == 0 {
+				n++
+			}
+		}
+		return n
+	case 4:
+		n := 0
+		for i := 0; i < Bytes; i++ {
+			if x[i]&0xf0 == 0 {
+				n++
+			}
+			if x[i]&0x0f == 0 {
+				n++
+			}
+		}
+		return n
+	case 2:
+		n := 0
+		for i := 0; i < Bytes; i++ {
+			v := x[i]
+			if v&0xc0 == 0 {
+				n++
+			}
+			if v&0x30 == 0 {
+				n++
+			}
+			if v&0x0c == 0 {
+				n++
+			}
+			if v&0x03 == 0 {
+				n++
+			}
+		}
+		return n
+	default: // b == 1: common bits = 160 - popcount
+		n := Bits
+		for i := 0; i < Bytes; i++ {
+			n -= popcount(x[i])
+		}
+		return n
+	}
+}
+
+// SharedPrefix is Pastry's routing metric: the length (in digits) of the
+// longest common prefix of a and b. It ranges over [0, Digits()].
+func (s Space) SharedPrefix(a, b ID) int {
+	m := s.Digits()
+	for i := 0; i < m; i++ {
+		if s.Digit(a, i) != s.Digit(b, i) {
+			return i
+		}
+	}
+	return m
+}
+
+func popcount(b byte) int {
+	n := 0
+	for b != 0 {
+		b &= b - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+package idspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpace(t *testing.T) {
+	for _, b := range []int{1, 2, 4, 8} {
+		s, err := NewSpace(b)
+		if err != nil {
+			t.Fatalf("NewSpace(%d): %v", b, err)
+		}
+		if s.B() != b {
+			t.Errorf("B() = %d, want %d", s.B(), b)
+		}
+		if s.Base() != 1<<b {
+			t.Errorf("Base() = %d, want %d", s.Base(), 1<<b)
+		}
+		if s.Digits()*b != Bits {
+			t.Errorf("Digits()*b = %d, want %d", s.Digits()*b, Bits)
+		}
+	}
+	for _, b := range []int{0, 3, 5, 16, -1} {
+		if _, err := NewSpace(b); err == nil {
+			t.Errorf("NewSpace(%d) succeeded, want error", b)
+		}
+	}
+}
+
+func TestDigitExtraction(t *testing.T) {
+	// ID beginning with bytes 0xAB 0xCD: base-16 digits A,B,C,D;
+	// base-4 digits 2,2,2,3,3,0,3,1; base-2 bits 1,0,1,0,1,0,1,1,...
+	id := MustParseHex("abcd000000000000000000000000000000000000")
+	tests := []struct {
+		b    int
+		i    int
+		want int
+	}{
+		{4, 0, 0xa}, {4, 1, 0xb}, {4, 2, 0xc}, {4, 3, 0xd}, {4, 4, 0},
+		{8, 0, 0xab}, {8, 1, 0xcd},
+		{2, 0, 2}, {2, 1, 2}, {2, 2, 2}, {2, 3, 3}, {2, 4, 3}, {2, 5, 0}, {2, 6, 3}, {2, 7, 1},
+		{1, 0, 1}, {1, 1, 0}, {1, 2, 1}, {1, 3, 0}, {1, 4, 1}, {1, 5, 0}, {1, 6, 1}, {1, 7, 1},
+	}
+	for _, tt := range tests {
+		s := MustSpace(tt.b)
+		if got := s.Digit(id, tt.i); got != tt.want {
+			t.Errorf("b=%d Digit(%d) = %#x, want %#x", tt.b, tt.i, got, tt.want)
+		}
+	}
+}
+
+func TestSetDigitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, b := range []int{1, 2, 4, 8} {
+		s := MustSpace(b)
+		for trial := 0; trial < 50; trial++ {
+			id := Random(rng)
+			i := rng.Intn(s.Digits())
+			v := rng.Intn(s.Base())
+			got := s.SetDigit(id, i, v)
+			if s.Digit(got, i) != v {
+				t.Fatalf("b=%d SetDigit(%d,%d) did not stick", b, i, v)
+			}
+			// Every other digit is untouched.
+			for j := 0; j < s.Digits(); j++ {
+				if j == i {
+					continue
+				}
+				if s.Digit(got, j) != s.Digit(id, j) {
+					t.Fatalf("b=%d SetDigit(%d) disturbed digit %d", b, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCommonDigitsPaperExample(t *testing.T) {
+	// Paper Figure 3, transplanted to the top 4 bits of the ID space:
+	// 1001 vs 1011 share 3 bits; 1001 vs 0010 share 1 bit.
+	s := MustSpace(1)
+	pad := func(top byte) ID {
+		var id ID
+		id[0] = top << 4
+		return id
+	}
+	a := pad(0b1001)
+	b := pad(0b1011)
+	c := pad(0b0010)
+	// Only the top 4 bits differ; the remaining 156 bits always match, so
+	// subtract them out to recover the 4-bit example.
+	base := Bits - 4
+	if got := s.CommonDigits(a, b) - base; got != 3 {
+		t.Errorf("CommonDigits(1001,1011) = %d, want 3", got)
+	}
+	if got := s.CommonDigits(a, c) - base; got != 1 {
+		t.Errorf("CommonDigits(1001,0010) = %d, want 1", got)
+	}
+}
+
+func TestCommonDigitsAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, b := range []int{1, 2, 4, 8} {
+		s := MustSpace(b)
+		for trial := 0; trial < 100; trial++ {
+			x, y := Random(rng), Random(rng)
+			naive := 0
+			for i := 0; i < s.Digits(); i++ {
+				if s.Digit(x, i) == s.Digit(y, i) {
+					naive++
+				}
+			}
+			if got := s.CommonDigits(x, y); got != naive {
+				t.Fatalf("b=%d CommonDigits = %d, naive = %d", b, got, naive)
+			}
+		}
+	}
+}
+
+func TestCommonDigitsIdentity(t *testing.T) {
+	for _, b := range []int{1, 2, 4, 8} {
+		s := MustSpace(b)
+		f := func(a ID) bool { return s.CommonDigits(a, a) == s.Digits() }
+		if err := quick.Check(f, quickConfig()); err != nil {
+			t.Errorf("b=%d: %v", b, err)
+		}
+	}
+}
+
+func TestCommonDigitsSymmetry(t *testing.T) {
+	s := MustSpace(4)
+	f := func(a, b ID) bool { return s.CommonDigits(a, b) == s.CommonDigits(b, a) }
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedPrefix(t *testing.T) {
+	s := MustSpace(4)
+	tests := []struct {
+		name string
+		a, b string
+		want int
+	}{
+		{"identical", "abcd000000000000000000000000000000000000", "abcd000000000000000000000000000000000000", 40},
+		{"no common prefix", "a000000000000000000000000000000000000000", "b000000000000000000000000000000000000000", 0},
+		{"two digit prefix", "ab10000000000000000000000000000000000000", "ab20000000000000000000000000000000000000", 2},
+		{"long prefix", "abcdef0000000000000000000000000000000000", "abcdef1000000000000000000000000000000000", 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a, b := MustParseHex(tt.a), MustParseHex(tt.b)
+			if got := s.SharedPrefix(a, b); got != tt.want {
+				t.Errorf("SharedPrefix = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSharedPrefixNeverExceedsCommonDigits(t *testing.T) {
+	// A shared prefix of length k implies at least k common digits, so
+	// SharedPrefix <= CommonDigits always. This is the formal core of the
+	// paper's "distinguishability" argument in Section 4.2.
+	for _, b := range []int{1, 2, 4} {
+		s := MustSpace(b)
+		f := func(x, y ID) bool { return s.SharedPrefix(x, y) <= s.CommonDigits(x, y) }
+		if err := quick.Check(f, quickConfig()); err != nil {
+			t.Errorf("b=%d: %v", b, err)
+		}
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	tests := []struct {
+		in   byte
+		want int
+	}{{0, 0}, {1, 1}, {0xff, 8}, {0xaa, 4}, {0x80, 1}}
+	for _, tt := range tests {
+		if got := popcount(tt.in); got != tt.want {
+			t.Errorf("popcount(%#x) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func BenchmarkCommonDigitsB4(b *testing.B) {
+	s := MustSpace(4)
+	rng := rand.New(rand.NewSource(1))
+	x, y := Random(rng), Random(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.CommonDigits(x, y)
+	}
+}
+
+func BenchmarkSharedPrefixB4(b *testing.B) {
+	s := MustSpace(4)
+	rng := rand.New(rand.NewSource(1))
+	x, y := Random(rng), Random(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SharedPrefix(x, y)
+	}
+}

@@ -1,0 +1,215 @@
+// Package idspace implements the 160-bit identifier space shared by MPIL
+// and Pastry, together with the digit arithmetic both routing algorithms
+// are built on.
+//
+// Identifiers are fixed-width 160-bit strings (the width used by the paper
+// and by Pastry/Chord). An ID can be viewed as a string of M = 160/b digits
+// in base 2^b. MPIL's routing metric counts the number of digit positions
+// at which two IDs agree (Section 4.1 of the paper); Pastry's prefix
+// routing uses the length of the longest shared digit prefix. Both views
+// are provided here, along with XOR and circular numeric comparisons used
+// by the Pastry leaf set.
+package idspace
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+)
+
+// Bits is the width of every identifier in bits.
+const Bits = 160
+
+// Bytes is the width of every identifier in bytes.
+const Bytes = Bits / 8
+
+// ID is a 160-bit identifier. The zero value is the all-zeros ID, which is
+// a valid identifier. Byte 0 holds the most significant bits.
+type ID [Bytes]byte
+
+// Zero is the all-zeros identifier.
+var Zero ID
+
+// FromBytes builds an ID from the first Bytes bytes of p. If p is shorter
+// than Bytes, the remaining low-order bytes are zero.
+func FromBytes(p []byte) ID {
+	var id ID
+	copy(id[:], p)
+	return id
+}
+
+// FromString hashes an arbitrary string (an object name, a node address)
+// into the ID space using SHA-1, the hash historically used by Pastry
+// deployments; SHA-1 output is exactly 160 bits wide.
+func FromString(s string) ID {
+	return ID(sha1.Sum([]byte(s)))
+}
+
+// FromUint64 places v in the low-order 64 bits of an otherwise-zero ID.
+// It is intended for tests and examples where readable IDs matter.
+func FromUint64(v uint64) ID {
+	var id ID
+	for i := 0; i < 8; i++ {
+		id[Bytes-1-i] = byte(v >> (8 * i))
+	}
+	return id
+}
+
+// Random draws an ID uniformly at random from the full 160-bit space using
+// the supplied deterministic source.
+func Random(rng *rand.Rand) ID {
+	var id ID
+	for i := 0; i < Bytes; i += 4 {
+		v := rng.Uint32()
+		id[i] = byte(v >> 24)
+		id[i+1] = byte(v >> 16)
+		id[i+2] = byte(v >> 8)
+		id[i+3] = byte(v)
+	}
+	return id
+}
+
+// ParseHex parses a 40-character hexadecimal string into an ID.
+func ParseHex(s string) (ID, error) {
+	var id ID
+	if len(s) != 2*Bytes {
+		return id, fmt.Errorf("idspace: hex ID must be %d characters, got %d", 2*Bytes, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("idspace: parse hex ID: %w", err)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// MustParseHex is ParseHex that panics on malformed input. It is intended
+// for tests and package-level example tables.
+func MustParseHex(s string) ID {
+	id, err := ParseHex(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Hex renders the ID as a 40-character lowercase hexadecimal string.
+func (id ID) Hex() string { return hex.EncodeToString(id[:]) }
+
+// String implements fmt.Stringer with a short 8-character prefix, which is
+// what log lines and traces want.
+func (id ID) String() string { return hex.EncodeToString(id[:4]) }
+
+// IsZero reports whether the ID is the all-zeros identifier.
+func (id ID) IsZero() bool { return id == Zero }
+
+// Cmp compares two IDs as 160-bit unsigned integers, returning -1, 0 or +1.
+func (id ID) Cmp(other ID) int {
+	for i := 0; i < Bytes; i++ {
+		switch {
+		case id[i] < other[i]:
+			return -1
+		case id[i] > other[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether id < other as 160-bit unsigned integers.
+func (id ID) Less(other ID) bool { return id.Cmp(other) < 0 }
+
+// XOR returns the bitwise exclusive-or of two IDs, the raw material of the
+// Kademlia-style distance and of MPIL's common-digit count.
+func (id ID) XOR(other ID) ID {
+	var out ID
+	for i := 0; i < Bytes; i++ {
+		out[i] = id[i] ^ other[i]
+	}
+	return out
+}
+
+// Bit returns bit i of the ID, where bit 0 is the most significant.
+func (id ID) Bit(i int) int {
+	if i < 0 || i >= Bits {
+		panic(fmt.Sprintf("idspace: bit index %d out of range", i))
+	}
+	return int(id[i/8]>>(7-uint(i%8))) & 1
+}
+
+// add returns id+other mod 2^160.
+func (id ID) add(other ID) ID {
+	var out ID
+	var carry uint16
+	for i := Bytes - 1; i >= 0; i-- {
+		s := uint16(id[i]) + uint16(other[i]) + carry
+		out[i] = byte(s)
+		carry = s >> 8
+	}
+	return out
+}
+
+// Sub returns id-other mod 2^160, i.e. the clockwise ring distance from
+// other to id.
+func (id ID) Sub(other ID) ID {
+	var out ID
+	var borrow int16
+	for i := Bytes - 1; i >= 0; i-- {
+		d := int16(id[i]) - int16(other[i]) - borrow
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = byte(d)
+	}
+	return out
+}
+
+// RingDist returns the distance between two IDs on the circular 160-bit
+// ring: min(a-b, b-a) mod 2^160. Pastry's leaf set and final delivery rule
+// use this circular closeness.
+func (id ID) RingDist(other ID) ID {
+	cw := id.Sub(other)
+	ccw := other.Sub(id)
+	if cw.Cmp(ccw) <= 0 {
+		return cw
+	}
+	return ccw
+}
+
+// CloserRing reports whether id is strictly closer to target than rival is,
+// under circular numeric distance. Ties are broken toward the numerically
+// smaller ID so the relation is a total order for distinct IDs.
+func (id ID) CloserRing(target, rival ID) bool {
+	a := id.RingDist(target)
+	b := rival.RingDist(target)
+	if c := a.Cmp(b); c != 0 {
+		return c < 0
+	}
+	return id.Cmp(rival) < 0
+}
+
+// CloserXOR reports whether id is strictly closer to target than rival is,
+// under the XOR metric.
+func (id ID) CloserXOR(target, rival ID) bool {
+	a := id.XOR(target)
+	b := rival.XOR(target)
+	return a.Cmp(b) < 0
+}
+
+// Between reports whether id lies on the clockwise arc (low, high], the
+// ring-interval test used when deciding leaf-set coverage. When low ==
+// high the arc is the full ring and every ID qualifies.
+func (id ID) Between(low, high ID) bool {
+	if low == high {
+		return true
+	}
+	if low.Less(high) {
+		return low.Less(id) && !high.Less(id)
+	}
+	// The arc wraps through zero.
+	return low.Less(id) || !high.Less(id)
+}

@@ -1,0 +1,228 @@
+package idspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromUint64(t *testing.T) {
+	tests := []struct {
+		name string
+		v    uint64
+		hex  string
+	}{
+		{"zero", 0, "0000000000000000000000000000000000000000"},
+		{"one", 1, "0000000000000000000000000000000000000001"},
+		{"max", ^uint64(0), "000000000000000000000000ffffffffffffffff"},
+		{"mixed", 0xdeadbeefcafe, "0000000000000000000000000000deadbeefcafe"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FromUint64(tt.v).Hex(); got != tt.hex {
+				t.Errorf("FromUint64(%#x).Hex() = %q, want %q", tt.v, got, tt.hex)
+			}
+		})
+	}
+}
+
+func TestParseHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		id := Random(rng)
+		got, err := ParseHex(id.Hex())
+		if err != nil {
+			t.Fatalf("ParseHex(%q): %v", id.Hex(), err)
+		}
+		if got != id {
+			t.Fatalf("round trip mismatch: %v != %v", got, id)
+		}
+	}
+}
+
+func TestParseHexErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"short", "abcd"},
+		{"long", "0000000000000000000000000000000000000000ff"},
+		{"nonhex", "zz00000000000000000000000000000000000000"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseHex(tt.in); err == nil {
+				t.Errorf("ParseHex(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestFromStringDeterministic(t *testing.T) {
+	a := FromString("object-17")
+	b := FromString("object-17")
+	c := FromString("object-18")
+	if a != b {
+		t.Errorf("FromString not deterministic: %v != %v", a, b)
+	}
+	if a == c {
+		t.Errorf("FromString collision between distinct names")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b ID
+		want int
+	}{
+		{"equal", FromUint64(5), FromUint64(5), 0},
+		{"less", FromUint64(4), FromUint64(5), -1},
+		{"greater", FromUint64(6), FromUint64(5), 1},
+		{"high byte dominates", MustParseHex("0100000000000000000000000000000000000000"), FromUint64(^uint64(0)), 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Cmp(tt.b); got != tt.want {
+				t.Errorf("Cmp = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSubAddInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a, b := Random(rng), Random(rng)
+		if got := a.Sub(b).add(b); got != a {
+			t.Fatalf("(a-b)+b != a for a=%v b=%v", a, b)
+		}
+	}
+}
+
+func TestSubWraps(t *testing.T) {
+	// 0 - 1 must wrap to the all-ones ID.
+	got := Zero.Sub(FromUint64(1))
+	want := MustParseHex("ffffffffffffffffffffffffffffffffffffffff")
+	if got != want {
+		t.Errorf("0-1 = %v, want all-ones", got.Hex())
+	}
+}
+
+func TestRingDistSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a, b := Random(rng), Random(rng)
+		if a.RingDist(b) != b.RingDist(a) {
+			t.Fatalf("RingDist not symmetric for %v, %v", a, b)
+		}
+	}
+}
+
+func TestRingDistExamples(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b ID
+		want ID
+	}{
+		{"same", FromUint64(9), FromUint64(9), Zero},
+		{"adjacent", FromUint64(10), FromUint64(9), FromUint64(1)},
+		{"wraparound", Zero, MustParseHex("ffffffffffffffffffffffffffffffffffffffff"), FromUint64(1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.RingDist(tt.b); got != tt.want {
+				t.Errorf("RingDist = %v, want %v", got.Hex(), tt.want.Hex())
+			}
+		})
+	}
+}
+
+func TestCloserRing(t *testing.T) {
+	target := FromUint64(100)
+	tests := []struct {
+		name    string
+		id, riv ID
+		want    bool
+	}{
+		{"strictly closer", FromUint64(101), FromUint64(105), true},
+		{"strictly farther", FromUint64(110), FromUint64(99), false},
+		{"tie broken by smaller id", FromUint64(99), FromUint64(101), true},
+		{"tie broken against larger id", FromUint64(101), FromUint64(99), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.id.CloserRing(target, tt.riv); got != tt.want {
+				t.Errorf("CloserRing = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tests := []struct {
+		name          string
+		id, low, high ID
+		want          bool
+	}{
+		{"inside simple arc", FromUint64(5), FromUint64(1), FromUint64(10), true},
+		{"at high end inclusive", FromUint64(10), FromUint64(1), FromUint64(10), true},
+		{"at low end exclusive", FromUint64(1), FromUint64(1), FromUint64(10), false},
+		{"outside simple arc", FromUint64(11), FromUint64(1), FromUint64(10), false},
+		{"wrapping arc includes zero", Zero, FromUint64(100), FromUint64(10), true},
+		{"wrapping arc includes high side", MustParseHex("ffffffffffffffffffffffffffffffffffffffff"), FromUint64(100), FromUint64(10), true},
+		{"wrapping arc excludes middle", FromUint64(50), FromUint64(100), FromUint64(10), false},
+		{"full ring", FromUint64(42), FromUint64(7), FromUint64(7), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.id.Between(tt.low, tt.high); got != tt.want {
+				t.Errorf("Between = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBit(t *testing.T) {
+	id := MustParseHex("8000000000000000000000000000000000000001")
+	if got := id.Bit(0); got != 1 {
+		t.Errorf("Bit(0) = %d, want 1", got)
+	}
+	if got := id.Bit(1); got != 0 {
+		t.Errorf("Bit(1) = %d, want 0", got)
+	}
+	if got := id.Bit(159); got != 1 {
+		t.Errorf("Bit(159) = %d, want 1", got)
+	}
+}
+
+func TestXORProperties(t *testing.T) {
+	f := func(a, b ID) bool {
+		x := a.XOR(b)
+		return x.XOR(b) == a && x == b.XOR(a) && a.XOR(a).IsZero()
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingDistTriangleProperty(t *testing.T) {
+	// Ring distance satisfies the triangle inequality unless the sum
+	// overflows half the ring; we check the standard metric axioms that
+	// always hold: identity and symmetry.
+	f := func(a, b ID) bool {
+		if a == b {
+			return a.RingDist(b).IsZero()
+		}
+		return !a.RingDist(b).IsZero() && a.RingDist(b) == b.RingDist(a)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Generate makes ID usable with testing/quick.
+func (ID) Generate(rng *rand.Rand, _ int) reflectValue {
+	return valueOf(Random(rng))
+}

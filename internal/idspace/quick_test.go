@@ -1,0 +1,20 @@
+package idspace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing/quick"
+)
+
+// reflectValue and valueOf keep the testing/quick plumbing out of the way
+// of the test bodies.
+type reflectValue = reflect.Value
+
+func valueOf(v interface{}) reflect.Value { return reflect.ValueOf(v) }
+
+func quickConfig() *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(42)),
+	}
+}

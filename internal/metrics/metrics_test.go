@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("zero-value Sample not empty")
+	}
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.N() != 4 {
+		t.Errorf("N = %d, want 4", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Errorf("Min/Max = %v/%v, want 2/8", s.Min(), s.Max())
+	}
+	if s.Sum() != 20 {
+		t.Errorf("Sum = %v, want 20", s.Sum())
+	}
+	want := math.Sqrt(5) // population stddev of {4,2,8,6}
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSampleNegativeValues(t *testing.T) {
+	var s Sample
+	s.Add(-3)
+	s.AddInt(1)
+	if s.Min() != -3 || s.Max() != 1 {
+		t.Errorf("Min/Max = %v/%v, want -3/1", s.Min(), s.Max())
+	}
+	if s.Mean() != -1 {
+		t.Errorf("Mean = %v, want -1", s.Mean())
+	}
+}
+
+func TestSampleSingleObservationStdDev(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	if s.StdDev() != 0 {
+		t.Errorf("StdDev of one point = %v, want 0", s.StdDev())
+	}
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	if r.Fraction() != 0 || r.Percent() != 0 {
+		t.Error("zero-value Rate not zero")
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(i < 7)
+	}
+	if r.Total() != 10 || r.Successes() != 7 {
+		t.Errorf("Total/Successes = %d/%d, want 10/7", r.Total(), r.Successes())
+	}
+	if r.Fraction() != 0.7 {
+		t.Errorf("Fraction = %v, want 0.7", r.Fraction())
+	}
+	if r.Percent() != 70 {
+		t.Errorf("Percent = %v, want 70", r.Percent())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 22.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1") {
+		t.Errorf("row line = %q", lines[2])
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator width %d != header width %d", len(lines[1]), len(lines[0]))
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("only")        // short row padded
+	tb.AddRow(1, 2, 3, 4, 5) // long row truncated
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Error("short row lost")
+	}
+	if strings.Contains(out, "4") || strings.Contains(out, "5") {
+		t.Error("excess cells not truncated")
+	}
+}

@@ -1,0 +1,248 @@
+package mpil
+
+import (
+	"time"
+
+	"discovery/internal/eventsim"
+	"discovery/internal/idspace"
+)
+
+// LatencyFunc returns the one-way message delay between two nodes. The
+// perturbation experiments plug in the transit-stub underlay; tests often
+// use a constant.
+type LatencyFunc func(from, to int) time.Duration
+
+// ConstantLatency returns a LatencyFunc with a fixed delay for every pair.
+func ConstantLatency(d time.Duration) LatencyFunc {
+	return func(int, int) time.Duration { return d }
+}
+
+// Transport models the hop-level delivery discipline. MPIL itself is
+// transport-agnostic; when it runs inside MSPastry (paper Section 6.2) it
+// inherits MSPastry's per-hop acknowledgment and retransmission, which is
+// message-layer machinery, not overlay maintenance. Attempts is the total
+// number of tries per hop (1 = fire-and-forget UDP); Spacing is the gap
+// between tries (MSPastry's probe timeout).
+type Transport struct {
+	Attempts int
+	Spacing  time.Duration
+}
+
+// FireAndForget is the single-attempt transport.
+func FireAndForget() Transport { return Transport{Attempts: 1} }
+
+// Clocked drives an Engine over a discrete-event simulator so that message
+// delivery takes real (virtual) time and meets time-varying availability —
+// the regime of the paper's Section 6.2 perturbation experiments. The
+// overlay's Online method is consulted at each delivery instant; a message
+// whose recipient is offline on every transport attempt is lost.
+type Clocked struct {
+	e          *Engine
+	sim        *eventsim.Sim
+	lat        LatencyFunc
+	tr         Transport
+	tombstones map[tombstoneKey]bool
+}
+
+// NewClocked wraps an engine for event-driven execution with a
+// fire-and-forget transport.
+func NewClocked(e *Engine, sim *eventsim.Sim, lat LatencyFunc) *Clocked {
+	if lat == nil {
+		lat = ConstantLatency(0)
+	}
+	return &Clocked{e: e, sim: sim, lat: lat, tr: FireAndForget()}
+}
+
+// Engine returns the wrapped engine (for store inspection).
+func (c *Clocked) Engine() *Engine { return c.e }
+
+// SetTransport replaces the hop-level delivery discipline.
+func (c *Clocked) SetTransport(tr Transport) {
+	if tr.Attempts < 1 {
+		tr.Attempts = 1
+	}
+	c.tr = tr
+}
+
+// transmit delivers one hop with the configured transport. Every attempt
+// costs one message (counted via onSend). Exactly one of deliver/onLost
+// runs, after which finish is invoked by the caller's bookkeeping inside
+// those callbacks.
+func (c *Clocked) transmit(from, to int, onSend func(), deliver, onLost func()) {
+	var try func(k int)
+	try = func(k int) {
+		onSend()
+		c.sim.After(c.lat(from, to), func() {
+			if c.e.ov.Online(to, c.sim.Now()) {
+				deliver()
+				return
+			}
+			if k+1 < c.tr.Attempts {
+				c.sim.After(c.tr.Spacing, func() { try(k + 1) })
+				return
+			}
+			onLost()
+		})
+	}
+	try(0)
+}
+
+// InsertAsync starts an insertion at the current virtual time. done (may
+// be nil) fires once no copies remain in flight.
+func (c *Clocked) InsertAsync(origin int, key idspace.ID, value []byte, done func(InsertStats)) {
+	st := &InsertStats{Flows: 1}
+	msg := c.e.newMessage(KindInsert, origin, key, value)
+	inFlight := 1
+	finish := func() {
+		inFlight--
+		if inFlight == 0 && done != nil {
+			done(*st)
+		}
+	}
+	var process func(at int, m *Message)
+	process = func(at int, m *Message) {
+		defer finish()
+		r := c.e.step(at, m)
+		if r.duplicate {
+			st.Duplicates++
+		}
+		if r.discarded {
+			return
+		}
+		if r.stored {
+			st.Replicas++
+		}
+		st.Flows += r.branches
+		for _, f := range r.forwards {
+			f := f
+			inFlight++
+			c.transmit(at, f.to, func() { st.Messages++ },
+				func() { process(f.to, f.msg) },
+				func() { st.Dropped++; finish() })
+		}
+	}
+	// The originator processes its own message if it is online.
+	c.sim.After(0, func() {
+		if !c.e.ov.Online(origin, c.sim.Now()) {
+			st.Dropped++
+			finish()
+			return
+		}
+		process(origin, msg)
+	})
+}
+
+// LookupAsync starts a lookup at the current virtual time. Replies travel
+// directly back to the origin over the same transport and only count if
+// the origin is online when they arrive. done fires once nothing remains
+// in flight.
+func (c *Clocked) LookupAsync(origin int, key idspace.ID, done func(LookupStats)) {
+	st := &LookupStats{FirstReplyHops: -1, Flows: 1}
+	msg := c.e.newMessage(KindLookup, origin, key, nil)
+	inFlight := 1
+	finish := func() {
+		inFlight--
+		if inFlight == 0 && done != nil {
+			done(*st)
+		}
+	}
+	var process func(at int, m *Message)
+	process = func(at int, m *Message) {
+		defer finish()
+		r := c.e.step(at, m)
+		if r.duplicate {
+			st.Duplicates++
+		}
+		if r.discarded {
+			return
+		}
+		if r.hit {
+			hops := len(m.Route)
+			inFlight++
+			c.transmit(at, origin, func() { st.Messages++ },
+				func() {
+					defer finish()
+					st.Replies++
+					if !st.Found || hops < st.FirstReplyHops {
+						st.Found = true
+						st.FirstReplyHops = hops
+					}
+				},
+				func() { st.Dropped++; finish() })
+			return
+		}
+		st.Flows += r.branches
+		for _, f := range r.forwards {
+			f := f
+			inFlight++
+			c.transmit(at, f.to, func() { st.Messages++ },
+				func() { process(f.to, f.msg) },
+				func() { st.Dropped++; finish() })
+		}
+	}
+	c.sim.After(0, func() {
+		if !c.e.ov.Online(origin, c.sim.Now()) {
+			st.Dropped++
+			finish()
+			return
+		}
+		process(origin, msg)
+	})
+}
+
+// tombstones records owner-side deletions so that stale replicas at
+// holders that were offline during Delete are reconciled when their
+// heartbeats resume (Section 4.4's deletion protocol run to completion).
+type tombstoneKey struct {
+	owner int
+	key   idspace.ID
+}
+
+// MarkDeleted registers an owner's intent that key be gone. Subsequent
+// heartbeats from any holder of (owner, key) are answered with an
+// explicit delete, removing the stale replica. Combine with
+// Engine.Delete, which removes the replicas reachable right now.
+func (c *Clocked) MarkDeleted(owner int, key idspace.ID) {
+	if c.tombstones == nil {
+		c.tombstones = make(map[tombstoneKey]bool)
+	}
+	c.tombstones[tombstoneKey{owner, key}] = true
+}
+
+// StartHeartbeats implements the liveness half of Section 4.4's deletion
+// protocol: every holder of key sends a periodic heartbeat directly to the
+// object's owner. If the owner has marked the object deleted (see
+// MarkDeleted), it answers with an explicit delete and the holder drops
+// its replica — this is how replicas stranded on perturbed nodes get
+// reconciled. onBeat (may be nil) receives (holder, delivered) per
+// attempt, where delivered is false when either endpoint was offline. The
+// returned timers stop the loops.
+func (c *Clocked) StartHeartbeats(key idspace.ID, period time.Duration, onBeat func(holder int, delivered bool)) []*eventsim.Timer {
+	var timers []*eventsim.Timer
+	for _, holder := range c.e.HoldersOf(key) {
+		holder := holder
+		rep, _ := c.e.Stored(holder, key)
+		owner := rep.Origin
+		t := c.sim.Every(period, period, func() {
+			if _, still := c.e.Stored(holder, key); !still {
+				return // replica deleted; heartbeat loop is vestigial
+			}
+			now := c.sim.Now()
+			delivered := c.e.ov.Online(holder, now) && c.e.ov.Online(owner, now+c.lat(holder, owner))
+			if onBeat != nil {
+				onBeat(holder, delivered)
+			}
+			if delivered && c.tombstones[tombstoneKey{owner, key}] {
+				// Owner answers the heartbeat with an explicit delete;
+				// it lands one RTT later if the holder is still up.
+				c.sim.After(2*c.lat(holder, owner), func() {
+					if c.e.ov.Online(holder, c.sim.Now()) {
+						c.e.RemoveReplica(holder, key)
+					}
+				})
+			}
+		})
+		timers = append(timers, t)
+	}
+	return timers
+}

@@ -1,0 +1,323 @@
+package mpil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"discovery/internal/idspace"
+	"discovery/internal/overlay"
+	"discovery/internal/topology"
+)
+
+// TestPropertyHoldersAreLocalMaxima verifies the storage invariant from
+// Section 4.4 on randomized overlays: every replica holder's metric value
+// is at least that of each of its neighbors (tie-aware local maximum).
+func TestPropertyHoldersAreLocalMaxima(t *testing.T) {
+	space := idspace.MustSpace(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topology.RandomRegular(120, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := overlay.New(g, rng, nil)
+		cfg := Config{Space: space, MaxFlows: 8, PerFlowReplicas: 3, DuplicateSuppression: true}
+		e, err := NewEngine(nw, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := idspace.Random(rng)
+		e.Insert(rng.Intn(nw.N()), key, nil, 0)
+		for _, h := range e.HoldersOf(key) {
+			self := space.CommonDigits(key, nw.ID(h))
+			for _, v := range nw.Neighbors(h) {
+				if space.CommonDigits(key, nw.ID(v)) > self {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyQuotaConservation: the sum of child quotas plus flows spent
+// never exceeds the parent's quota, for arbitrary quota and candidate
+// counts — the arithmetic of Section 4.3, step 5.
+func TestPropertyQuotaConservation(t *testing.T) {
+	f := func(maxFlows uint8, nCands uint8, origin bool) bool {
+		mf := int(maxFlows%64) + 1
+		cands := int(nCands%32) + 1
+		given := 1
+		if origin {
+			given = 0
+		}
+		budget := mf + given
+		m := cands
+		if m > budget {
+			m = budget
+		}
+		total := mf - (m - given)
+		if total < 0 {
+			return false // budget rule must prevent this
+		}
+		base, residue := total/m, total%m
+		sum := 0
+		for i := 0; i < m; i++ {
+			share := base
+			if i < residue {
+				share++
+			}
+			if share < 0 {
+				return false
+			}
+			sum += share
+		}
+		// Quota conservation: children's quota + quota consumed by this
+		// branch equals the parent's quota (+given).
+		return sum == total && total+(m-given) == mf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTermination: inserts and lookups terminate on arbitrary
+// connected graphs (including pathological rings and stars) and respect
+// the replica bound.
+func TestPropertyTermination(t *testing.T) {
+	shapes := []func(n int, rng *rand.Rand) (*topology.Graph, error){
+		func(n int, rng *rand.Rand) (*topology.Graph, error) { return topology.Ring(n), nil },
+		func(n int, rng *rand.Rand) (*topology.Graph, error) { return topology.Star(n), nil },
+		func(n int, rng *rand.Rand) (*topology.Graph, error) { return topology.Grid(n/8+1, 8), nil },
+		func(n int, rng *rand.Rand) (*topology.Graph, error) { return topology.PowerLaw(n, 2.2, 2, rng) },
+		func(n int, rng *rand.Rand) (*topology.Graph, error) { return topology.ErdosRenyi(n, 0.05, rng) },
+	}
+	for si, shape := range shapes {
+		rng := rand.New(rand.NewSource(int64(si + 100)))
+		g, err := shape(150, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Connect(rng)
+		nw := overlay.New(g, rng, nil)
+		for _, ds := range []bool{true, false} {
+			cfg := Config{Space: idspace.MustSpace(2), MaxFlows: 20, PerFlowReplicas: 4, DuplicateSuppression: ds}
+			e, err := NewEngine(nw, cfg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				key := idspace.Random(rng)
+				st := e.Insert(rng.Intn(nw.N()), key, nil, 0)
+				if st.Replicas > cfg.MaxFlows*cfg.PerFlowReplicas {
+					t.Fatalf("shape %d ds=%v: replica bound violated: %d", si, ds, st.Replicas)
+				}
+				ls := e.Lookup(rng.Intn(nw.N()), key, 0)
+				if ls.Flows > cfg.MaxFlows {
+					t.Fatalf("shape %d ds=%v: flow bound violated: %d", si, ds, ls.Flows)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyLookupNeverFabricates: lookups for never-inserted keys fail
+// across arbitrary overlays and configurations.
+func TestPropertyLookupNeverFabricates(t *testing.T) {
+	f := func(seed int64, mf8, r8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topology.RandomRegular(60, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := overlay.New(g, rng, nil)
+		cfg := Config{
+			Space:           idspace.MustSpace(4),
+			MaxFlows:        int(mf8%20) + 1,
+			PerFlowReplicas: int(r8%5) + 1,
+		}
+		e, err := NewEngine(nw, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return !e.Lookup(rng.Intn(nw.N()), idspace.Random(rng), 0).Found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterministicEngine: identical seeds yield identical replica
+// placements and stats.
+func TestPropertyDeterministicEngine(t *testing.T) {
+	run := func(seed int64) ([]int, InsertStats) {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topology.PowerLaw(200, 2.2, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := overlay.New(g, rng, nil)
+		e, err := NewEngine(nw, DefaultConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := idspace.FromString("determinism")
+		st := e.Insert(3, key, nil, 0)
+		return e.HoldersOf(key), st
+	}
+	h1, s1 := run(77)
+	h2, s2 := run(77)
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	if len(h1) != len(h2) {
+		t.Fatal("holder sets differ")
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("holder sets differ")
+		}
+	}
+}
+
+// TestMetricDistinguishability reproduces Section 4.2's argument about
+// metric quality over arbitrary overlays. The failure modes differ:
+//
+//   - Shared-prefix cannot tell most neighbors apart (nearly everything
+//     ties at prefix length 0), so the redundancy machinery degenerates
+//     into a flood — still bounded by the max_flows quota, but markedly
+//     more expensive, with replicas parked at meaningless "maxima".
+//   - XOR closeness distinguishes every pair of neighbors (no ties), so
+//     requests cannot branch and success drops to single-path levels.
+//
+// The common-digits metric is the one that is simultaneously cheap and
+// robust.
+func TestMetricDistinguishability(t *testing.T) {
+	run := func(metric Metric) (successFrac, msgsPerLookup float64) {
+		rng := rand.New(rand.NewSource(55))
+		g, err := topology.PowerLaw(800, 2.2, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := overlay.New(g, rng, nil)
+		cfg := Config{
+			Space:                idspace.MustSpace(4),
+			MaxFlows:             10,
+			PerFlowReplicas:      3,
+			DuplicateSuppression: true,
+			Metric:               metric,
+		}
+		e, err := NewEngine(nw, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found, msgs := 0, 0
+		const trials = 80
+		for i := 0; i < trials; i++ {
+			key := idspace.Random(rng)
+			e.Insert(rng.Intn(nw.N()), key, nil, 0)
+			st := e.Lookup(rng.Intn(nw.N()), key, 0)
+			msgs += st.Messages
+			if st.Found {
+				found++
+			}
+		}
+		return float64(found) / trials, float64(msgs) / trials
+	}
+	commonOK, commonMsgs := run(MetricCommonDigits)
+	prefixOK, prefixMsgs := run(MetricSharedPrefix)
+	xorOK, xorMsgs := run(MetricXOR)
+
+	// Prefix floods: it may match success but must cost clearly more
+	// traffic (the max_flows quota caps how bad it can get).
+	if prefixMsgs < 1.3*commonMsgs {
+		t.Errorf("prefix traffic %.1f not dominating common-digits %.1f (flooding degeneration expected)",
+			prefixMsgs, commonMsgs)
+	}
+	// XOR cannot branch: clearly lower success.
+	if xorOK >= commonOK {
+		t.Errorf("XOR success %.2f not below common-digits %.2f (no-tie single-path expected)", xorOK, commonOK)
+	}
+	if xorMsgs > commonMsgs {
+		t.Errorf("XOR traffic %.1f above common-digits %.1f despite single paths", xorMsgs, commonMsgs)
+	}
+	_ = prefixOK
+}
+
+// TestMetricStrings covers the Stringer.
+func TestMetricStrings(t *testing.T) {
+	for m, want := range map[Metric]string{
+		MetricCommonDigits: "common-digits",
+		MetricSharedPrefix: "shared-prefix",
+		MetricXOR:          "xor",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if Metric(42).String() == "" {
+		t.Error("unknown metric empty string")
+	}
+}
+
+// TestKindString covers the Stringer.
+func TestKindString(t *testing.T) {
+	if KindInsert.String() != "insert" || KindLookup.String() != "lookup" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+}
+
+// TestLookupWithRejectsInvalidConfig covers the error path.
+func TestLookupWithRejectsInvalidConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nw := overlay.New(topology.Ring(8), rng, nil)
+	e, err := NewEngine(nw, DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LookupWith(Config{}, 0, idspace.FromUint64(1), 0); err == nil {
+		t.Error("invalid override config accepted")
+	}
+}
+
+// TestQuotaSplitEqualWastesQuota: the ablation rule must never create
+// more flows than the paper's rule on the same overlay and seed.
+func TestQuotaSplitEqualWastesQuota(t *testing.T) {
+	flowsWith := func(split QuotaSplit) float64 {
+		rng := rand.New(rand.NewSource(42))
+		g, err := topology.PowerLaw(500, 2.2, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := overlay.New(g, rng, nil)
+		cfg := Config{
+			Space:                idspace.MustSpace(4),
+			MaxFlows:             12,
+			PerFlowReplicas:      3,
+			DuplicateSuppression: true,
+			QuotaSplit:           split,
+		}
+		e, err := NewEngine(nw, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i := 0; i < 40; i++ {
+			st := e.Insert(rng.Intn(nw.N()), idspace.Random(rng), nil, 0)
+			total += st.Flows
+		}
+		return float64(total) / 40
+	}
+	rr := flowsWith(QuotaSplitRoundRobin)
+	eq := flowsWith(QuotaSplitEqual)
+	if eq > rr {
+		t.Errorf("equal split created more flows (%.2f) than round-robin (%.2f)", eq, rr)
+	}
+}

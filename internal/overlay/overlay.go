@@ -1,0 +1,111 @@
+// Package overlay binds a topology graph to the ID space: it assigns every
+// graph node a 160-bit identifier and tracks per-node availability. It is
+// the substrate MPIL routes over — deliberately structure-free, because
+// MPIL's whole point is that the graph underneath may be arbitrary.
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"discovery/internal/idspace"
+	"discovery/internal/topology"
+)
+
+// Availability answers "is node i online at virtual time t". The static
+// experiments use AlwaysOn; the perturbation experiments plug in a
+// flapping schedule from internal/perturb.
+type Availability interface {
+	Online(node int, at time.Duration) bool
+}
+
+// AlwaysOn is the Availability under which every node is permanently
+// online, the regime of the paper's static-overlay experiments.
+type AlwaysOn struct{}
+
+// Online implements Availability; it is always true.
+func (AlwaysOn) Online(int, time.Duration) bool { return true }
+
+var _ Availability = AlwaysOn{}
+
+// Network is an overlay: a graph, an ID per node, and an availability
+// model. It is a passive data structure — routing engines (MPIL, Pastry)
+// drive it.
+type Network struct {
+	graph *topology.Graph
+	ids   []idspace.ID
+	index map[idspace.ID]int
+	avail Availability
+}
+
+// New assigns nodes of g unique random IDs drawn from rng and wires in the
+// availability model. A nil avail defaults to AlwaysOn.
+func New(g *topology.Graph, rng *rand.Rand, avail Availability) *Network {
+	if avail == nil {
+		avail = AlwaysOn{}
+	}
+	n := g.N()
+	ids := make([]idspace.ID, n)
+	index := make(map[idspace.ID]int, n)
+	for i := 0; i < n; i++ {
+		for {
+			id := idspace.Random(rng)
+			if _, dup := index[id]; !dup {
+				ids[i] = id
+				index[id] = i
+				break
+			}
+		}
+	}
+	return &Network{graph: g, ids: ids, index: index, avail: avail}
+}
+
+// NewWithIDs builds a network with caller-chosen IDs, used by tests that
+// need precise digit patterns. IDs must be unique and match g's node
+// count.
+func NewWithIDs(g *topology.Graph, ids []idspace.ID, avail Availability) (*Network, error) {
+	if len(ids) != g.N() {
+		return nil, fmt.Errorf("overlay: %d IDs for %d nodes", len(ids), g.N())
+	}
+	if avail == nil {
+		avail = AlwaysOn{}
+	}
+	index := make(map[idspace.ID]int, len(ids))
+	for i, id := range ids {
+		if j, dup := index[id]; dup {
+			return nil, fmt.Errorf("overlay: duplicate ID %v at nodes %d and %d", id, j, i)
+		}
+		index[id] = i
+	}
+	own := make([]idspace.ID, len(ids))
+	copy(own, ids)
+	return &Network{graph: g, ids: own, index: index, avail: avail}, nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.graph.N() }
+
+// ID returns node i's identifier.
+func (nw *Network) ID(i int) idspace.ID { return nw.ids[i] }
+
+// Lookup returns the node index owning id, or -1 if no node has it.
+func (nw *Network) Lookup(id idspace.ID) int {
+	if i, ok := nw.index[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Neighbors returns node i's adjacency list. The slice is shared with the
+// underlying graph and must not be mutated.
+func (nw *Network) Neighbors(i int) []int { return nw.graph.Neighbors(i) }
+
+// Degree returns node i's degree.
+func (nw *Network) Degree(i int) int { return nw.graph.Degree(i) }
+
+// Graph exposes the underlying topology (read-only by convention).
+func (nw *Network) Graph() *topology.Graph { return nw.graph }
+
+// Online reports node i's availability at virtual time t.
+func (nw *Network) Online(i int, at time.Duration) bool { return nw.avail.Online(i, at) }

@@ -1,0 +1,112 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"discovery/internal/idspace"
+	"discovery/internal/topology"
+)
+
+func TestNewAssignsUniqueIDs(t *testing.T) {
+	g := topology.Ring(100)
+	nw := New(g, rand.New(rand.NewSource(1)), nil)
+	seen := make(map[idspace.ID]bool)
+	for i := 0; i < nw.N(); i++ {
+		id := nw.ID(i)
+		if seen[id] {
+			t.Fatalf("duplicate ID at node %d", i)
+		}
+		seen[id] = true
+		if nw.Lookup(id) != i {
+			t.Fatalf("Lookup(ID(%d)) = %d", i, nw.Lookup(id))
+		}
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	nw := New(topology.Ring(4), rand.New(rand.NewSource(1)), nil)
+	if got := nw.Lookup(idspace.FromUint64(1234567)); got != -1 {
+		t.Errorf("Lookup of foreign ID = %d, want -1", got)
+	}
+}
+
+func TestNeighborsMatchGraph(t *testing.T) {
+	g := topology.Grid(3, 3)
+	nw := New(g, rand.New(rand.NewSource(2)), nil)
+	for i := 0; i < g.N(); i++ {
+		if nw.Degree(i) != g.Degree(i) {
+			t.Errorf("node %d degree mismatch", i)
+		}
+		got := nw.Neighbors(i)
+		want := g.Neighbors(i)
+		if len(got) != len(want) {
+			t.Fatalf("node %d neighbor list mismatch", i)
+		}
+	}
+}
+
+func TestDefaultAvailabilityAlwaysOn(t *testing.T) {
+	nw := New(topology.Ring(5), rand.New(rand.NewSource(1)), nil)
+	for i := 0; i < 5; i++ {
+		if !nw.Online(i, 0) || !nw.Online(i, time.Hour) {
+			t.Errorf("node %d offline under AlwaysOn", i)
+		}
+	}
+}
+
+type oddOffline struct{}
+
+func (oddOffline) Online(node int, _ time.Duration) bool { return node%2 == 0 }
+
+func TestCustomAvailability(t *testing.T) {
+	nw := New(topology.Ring(6), rand.New(rand.NewSource(1)), oddOffline{})
+	for i := 0; i < 6; i++ {
+		if nw.Online(i, 0) != (i%2 == 0) {
+			t.Errorf("node %d availability wrong", i)
+		}
+	}
+}
+
+func TestNewWithIDs(t *testing.T) {
+	g := topology.Ring(3)
+	ids := []idspace.ID{idspace.FromUint64(1), idspace.FromUint64(2), idspace.FromUint64(3)}
+	nw, err := NewWithIDs(g, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range ids {
+		if nw.ID(i) != want {
+			t.Errorf("ID(%d) = %v, want %v", i, nw.ID(i), want)
+		}
+	}
+	// The network must own its copy.
+	ids[0] = idspace.FromUint64(99)
+	if nw.ID(0) == idspace.FromUint64(99) {
+		t.Error("NewWithIDs aliases caller slice")
+	}
+}
+
+func TestNewWithIDsErrors(t *testing.T) {
+	g := topology.Ring(3)
+	if _, err := NewWithIDs(g, []idspace.ID{idspace.FromUint64(1)}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	dup := []idspace.ID{idspace.FromUint64(1), idspace.FromUint64(1), idspace.FromUint64(2)}
+	if _, err := NewWithIDs(g, dup, nil); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestDeterministicIDAssignment(t *testing.T) {
+	build := func() *Network {
+		return New(topology.Ring(50), rand.New(rand.NewSource(5)), nil)
+	}
+	a, b := build(), build()
+	for i := 0; i < 50; i++ {
+		if a.ID(i) != b.ID(i) {
+			t.Fatalf("same seed produced different ID at node %d", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package pastry
+
+import (
+	"fmt"
+
+	"discovery/internal/idspace"
+)
+
+// Join adds a new node with the given ID to the network through a
+// bootstrap contact, following Pastry's join protocol: route a join
+// request from the bootstrap toward the new ID's root, collect routing
+// state from every node on the path (row i of the routing table comes from
+// the i-th path node, whose shared prefix with the newcomer grows along
+// the route), adopt the root's leaf set, and announce the newcomer to
+// everyone now in its tables. State transfer and announcements are
+// counted as maintenance traffic and take simulated time; run the
+// simulator to completion (or past a few RTTs) for the join to settle.
+//
+// It returns the new node's index. The caller owns availability: a node
+// must be online (per the network's Availability) to complete a join; on
+// an always-on network this always succeeds.
+func (nw *Network) Join(id idspace.ID, bootstrap int) (int, error) {
+	if bootstrap < 0 || bootstrap >= len(nw.nodes) {
+		return -1, fmt.Errorf("pastry: bootstrap index %d out of range", bootstrap)
+	}
+	for _, nd := range nw.nodes {
+		if nd.id == id {
+			return -1, fmt.Errorf("pastry: ID %v already present", id)
+		}
+	}
+	idx := len(nw.nodes)
+	newcomer := newNode(idx, id, nw.space.Digits(), nw.space.Base())
+	nw.nodes = append(nw.nodes, newcomer)
+	nw.rebuildRing()
+
+	// Walk the join route against current state. The walk itself is
+	// message traffic: one data message per hop, one state-transfer
+	// maintenance reply per path node.
+	path := []int{bootstrap}
+	at := bootstrap
+	for hops := 0; hops < nw.params.MaxHops; hops++ {
+		next := nw.nextHopExcluding(at, id, idx)
+		if next == at {
+			break
+		}
+		nw.count(ClassData)
+		path = append(path, next)
+		at = next
+	}
+	root := at
+
+	// State transfer: row-by-row from path nodes, leaf set from the
+	// root. Each transfer is a request/response pair.
+	for _, p := range path {
+		nw.count(ClassMaint) // request
+		nw.count(ClassMaint) // response with table rows
+		for _, row := range nw.nodes[p].rt {
+			for _, v := range row {
+				if v != -1 && v != idx {
+					nw.considerAlive(idx, v)
+				}
+			}
+		}
+		nw.considerAlive(idx, p)
+	}
+	nw.count(ClassMaint)
+	nw.count(ClassMaint)
+	for _, v := range nw.nodes[root].leafMembers() {
+		if v != idx {
+			nw.considerAlive(idx, v)
+		}
+	}
+	nw.considerAlive(idx, root)
+
+	// Announce: everyone the newcomer now knows learns about it with a
+	// short delay, as the announcement messages arrive.
+	targets := nw.Neighbors(idx)
+	for _, t := range targets {
+		t := t
+		nw.send(idx, t, ClassMaint, func() {
+			// send() already folds the sender into the recipient's
+			// tables via considerAlive; nothing more to do.
+		})
+	}
+	return idx, nil
+}
+
+// nextHopExcluding is nextHop but never routes to the excluded node — the
+// join walk must find the root among the EXISTING nodes even though the
+// newcomer is already registered in the ring index.
+func (nw *Network) nextHopExcluding(n int, key idspace.ID, exclude int) int {
+	// The newcomer has empty tables and no one knows it yet, so regular
+	// nextHop can only pick it if n == exclude, which the join walk
+	// never does. A direct call is safe; the guard documents intent.
+	next := nw.nextHop(n, key)
+	if next == exclude {
+		return n
+	}
+	return next
+}

@@ -1,0 +1,126 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+
+	"discovery/internal/idspace"
+)
+
+func TestJoinSingleNode(t *testing.T) {
+	nw, sim := newTestNetwork(t, 60, 30, nil)
+	rng := rand.New(rand.NewSource(31))
+	id := idspace.Random(rng)
+	idx, err := nw.Join(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+
+	if nw.N() != 61 {
+		t.Fatalf("N = %d after join, want 61", nw.N())
+	}
+	if nw.ID(idx) != id {
+		t.Error("joined node has wrong ID")
+	}
+
+	// The newcomer's leaf set must match ground truth.
+	nd := nw.nodes[idx]
+	half := nw.params.LeafSize / 2
+	if len(nd.left) != half || len(nd.right) != half {
+		t.Fatalf("newcomer leafset %d/%d, want %d/%d", len(nd.left), len(nd.right), half, half)
+	}
+	far := nw.nodes[nd.right[half-1]].id.Sub(id)
+	for j := 0; j < nw.N(); j++ {
+		if j == idx || nd.inLeafset(j) {
+			continue
+		}
+		if nw.nodes[j].id.Sub(id).Cmp(far) < 0 {
+			t.Errorf("node %d is clockwise-closer than the newcomer's farthest right member", j)
+		}
+	}
+
+	// The newcomer's ring neighbors must have adopted it.
+	adopted := 0
+	for j, other := range nw.nodes {
+		if j != idx && other.inLeafset(idx) {
+			adopted++
+		}
+	}
+	if adopted < half {
+		t.Errorf("only %d nodes adopted the newcomer, want at least %d", adopted, half)
+	}
+}
+
+func TestJoinRoutingStillCorrect(t *testing.T) {
+	nw, sim := newTestNetwork(t, 80, 32, nil)
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 15; i++ {
+		if _, err := nw.Join(idspace.Random(rng), rng.Intn(nw.N())); err != nil {
+			t.Fatal(err)
+		}
+		sim.Run()
+	}
+	for trial := 0; trial < 60; trial++ {
+		key := idspace.Random(rng)
+		origin := rng.Intn(nw.N())
+		at, _ := nw.RouteProbe(origin, key)
+		if want := nw.TrueRoot(key); at != want {
+			t.Fatalf("trial %d: delivered to %d, true root %d", trial, at, want)
+		}
+	}
+}
+
+func TestJoinedNodeServesObjects(t *testing.T) {
+	nw, sim := newTestNetwork(t, 50, 34, nil)
+	rng := rand.New(rand.NewSource(35))
+	idx, err := nw.Join(idspace.Random(rng), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	// Insert a key whose root is the newcomer (craft one close to its ID).
+	key := nw.ID(idx)
+	key[idspace.Bytes-1] ^= 1
+	if nw.TrueRoot(key) != idx {
+		t.Skip("crafted key does not root at newcomer; ring too dense")
+	}
+	ok := false
+	nw.Insert(0, key, []byte("v"), func(good bool, _ int) { ok = good })
+	sim.Run()
+	if !ok {
+		t.Fatal("insert via newcomer root failed")
+	}
+	if !nw.Stored(idx, key) {
+		t.Error("newcomer did not store the object it roots")
+	}
+	found := false
+	nw.Lookup(7, key, func(good bool, _ int) { found = good })
+	sim.Run()
+	if !found {
+		t.Error("lookup of newcomer-rooted object failed")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	nw, _ := newTestNetwork(t, 20, 36, nil)
+	if _, err := nw.Join(idspace.FromUint64(1), -1); err == nil {
+		t.Error("negative bootstrap accepted")
+	}
+	if _, err := nw.Join(nw.ID(5), 0); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+func TestJoinCountsTraffic(t *testing.T) {
+	nw, sim := newTestNetwork(t, 40, 37, nil)
+	before := nw.Counters()
+	if _, err := nw.Join(idspace.FromUint64(424242), 0); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	after := nw.Counters()
+	if after.Maint <= before.Maint {
+		t.Error("join generated no maintenance traffic")
+	}
+}

@@ -1,0 +1,314 @@
+package pastry
+
+import (
+	"time"
+)
+
+// StartMaintenance launches every node's periodic maintenance loops: leaf-
+// set probing (LeafsetProbePeriod), routing-table probing (RTProbePeriod),
+// and the slow routing-table sweep (RTMaintPeriod). Initial phases are
+// jittered per node so the network doesn't probe in lockstep. Call
+// StopMaintenance to cancel.
+func (nw *Network) StartMaintenance() {
+	if len(nw.maintTimers) > 0 {
+		return // already running
+	}
+	for i := range nw.nodes {
+		i := i
+		jitter := func(p time.Duration) time.Duration {
+			return time.Duration(nw.rng.Int63n(int64(p)))
+		}
+		nw.maintTimers = append(nw.maintTimers,
+			nw.sim.Every(jitter(nw.params.LeafsetProbePeriod), nw.params.LeafsetProbePeriod, func() {
+				nw.leafsetProbeTick(i)
+			}),
+			nw.sim.Every(jitter(nw.params.RTProbePeriod), nw.params.RTProbePeriod, func() {
+				nw.rtProbeTick(i)
+			}),
+			nw.sim.Every(jitter(nw.params.RTMaintPeriod), nw.params.RTMaintPeriod, func() {
+				nw.rtMaintTick(i)
+			}),
+		)
+	}
+}
+
+// StopMaintenance cancels all maintenance loops.
+func (nw *Network) StopMaintenance() {
+	for _, t := range nw.maintTimers {
+		t.Cancel()
+	}
+	nw.maintTimers = nil
+}
+
+// MaintenanceRunning reports whether maintenance loops are active.
+func (nw *Network) MaintenanceRunning() bool { return len(nw.maintTimers) > 0 }
+
+// leafsetProbeTick probes the next leaf-set member in round-robin order.
+// MSPastry coalesces its liveness traffic to roughly one probe per node
+// per period, which is what keeps its background load modest (Figure 12).
+func (nw *Network) leafsetProbeTick(i int) {
+	if !nw.Online(i) {
+		return // perturbed nodes are unresponsive and originate nothing
+	}
+	nd := nw.nodes[i]
+	members := nd.leafMembers()
+	if len(members) == 0 {
+		// Totally depleted leaf set: fall back to any routing-table
+		// entry to rejoin the ring neighborhood.
+		for _, row := range nd.rt {
+			for _, v := range row {
+				if v != -1 {
+					members = append(members, v)
+				}
+			}
+			if len(members) > 0 {
+				break
+			}
+		}
+		if len(members) == 0 {
+			return
+		}
+	}
+	target := members[nd.probeCursor%len(members)]
+	nd.probeCursor++
+	nw.probe(i, target, 0, nil, func() {
+		nw.evict(i, target)
+	})
+}
+
+// rtProbeTick probes the next occupied routing-table cell in scan order.
+func (nw *Network) rtProbeTick(i int) {
+	if !nw.Online(i) {
+		return
+	}
+	nd := nw.nodes[i]
+	rows, cols := len(nd.rt), len(nd.rt[0])
+	for scanned := 0; scanned < rows*cols; scanned++ {
+		r, c := nd.rtProbeRow, nd.rtProbeCol
+		nd.rtProbeCol++
+		if nd.rtProbeCol == cols {
+			nd.rtProbeCol = 0
+			nd.rtProbeRow = (nd.rtProbeRow + 1) % rows
+		}
+		if target := nd.rt[r][c]; target != -1 {
+			nw.probe(i, target, 0, nil, func() {
+				nw.evict(i, target)
+			})
+			return
+		}
+	}
+}
+
+// rtMaintTick is the slow sweep: ask a random leaf-set member for a random
+// routing-table row and merge whatever comes back.
+func (nw *Network) rtMaintTick(i int) {
+	if !nw.Online(i) {
+		return
+	}
+	nd := nw.nodes[i]
+	members := nd.leafMembers()
+	if len(members) == 0 {
+		return
+	}
+	target := members[nw.rng.Intn(len(members))]
+	row := nw.rng.Intn(len(nd.rt))
+	nw.send(i, target, ClassMaint, func() {
+		// target is online; it replies with its row's entries.
+		entries := make([]int, 0, len(nw.nodes[target].rt[row]))
+		for _, v := range nw.nodes[target].rt[row] {
+			if v != -1 && v != i {
+				entries = append(entries, v)
+			}
+		}
+		nw.send(target, i, ClassMaint, func() {
+			for _, v := range entries {
+				nw.considerCandidate(i, v)
+			}
+		})
+	})
+}
+
+// probe sends a liveness probe with the paper's timeout/retry discipline
+// (3 s, 2 retries). onAlive/onDead may be nil.
+func (nw *Network) probe(from, to int, attempt int, onAlive, onDead func()) {
+	answered := false
+	nw.send(from, to, ClassProbe, func() {
+		nw.send(to, from, ClassProbeReply, func() {
+			answered = true
+			if onAlive != nil {
+				onAlive()
+			}
+		})
+	})
+	nw.sim.After(nw.params.ProbeTimeout, func() {
+		if answered {
+			return
+		}
+		if attempt < nw.params.ProbeRetries {
+			nw.probe(from, to, attempt+1, onAlive, onDead)
+			return
+		}
+		if onDead != nil {
+			onDead()
+		}
+	})
+}
+
+// evict removes a node declared failed from all of i's tables and starts
+// leaf-set repair if a side got depleted.
+func (nw *Network) evict(i, failed int) {
+	nd := nw.nodes[i]
+	inLeaf := nd.removeLeaf(failed)
+	nd.removeRT(failed)
+	if inLeaf {
+		nw.repairLeafset(i)
+	}
+}
+
+// repairLeafset asks the farthest surviving member on each depleted side
+// for its leaf set and merges the response. With both sides empty it asks
+// any remaining contact.
+func (nw *Network) repairLeafset(i int) {
+	nd := nw.nodes[i]
+	half := nw.params.LeafSize / 2
+	var sources []int
+	if len(nd.left) < half && len(nd.left) > 0 {
+		sources = append(sources, nd.left[len(nd.left)-1])
+	}
+	if len(nd.right) < half && len(nd.right) > 0 {
+		sources = append(sources, nd.right[len(nd.right)-1])
+	}
+	if len(sources) == 0 {
+		if members := nd.leafMembers(); len(members) > 0 {
+			sources = append(sources, members[nw.rng.Intn(len(members))])
+		} else {
+			for _, row := range nd.rt {
+				for _, v := range row {
+					if v != -1 {
+						sources = append(sources, v)
+						break
+					}
+				}
+				if len(sources) > 0 {
+					break
+				}
+			}
+		}
+	}
+	for _, src := range sources {
+		src := src
+		nw.send(i, src, ClassMaint, func() {
+			// src is online: it answers with its leaf set plus itself.
+			answer := append(nw.nodes[src].leafMembers(), src)
+			nw.send(src, i, ClassMaint, func() {
+				for _, v := range answer {
+					nw.considerCandidate(i, v)
+				}
+			})
+		})
+	}
+}
+
+// considerCandidate handles indirect evidence about x (a third party
+// listed it in a repair or maintenance response). Unlike direct receipt of
+// a message from x, hearsay may be stale — MSPastry probes candidates
+// before adopting them, which is what prevents evicted-dead nodes from
+// oscillating back into leaf sets via repair responses.
+func (nw *Network) considerCandidate(i, x int) {
+	if i == x || x < 0 || !nw.wouldUse(i, x) {
+		return
+	}
+	nw.probe(i, x, 0, func() {
+		nw.considerAlive(i, x)
+	}, nil)
+}
+
+// wouldUse reports whether adopting x would improve node i's state: a
+// leaf-set slot (either side not full, or x closer than a current
+// extreme) or an empty routing-table cell.
+func (nw *Network) wouldUse(i, x int) bool {
+	nd := nw.nodes[i]
+	if nd.inLeafset(x) {
+		return false
+	}
+	half := nw.params.LeafSize / 2
+	xid := nw.nodes[x].id
+	if len(nd.right) < half {
+		return true
+	}
+	if xid.Sub(nd.id).Cmp(nw.nodes[nd.right[len(nd.right)-1]].id.Sub(nd.id)) < 0 {
+		return true
+	}
+	if len(nd.left) < half {
+		return true
+	}
+	if nd.id.Sub(xid).Cmp(nd.id.Sub(nw.nodes[nd.left[len(nd.left)-1]].id)) < 0 {
+		return true
+	}
+	row := nw.space.SharedPrefix(nd.id, xid)
+	if row < len(nd.rt) && nd.rt[row][nw.space.Digit(xid, row)] == -1 {
+		return true
+	}
+	return false
+}
+
+// considerAlive folds fresh liveness evidence about x into node i's
+// tables: x joins the leaf set if it ranks within the half-size on either
+// side, and fills its routing-table cell if empty. This is also how nodes
+// returning from an outage re-enter their neighbors' state — their own
+// probes advertise them.
+func (nw *Network) considerAlive(i, x int) {
+	if i == x || x < 0 {
+		return
+	}
+	nd := nw.nodes[i]
+	half := nw.params.LeafSize / 2
+	xid := nw.nodes[x].id
+
+	if !nd.inLeafset(x) {
+		// Right side: ordered by clockwise distance from nd.id.
+		cw := xid.Sub(nd.id)
+		pos := len(nd.right)
+		for k, v := range nd.right {
+			if cw.Cmp(nw.nodes[v].id.Sub(nd.id)) < 0 {
+				pos = k
+				break
+			}
+		}
+		if pos < half {
+			nd.right = append(nd.right, 0)
+			copy(nd.right[pos+1:], nd.right[pos:])
+			nd.right[pos] = x
+			if len(nd.right) > half {
+				nd.right = nd.right[:half]
+			}
+		}
+		// Left side: ordered by counter-clockwise distance.
+		if !nd.inLeafset(x) {
+			ccw := nd.id.Sub(xid)
+			pos = len(nd.left)
+			for k, v := range nd.left {
+				if ccw.Cmp(nd.id.Sub(nw.nodes[v].id)) < 0 {
+					pos = k
+					break
+				}
+			}
+			if pos < half {
+				nd.left = append(nd.left, 0)
+				copy(nd.left[pos+1:], nd.left[pos:])
+				nd.left[pos] = x
+				if len(nd.left) > half {
+					nd.left = nd.left[:half]
+				}
+			}
+		}
+	}
+
+	row := nw.space.SharedPrefix(nd.id, xid)
+	if row < len(nd.rt) {
+		col := nw.space.Digit(xid, row)
+		if nd.rt[row][col] == -1 {
+			nd.rt[row][col] = x
+		}
+	}
+}

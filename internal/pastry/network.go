@@ -1,0 +1,325 @@
+package pastry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"discovery/internal/eventsim"
+	"discovery/internal/idspace"
+	"discovery/internal/overlay"
+)
+
+// LatencyFunc returns the one-way delay between two nodes.
+type LatencyFunc func(from, to int) time.Duration
+
+// MsgClass categorizes traffic for the paper's Figure 12 accounting.
+type MsgClass int
+
+// Traffic classes. Application data and replies are the "lookup traffic"
+// of Figure 12 (left); probes, probe replies and repair messages are the
+// maintenance background that dominates Figure 12 (right).
+const (
+	ClassData MsgClass = iota + 1
+	ClassReply
+	ClassProbe
+	ClassProbeReply
+	ClassMaint
+)
+
+// Counters tallies sent messages by class. Lost messages still count: the
+// sender spent the bandwidth.
+type Counters struct {
+	Data       uint64
+	Reply      uint64
+	Probe      uint64
+	ProbeReply uint64
+	Maint      uint64
+}
+
+// Lookup returns application traffic (data + replies).
+func (c Counters) LookupTraffic() uint64 { return c.Data + c.Reply }
+
+// Total returns all traffic including maintenance.
+func (c Counters) Total() uint64 {
+	return c.Data + c.Reply + c.Probe + c.ProbeReply + c.Maint
+}
+
+// Network is a simulated Pastry overlay: all node state plus the shared
+// event clock, availability model, and latency model. It is not safe for
+// concurrent use.
+type Network struct {
+	params Params
+	space  idspace.Space
+	sim    *eventsim.Sim
+	rng    *rand.Rand
+	lat    LatencyFunc
+	avail  overlay.Availability
+
+	nodes    []*node
+	ringIdx  []int // node indices sorted by ID around the ring
+	counters Counters
+	nextUID  uint64
+
+	maintTimers []*eventsim.Timer
+	pending     map[uint64]*pendingRequest
+}
+
+// New builds an n-node Pastry network with converged ("perfect") routing
+// state, the state MSPastry reaches on a static overlay — the starting
+// condition of the paper's Section 3 and 6.2 experiments. IDs are drawn
+// uniformly from the 160-bit space.
+func New(n int, params Params, sim *eventsim.Sim, rng *rand.Rand, lat LatencyFunc, avail overlay.Availability) (*Network, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("pastry: need at least 2 nodes, got %d", n)
+	}
+	if lat == nil {
+		lat = func(int, int) time.Duration { return time.Millisecond }
+	}
+	if avail == nil {
+		avail = overlay.AlwaysOn{}
+	}
+	space := idspace.MustSpace(params.B)
+	nw := &Network{
+		params:  params,
+		space:   space,
+		sim:     sim,
+		rng:     rng,
+		lat:     lat,
+		avail:   avail,
+		pending: make(map[uint64]*pendingRequest),
+	}
+	seen := make(map[idspace.ID]bool, n)
+	rows, cols := space.Digits(), space.Base()
+	for i := 0; i < n; i++ {
+		var id idspace.ID
+		for {
+			id = idspace.Random(rng)
+			if !seen[id] {
+				seen[id] = true
+				break
+			}
+		}
+		nw.nodes = append(nw.nodes, newNode(i, id, rows, cols))
+	}
+	nw.rebuildRing()
+	nw.buildPerfectState()
+	return nw, nil
+}
+
+// rebuildRing refreshes the sorted ring index.
+func (nw *Network) rebuildRing() {
+	nw.ringIdx = make([]int, len(nw.nodes))
+	for i := range nw.ringIdx {
+		nw.ringIdx[i] = i
+	}
+	sort.Slice(nw.ringIdx, func(a, b int) bool {
+		return nw.nodes[nw.ringIdx[a]].id.Less(nw.nodes[nw.ringIdx[b]].id)
+	})
+}
+
+// buildPerfectState fills every leaf set and routing table from global
+// knowledge, the converged state of a maintained static overlay.
+func (nw *Network) buildPerfectState() {
+	n := len(nw.nodes)
+	half := nw.params.LeafSize / 2
+	pos := make([]int, n) // node idx -> ring position
+	for p, idx := range nw.ringIdx {
+		pos[idx] = p
+	}
+	for _, nd := range nw.nodes {
+		p := pos[nd.idx]
+		nd.left = nd.left[:0]
+		nd.right = nd.right[:0]
+		for k := 1; k <= half && k < n; k++ {
+			nd.right = append(nd.right, nw.ringIdx[(p+k)%n])
+			nd.left = append(nd.left, nw.ringIdx[(p-k+n)%n])
+		}
+	}
+	// Routing tables: for each other node m, it is a candidate for cell
+	// (sharedPrefix, digit). Keep the first candidate per cell from a
+	// shuffled order, approximating proximity-neighbor selection's
+	// "some nearby node with the right prefix".
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for _, nd := range nw.nodes {
+		nw.rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, m := range order {
+			if m == nd.idx {
+				continue
+			}
+			row := nw.space.SharedPrefix(nd.id, nw.nodes[m].id)
+			col := nw.space.Digit(nw.nodes[m].id, row)
+			if nd.rt[row][col] == -1 {
+				nd.rt[row][col] = m
+			}
+		}
+	}
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return len(nw.nodes) }
+
+// ID returns node i's identifier.
+func (nw *Network) ID(i int) idspace.ID { return nw.nodes[i].id }
+
+// Sim returns the event simulator driving this network.
+func (nw *Network) Sim() *eventsim.Sim { return nw.sim }
+
+// Counters returns the traffic tallies so far.
+func (nw *Network) Counters() Counters { return nw.counters }
+
+// SetAvailability swaps the availability model; the experiments build the
+// network and insert under AlwaysOn, then switch to a flapping schedule
+// for the lookup stage (paper Section 3 methodology).
+func (nw *Network) SetAvailability(av overlay.Availability) {
+	if av == nil {
+		av = overlay.AlwaysOn{}
+	}
+	nw.avail = av
+}
+
+// Online reports node i's availability now.
+func (nw *Network) Online(i int) bool { return nw.avail.Online(i, nw.sim.Now()) }
+
+// Stored reports whether node i currently holds key.
+func (nw *Network) Stored(i int, key idspace.ID) bool {
+	_, ok := nw.nodes[i].store[key]
+	return ok
+}
+
+// HoldersOf returns all nodes storing key, ascending.
+func (nw *Network) HoldersOf(key idspace.ID) []int {
+	var out []int
+	for i, nd := range nw.nodes {
+		if _, ok := nd.store[key]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TrueRoot returns the node whose ID is numerically closest to key on the
+// ring — ground truth for tests.
+func (nw *Network) TrueRoot(key idspace.ID) int {
+	best := 0
+	for i := 1; i < len(nw.nodes); i++ {
+		if nw.nodes[i].id.CloserRing(key, nw.nodes[best].id) {
+			best = i
+		}
+	}
+	return best
+}
+
+// count tallies one sent message.
+func (nw *Network) count(class MsgClass) {
+	switch class {
+	case ClassData:
+		nw.counters.Data++
+	case ClassReply:
+		nw.counters.Reply++
+	case ClassProbe:
+		nw.counters.Probe++
+	case ClassProbeReply:
+		nw.counters.ProbeReply++
+	case ClassMaint:
+		nw.counters.Maint++
+	default:
+		panic(fmt.Sprintf("pastry: unknown message class %d", class))
+	}
+}
+
+// send transmits a message: it always costs traffic, takes the underlay
+// latency, and is silently lost if the recipient is offline on arrival —
+// perturbed nodes are deaf, exactly the paper's model.
+func (nw *Network) send(from, to int, class MsgClass, deliver func()) {
+	nw.count(class)
+	nw.sim.After(nw.lat(from, to), func() {
+		if !nw.avail.Online(to, nw.sim.Now()) {
+			return
+		}
+		// Any received message is evidence the sender was recently
+		// alive; Pastry folds such evidence into its tables.
+		nw.considerAlive(to, from)
+		deliver()
+	})
+}
+
+// Neighbors returns the union of node i's leaf set and routing-table
+// entries — the neighbor list MPIL uses when running over Pastry's
+// structured overlay without its maintenance (paper Section 6.2).
+func (nw *Network) Neighbors(i int) []int {
+	nd := nw.nodes[i]
+	set := make(map[int]bool, len(nd.left)+len(nd.right)+16)
+	var out []int
+	add := func(v int) {
+		if v != i && v >= 0 && !set[v] {
+			set[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range nd.left {
+		add(v)
+	}
+	for _, v := range nd.right {
+		add(v)
+	}
+	for _, row := range nd.rt {
+		for _, v := range row {
+			add(v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Snapshot freezes the current neighbor lists into an immutable overlay
+// view satisfying the mpil.Overlay interface (structurally): N, ID,
+// Neighbors, Online. The availability model is shared live with the
+// network, so flapping applies to both protocols identically.
+type Snapshot struct {
+	ids       []idspace.ID
+	neighbors [][]int
+	avail     overlay.Availability
+}
+
+// Snapshot captures the overlay as MPIL would adopt it: the neighbor
+// lists of the moment, with no further maintenance.
+func (nw *Network) Snapshot() *Snapshot {
+	s := &Snapshot{
+		ids:       make([]idspace.ID, len(nw.nodes)),
+		neighbors: make([][]int, len(nw.nodes)),
+		avail:     nw.avail,
+	}
+	for i := range nw.nodes {
+		s.ids[i] = nw.nodes[i].id
+		s.neighbors[i] = nw.Neighbors(i)
+	}
+	return s
+}
+
+// SetAvailability rebinds the snapshot's availability model.
+func (s *Snapshot) SetAvailability(av overlay.Availability) {
+	if av == nil {
+		av = overlay.AlwaysOn{}
+	}
+	s.avail = av
+}
+
+// N returns the node count.
+func (s *Snapshot) N() int { return len(s.ids) }
+
+// ID returns node i's identifier.
+func (s *Snapshot) ID(i int) idspace.ID { return s.ids[i] }
+
+// Neighbors returns node i's frozen neighbor list.
+func (s *Snapshot) Neighbors(i int) []int { return s.neighbors[i] }
+
+// Online reports node i's availability at virtual time at.
+func (s *Snapshot) Online(i int, at time.Duration) bool { return s.avail.Online(i, at) }

@@ -1,0 +1,140 @@
+package pastry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"discovery/internal/idspace"
+)
+
+func TestNextHopSelfKey(t *testing.T) {
+	nw, _ := newTestNetwork(t, 30, 40, nil)
+	for i := 0; i < nw.N(); i += 5 {
+		if got := nw.nextHop(i, nw.ID(i)); got != i {
+			t.Errorf("nextHop for own ID = %d, want self %d", got, i)
+		}
+	}
+}
+
+func TestNextHopLeafsetDelivery(t *testing.T) {
+	// A key crafted adjacent to some node's ID must be delivered to that
+	// node by each of its leaf-set members directly.
+	nw, _ := newTestNetwork(t, 100, 41, nil)
+	root := 13
+	key := nw.ID(root)
+	key[idspace.Bytes-1] ^= 1
+	if nw.TrueRoot(key) != root {
+		t.Skip("adjacent key not rooted at target; ring too dense")
+	}
+	for _, member := range nw.nodes[root].leafMembers() {
+		got := nw.nextHop(member, key)
+		if got == root {
+			continue
+		}
+		// A member at the edge of its own leaf-set span may route via
+		// its routing table instead (prefix progress, not necessarily
+		// numeric); it must still converge to the root in a few hops.
+		if at, hops := nw.RouteProbe(member, key); at != root || hops > 3 {
+			t.Errorf("member %d converges to %d in %d hops, want root %d fast", member, at, hops, root)
+		}
+	}
+}
+
+func TestNextHopNeverRegresses(t *testing.T) {
+	// Along any route, the next hop never has a shorter shared prefix
+	// with the key than the current node (Pastry's invariant), unless it
+	// is a leafset delivery where numeric closeness rules.
+	nw, _ := newTestNetwork(t, 300, 42, nil)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		key := idspace.Random(rng)
+		at := rng.Intn(nw.N())
+		for hop := 0; hop < nw.params.MaxHops; hop++ {
+			next := nw.nextHop(at, key)
+			if next == at {
+				break
+			}
+			curPfx := nw.space.SharedPrefix(key, nw.ID(at))
+			nextPfx := nw.space.SharedPrefix(key, nw.ID(next))
+			closerNumerically := nw.ID(next).RingDist(key).Cmp(nw.ID(at).RingDist(key)) < 0
+			if nextPfx < curPfx && !closerNumerically {
+				t.Fatalf("route regressed: prefix %d -> %d without numeric progress", curPfx, nextPfx)
+			}
+			at = next
+		}
+	}
+}
+
+func TestSnapshotFrozen(t *testing.T) {
+	nw, sim := newTestNetwork(t, 60, 44, nil)
+	snap := nw.Snapshot()
+	if snap.N() != nw.N() {
+		t.Fatalf("snapshot N = %d", snap.N())
+	}
+	// Neighbor lists are non-empty and contain no self-references.
+	for i := 0; i < snap.N(); i++ {
+		nbs := snap.Neighbors(i)
+		if len(nbs) == 0 {
+			t.Fatalf("node %d has empty snapshot neighborhood", i)
+		}
+		for _, v := range nbs {
+			if v == i {
+				t.Fatalf("node %d lists itself", i)
+			}
+		}
+		if snap.ID(i) != nw.ID(i) {
+			t.Fatalf("snapshot ID mismatch at %d", i)
+		}
+	}
+	// The snapshot must not change when the live network does.
+	before := len(snap.Neighbors(0))
+	nw.StartMaintenance()
+	sim.RunUntil(5 * time.Minute)
+	nw.StopMaintenance()
+	if len(snap.Neighbors(0)) != before {
+		t.Error("snapshot mutated by live maintenance")
+	}
+}
+
+func TestSnapshotAvailability(t *testing.T) {
+	nw, _ := newTestNetwork(t, 40, 45, nil)
+	snap := nw.Snapshot()
+	if !snap.Online(3, 0) {
+		t.Fatal("always-on snapshot reports offline")
+	}
+	snap.SetAvailability(availFunc(func(node int, _ time.Duration) bool { return node != 3 }))
+	if snap.Online(3, 0) {
+		t.Error("snapshot availability rebind ignored")
+	}
+	snap.SetAvailability(nil)
+	if !snap.Online(3, 0) {
+		t.Error("nil availability did not reset to always-on")
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	c := Counters{Data: 5, Reply: 3, Probe: 10, ProbeReply: 9, Maint: 2}
+	if c.LookupTraffic() != 8 {
+		t.Errorf("LookupTraffic = %d, want 8", c.LookupTraffic())
+	}
+	if c.Total() != 29 {
+		t.Errorf("Total = %d, want 29", c.Total())
+	}
+}
+
+func TestInsertRetriesWhileOriginPerturbed(t *testing.T) {
+	// The origin is offline at request time but recovers within the
+	// lookup window: the end-to-end retry machinery must carry it.
+	var dark = true
+	av := availFunc(func(node int, at time.Duration) bool {
+		return node != 0 || !dark || at > 10*time.Second
+	})
+	nw, sim := newTestNetwork(t, 50, 46, av)
+	ok := false
+	nw.Insert(0, idspace.FromString("late-insert"), nil, func(good bool, _ int) { ok = good })
+	sim.Run()
+	if !ok {
+		t.Error("insert failed despite origin recovering within the window")
+	}
+}

@@ -1,0 +1,117 @@
+// Package perturb implements the paper's perturbation model (Section 3):
+// periodic flapping. Time is divided into cycles of (idle + offline)
+// seconds, phase-shifted randomly per node. Every node is online
+// throughout the idle portion of its cycle; at the start of each offline
+// portion it goes offline with the flapping probability, independently per
+// cycle, and returns at the start of the next idle portion.
+//
+// The schedule is a pure function of (seed, node, time): availability
+// queries allocate nothing and need no event-queue bookkeeping, so a
+// million-query Pastry run stays cheap and exactly reproducible.
+package perturb
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Flapping is a deterministic flapping schedule over n nodes. The zero
+// value is not usable; construct with New.
+type Flapping struct {
+	idle    time.Duration
+	offline time.Duration
+	prob    float64
+	phase   []time.Duration
+	seed    uint64
+}
+
+// New builds a flapping schedule. idle and offline are the paper's
+// idle:offline periods (e.g. 30s:30s); prob is the flapping probability on
+// the x-axis of Figures 1 and 11. Each node's first cycle start is drawn
+// uniformly from [0, idle+offline) using rng.
+func New(n int, idle, offline time.Duration, prob float64, rng *rand.Rand) (*Flapping, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("perturb: negative node count %d", n)
+	}
+	if idle <= 0 || offline <= 0 {
+		return nil, fmt.Errorf("perturb: idle (%v) and offline (%v) periods must be positive", idle, offline)
+	}
+	if prob < 0 || prob > 1 {
+		return nil, fmt.Errorf("perturb: flapping probability %v out of [0,1]", prob)
+	}
+	cycle := idle + offline
+	phase := make([]time.Duration, n)
+	for i := range phase {
+		phase[i] = time.Duration(rng.Int63n(int64(cycle)))
+	}
+	return &Flapping{
+		idle:    idle,
+		offline: offline,
+		prob:    prob,
+		phase:   phase,
+		seed:    rng.Uint64(),
+	}, nil
+}
+
+// Cycle returns the flapping period (idle + offline).
+func (f *Flapping) Cycle() time.Duration { return f.idle + f.offline }
+
+// Online reports whether node i is online at virtual time t. Times before
+// a node's first cycle start are online (the paper starts lookups only
+// after every node has entered its flapping period; see StartTime).
+func (f *Flapping) Online(i int, t time.Duration) bool {
+	rel := t - f.phase[i]
+	if rel < 0 {
+		return true
+	}
+	cycle := f.Cycle()
+	k := rel / cycle
+	within := rel - k*cycle
+	if within < f.idle {
+		return true
+	}
+	// In the offline portion of cycle k: offline with probability prob,
+	// decided independently per (node, cycle).
+	return f.cycleDraw(i, int64(k)) >= f.prob
+}
+
+// StartTime returns the earliest time by which every node has entered its
+// flapping period, i.e. max phase. The paper injects lookups only after
+// this point.
+func (f *Flapping) StartTime() time.Duration {
+	var max time.Duration
+	for _, p := range f.phase {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// OfflineFraction returns the long-run expected fraction of time a node
+// spends offline: prob * offline / (idle + offline). Tests and analysis
+// use it as the ground truth for Monte Carlo checks.
+func (f *Flapping) OfflineFraction() float64 {
+	return f.prob * float64(f.offline) / float64(f.Cycle())
+}
+
+// cycleDraw returns a uniform [0,1) value that is a pure function of
+// (seed, node, cycle), via a splitmix64-style mix.
+func (f *Flapping) cycleDraw(node int, cycle int64) float64 {
+	x := f.seed
+	x ^= uint64(node)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	x ^= uint64(cycle) * 0x94d049bb133111eb
+	x = mix64(x)
+	// 53 high bits -> [0,1).
+	return float64(x>>11) / float64(1<<53)
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,199 @@
+package perturb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, n int, idle, offline time.Duration, prob float64, seed int64) *Flapping {
+	t.Helper()
+	f, err := New(n, idle, offline, prob, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name          string
+		n             int
+		idle, offline time.Duration
+		prob          float64
+	}{
+		{"negative n", -1, time.Second, time.Second, 0.5},
+		{"zero idle", 10, 0, time.Second, 0.5},
+		{"zero offline", 10, time.Second, 0, 0.5},
+		{"prob above 1", 10, time.Second, time.Second, 1.5},
+		{"negative prob", 10, time.Second, time.Second, -0.1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.n, tt.idle, tt.offline, tt.prob, rng); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestProbZeroAlwaysOnline(t *testing.T) {
+	f := mustNew(t, 50, 30*time.Second, 30*time.Second, 0, 7)
+	for node := 0; node < 50; node += 7 {
+		for s := 0; s < 600; s += 13 {
+			if !f.Online(node, time.Duration(s)*time.Second) {
+				t.Fatalf("node %d offline at %ds with prob 0", node, s)
+			}
+		}
+	}
+}
+
+func TestProbOneFlapsEveryCycle(t *testing.T) {
+	f := mustNew(t, 20, 10*time.Second, 10*time.Second, 1, 7)
+	// With prob 1, every node must be offline during every offline
+	// portion after its phase.
+	for node := 0; node < 20; node++ {
+		start := f.StartTime() // every node has begun flapping
+		// Sample a full cycle at fine granularity; expect both states.
+		sawOnline, sawOffline := false, false
+		for s := time.Duration(0); s < f.Cycle(); s += 100 * time.Millisecond {
+			if f.Online(node, start+s) {
+				sawOnline = true
+			} else {
+				sawOffline = true
+			}
+		}
+		if !sawOnline || !sawOffline {
+			t.Fatalf("node %d: sawOnline=%v sawOffline=%v in one cycle at prob 1", node, sawOnline, sawOffline)
+		}
+	}
+}
+
+func TestBeforePhaseIsOnline(t *testing.T) {
+	f := mustNew(t, 100, time.Second, time.Second, 1, 3)
+	for node := 0; node < 100; node++ {
+		if !f.Online(node, 0) && f.phase[node] > 0 {
+			t.Fatalf("node %d offline before its first cycle", node)
+		}
+	}
+}
+
+func TestIdlePortionAlwaysOnline(t *testing.T) {
+	f := mustNew(t, 30, 45*time.Second, 15*time.Second, 1, 11)
+	for node := 0; node < 30; node++ {
+		base := f.phase[node]
+		for cyc := 0; cyc < 5; cyc++ {
+			cycStart := base + time.Duration(cyc)*f.Cycle()
+			for _, dt := range []time.Duration{0, time.Second, 44 * time.Second} {
+				if !f.Online(node, cycStart+dt) {
+					t.Fatalf("node %d offline during idle portion (cycle %d, +%v)", node, cyc, dt)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossQueries(t *testing.T) {
+	f := mustNew(t, 10, time.Second, time.Second, 0.5, 5)
+	at := 17*time.Second + 300*time.Millisecond
+	for node := 0; node < 10; node++ {
+		first := f.Online(node, at)
+		for i := 0; i < 5; i++ {
+			if f.Online(node, at) != first {
+				t.Fatalf("node %d availability flip-flops across identical queries", node)
+			}
+		}
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	a := mustNew(t, 40, 30*time.Second, 30*time.Second, 0.7, 99)
+	b := mustNew(t, 40, 30*time.Second, 30*time.Second, 0.7, 99)
+	for node := 0; node < 40; node++ {
+		for s := 0; s < 300; s += 7 {
+			at := time.Duration(s) * time.Second
+			if a.Online(node, at) != b.Online(node, at) {
+				t.Fatalf("schedules diverge at node %d, t=%v", node, at)
+			}
+		}
+	}
+}
+
+func TestOfflineFractionMonteCarlo(t *testing.T) {
+	// Long-run offline fraction should converge to prob*offline/cycle.
+	for _, prob := range []float64{0.3, 0.8} {
+		f := mustNew(t, 200, 30*time.Second, 30*time.Second, prob, 42)
+		samples, offline := 0, 0
+		start := f.StartTime()
+		for node := 0; node < 200; node++ {
+			for c := 0; c < 50; c++ {
+				at := start + time.Duration(c)*f.Cycle() + time.Duration(node%60)*time.Second
+				samples++
+				if !f.Online(node, at) {
+					offline++
+				}
+			}
+		}
+		got := float64(offline) / float64(samples)
+		want := f.OfflineFraction()
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("prob %v: measured offline fraction %.3f, want about %.3f", prob, got, want)
+		}
+	}
+}
+
+func TestCycleIndependence(t *testing.T) {
+	// With prob 0.5 a node's offline decisions must vary across cycles;
+	// a constant decision would mean cycles aren't independent.
+	f := mustNew(t, 5, time.Second, time.Second, 0.5, 13)
+	for node := 0; node < 5; node++ {
+		varies := false
+		// Probe the middle of each offline portion.
+		first := f.Online(node, f.phase[node]+1500*time.Millisecond)
+		for c := int64(1); c < 40; c++ {
+			at := f.phase[node] + time.Duration(c)*f.Cycle() + 1500*time.Millisecond
+			if f.Online(node, at) != first {
+				varies = true
+				break
+			}
+		}
+		if !varies {
+			t.Errorf("node %d: 40 consecutive cycles made the same decision at prob 0.5", node)
+		}
+	}
+}
+
+func TestStartTime(t *testing.T) {
+	f := mustNew(t, 100, 10*time.Second, 5*time.Second, 0.5, 21)
+	st := f.StartTime()
+	if st < 0 || st >= f.Cycle() {
+		t.Errorf("StartTime %v outside [0, cycle)", st)
+	}
+	for _, p := range f.phase {
+		if p > st {
+			t.Errorf("phase %v exceeds StartTime %v", p, st)
+		}
+	}
+}
+
+func TestOnlineAllocationFree(t *testing.T) {
+	f := mustNew(t, 10, time.Second, time.Second, 0.5, 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Online(3, 93*time.Second)
+	})
+	if allocs != 0 {
+		t.Errorf("Online allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func BenchmarkOnline(b *testing.B) {
+	f, err := New(1000, 30*time.Second, 30*time.Second, 0.5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Online(i%1000, time.Duration(i)*time.Millisecond)
+	}
+}

@@ -1,0 +1,317 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Complete returns the complete graph K_n, the topology of the paper's
+// Section 5.2 replica analysis.
+func Complete(n int) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.addEdgeUnchecked(u, v)
+		}
+	}
+	return g
+}
+
+// Ring returns the cycle C_n, used by unit tests that need predictable
+// multi-hop routes.
+func Ring(n int) *Graph {
+	g := NewGraph(n)
+	if n == 1 {
+		return g
+	}
+	if n == 2 {
+		g.addEdgeUnchecked(0, 1)
+		return g
+	}
+	for u := 0; u < n; u++ {
+		g.addEdgeUnchecked(u, (u+1)%n)
+	}
+	return g
+}
+
+// Star returns the star graph with node 0 at the center.
+func Star(n int) *Graph {
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		g.addEdgeUnchecked(0, v)
+	}
+	return g
+}
+
+// Grid returns the rows x cols 2-D lattice.
+func Grid(rows, cols int) *Graph {
+	g := NewGraph(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.addEdgeUnchecked(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				g.addEdgeUnchecked(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a connected random d-regular graph on n nodes,
+// generated with the configuration (stub-matching) model plus conflict
+// repair by double-edge swaps. This reproduces the paper's "random graphs
+// [where] each node has 100 neighbors, equally".
+//
+// n*d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if d >= n {
+		return nil, fmt.Errorf("topology: degree %d must be below node count %d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("topology: n*d = %d*%d is odd; no regular graph exists", n, d)
+	}
+	if d == 0 {
+		return NewGraph(n), nil
+	}
+	if d == n-1 {
+		// The only (n-1)-regular graph is K_n; stub matching cannot
+		// repair its way there, so build it directly.
+		return Complete(n), nil
+	}
+
+	// Configuration model: n*d stubs, shuffled, paired sequentially.
+	stubs := make([]int, 0, n*d)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+
+	const maxAttempts = 50
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		pairs := make([][2]int, 0, len(stubs)/2)
+		for i := 0; i < len(stubs); i += 2 {
+			pairs = append(pairs, [2]int{stubs[i], stubs[i+1]})
+		}
+		g, ok := repairPairs(n, pairs, rng)
+		if !ok {
+			continue
+		}
+		// A disconnected draw (vanishingly rare for d >= 3) is resampled
+		// rather than patched, so the result stays exactly d-regular.
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: failed to build a connected %d-regular graph on %d nodes after %d attempts", d, n, maxAttempts)
+}
+
+// repairPairs turns a stub pairing into a simple graph by re-drawing
+// conflicting pairs via double-edge swaps with random accepted pairs.
+func repairPairs(n int, pairs [][2]int, rng *rand.Rand) (*Graph, bool) {
+	g := NewGraph(n)
+	edgeSet := make(map[[2]int]bool, len(pairs))
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	accepted := make([][2]int, 0, len(pairs))
+	conflicts := make([][2]int, 0)
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		if u == v || edgeSet[key(u, v)] {
+			conflicts = append(conflicts, p)
+			continue
+		}
+		edgeSet[key(u, v)] = true
+		accepted = append(accepted, p)
+	}
+	// Resolve each conflict by swapping endpoints with a random accepted
+	// edge: conflict (u,v) + accepted (x,y) -> (u,x) + (v,y), valid only
+	// if both new edges are fresh and loop-free.
+	const maxSwapTries = 400
+	for _, p := range conflicts {
+		u, v := p[0], p[1]
+		resolved := false
+		for try := 0; try < maxSwapTries; try++ {
+			i := rng.Intn(len(accepted))
+			x, y := accepted[i][0], accepted[i][1]
+			if rng.Intn(2) == 0 {
+				x, y = y, x
+			}
+			if u == x || v == y || u == y || v == x {
+				continue
+			}
+			if edgeSet[key(u, x)] || edgeSet[key(v, y)] {
+				continue
+			}
+			delete(edgeSet, key(x, y))
+			edgeSet[key(u, x)] = true
+			edgeSet[key(v, y)] = true
+			accepted[i] = [2]int{u, x}
+			accepted = append(accepted, [2]int{v, y})
+			resolved = true
+			break
+		}
+		if !resolved {
+			return nil, false
+		}
+	}
+	for _, p := range accepted {
+		g.addEdgeUnchecked(p[0], p[1])
+	}
+	return g, true
+}
+
+// PowerLaw returns a connected graph whose degree distribution follows a
+// power law with the given exponent (Inet-style: the paper's overlays came
+// from Inet, whose AS graphs have exponent near 2.2) and minimum degree
+// minDeg (the paper uses "0% of degree 1 nodes", i.e. minDeg 2). Degrees
+// are drawn from P(d) ~ d^-gamma on [minDeg, n^(1/(gamma-1))] and wired
+// with the configuration model plus conflict repair; the handful of edges
+// Connect may add to join stray components perturbs degrees negligibly.
+//
+// The heavy tail matters to MPIL: routes pass through hubs, and at a hub
+// with hundreds of neighbors the routing metric ties often, which is where
+// lookup flows branch (paper Table 3's ~9 actual flows out of 10).
+func PowerLaw(n int, gamma float64, minDeg int, rng *rand.Rand) (*Graph, error) {
+	if gamma <= 1 {
+		return nil, fmt.Errorf("topology: power-law exponent %v must exceed 1", gamma)
+	}
+	if minDeg < 1 {
+		return nil, fmt.Errorf("topology: minimum degree %d must be positive", minDeg)
+	}
+	if n <= minDeg+1 {
+		return nil, fmt.Errorf("topology: need more than %d nodes, got %d", minDeg+1, n)
+	}
+	// Natural cutoff for the maximum degree.
+	maxDeg := int(math.Pow(float64(n), 1/(gamma-1)))
+	if maxDeg >= n {
+		maxDeg = n - 1
+	}
+	if maxDeg < minDeg {
+		maxDeg = minDeg
+	}
+	// Inverse-CDF sampling over the discrete power law.
+	weights := make([]float64, maxDeg-minDeg+1)
+	total := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(minDeg+i), -gamma)
+		total += weights[i]
+	}
+	drawDegree := func() int {
+		u := rng.Float64() * total
+		acc := 0.0
+		for i, w := range weights {
+			acc += w
+			if u <= acc {
+				return minDeg + i
+			}
+		}
+		return maxDeg
+	}
+	degrees := make([]int, n)
+	sum := 0
+	for i := range degrees {
+		degrees[i] = drawDegree()
+		sum += degrees[i]
+	}
+	if sum%2 != 0 {
+		degrees[0]++
+		sum++
+	}
+	stubs := make([]int, 0, sum)
+	for u, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	const maxAttempts = 50
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		pairs := make([][2]int, 0, len(stubs)/2)
+		for i := 0; i < len(stubs); i += 2 {
+			pairs = append(pairs, [2]int{stubs[i], stubs[i+1]})
+		}
+		g, ok := repairPairs(n, pairs, rng)
+		if !ok {
+			continue
+		}
+		g.Connect(rng)
+		return g, nil
+	}
+	return nil, fmt.Errorf("topology: failed to wire power-law degrees after %d attempts", maxAttempts)
+}
+
+// BarabasiAlbert returns a connected preferential-attachment graph with m
+// edges per arriving node (exponent 3 tail). It is kept as an alternative
+// power-law family for ablation against the Inet-style generator above.
+func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("topology: attachment degree m = %d must be positive", m)
+	}
+	if n <= m {
+		return nil, fmt.Errorf("topology: need more than m = %d nodes, got %d", m, n)
+	}
+	g := NewGraph(n)
+	// Seed clique on m+1 nodes so the first arrival has m distinct targets.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			g.addEdgeUnchecked(u, v)
+		}
+	}
+	// targets is the repeated-endpoints list: picking uniformly from it is
+	// picking proportionally to degree.
+	targets := make([]int, 0, 2*m*n)
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			targets = append(targets, u, v)
+		}
+	}
+	chosenSet := make(map[int]bool, m)
+	chosen := make([]int, 0, m)
+	for u := m + 1; u < n; u++ {
+		for _, v := range chosen {
+			delete(chosenSet, v)
+		}
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			v := targets[rng.Intn(len(targets))]
+			if v != u && !chosenSet[v] {
+				chosenSet[v] = true
+				chosen = append(chosen, v)
+			}
+		}
+		for _, v := range chosen {
+			g.addEdgeUnchecked(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+	// Preferential attachment growth is connected by construction.
+	return g, nil
+}
+
+// ErdosRenyi returns G(n, p) with every edge present independently with
+// probability p. It is used by tests and by the generic simulator CLI;
+// the paper's own "random" overlays are RandomRegular.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topology: edge probability %v out of [0,1]", p)
+	}
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.addEdgeUnchecked(u, v)
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,244 @@
+// Package topology builds the overlay graphs the paper evaluates on:
+// complete graphs, random regular graphs ("each node has 100 neighbors,
+// equally"), power-law graphs (the paper used Inet; we substitute a
+// preferential-attachment generator with minimum degree 2, matching the
+// paper's "0% of degree 1 nodes" setting), and a GT-ITM-style transit-stub
+// underlay used as the latency model for the Pastry experiments.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a simple undirected graph over nodes 0..N-1 stored as symmetric
+// adjacency lists. The zero value is an empty graph; construct with
+// NewGraph for a fixed node count.
+type Graph struct {
+	adj [][]int
+}
+
+// NewGraph returns an edgeless graph on n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("topology: negative node count %d", n))
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns node u's adjacency list. The returned slice is owned
+// by the graph and must not be mutated; callers that need to modify it
+// must copy first.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// HasEdge reports whether the undirected edge {u,v} is present. It scans
+// u's adjacency list, so it is O(deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicate
+// edges are programming errors and panic, since every generator in this
+// package is expected to produce simple graphs.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("topology: self-loop at node %d", u))
+	}
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("topology: duplicate edge {%d,%d}", u, v))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// addEdgeUnchecked inserts {u,v} without the duplicate scan. Generators
+// that already guarantee simplicity use it to stay O(1) per edge.
+func (g *Graph) addEdgeUnchecked(u, v int) {
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// RemoveEdge deletes the undirected edge {u,v} if present and reports
+// whether it was found.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if !removeFrom(&g.adj[u], v) {
+		return false
+	}
+	if !removeFrom(&g.adj[v], u) {
+		panic(fmt.Sprintf("topology: asymmetric adjacency between %d and %d", u, v))
+	}
+	return true
+}
+
+func removeFrom(list *[]int, v int) bool {
+	l := *list
+	for i, w := range l {
+		if w == v {
+			l[i] = l[len(l)-1]
+			*list = l[:len(l)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural invariants — no self-loops, no duplicate
+// edges, symmetric adjacency — and returns the first violation found.
+func (g *Graph) Validate() error {
+	for u, nb := range g.adj {
+		seen := make(map[int]bool, len(nb))
+		for _, v := range nb {
+			if v == u {
+				return fmt.Errorf("topology: self-loop at node %d", u)
+			}
+			if v < 0 || v >= len(g.adj) {
+				return fmt.Errorf("topology: edge from %d to out-of-range node %d", u, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("topology: duplicate edge {%d,%d}", u, v)
+			}
+			seen[v] = true
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("topology: asymmetric edge {%d,%d}", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// IsConnected reports whether the graph has a single connected component.
+// The empty graph is considered connected.
+func (g *Graph) IsConnected() bool {
+	n := len(g.adj)
+	if n == 0 {
+		return true
+	}
+	return g.componentSize(0, nil) == n
+}
+
+// Components returns the connected components as slices of node indices,
+// each sorted ascending, ordered by their smallest member.
+func (g *Graph) Components() [][]int {
+	n := len(g.adj)
+	visited := make([]bool, n)
+	var comps [][]int
+	for u := 0; u < n; u++ {
+		if visited[u] {
+			continue
+		}
+		var comp []int
+		g.bfs(u, visited, func(v int) { comp = append(comp, v) })
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func (g *Graph) componentSize(start int, visited []bool) int {
+	if visited == nil {
+		visited = make([]bool, len(g.adj))
+	}
+	size := 0
+	g.bfs(start, visited, func(int) { size++ })
+	return size
+}
+
+func (g *Graph) bfs(start int, visited []bool, visit func(int)) {
+	queue := []int{start}
+	visited[start] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		visit(u)
+		for _, v := range g.adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// Connect adds the minimum number of edges needed to make the graph
+// connected, linking a random member of each extra component to a random
+// node of the main component. Generators call it to guarantee the overlays
+// handed to experiments are usable.
+func (g *Graph) Connect(rng *rand.Rand) {
+	comps := g.Components()
+	if len(comps) <= 1 {
+		return
+	}
+	main := comps[0]
+	for _, comp := range comps[1:] {
+		u := main[rng.Intn(len(main))]
+		v := comp[rng.Intn(len(comp))]
+		if !g.HasEdge(u, v) {
+			g.addEdgeUnchecked(u, v)
+		}
+		main = append(main, comp...)
+	}
+}
+
+// DegreeHistogram returns a map from degree to the number of nodes with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, nb := range g.adj {
+		h[len(nb)]++
+	}
+	return h
+}
+
+// MinDegree returns the smallest node degree, or 0 for the empty graph.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for _, nb := range g.adj[1:] {
+		if len(nb) < min {
+			min = len(nb)
+		}
+	}
+	return min
+}
+
+// AvgDegree returns the mean node degree.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(len(g.adj))
+}
+
+// MaxDegree returns the largest node degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nb := range g.adj {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}

@@ -1,0 +1,325 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := NewGraph(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Errorf("NewGraph(5): N=%d M=%d, want 5, 0", g.N(), g.M())
+	}
+	if !g.IsConnected() == (g.N() <= 1) {
+		// 5 isolated nodes are not connected.
+		if g.IsConnected() {
+			t.Error("edgeless 5-node graph reported connected")
+		}
+	}
+}
+
+func TestAddEdgeSymmetry(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("AddEdge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	t.Run("self-loop", func(t *testing.T) {
+		g := NewGraph(2)
+		defer func() {
+			if recover() == nil {
+				t.Error("self-loop did not panic")
+			}
+		}()
+		g.AddEdge(1, 1)
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		g := NewGraph(2)
+		g.AddEdge(0, 1)
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate edge did not panic")
+			}
+		}()
+		g.AddEdge(1, 0)
+	})
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge returned false for existing edge")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge survives removal")
+	}
+	if g.RemoveEdge(0, 3) {
+		t.Error("RemoveEdge returned true for missing edge")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate after removal: %v", err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	wantSizes := []int{3, 2, 1}
+	for i, c := range comps {
+		if len(c) != wantSizes[i] {
+			t.Errorf("component %d size = %d, want %d", i, len(c), wantSizes[i])
+		}
+	}
+}
+
+func TestConnect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph(9)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	g.Connect(rng)
+	if !g.IsConnected() {
+		t.Error("Connect left graph disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate after Connect: %v", err)
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := Star(5) // center degree 4, leaves degree 1
+	if g.MaxDegree() != 4 {
+		t.Errorf("MaxDegree = %d, want 4", g.MaxDegree())
+	}
+	if g.MinDegree() != 1 {
+		t.Errorf("MinDegree = %d, want 1", g.MinDegree())
+	}
+	if got := g.AvgDegree(); got != 8.0/5.0 {
+		t.Errorf("AvgDegree = %v, want 1.6", got)
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 4 || h[4] != 1 {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 40} {
+		g := Complete(n)
+		if g.M() != n*(n-1)/2 {
+			t.Errorf("K_%d has %d edges, want %d", n, g.M(), n*(n-1)/2)
+		}
+		if n > 1 && (g.MinDegree() != n-1 || g.MaxDegree() != n-1) {
+			t.Errorf("K_%d is not (n-1)-regular", n)
+		}
+		if !g.IsConnected() {
+			t.Errorf("K_%d not connected", n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("K_%d invalid: %v", n, err)
+		}
+	}
+}
+
+func TestRingGridStar(t *testing.T) {
+	tests := []struct {
+		name  string
+		g     *Graph
+		edges int
+	}{
+		{"ring5", Ring(5), 5},
+		{"ring2", Ring(2), 1},
+		{"ring1", Ring(1), 0},
+		{"grid3x4", Grid(3, 4), 17},
+		{"star7", Star(7), 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.M() != tt.edges {
+				t.Errorf("M = %d, want %d", tt.g.M(), tt.edges)
+			}
+			if err := tt.g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if tt.g.N() > 0 && !tt.g.IsConnected() {
+				t.Error("not connected")
+			}
+		})
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tests := []struct {
+		n, d int
+	}{
+		{10, 3}, {100, 4}, {200, 10}, {500, 100}, {64, 63},
+	}
+	for _, tt := range tests {
+		g, err := RandomRegular(tt.n, tt.d, rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tt.n, tt.d, err)
+		}
+		if g.MinDegree() != tt.d || g.MaxDegree() != tt.d {
+			t.Errorf("RandomRegular(%d,%d): degrees [%d,%d], want exactly %d",
+				tt.n, tt.d, g.MinDegree(), g.MaxDegree(), tt.d)
+		}
+		if !g.IsConnected() {
+			t.Errorf("RandomRegular(%d,%d) disconnected", tt.n, tt.d)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("RandomRegular(%d,%d) invalid: %v", tt.n, tt.d, err)
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomRegular(10, 10, rng); err == nil {
+		t.Error("d >= n accepted")
+	}
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Error("odd n*d accepted")
+	}
+	g, err := RandomRegular(10, 0, rng)
+	if err != nil || g.M() != 0 {
+		t.Error("d=0 should yield edgeless graph")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g, err := BarabasiAlbert(2000, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MinDegree() < 2 {
+		t.Errorf("MinDegree = %d, want >= 2 (paper: 0%% degree-1 nodes)", g.MinDegree())
+	}
+	if !g.IsConnected() {
+		t.Error("power-law graph disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Heavy tail: the max degree should dwarf the average.
+	if g.MaxDegree() < 5*int(g.AvgDegree()) {
+		t.Errorf("degree distribution not heavy-tailed: max %d, avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	// Most nodes should sit at or near the minimum degree.
+	h := g.DegreeHistogram()
+	lowDegree := h[2] + h[3] + h[4]
+	if lowDegree < g.N()/2 {
+		t.Errorf("only %d/%d nodes have degree <= 4; distribution not skewed", lowDegree, g.N())
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BarabasiAlbert(5, 0, rng); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(2, 2, rng); err == nil {
+		t.Error("n <= m accepted")
+	}
+}
+
+func TestPowerLawInetStyle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g, err := PowerLaw(3000, 2.2, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if !g.IsConnected() {
+		t.Error("disconnected")
+	}
+	if g.MinDegree() < 2 {
+		t.Errorf("MinDegree = %d, want >= 2 (0%% degree-1 nodes)", g.MinDegree())
+	}
+	// Exponent 2.2 gives much heavier hubs than BA's exponent 3: the
+	// natural cutoff is n^(1/1.2) ~ 790 for n=3000.
+	if g.MaxDegree() < 100 {
+		t.Errorf("MaxDegree = %d, want heavy hub tail (>= 100)", g.MaxDegree())
+	}
+	// Majority of nodes stay near the minimum degree.
+	h := g.DegreeHistogram()
+	if h[2]+h[3] < g.N()/2 {
+		t.Errorf("only %d/%d nodes have degree 2-3", h[2]+h[3], g.N())
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := PowerLaw(100, 0.9, 2, rng); err == nil {
+		t.Error("gamma <= 1 accepted")
+	}
+	if _, err := PowerLaw(100, 2.2, 0, rng); err == nil {
+		t.Error("minDeg 0 accepted")
+	}
+	if _, err := PowerLaw(3, 2.2, 2, rng); err == nil {
+		t.Error("n too small accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := ErdosRenyi(200, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Expected edges = C(200,2)*0.1 = 1990; allow wide tolerance.
+	if g.M() < 1500 || g.M() > 2500 {
+		t.Errorf("M = %d, want near 1990", g.M())
+	}
+	if _, err := ErdosRenyi(10, 1.5, rng); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	full, err := ErdosRenyi(10, 1, rng)
+	if err != nil || full.M() != 45 {
+		t.Errorf("p=1 should give complete graph, got M=%d err=%v", full.M(), err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	build := func() *Graph {
+		rng := rand.New(rand.NewSource(77))
+		g, err := PowerLaw(500, 2.2, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for u := 0; u < a.N(); u++ {
+		if a.Degree(u) != b.Degree(u) {
+			t.Fatalf("same seed, different degree at node %d", u)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// TransitStubParams configures the GT-ITM-substitute underlay used as the
+// latency model for the Pastry experiments (the paper runs MSPastry over a
+// 1000-node GT-ITM topology). Latencies are derived from the hierarchical
+// relationship of the two endpoints rather than from shortest paths, which
+// preserves GT-ITM's structure — cheap within a stub domain, expensive
+// across transit domains — at O(1) per query.
+type TransitStubParams struct {
+	// TransitDomains is the number of top-level transit domains.
+	TransitDomains int
+	// TransitNodes is the number of transit routers per transit domain.
+	TransitNodes int
+	// StubsPerTransit is the number of stub domains hanging off each
+	// transit router.
+	StubsPerTransit int
+	// NodesPerStub is the number of end hosts per stub domain.
+	NodesPerStub int
+
+	// Latency components; zero values take the defaults below.
+	IntraStub      time.Duration // host <-> host within one stub domain
+	StubToTransit  time.Duration // stub domain <-> its transit router
+	IntraTransit   time.Duration // routers within one transit domain
+	InterTransit   time.Duration // routers across transit domains
+	JitterFraction float64       // +/- uniform jitter applied per pair
+}
+
+// Defaults matching typical GT-ITM parameterizations of the era.
+const (
+	defaultIntraStub     = 2 * time.Millisecond
+	defaultStubToTransit = 10 * time.Millisecond
+	defaultIntraTransit  = 20 * time.Millisecond
+	defaultInterTransit  = 50 * time.Millisecond
+)
+
+// DefaultTransitStub returns parameters producing at least n end hosts in
+// a 4-transit-domain hierarchy, the shape used for the paper's 1000-node
+// MSPastry runs.
+func DefaultTransitStub(n int) TransitStubParams {
+	p := TransitStubParams{
+		TransitDomains:  4,
+		TransitNodes:    4,
+		StubsPerTransit: 4,
+		NodesPerStub:    (n + 63) / 64, // 4*4*4 = 64 stub domains
+	}
+	if p.NodesPerStub < 1 {
+		p.NodesPerStub = 1
+	}
+	return p
+}
+
+// Underlay assigns every overlay node a position in a transit-stub
+// hierarchy and answers pairwise latency queries. It is deliberately not a
+// packet-level network: the Pastry experiments only need realistic,
+// hierarchy-correlated delays for probes and timeouts.
+type Underlay struct {
+	params TransitStubParams
+	// For host i: transit domain, transit router (global), stub domain (global).
+	domainOf []int
+	routerOf []int
+	stubOf   []int
+	jitter   []float64 // per-host multiplicative jitter in [1-j, 1+j]
+}
+
+// NewUnderlay builds an underlay with capacity for n end hosts. Hosts are
+// distributed round-robin over the stub domains, so domains are balanced.
+func NewUnderlay(n int, params TransitStubParams, rng *rand.Rand) (*Underlay, error) {
+	if params.TransitDomains < 1 || params.TransitNodes < 1 ||
+		params.StubsPerTransit < 1 || params.NodesPerStub < 1 {
+		return nil, fmt.Errorf("topology: transit-stub parameters must all be positive: %+v", params)
+	}
+	capacity := params.TransitDomains * params.TransitNodes * params.StubsPerTransit * params.NodesPerStub
+	if n > capacity {
+		return nil, fmt.Errorf("topology: underlay capacity %d below requested %d hosts", capacity, n)
+	}
+	if params.IntraStub == 0 {
+		params.IntraStub = defaultIntraStub
+	}
+	if params.StubToTransit == 0 {
+		params.StubToTransit = defaultStubToTransit
+	}
+	if params.IntraTransit == 0 {
+		params.IntraTransit = defaultIntraTransit
+	}
+	if params.InterTransit == 0 {
+		params.InterTransit = defaultInterTransit
+	}
+	if params.JitterFraction < 0 || params.JitterFraction >= 1 {
+		return nil, fmt.Errorf("topology: jitter fraction %v out of [0,1)", params.JitterFraction)
+	}
+
+	u := &Underlay{
+		params:   params,
+		domainOf: make([]int, n),
+		routerOf: make([]int, n),
+		stubOf:   make([]int, n),
+		jitter:   make([]float64, n),
+	}
+	totalStubs := params.TransitDomains * params.TransitNodes * params.StubsPerTransit
+	for i := 0; i < n; i++ {
+		stub := i % totalStubs
+		router := stub / params.StubsPerTransit
+		domain := router / params.TransitNodes
+		u.stubOf[i] = stub
+		u.routerOf[i] = router
+		u.domainOf[i] = domain
+		if params.JitterFraction > 0 {
+			u.jitter[i] = 1 + params.JitterFraction*(2*rng.Float64()-1)
+		} else {
+			u.jitter[i] = 1
+		}
+	}
+	return u, nil
+}
+
+// N returns the number of end hosts.
+func (u *Underlay) N() int { return len(u.domainOf) }
+
+// Latency returns the one-way delay between hosts a and b. It is symmetric
+// up to per-host jitter and zero for a == b.
+func (u *Underlay) Latency(a, b int) time.Duration {
+	if a == b {
+		return 0
+	}
+	p := u.params
+	var base time.Duration
+	switch {
+	case u.stubOf[a] == u.stubOf[b]:
+		base = p.IntraStub
+	case u.routerOf[a] == u.routerOf[b]:
+		// Up to the shared transit router and back down.
+		base = 2*p.StubToTransit + p.IntraStub
+	case u.domainOf[a] == u.domainOf[b]:
+		base = 2*p.StubToTransit + p.IntraTransit
+	default:
+		base = 2*p.StubToTransit + 2*p.IntraTransit + p.InterTransit
+	}
+	scale := (u.jitter[a] + u.jitter[b]) / 2
+	return time.Duration(float64(base) * scale)
+}
+
+// SameStub reports whether two hosts live in the same stub domain; tests
+// use it to assert the latency hierarchy.
+func (u *Underlay) SameStub(a, b int) bool { return u.stubOf[a] == u.stubOf[b] }
+
+// SameDomain reports whether two hosts share a transit domain.
+func (u *Underlay) SameDomain(a, b int) bool { return u.domainOf[a] == u.domainOf[b] }

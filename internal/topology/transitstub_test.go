@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestUnderlayHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := TransitStubParams{
+		TransitDomains:  2,
+		TransitNodes:    2,
+		StubsPerTransit: 2,
+		NodesPerStub:    4,
+	}
+	u, err := NewUnderlay(32, params, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 32 {
+		t.Fatalf("N = %d, want 32", u.N())
+	}
+
+	// Find representative pairs at each hierarchy level.
+	var sameStub, sameDomain, crossDomain [2]int
+	foundStub, foundDomain, foundCross := false, false, false
+	for a := 0; a < u.N() && !(foundStub && foundDomain && foundCross); a++ {
+		for b := a + 1; b < u.N(); b++ {
+			switch {
+			case u.SameStub(a, b) && !foundStub:
+				sameStub = [2]int{a, b}
+				foundStub = true
+			case !u.SameStub(a, b) && u.SameDomain(a, b) && !foundDomain:
+				sameDomain = [2]int{a, b}
+				foundDomain = true
+			case !u.SameDomain(a, b) && !foundCross:
+				crossDomain = [2]int{a, b}
+				foundCross = true
+			}
+		}
+	}
+	if !foundStub || !foundDomain || !foundCross {
+		t.Fatal("could not find pairs at all hierarchy levels")
+	}
+	lStub := u.Latency(sameStub[0], sameStub[1])
+	lDomain := u.Latency(sameDomain[0], sameDomain[1])
+	lCross := u.Latency(crossDomain[0], crossDomain[1])
+	if !(lStub < lDomain && lDomain < lCross) {
+		t.Errorf("latency hierarchy violated: stub %v, domain %v, cross %v", lStub, lDomain, lCross)
+	}
+}
+
+func TestUnderlaySelfLatencyZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u, err := NewUnderlay(100, DefaultTransitStub(100), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i += 7 {
+		if u.Latency(i, i) != 0 {
+			t.Errorf("Latency(%d,%d) = %v, want 0", i, i, u.Latency(i, i))
+		}
+	}
+}
+
+func TestUnderlaySymmetricWithoutJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u, err := NewUnderlay(64, DefaultTransitStub(64), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 64; a += 5 {
+		for b := 0; b < 64; b += 7 {
+			if u.Latency(a, b) != u.Latency(b, a) {
+				t.Errorf("asymmetric latency between %d and %d", a, b)
+			}
+		}
+	}
+}
+
+func TestUnderlayJitterBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	params := DefaultTransitStub(128)
+	params.JitterFraction = 0.2
+	u, err := NewUnderlay(128, params, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewUnderlay(128, DefaultTransitStub(128), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 128; a += 11 {
+		for b := 0; b < 128; b += 13 {
+			if a == b {
+				continue
+			}
+			got := float64(u.Latency(a, b))
+			want := float64(base.Latency(a, b))
+			if got < want*0.8 || got > want*1.2 {
+				t.Errorf("jittered latency %v outside 20%% of base %v", u.Latency(a, b), base.Latency(a, b))
+			}
+		}
+	}
+}
+
+func TestUnderlayErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewUnderlay(10, TransitStubParams{}, rng); err == nil {
+		t.Error("zero params accepted")
+	}
+	small := TransitStubParams{TransitDomains: 1, TransitNodes: 1, StubsPerTransit: 1, NodesPerStub: 2}
+	if _, err := NewUnderlay(10, small, rng); err == nil {
+		t.Error("over-capacity request accepted")
+	}
+	bad := DefaultTransitStub(10)
+	bad.JitterFraction = 1.5
+	if _, err := NewUnderlay(10, bad, rng); err == nil {
+		t.Error("jitter >= 1 accepted")
+	}
+}
+
+func TestDefaultTransitStubCapacity(t *testing.T) {
+	for _, n := range []int{1, 10, 64, 100, 1000, 5000} {
+		p := DefaultTransitStub(n)
+		capacity := p.TransitDomains * p.TransitNodes * p.StubsPerTransit * p.NodesPerStub
+		if capacity < n {
+			t.Errorf("DefaultTransitStub(%d) capacity %d too small", n, capacity)
+		}
+	}
+}
+
+func TestUnderlayLatencyScale(t *testing.T) {
+	// All latencies should be in a plausible WAN range.
+	rng := rand.New(rand.NewSource(2))
+	u, err := NewUnderlay(1000, DefaultTransitStub(1000), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 1000; a += 101 {
+		for b := 0; b < 1000; b += 97 {
+			if a == b {
+				continue
+			}
+			l := u.Latency(a, b)
+			if l < time.Millisecond || l > 500*time.Millisecond {
+				t.Errorf("latency %v between %d,%d outside WAN range", l, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"discovery/internal/idspace"
+)
+
+func TestUniqueKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := UniqueKeys(500, rng)
+	if len(keys) != 500 {
+		t.Fatalf("got %d keys, want 500", len(keys))
+	}
+	seen := make(map[idspace.ID]bool)
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatal("duplicate key")
+		}
+		seen[k] = true
+	}
+}
+
+func TestRandomOrigins(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pairs, err := RandomOrigins(200, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 200 {
+		t.Fatalf("got %d pairs, want 200", len(pairs))
+	}
+	insertSpread := make(map[int]bool)
+	lookupSpread := make(map[int]bool)
+	for _, p := range pairs {
+		if p.InsertOrigin < 0 || p.InsertOrigin >= 50 || p.LookupOrigin < 0 || p.LookupOrigin >= 50 {
+			t.Fatalf("origin out of range: %+v", p)
+		}
+		insertSpread[p.InsertOrigin] = true
+		lookupSpread[p.LookupOrigin] = true
+	}
+	if len(insertSpread) < 25 || len(lookupSpread) < 25 {
+		t.Errorf("origins not spread: %d insert, %d lookup distinct", len(insertSpread), len(lookupSpread))
+	}
+}
+
+func TestRandomOriginsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomOrigins(10, 0, rng); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestSingleOrigin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pairs := SingleOrigin(100, 7, rng)
+	if len(pairs) != 100 {
+		t.Fatalf("got %d pairs, want 100", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.InsertOrigin != 7 || p.LookupOrigin != 7 {
+			t.Fatalf("origins %d/%d, want 7/7", p.InsertOrigin, p.LookupOrigin)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SingleOrigin(50, 0, rand.New(rand.NewSource(9)))
+	b := SingleOrigin(50, 0, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatal("same seed produced different keys")
+		}
+	}
+}
