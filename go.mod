@@ -1,0 +1,3 @@
+module discovery
+
+go 1.22

@@ -7,10 +7,16 @@
 // both: a single-threaded virtual-time scheduler with a deterministic
 // seeded RNG, so every experiment in the repository is exactly
 // reproducible from its seed.
+//
+// The scheduler is built for the hot path: an index-based 4-ary min-heap
+// over a flat slice of value entries (no per-event boxing, no interface
+// dispatch, no write barriers during sift), with callback state held in a
+// free-listed slot arena. Scheduling a timer performs zero heap
+// allocations in steady state, and Timer handles are small values rather
+// than pointers into the queue.
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -21,7 +27,11 @@ import (
 // runs are bit-for-bit reproducible.
 type Sim struct {
 	now    time.Duration
-	queue  eventQueue
+	heap   []heapEnt // 4-ary min-heap on (at, seq)
+	slots  []slot    // stable callback storage; heap entries index into it
+	free   int32     // head of the slot free list, -1 when empty
+	live   int       // heap entries that will still fire
+	dead   int       // cancelled heap entries awaiting pop or compaction
 	nextID uint64
 	rng    *rand.Rand
 
@@ -30,10 +40,36 @@ type Sim struct {
 	events uint64
 }
 
+// heapEnt is one queue position: the priority key plus the index of the
+// slot holding the callback. Entries are plain values, so sifting moves 24
+// bytes with no pointer writes.
+type heapEnt struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+}
+
+// slot holds a scheduled callback. A slot is referenced by at most one
+// heap entry at a time (periodic timers re-arm only after their entry has
+// been popped), so entry->slot links never dangle. gen increments every
+// time a slot is returned to the free list, invalidating stale Timer
+// handles.
+type slot struct {
+	fn     func()       // set for At/After/Every events
+	fnArg  func(uint64) // set for AtCall/AfterCall events
+	arg    uint64
+	period time.Duration // >0 marks a periodic (Every) timer
+	gen    uint32
+	next   int32 // free-list link
+}
+
+// armed reports whether the slot still has a callback to run.
+func (sl *slot) armed() bool { return sl.fn != nil || sl.fnArg != nil }
+
 // New returns a simulator whose RNG is seeded with seed. Virtual time
 // starts at zero.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	return &Sim{rng: rand.New(rand.NewSource(seed)), free: -1}
 }
 
 // Now returns the current virtual time.
@@ -46,82 +82,150 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // Executed returns the number of events executed so far.
 func (s *Sim) Executed() uint64 { return s.events }
 
-// Timer is a handle to a scheduled event; Cancel prevents a pending event
-// from firing. For periodic timers created with Every, Cancel also stops
-// future re-arming, and is safe to call from inside the tick function.
+// Timer is a value handle to a scheduled event; Cancel prevents a pending
+// event from firing. For periodic timers created with Every, Cancel also
+// stops future re-arming, and is safe to call from inside the tick
+// function. The zero Timer is valid and cancels nothing, so callers may
+// unconditionally cancel optional timers.
 type Timer struct {
-	ev      *event
-	stopped *bool // non-nil only for periodic timers
+	s    *Sim
+	slot int32
+	gen  uint32
 }
 
 // Cancel marks the timer's event as dead. Cancelling an already-fired or
-// already-cancelled timer is a no-op. Cancel on a nil Timer is a no-op, so
-// callers may unconditionally cancel optional timers.
-func (t *Timer) Cancel() {
-	if t == nil {
+// already-cancelled timer is a no-op (the handle's generation no longer
+// matches its slot). Cancellation is lazy: the event's queue entry stays
+// in the heap as a corpse until it is popped, or until corpses outnumber
+// live events, at which point the queue compacts them away in one pass —
+// so mass cancellations (flapping churn tearing down maintenance timers)
+// cost amortized O(1) each and never accumulate in Pending().
+func (t Timer) Cancel() {
+	if t.s == nil {
 		return
 	}
-	if t.stopped != nil {
-		*t.stopped = true
+	t.s.cancel(t.slot, t.gen)
+}
+
+func (s *Sim) cancel(idx int32, gen uint32) {
+	sl := &s.slots[idx]
+	if sl.gen != gen || !sl.armed() {
+		return
 	}
-	if t.ev != nil {
-		t.ev.fn = nil
+	sl.fn = nil
+	sl.fnArg = nil
+	// A periodic timer cancelled from inside its own tick has no heap
+	// entry right now; step() sees the nil fn and skips the re-arm. Every
+	// other live slot has exactly one pending entry, which just died.
+	if !sl.running() {
+		s.live--
+		s.dead++
+		if s.dead > s.live && s.dead >= 64 {
+			s.compact()
+		}
 	}
+}
+
+// running reports whether the slot's callback is mid-execution (its heap
+// entry popped, fn not yet returned). Encoded as a negative period set by
+// step() around periodic fires; one-shot slots are freed before their fn
+// runs, so they are never observed in this state.
+func (sl *slot) running() bool { return sl.period < 0 }
+
+// alloc pops a free slot (or grows the arena) and arms it with fn.
+func (s *Sim) alloc(fn func(), period time.Duration) int32 {
+	if s.free >= 0 {
+		idx := s.free
+		sl := &s.slots[idx]
+		s.free = sl.next
+		sl.fn = fn
+		sl.period = period
+		return idx
+	}
+	s.slots = append(s.slots, slot{fn: fn, period: period})
+	return int32(len(s.slots) - 1)
+}
+
+// release returns a slot to the free list, bumping its generation so
+// outstanding Timer handles become inert.
+func (s *Sim) release(idx int32) {
+	sl := &s.slots[idx]
+	sl.fn = nil
+	sl.fnArg = nil
+	sl.arg = 0
+	sl.period = 0
+	sl.gen++
+	sl.next = s.free
+	s.free = idx
 }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) is a programming error and panics, because it would
 // silently corrupt causality in a simulation.
-func (s *Sim) At(at time.Duration, fn func()) *Timer {
+func (s *Sim) At(at time.Duration, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.nextID, fn: fn}
-	s.nextID++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	idx := s.alloc(fn, 0)
+	s.push(at, idx)
+	s.live++
+	return Timer{s: s, slot: idx, gen: s.slots[idx].gen}
 }
 
 // After schedules fn to run delay after the current virtual time.
-func (s *Sim) After(delay time.Duration, fn func()) *Timer {
+func (s *Sim) After(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("eventsim: negative delay %v", delay))
 	}
 	return s.At(s.now+delay, fn)
 }
 
+// AtCall schedules fn(arg) to run at absolute virtual time at. Unlike At,
+// it stays allocation-free even for parameterized callbacks: fn is
+// typically a long-lived method value and arg an index into caller-owned
+// storage, so no per-event closure needs to be minted.
+func (s *Sim) AtCall(at time.Duration, fn func(uint64), arg uint64) Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", at, s.now))
+	}
+	idx := s.alloc(nil, 0)
+	sl := &s.slots[idx]
+	sl.fnArg = fn
+	sl.arg = arg
+	s.push(at, idx)
+	s.live++
+	return Timer{s: s, slot: idx, gen: sl.gen}
+}
+
+// AfterCall schedules fn(arg) to run delay after the current virtual time.
+func (s *Sim) AfterCall(delay time.Duration, fn func(uint64), arg uint64) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", delay))
+	}
+	return s.AtCall(s.now+delay, fn, arg)
+}
+
 // Every schedules fn to run now+first, then repeatedly every period until
 // the returned Timer is cancelled. It reproduces the periodic maintenance
 // loops (leafset probing, routing-table probing) of MSPastry.
-func (s *Sim) Every(first, period time.Duration, fn func()) *Timer {
+func (s *Sim) Every(first, period time.Duration, fn func()) Timer {
 	if period <= 0 {
 		panic(fmt.Sprintf("eventsim: non-positive period %v", period))
 	}
-	stopped := false
-	t := &Timer{stopped: &stopped}
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if stopped {
-			// The caller cancelled from inside fn; do not re-arm.
-			return
-		}
-		next := s.After(period, tick)
-		t.ev = next.ev
+	if first < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", first))
 	}
-	first0 := s.After(first, tick)
-	t.ev = first0.ev
-	return t
+	idx := s.alloc(fn, period)
+	s.push(s.now+first, idx)
+	s.live++
+	return Timer{s: s, slot: idx, gen: s.slots[idx].gen}
 }
 
 // Run executes events in timestamp order until the queue is empty. Events
 // with equal timestamps run in scheduling order (FIFO), which keeps runs
 // deterministic.
 func (s *Sim) Run() {
-	for s.queue.Len() > 0 {
+	for len(s.heap) > 0 {
 		s.step()
 	}
 }
@@ -130,7 +234,7 @@ func (s *Sim) Run() {
 // queue empties. Events scheduled exactly at the deadline still run. The
 // clock is left at min(deadline, time of last executed event).
 func (s *Sim) RunUntil(deadline time.Duration) {
-	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+	for len(s.heap) > 0 && s.heap[0].at <= deadline {
 		s.step()
 	}
 	if s.now < deadline {
@@ -141,61 +245,142 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 // RunFor advances the simulation by d from the current virtual time.
 func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled ones that have not yet been discarded.
-func (s *Sim) Pending() int { return s.queue.Len() }
+// Pending returns the number of live (non-cancelled) events waiting in
+// the queue. Cancelled corpses awaiting compaction are not counted.
+func (s *Sim) Pending() int { return s.live }
 
 func (s *Sim) step() {
-	ev := heap.Pop(&s.queue).(*event)
-	if ev.fn == nil { // cancelled
+	ent := s.pop()
+	idx := ent.slot
+	sl := &s.slots[idx]
+	if !sl.armed() { // cancelled; discard without advancing the clock
+		s.dead--
+		s.release(idx)
 		return
 	}
-	s.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
+	s.now = ent.at
+	s.live--
 	s.events++
-	fn()
-}
-
-// event is a queue entry. fn == nil marks a cancelled event.
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-	idx int
-}
-
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*event
-
-var _ heap.Interface = (*eventQueue)(nil)
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if period := sl.period; period > 0 {
+		// Periodic: run the tick with the slot marked running so a
+		// Cancel from inside fn suppresses the re-arm, then re-arm into
+		// the same slot. Re-arming after fn returns preserves the seed
+		// scheduler's seq ordering: events scheduled by the tick body
+		// come before the next tick at equal timestamps.
+		sl.period = -period
+		fn := sl.fn
+		fn()
+		sl = &s.slots[idx] // fn may have grown the arena
+		if sl.fn == nil {
+			s.release(idx)
+			return
+		}
+		sl.period = period
+		s.push(s.now+period, idx)
+		s.live++
+		return
 	}
-	return q[i].seq < q[j].seq
+	// One-shot: free the slot before running so Cancel-after-fire is a
+	// generation mismatch, exactly the old "already fired" no-op.
+	fn, fnArg, arg := sl.fn, sl.fnArg, sl.arg
+	s.release(idx)
+	if fn != nil {
+		fn()
+		return
+	}
+	fnArg(arg)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+// compact removes every cancelled corpse from the heap in one pass and
+// restores the heap property. Pop order is fully determined by the
+// (at, seq) total order, so compaction is invisible to execution.
+func (s *Sim) compact() {
+	h := s.heap
+	w := 0
+	for _, ent := range h {
+		if !s.slots[ent.slot].armed() {
+			s.release(ent.slot)
+			continue
+		}
+		h[w] = ent
+		w++
+	}
+	s.heap = h[:w]
+	s.dead = 0
+	if w > 1 {
+		for i := (w - 2) / 4; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
 }
 
-func (q *eventQueue) Push(x interface{}) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
+// --- 4-ary min-heap on (at, seq) over flat value entries ---
+
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+func (s *Sim) push(at time.Duration, idx int32) {
+	s.heap = append(s.heap, heapEnt{at: at, seq: s.nextID, slot: idx})
+	s.nextID++
+	s.siftUp(len(s.heap) - 1)
+}
+
+func (s *Sim) pop() heapEnt {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
+	}
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return top
+}
+
+func (s *Sim) siftUp(i int) {
+	h := s.heap
+	ent := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(ent, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ent
+}
+
+func (s *Sim) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	ent := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if entLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !entLess(h[min], ent) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = ent
 }

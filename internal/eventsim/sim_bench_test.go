@@ -1,0 +1,209 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleZeroAlloc asserts the headline property of the rebuilt
+// scheduler: once the heap and slot arena have reached steady-state
+// capacity, scheduling (and cancelling) timers allocates nothing.
+func TestScheduleZeroAlloc(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm the arena and the heap backing array.
+	for i := 0; i < 1024; i++ {
+		s.After(time.Duration(i)*time.Millisecond, fn)
+	}
+	s.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := s.After(time.Millisecond, fn)
+		tm.Cancel()
+		s.RunFor(2 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+cancel+run allocated %v objects per op, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(1000, func() {
+		s.After(time.Millisecond, fn)
+		s.RunFor(2 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire allocated %v objects per op, want 0", allocs)
+	}
+}
+
+func TestAfterCallZeroAlloc(t *testing.T) {
+	s := New(1)
+	fn := func(uint64) {}
+	for i := 0; i < 1024; i++ {
+		s.AfterCall(time.Duration(i)*time.Millisecond, fn, uint64(i))
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AfterCall(time.Millisecond, fn, 7)
+		s.RunFor(2 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("AfterCall+fire allocated %v objects per op, want 0", allocs)
+	}
+}
+
+func TestAfterCallDeliversArg(t *testing.T) {
+	s := New(1)
+	var got []uint64
+	fn := func(a uint64) { got = append(got, a) }
+	s.AfterCall(2*time.Second, fn, 2)
+	s.AfterCall(1*time.Second, fn, 1)
+	tm := s.AfterCall(3*time.Second, fn, 3)
+	tm.Cancel()
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("AfterCall delivered %v, want [1 2]", got)
+	}
+	if s.Executed() != 2 {
+		t.Errorf("Executed = %d, want 2", s.Executed())
+	}
+}
+
+// TestPendingCountsLiveOnly pins the fixed Pending() semantics: cancelled
+// events no longer inflate the count.
+func TestPendingCountsLiveOnly(t *testing.T) {
+	s := New(1)
+	var timers []Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, s.After(time.Duration(i+1)*time.Second, func() {}))
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	for _, tm := range timers[:4] {
+		tm.Cancel()
+	}
+	if s.Pending() != 6 {
+		t.Errorf("Pending after 4 cancels = %d, want 6", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("Pending after Run = %d, want 0", s.Pending())
+	}
+	if s.Executed() != 6 {
+		t.Errorf("Executed = %d, want 6", s.Executed())
+	}
+}
+
+// TestMassCancelCompaction drives the corpse-compaction path: cancelling
+// far more events than remain live must shrink the queue and leave
+// execution order untouched.
+func TestMassCancelCompaction(t *testing.T) {
+	s := New(1)
+	var fired []int
+	var cancels []Timer
+	for i := 0; i < 2000; i++ {
+		i := i
+		tm := s.After(time.Duration(i+1)*time.Millisecond, func() { fired = append(fired, i) })
+		if i%10 != 0 {
+			cancels = append(cancels, tm)
+		}
+	}
+	for _, tm := range cancels {
+		tm.Cancel()
+	}
+	if got := s.Pending(); got != 200 {
+		t.Fatalf("Pending after mass cancel = %d, want 200", got)
+	}
+	// Compaction must have culled corpses well below the cancel count.
+	if got := len(s.heap); got > 400 {
+		t.Errorf("heap holds %d entries after mass cancel, want compaction below 400", got)
+	}
+	s.Run()
+	if len(fired) != 200 {
+		t.Fatalf("fired %d events, want 200", len(fired))
+	}
+	for k, v := range fired {
+		if v != k*10 {
+			t.Fatalf("fired[%d] = %d, want %d (order broken)", k, v, k*10)
+		}
+	}
+}
+
+// TestCancelStaleHandleAfterReuse checks generation tagging: a handle to a
+// fired timer must not cancel an unrelated timer that reuses its slot.
+func TestCancelStaleHandleAfterReuse(t *testing.T) {
+	s := New(1)
+	stale := s.After(time.Millisecond, func() {})
+	s.Run() // fires; slot returns to the free list
+	fired := false
+	s.After(time.Millisecond, func() { fired = true }) // reuses the slot
+	stale.Cancel()                                     // must be a no-op
+	s.Run()
+	if !fired {
+		t.Error("stale Cancel killed an unrelated timer that reused its slot")
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%97)*time.Millisecond, fn)
+		if s.Pending() >= 4096 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkScheduleAndRunLarge stresses heap depth: a rolling window of
+// 64k pending events.
+func BenchmarkScheduleAndRunLarge(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 1<<16; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(1<<16+i)*time.Microsecond, fn)
+		s.RunFor(time.Microsecond)
+	}
+}
+
+// BenchmarkCancelHeavy mimics flapping churn: schedule a batch, cancel
+// most of it, run the rest.
+func BenchmarkCancelHeavy(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	timers := make([]Timer, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timers = timers[:0]
+		for j := 0; j < 1024; j++ {
+			timers = append(timers, s.After(time.Duration(j)*time.Millisecond, fn))
+		}
+		for j, tm := range timers {
+			if j%8 != 0 {
+				tm.Cancel()
+			}
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkEvery(b *testing.B) {
+	s := New(1)
+	ticks := 0
+	tm := s.Every(time.Millisecond, time.Millisecond, func() { ticks++ })
+	defer tm.Cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunFor(time.Millisecond)
+	}
+}

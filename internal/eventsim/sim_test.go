@@ -61,8 +61,8 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNilSafe(t *testing.T) {
-	var tm *Timer
+func TestCancelZeroValueSafe(t *testing.T) {
+	var tm Timer
 	tm.Cancel() // must not panic
 	(&Timer{}).Cancel()
 }
@@ -82,7 +82,7 @@ func TestCancelIdempotentAfterFire(t *testing.T) {
 func TestEveryRepeatsAndCancels(t *testing.T) {
 	s := New(1)
 	var times []time.Duration
-	var tm *Timer
+	var tm Timer
 	tm = s.Every(time.Second, 2*time.Second, func() {
 		times = append(times, s.Now())
 		if len(times) == 3 {

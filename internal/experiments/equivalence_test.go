@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"discovery/internal/eventsim"
+	"discovery/internal/metrics"
+	"discovery/internal/pastry"
+	"discovery/internal/perturb"
+	"discovery/internal/topology"
+	"discovery/internal/workload"
+)
+
+// These tests pin the exact numbers the seed implementation produces for
+// fixed seeds. The simulator core (eventsim's scheduler, idspace's digit
+// arithmetic) has been rewritten for speed under a hard "same seeds, same
+// numbers" equivalence bar; any change to pop order, RNG draw order, or
+// metric values shows up here as a hard failure, not a statistical drift.
+
+func TestSeedEquivalencePerturb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perturbation equivalence run is not short")
+	}
+	scale := PerturbScale{Nodes: 60, Requests: 12, Seed: 7}
+
+	rp, err := RunPerturb(scale,
+		FlapSetting{Label: "45:15", Idle: 45 * time.Second, Offline: 15 * time.Second},
+		0.8, VariantPastry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rp.SuccessPct, 100.0; got != want {
+		t.Errorf("pastry 45:15 p=0.8 SuccessPct = %v, want %v", got, want)
+	}
+	if got, want := rp.LookupTraffic, uint64(31); got != want {
+		t.Errorf("pastry 45:15 p=0.8 LookupTraffic = %v, want %v", got, want)
+	}
+	if got, want := rp.TotalTraffic, uint64(5870); got != want {
+		t.Errorf("pastry 45:15 p=0.8 TotalTraffic = %v, want %v", got, want)
+	}
+
+	rm, err := RunPerturb(scale,
+		FlapSetting{Label: "30:30", Idle: 30 * time.Second, Offline: 30 * time.Second},
+		0.9, VariantMPILNoDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rm.SuccessPct, 100*(float64(11)/float64(12)); got != want {
+		t.Errorf("mpil 30:30 p=0.9 SuccessPct = %v, want %v", got, want)
+	}
+	if got, want := rm.LookupTraffic, uint64(176); got != want {
+		t.Errorf("mpil 30:30 p=0.9 LookupTraffic = %v, want %v", got, want)
+	}
+}
+
+func TestSeedEquivalenceStatic(t *testing.T) {
+	scale := StaticScale{
+		Sizes:            []int{120},
+		GraphsPerSize:    1,
+		RequestsPerGraph: 15,
+		RandomDegree:     10,
+		Seed:             3,
+	}
+	rows, err := RunLookupTable(scale, TopoRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][5]float64{
+		{100 * 13.0 / 15, 100, 100, 100, 100},
+		{100 * 13.0 / 15, 100, 100, 100, 100},
+		{100 * 13.0 / 15, 100, 100, 100, 100},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, row := range rows {
+		if row.SuccessPct != want[i] {
+			t.Errorf("row %d (maxflows %d) SuccessPct = %v, want %v", i, row.MaxFlows, row.SuccessPct, want[i])
+		}
+	}
+}
+
+// TestSeedEquivalenceExecuted drives the full Pastry perturbation pipeline
+// directly so it can also pin the scheduler's executed-event count, the
+// strictest possible witness that the rebuilt event queue pops events in
+// exactly the seed order.
+func TestSeedEquivalenceExecuted(t *testing.T) {
+	const seed = 11
+	sim := eventsim.New(seed)
+	rng := rand.New(rand.NewSource(seed))
+	const nodes = 48
+	under, err := topology.NewUnderlay(nodes, topology.DefaultTransitStub(nodes), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := pastry.New(nodes, pastry.DefaultParams(), sim, rng, under.Latency, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := workload.SingleOrigin(10, 0, rng)
+	fl, err := perturb.New(nodes, 30*time.Second, 30*time.Second, 0.7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inserted := 0
+	for _, p := range pairs {
+		nw.Insert(p.InsertOrigin, p.Key, nil, func(ok bool, _ int) {
+			if ok {
+				inserted++
+			}
+		})
+	}
+	sim.Run()
+	if inserted != len(pairs) {
+		t.Fatalf("only %d/%d static insertions succeeded", inserted, len(pairs))
+	}
+
+	nw.SetAvailability(fl)
+	nw.StartMaintenance()
+	var success metrics.Rate
+	start := fl.StartTime() + fl.Cycle()
+	if now := sim.Now(); now > start {
+		start = now + fl.Cycle()
+	}
+	var last time.Duration
+	for i, p := range pairs {
+		p := p
+		at := start + time.Duration(i)*fl.Cycle()
+		last = at
+		sim.At(at, func() {
+			nw.Lookup(p.LookupOrigin, p.Key, func(ok bool, _ int) {
+				success.Record(ok)
+			})
+		})
+	}
+	sim.RunUntil(last + 2*pastry.DefaultParams().LookupTimeout)
+	nw.StopMaintenance()
+	sim.Run()
+
+	if got, want := success.Percent(), 100.0; got != want {
+		t.Errorf("success%% = %v, want %v", got, want)
+	}
+	if got, want := sim.Executed(), uint64(8068); got != want {
+		t.Errorf("Executed() = %d, want %d", got, want)
+	}
+	if got, want := nw.Counters().Total(), uint64(3936); got != want {
+		t.Errorf("total traffic = %d, want %d", got, want)
+	}
+}

@@ -1,6 +1,9 @@
 package idspace
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Space describes a positional view of the 160-bit ID space: IDs read as
 // strings of Digits() digits, each B bits wide (base 2^B). The paper's
@@ -69,72 +72,69 @@ func (s Space) SetDigit(id ID, i, v int) ID {
 // CommonDigits is the MPIL routing metric (paper Section 4.1): the number
 // of digit positions at which a and b hold the same value — equivalently
 // the number of zero digits in a XOR b. Higher is closer.
+//
+// The count runs word-parallel (SWAR) over the 160-bit XOR viewed as two
+// 64-bit words plus one 32-bit word: each b-bit lane folds its bits into
+// a single flag bit and a popcount finishes the job. The trailing 32-bit
+// word is zero-extended to 64 bits, so its phantom high half contributes
+// exactly 32/b spurious zero digits, subtracted as a constant.
 func (s Space) CommonDigits(a, b ID) int {
-	x := a.XOR(b)
+	a0, a1, a2 := a.words()
+	b0, b1, b2 := b.words()
+	x0, x1, x2 := a0^b0, a1^b1, uint64(a2^b2)
 	switch s.b {
 	case 8:
-		n := 0
-		for i := 0; i < Bytes; i++ {
-			if x[i] == 0 {
-				n++
-			}
-		}
-		return n
+		return zeroBytes(x0) + zeroBytes(x1) + zeroBytes(x2) - 32/8
 	case 4:
-		n := 0
-		for i := 0; i < Bytes; i++ {
-			if x[i]&0xf0 == 0 {
-				n++
-			}
-			if x[i]&0x0f == 0 {
-				n++
-			}
-		}
-		return n
+		return zeroNibbles(x0) + zeroNibbles(x1) + zeroNibbles(x2) - 32/4
 	case 2:
-		n := 0
-		for i := 0; i < Bytes; i++ {
-			v := x[i]
-			if v&0xc0 == 0 {
-				n++
-			}
-			if v&0x30 == 0 {
-				n++
-			}
-			if v&0x0c == 0 {
-				n++
-			}
-			if v&0x03 == 0 {
-				n++
-			}
-		}
-		return n
+		return zeroPairs(x0) + zeroPairs(x1) + zeroPairs(x2) - 32/2
 	default: // b == 1: common bits = 160 - popcount
-		n := Bits
-		for i := 0; i < Bytes; i++ {
-			n -= popcount(x[i])
-		}
-		return n
+		return Bits - bits.OnesCount64(x0) - bits.OnesCount64(x1) - bits.OnesCount64(x2)
 	}
+}
+
+// zeroBytes counts zero bytes in x. For each byte, (b&0x7f)+0x7f sets bit
+// 7 iff the low seven bits are nonzero; OR-ing x back in folds bit 7
+// itself, so the complement's high bits flag exactly the zero bytes. The
+// per-byte adds cannot carry across lanes (0x7f+0x7f < 0x100).
+func zeroBytes(x uint64) int {
+	const lo7 = 0x7f7f7f7f7f7f7f7f
+	t := (x & lo7) + lo7
+	return bits.OnesCount64(^(t | x) & 0x8080808080808080)
+}
+
+// zeroNibbles counts zero 4-bit lanes in x by OR-folding each lane onto
+// its lowest bit.
+func zeroNibbles(x uint64) int {
+	y := x | x>>2
+	y |= y >> 1
+	return 16 - bits.OnesCount64(y&0x1111111111111111)
+}
+
+// zeroPairs counts zero 2-bit lanes in x.
+func zeroPairs(x uint64) int {
+	y := x | x>>1
+	return 32 - bits.OnesCount64(y&0x5555555555555555)
 }
 
 // SharedPrefix is Pastry's routing metric: the length (in digits) of the
-// longest common prefix of a and b. It ranges over [0, Digits()].
+// longest common prefix of a and b. It ranges over [0, Digits()]. The
+// prefix length in digits is the number of leading zero bits of a XOR b,
+// truncated to a whole number of digits.
 func (s Space) SharedPrefix(a, b ID) int {
-	m := s.Digits()
-	for i := 0; i < m; i++ {
-		if s.Digit(a, i) != s.Digit(b, i) {
-			return i
-		}
+	a0, a1, a2 := a.words()
+	b0, b1, b2 := b.words()
+	var lz int
+	switch {
+	case a0 != b0:
+		lz = bits.LeadingZeros64(a0 ^ b0)
+	case a1 != b1:
+		lz = 64 + bits.LeadingZeros64(a1^b1)
+	case a2 != b2:
+		lz = 128 + bits.LeadingZeros32(a2^b2)
+	default:
+		return s.Digits()
 	}
-	return m
-}
-
-func popcount(b byte) int {
-	n := 0
-	for b != 0 {
-		b &= b - 1
-		n++
-	}
-	return n
+	return lz / s.b
 }

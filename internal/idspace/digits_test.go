@@ -171,14 +171,29 @@ func TestSharedPrefixNeverExceedsCommonDigits(t *testing.T) {
 	}
 }
 
-func TestPopcount(t *testing.T) {
+func TestZeroLaneCounters(t *testing.T) {
 	tests := []struct {
-		in   byte
-		want int
-	}{{0, 0}, {1, 1}, {0xff, 8}, {0xaa, 4}, {0x80, 1}}
+		in                    uint64
+		bytes, nibbles, pairs int
+	}{
+		{0, 8, 16, 32},
+		{^uint64(0), 0, 0, 0},
+		{1, 7, 15, 31},
+		{0x8000000000000000, 7, 15, 31},
+		{0x0100000000000000, 7, 15, 31},
+		{0x00ff00ff00ff00ff, 4, 8, 16},
+		{0x1111111111111111, 0, 0, 16},
+		{0x4141414141414141, 0, 0, 16},
+	}
 	for _, tt := range tests {
-		if got := popcount(tt.in); got != tt.want {
-			t.Errorf("popcount(%#x) = %d, want %d", tt.in, got, tt.want)
+		if got := zeroBytes(tt.in); got != tt.bytes {
+			t.Errorf("zeroBytes(%#x) = %d, want %d", tt.in, got, tt.bytes)
+		}
+		if got := zeroNibbles(tt.in); got != tt.nibbles {
+			t.Errorf("zeroNibbles(%#x) = %d, want %d", tt.in, got, tt.nibbles)
+		}
+		if got := zeroPairs(tt.in); got != tt.pairs {
+			t.Errorf("zeroPairs(%#x) = %d, want %d", tt.in, got, tt.pairs)
 		}
 	}
 }

@@ -13,8 +13,10 @@ package idspace
 
 import (
 	"crypto/sha1"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -104,15 +106,45 @@ func (id ID) String() string { return hex.EncodeToString(id[:4]) }
 // IsZero reports whether the ID is the all-zeros identifier.
 func (id ID) IsZero() bool { return id == Zero }
 
+// words returns the ID as big-endian machine words: two 64-bit words and
+// a trailing 32-bit word, with w0 holding the most significant bits. All
+// hot arithmetic below runs word-parallel over this view instead of
+// looping per byte or per digit.
+func (id ID) words() (w0, w1 uint64, w2 uint32) {
+	return binary.BigEndian.Uint64(id[0:8]),
+		binary.BigEndian.Uint64(id[8:16]),
+		binary.BigEndian.Uint32(id[16:20])
+}
+
+// fromWords is the inverse of words.
+func fromWords(w0, w1 uint64, w2 uint32) ID {
+	var id ID
+	binary.BigEndian.PutUint64(id[0:8], w0)
+	binary.BigEndian.PutUint64(id[8:16], w1)
+	binary.BigEndian.PutUint32(id[16:20], w2)
+	return id
+}
+
 // Cmp compares two IDs as 160-bit unsigned integers, returning -1, 0 or +1.
 func (id ID) Cmp(other ID) int {
-	for i := 0; i < Bytes; i++ {
-		switch {
-		case id[i] < other[i]:
+	a0, a1, a2 := id.words()
+	b0, b1, b2 := other.words()
+	switch {
+	case a0 != b0:
+		if a0 < b0 {
 			return -1
-		case id[i] > other[i]:
-			return 1
 		}
+		return 1
+	case a1 != b1:
+		if a1 < b1 {
+			return -1
+		}
+		return 1
+	case a2 != b2:
+		if a2 < b2 {
+			return -1
+		}
+		return 1
 	}
 	return 0
 }
@@ -123,11 +155,9 @@ func (id ID) Less(other ID) bool { return id.Cmp(other) < 0 }
 // XOR returns the bitwise exclusive-or of two IDs, the raw material of the
 // Kademlia-style distance and of MPIL's common-digit count.
 func (id ID) XOR(other ID) ID {
-	var out ID
-	for i := 0; i < Bytes; i++ {
-		out[i] = id[i] ^ other[i]
-	}
-	return out
+	a0, a1, a2 := id.words()
+	b0, b1, b2 := other.words()
+	return fromWords(a0^b0, a1^b1, a2^b2)
 }
 
 // Bit returns bit i of the ID, where bit 0 is the most significant.
@@ -140,32 +170,23 @@ func (id ID) Bit(i int) int {
 
 // add returns id+other mod 2^160.
 func (id ID) add(other ID) ID {
-	var out ID
-	var carry uint16
-	for i := Bytes - 1; i >= 0; i-- {
-		s := uint16(id[i]) + uint16(other[i]) + carry
-		out[i] = byte(s)
-		carry = s >> 8
-	}
-	return out
+	a0, a1, a2 := id.words()
+	b0, b1, b2 := other.words()
+	s2 := uint64(a2) + uint64(b2)
+	s1, c1 := bits.Add64(a1, b1, s2>>32)
+	s0, _ := bits.Add64(a0, b0, c1)
+	return fromWords(s0, s1, uint32(s2))
 }
 
 // Sub returns id-other mod 2^160, i.e. the clockwise ring distance from
 // other to id.
 func (id ID) Sub(other ID) ID {
-	var out ID
-	var borrow int16
-	for i := Bytes - 1; i >= 0; i-- {
-		d := int16(id[i]) - int16(other[i]) - borrow
-		if d < 0 {
-			d += 256
-			borrow = 1
-		} else {
-			borrow = 0
-		}
-		out[i] = byte(d)
-	}
-	return out
+	a0, a1, a2 := id.words()
+	b0, b1, b2 := other.words()
+	d2, borrow := bits.Sub64(uint64(a2), uint64(b2), 0)
+	d1, borrow := bits.Sub64(a1, b1, borrow)
+	d0, _ := bits.Sub64(a0, b0, borrow)
+	return fromWords(d0, d1, uint32(d2))
 }
 
 // RingDist returns the distance between two IDs on the circular 160-bit

@@ -217,8 +217,8 @@ func (c *Clocked) MarkDeleted(owner int, key idspace.ID) {
 // reconciled. onBeat (may be nil) receives (holder, delivered) per
 // attempt, where delivered is false when either endpoint was offline. The
 // returned timers stop the loops.
-func (c *Clocked) StartHeartbeats(key idspace.ID, period time.Duration, onBeat func(holder int, delivered bool)) []*eventsim.Timer {
-	var timers []*eventsim.Timer
+func (c *Clocked) StartHeartbeats(key idspace.ID, period time.Duration, onBeat func(holder int, delivered bool)) []eventsim.Timer {
+	var timers []eventsim.Timer
 	for _, holder := range c.e.HoldersOf(key) {
 		holder := holder
 		rep, _ := c.e.Stored(holder, key)

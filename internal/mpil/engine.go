@@ -1,6 +1,7 @@
 package mpil
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -23,6 +24,11 @@ type Engine struct {
 	stores  []map[idspace.ID]Replica
 	seen    []map[uint64]bool // per node: message UIDs received
 	nextUID uint64
+
+	// cands and fwds are step()'s scratch buffers, reused across calls
+	// so the routing hot loop allocates nothing in steady state.
+	cands []int
+	fwds  []forward
 }
 
 // NewEngine validates cfg and builds an engine over ov. The rng drives tie
@@ -89,10 +95,11 @@ func (e *Engine) RemoveReplica(i int, key idspace.ID) bool {
 
 // ResetDuplicateState clears every node's seen-UID table. The perturbation
 // experiments call it between phases so that duplicate suppression state
-// does not leak from insertions into lookups.
+// does not leak from insertions into lookups. Tables are cleared in place,
+// keeping their buckets warm for the next phase.
 func (e *Engine) ResetDuplicateState() {
 	for i := range e.seen {
-		e.seen[i] = make(map[uint64]bool)
+		clear(e.seen[i])
 	}
 }
 
@@ -115,7 +122,9 @@ type stepResult struct {
 	stored bool
 	// hit is true when a lookup found the key here.
 	hit bool
-	// forwards lists the outgoing copies.
+	// forwards lists the outgoing copies. It aliases an engine-owned
+	// scratch buffer and is valid only until the next step call; runners
+	// must consume (or copy) it before stepping again.
 	forwards []forward
 	// branches is max(m-1, 0): the number of additional flows created.
 	branches int
@@ -145,7 +154,7 @@ func (e *Engine) step(n int, m *Message) stepResult {
 	// maximum test of Figure 5 compares against the full neighbor list.
 	hasBestCand := false
 	var bestCand uint64
-	var cands []int
+	cands := e.cands[:0]
 	hasBestAll := false
 	var bestAll uint64
 	for _, nb := range e.ov.Neighbors(n) {
@@ -170,6 +179,7 @@ func (e *Engine) step(n int, m *Message) stepResult {
 			cands = append(cands, nb)
 		}
 	}
+	e.cands = cands[:0] // retain any growth for the next step
 
 	selfVal := e.score(key, e.ov.ID(n))
 	isDest := !hasBestAll || selfVal >= bestAll // no neighbor strictly better: local maximum
@@ -239,14 +249,16 @@ func (e *Engine) step(n int, m *Message) stepResult {
 	if e.cfg.QuotaSplit == QuotaSplitEqual {
 		residue = 0
 	}
-	res.forwards = make([]forward, 0, mCount)
+	fwds := e.fwds[:0]
 	for i, to := range chosen {
 		share := base
 		if i < residue {
 			share++
 		}
-		res.forwards = append(res.forwards, forward{to: to, msg: m.child(n, share)})
+		fwds = append(fwds, forward{to: to, msg: m.child(n, share)})
 	}
+	e.fwds = fwds
+	res.forwards = fwds
 	res.branches = mCount - 1
 	return res
 }
@@ -265,11 +277,7 @@ func (e *Engine) score(key, id idspace.ID) uint64 {
 		// which for random IDs essentially never happens — the point
 		// of this ablation arm.
 		x := key.XOR(id)
-		var top uint64
-		for i := 0; i < 8; i++ {
-			top = top<<8 | uint64(x[i])
-		}
-		return ^top
+		return ^binary.BigEndian.Uint64(x[:8])
 	default:
 		panic(fmt.Sprintf("mpil: unknown metric %v", e.cfg.Metric))
 	}

@@ -51,7 +51,7 @@ func (nw *Network) leafsetProbeTick(i int) {
 		return // perturbed nodes are unresponsive and originate nothing
 	}
 	nd := nw.nodes[i]
-	members := nd.leafMembers()
+	members := nw.leafMembersScratch(nd)
 	if len(members) == 0 {
 		// Totally depleted leaf set: fall back to any routing-table
 		// entry to rejoin the ring neighborhood.
@@ -71,9 +71,7 @@ func (nw *Network) leafsetProbeTick(i int) {
 	}
 	target := members[nd.probeCursor%len(members)]
 	nd.probeCursor++
-	nw.probe(i, target, 0, nil, func() {
-		nw.evict(i, target)
-	})
+	nw.probe(i, target, actionNone, actionEvict)
 }
 
 // rtProbeTick probes the next occupied routing-table cell in scan order.
@@ -91,9 +89,7 @@ func (nw *Network) rtProbeTick(i int) {
 			nd.rtProbeRow = (nd.rtProbeRow + 1) % rows
 		}
 		if target := nd.rt[r][c]; target != -1 {
-			nw.probe(i, target, 0, nil, func() {
-				nw.evict(i, target)
-			})
+			nw.probe(i, target, actionNone, actionEvict)
 			return
 		}
 	}
@@ -106,52 +102,96 @@ func (nw *Network) rtMaintTick(i int) {
 		return
 	}
 	nd := nw.nodes[i]
-	members := nd.leafMembers()
+	members := nw.leafMembersScratch(nd)
 	if len(members) == 0 {
 		return
 	}
 	target := members[nw.rng.Intn(len(members))]
 	row := nw.rng.Intn(len(nd.rt))
-	nw.send(i, target, ClassMaint, func() {
-		// target is online; it replies with its row's entries.
-		entries := make([]int, 0, len(nw.nodes[target].rt[row]))
-		for _, v := range nw.nodes[target].rt[row] {
-			if v != -1 && v != i {
-				entries = append(entries, v)
-			}
-		}
-		nw.send(target, i, ClassMaint, func() {
-			for _, v := range entries {
-				nw.considerCandidate(i, v)
-			}
-		})
-	})
+	// The target answers with its row's entries (wireRowReq builds the
+	// response when the request arrives, so the entries reflect the
+	// target's state at that instant, as a real exchange would).
+	widx := nw.allocWire()
+	w := &nw.wires[widx]
+	w.kind, w.from, w.to, w.aux = wireRowReq, int32(i), int32(target), int32(row)
+	nw.dispatch(ClassMaint, widx)
 }
 
-// probe sends a liveness probe with the paper's timeout/retry discipline
-// (3 s, 2 retries). onAlive/onDead may be nil.
-func (nw *Network) probe(from, to int, attempt int, onAlive, onDead func()) {
-	answered := false
-	nw.send(from, to, ClassProbe, func() {
-		nw.send(to, from, ClassProbeReply, func() {
-			answered = true
-			if onAlive != nil {
-				onAlive()
-			}
-		})
-	})
-	nw.sim.After(nw.params.ProbeTimeout, func() {
-		if answered {
-			return
-		}
-		if attempt < nw.params.ProbeRetries {
-			nw.probe(from, to, attempt+1, onAlive, onDead)
-			return
-		}
-		if onDead != nil {
-			onDead()
-		}
-	})
+// allocProbe pops a free probe record or grows the arena.
+func (nw *Network) allocProbe() int32 {
+	if nw.probeFree >= 0 {
+		idx := nw.probeFree
+		nw.probeFree = nw.probes[idx].next
+		return idx
+	}
+	nw.probes = append(nw.probes, probeRec{})
+	return int32(len(nw.probes) - 1)
+}
+
+// freeProbe retires a resolved probe record, bumping its generation so
+// any straggling reply wire is ignored.
+func (nw *Network) freeProbe(idx int32) {
+	rec := &nw.probes[idx]
+	rec.gen++
+	rec.next = nw.probeFree
+	nw.probeFree = idx
+}
+
+// probe starts a liveness probe with the paper's timeout/retry discipline
+// (3 s, 2 retries). The whole exchange — probe out, reply back, timeout,
+// retries — runs through pooled records and allocates nothing in steady
+// state. onAlive runs when a reply arrives; onDead runs when the final
+// attempt times out unanswered.
+func (nw *Network) probe(from, to int, onAlive, onDead probeAction) {
+	idx := nw.allocProbe()
+	rec := &nw.probes[idx]
+	rec.from, rec.to, rec.attempt, rec.answered = int32(from), int32(to), 0, false
+	rec.onAlive, rec.onDead = onAlive, onDead
+	nw.probeSend(idx)
+}
+
+// probeSend transmits one probe attempt and arms its timeout. The wire
+// carries the attempt number and the onAlive action so a reply can be
+// handled exactly even if it straggles in behind later attempts.
+func (nw *Network) probeSend(idx int32) {
+	rec := &nw.probes[idx]
+	widx := nw.allocWire()
+	w := &nw.wires[widx]
+	w.kind, w.from, w.to = wireProbe, rec.from, rec.to
+	w.probe, w.probeGen, w.aux, w.act = idx, rec.gen, rec.attempt, rec.onAlive
+	nw.dispatch(ClassProbe, widx)
+	nw.sim.AfterCall(nw.params.ProbeTimeout, nw.probeTimeoutFn, uint64(idx))
+}
+
+// probeTimeout resolves one attempt: answered probes retire the record,
+// unanswered ones retry until the retry budget runs out, then the target
+// is declared failed.
+func (nw *Network) probeTimeout(arg uint64) {
+	idx := int32(arg)
+	rec := &nw.probes[idx]
+	if rec.answered {
+		nw.freeProbe(idx)
+		return
+	}
+	if int(rec.attempt) < nw.params.ProbeRetries {
+		rec.attempt++
+		nw.probeSend(idx)
+		return
+	}
+	onDead, from, to := rec.onDead, int(rec.from), int(rec.to)
+	nw.freeProbe(idx)
+	nw.runProbeAction(onDead, from, to)
+}
+
+// runProbeAction executes a probe resolution action.
+func (nw *Network) runProbeAction(a probeAction, from, to int) {
+	switch a {
+	case actionNone:
+	case actionEvict:
+		nw.evict(from, to)
+	case actionConsiderAlive:
+		nw.considerAlive(from, to)
+	}
 }
 
 // evict removes a node declared failed from all of i's tables and starts
@@ -179,7 +219,7 @@ func (nw *Network) repairLeafset(i int) {
 		sources = append(sources, nd.right[len(nd.right)-1])
 	}
 	if len(sources) == 0 {
-		if members := nd.leafMembers(); len(members) > 0 {
+		if members := nw.leafMembersScratch(nd); len(members) > 0 {
 			sources = append(sources, members[nw.rng.Intn(len(members))])
 		} else {
 			for _, row := range nd.rt {
@@ -196,16 +236,12 @@ func (nw *Network) repairLeafset(i int) {
 		}
 	}
 	for _, src := range sources {
-		src := src
-		nw.send(i, src, ClassMaint, func() {
-			// src is online: it answers with its leaf set plus itself.
-			answer := append(nw.nodes[src].leafMembers(), src)
-			nw.send(src, i, ClassMaint, func() {
-				for _, v := range answer {
-					nw.considerCandidate(i, v)
-				}
-			})
-		})
+		// src answers with its leaf set plus itself (wireLeafReq builds
+		// the response on arrival at src).
+		widx := nw.allocWire()
+		w := &nw.wires[widx]
+		w.kind, w.from, w.to = wireLeafReq, int32(i), int32(src)
+		nw.dispatch(ClassMaint, widx)
 	}
 }
 
@@ -218,9 +254,7 @@ func (nw *Network) considerCandidate(i, x int) {
 	if i == x || x < 0 || !nw.wouldUse(i, x) {
 		return
 	}
-	nw.probe(i, x, 0, func() {
-		nw.considerAlive(i, x)
-	}, nil)
+	nw.probe(i, x, actionConsiderAlive, actionNone)
 }
 
 // wouldUse reports whether adopting x would improve node i's state: a

@@ -62,9 +62,74 @@ type Network struct {
 	counters Counters
 	nextUID  uint64
 
-	maintTimers []*eventsim.Timer
+	maintTimers []eventsim.Timer
 	pending     map[uint64]*pendingRequest
+
+	// In-flight messages and probe exchanges live in free-listed arenas
+	// and are delivered through two long-lived callbacks (wireFn,
+	// probeTimeoutFn) via eventsim's AfterCall, so the steady-state hot
+	// path — routing data, probing, repairing — schedules no closures
+	// and performs no per-message allocation.
+	wires          []wire
+	wireFree       int32
+	probes         []probeRec
+	probeFree      int32
+	wireFn         func(uint64)
+	probeTimeoutFn func(uint64)
+	leafScratch    []int // reused by leafMembersScratch
 }
+
+// wireKind discriminates pooled in-flight message payloads.
+type wireKind uint8
+
+const (
+	wireFunc       wireKind = iota // generic closure payload (cold paths)
+	wireRoute                      // routed application data; msg is the copy in flight
+	wireReply                      // direct success reply to msg.req's origin
+	wireProbe                      // liveness probe; probe indexes the probe arena
+	wireProbeReply                 // probe reply on its way back
+	wireLeafReq                    // leaf-set repair request (answered with wireCandidates)
+	wireRowReq                     // routing-table row request; aux is the row
+	wireCandidates                 // node indices for the recipient to consider adopting
+)
+
+// wire is one pooled in-flight message. Payload fields are a union
+// discriminated by kind; list keeps its backing array across reuses.
+type wire struct {
+	kind     wireKind
+	act      probeAction // wireProbe/wireProbeReply: the probe's onAlive action
+	from, to int32
+	aux      int32  // wireRowReq: requested row; wireProbe/wireProbeReply: attempt number
+	probe    int32  // wireProbe/wireProbeReply: probe arena index
+	probeGen uint32 // guards against probe-slot reuse
+	deliver  func() // wireFunc payload
+	msg      appMsg // wireRoute/wireReply payload
+	list     []int  // wireCandidates payload
+	next     int32  // free-list link
+}
+
+// probeRec is the origin-side state of one probe exchange (all attempts).
+// Actions are small enums instead of closures: every probe site in the
+// protocol either evicts the target on death or adopts it on liveness,
+// and both take exactly (from, to).
+type probeRec struct {
+	from, to int32
+	attempt  int32
+	answered bool
+	onAlive  probeAction
+	onDead   probeAction
+	gen      uint32
+	next     int32
+}
+
+// probeAction names what to do when a probe resolves.
+type probeAction uint8
+
+const (
+	actionNone          probeAction = iota
+	actionEvict                     // declare the probed node failed: evict(from, to)
+	actionConsiderAlive             // fold liveness evidence in: considerAlive(from, to)
+)
 
 // New builds an n-node Pastry network with converged ("perfect") routing
 // state, the state MSPastry reaches on a static overlay — the starting
@@ -85,14 +150,18 @@ func New(n int, params Params, sim *eventsim.Sim, rng *rand.Rand, lat LatencyFun
 	}
 	space := idspace.MustSpace(params.B)
 	nw := &Network{
-		params:  params,
-		space:   space,
-		sim:     sim,
-		rng:     rng,
-		lat:     lat,
-		avail:   avail,
-		pending: make(map[uint64]*pendingRequest),
+		params:    params,
+		space:     space,
+		sim:       sim,
+		rng:       rng,
+		lat:       lat,
+		avail:     avail,
+		pending:   make(map[uint64]*pendingRequest),
+		wireFree:  -1,
+		probeFree: -1,
 	}
+	nw.wireFn = nw.runWire
+	nw.probeTimeoutFn = nw.probeTimeout
 	seen := make(map[idspace.ID]bool, n)
 	rows, cols := space.Digits(), space.Base()
 	for i := 0; i < n; i++ {
@@ -235,20 +304,142 @@ func (nw *Network) count(class MsgClass) {
 	}
 }
 
-// send transmits a message: it always costs traffic, takes the underlay
-// latency, and is silently lost if the recipient is offline on arrival —
-// perturbed nodes are deaf, exactly the paper's model.
+// allocWire pops a free wire record or grows the arena.
+func (nw *Network) allocWire() int32 {
+	if nw.wireFree >= 0 {
+		idx := nw.wireFree
+		nw.wireFree = nw.wires[idx].next
+		return idx
+	}
+	nw.wires = append(nw.wires, wire{})
+	return int32(len(nw.wires) - 1)
+}
+
+// freeWire returns a wire record to the free list, dropping payload
+// references but keeping the list backing array for reuse.
+func (nw *Network) freeWire(idx int32) {
+	w := &nw.wires[idx]
+	w.deliver = nil
+	w.msg = appMsg{}
+	w.list = w.list[:0]
+	w.next = nw.wireFree
+	nw.wireFree = idx
+}
+
+// send transmits a message with an arbitrary delivery callback: it always
+// costs traffic, takes the underlay latency, and is silently lost if the
+// recipient is offline on arrival — perturbed nodes are deaf, exactly the
+// paper's model. Hot paths use the typed wire kinds instead of this
+// closure form.
 func (nw *Network) send(from, to int, class MsgClass, deliver func()) {
+	idx := nw.allocWire()
+	w := &nw.wires[idx]
+	w.kind, w.from, w.to, w.deliver = wireFunc, int32(from), int32(to), deliver
+	nw.dispatch(class, idx)
+}
+
+// dispatch counts one sent message and schedules its arrival through the
+// shared runWire callback — no per-message closure.
+func (nw *Network) dispatch(class MsgClass, idx int32) {
 	nw.count(class)
-	nw.sim.After(nw.lat(from, to), func() {
-		if !nw.avail.Online(to, nw.sim.Now()) {
-			return
-		}
-		// Any received message is evidence the sender was recently
-		// alive; Pastry folds such evidence into its tables.
-		nw.considerAlive(to, from)
+	w := &nw.wires[idx]
+	nw.sim.AfterCall(nw.lat(int(w.from), int(w.to)), nw.wireFn, uint64(idx))
+}
+
+// runWire is every wire's arrival handler. The record is freed before the
+// payload executes (payload fields copied out first) except for list
+// payloads, which are freed after iteration so a nested send cannot
+// recycle the record and stomp the backing array mid-loop.
+func (nw *Network) runWire(arg uint64) {
+	idx := int32(arg)
+	w := &nw.wires[idx]
+	from, to := int(w.from), int(w.to)
+	if !nw.avail.Online(to, nw.sim.Now()) {
+		nw.freeWire(idx)
+		return
+	}
+	// Any received message is evidence the sender was recently alive;
+	// Pastry folds such evidence into its tables.
+	nw.considerAlive(to, from)
+	switch w.kind {
+	case wireFunc:
+		deliver := w.deliver
+		nw.freeWire(idx)
 		deliver()
-	})
+	case wireRoute:
+		m := w.msg
+		nw.freeWire(idx)
+		nw.route(to, &m)
+	case wireReply:
+		req, hops := w.msg.req, w.msg.hops
+		nw.freeWire(idx)
+		nw.finishReply(req, hops)
+	case wireProbe:
+		p, gen, att, act := w.probe, w.probeGen, w.aux, w.act
+		nw.freeWire(idx)
+		// The probed node answers immediately; the reply carries the
+		// probe handle back to the origin.
+		ridx := nw.allocWire()
+		r := &nw.wires[ridx]
+		r.kind, r.from, r.to = wireProbeReply, int32(to), int32(from)
+		r.probe, r.probeGen, r.aux, r.act = p, gen, att, act
+		nw.dispatch(ClassProbeReply, ridx)
+	case wireProbeReply:
+		p, gen, att, act := w.probe, w.probeGen, w.aux, w.act
+		nw.freeWire(idx)
+		// Every delivered reply is liveness evidence and runs the
+		// probe's onAlive action (as the old per-attempt closures did,
+		// even for replies straggling in after their attempt — or the
+		// whole probe — has timed out). Only a reply to the probe's
+		// current attempt marks it answered; the wire carries enough
+		// state (action + endpoints) to be exact regardless of the
+		// record's fate.
+		rec := &nw.probes[p]
+		if rec.gen == gen && rec.attempt == att {
+			rec.answered = true
+		}
+		nw.runProbeAction(act, to, from)
+	case wireLeafReq:
+		nw.freeWire(idx)
+		// The repair source answers with its leaf set plus itself.
+		nd := nw.nodes[to]
+		ridx := nw.allocWire()
+		r := &nw.wires[ridx]
+		r.kind, r.from, r.to = wireCandidates, int32(to), int32(from)
+		r.list = append(append(append(r.list[:0], nd.left...), nd.right...), to)
+		nw.dispatch(ClassMaint, ridx)
+	case wireRowReq:
+		row := int(w.aux)
+		nw.freeWire(idx)
+		ridx := nw.allocWire()
+		r := &nw.wires[ridx]
+		r.kind, r.from, r.to = wireCandidates, int32(to), int32(from)
+		r.list = r.list[:0]
+		for _, v := range nw.nodes[to].rt[row] {
+			if v != -1 && v != from {
+				r.list = append(r.list, v)
+			}
+		}
+		nw.dispatch(ClassMaint, ridx)
+	case wireCandidates:
+		list := w.list
+		for _, v := range list {
+			nw.considerCandidate(to, v)
+		}
+		nw.freeWire(idx)
+	default:
+		panic(fmt.Sprintf("pastry: unknown wire kind %d", w.kind))
+	}
+}
+
+// leafMembersScratch returns node nd's leaf members in a Network-owned
+// scratch buffer, valid until the next call. Hot paths that only iterate
+// use it to avoid a per-call allocation; anything that stores the slice
+// or reads it after further sends must use node.leafMembers.
+func (nw *Network) leafMembersScratch(nd *node) []int {
+	nw.leafScratch = append(nw.leafScratch[:0], nd.left...)
+	nw.leafScratch = append(nw.leafScratch, nd.right...)
+	return nw.leafScratch
 }
 
 // Neighbors returns the union of node i's leaf set and routing-table

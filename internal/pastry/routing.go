@@ -73,8 +73,8 @@ func (nw *Network) startRequest(kind appKind, origin int, key idspace.ID, value 
 		if nw.avail.Online(origin, nw.sim.Now()) {
 			p.attempts++
 			nw.nextUID++
-			m := &appMsg{uid: nw.nextUID, req: req, kind: kind, key: key, value: value, origin: origin}
-			nw.route(origin, m)
+			m := appMsg{uid: nw.nextUID, req: req, kind: kind, key: key, value: value, origin: origin}
+			nw.route(origin, &m)
 		}
 		nw.sim.After(nw.params.RetryInterval, attempt)
 	}
@@ -104,11 +104,14 @@ func (nw *Network) route(at int, m *appMsg) {
 		nw.deliverLocal(at, m)
 		return
 	}
-	fwd := *m
-	fwd.hops++
-	nw.send(at, next, ClassData, func() {
-		nw.route(next, &fwd)
-	})
+	// Forward as a typed wire: the in-flight copy rides in the pooled
+	// record, so a hop costs no allocation.
+	widx := nw.allocWire()
+	w := &nw.wires[widx]
+	w.kind, w.from, w.to = wireRoute, int32(at), int32(next)
+	w.msg = *m
+	w.msg.hops++
+	nw.dispatch(ClassData, widx)
 }
 
 // deliverLocal handles a message at the node that believes itself the root
@@ -132,18 +135,25 @@ func (nw *Network) deliverLocal(at int, m *appMsg) {
 
 // reply sends a direct success reply to the origin.
 func (nw *Network) reply(from int, m *appMsg, hops int) {
-	req := m.req
-	nw.send(from, m.origin, ClassReply, func() {
-		p, ok := nw.pending[req]
-		if !ok || p.succeeded {
-			return
-		}
-		p.succeeded = true
-		delete(nw.pending, req)
-		if p.done != nil {
-			p.done(true, hops)
-		}
-	})
+	widx := nw.allocWire()
+	w := &nw.wires[widx]
+	w.kind, w.from, w.to = wireReply, int32(from), int32(m.origin)
+	w.msg = *m
+	w.msg.hops = hops
+	nw.dispatch(ClassReply, widx)
+}
+
+// finishReply completes a pending request when its success reply arrives.
+func (nw *Network) finishReply(req uint64, hops int) {
+	p, ok := nw.pending[req]
+	if !ok || p.succeeded {
+		return
+	}
+	p.succeeded = true
+	delete(nw.pending, req)
+	if p.done != nil {
+		p.done(true, hops)
+	}
 }
 
 // nextHop implements Pastry's routing rule at node n for key: leaf set if
@@ -173,7 +183,7 @@ func (nw *Network) nextHop(n int, key idspace.ID) int {
 	if covered {
 		best := n
 		bestID := nd.id
-		for _, v := range nd.leafMembers() {
+		for _, v := range nw.leafMembersScratch(nd) {
 			if nw.nodes[v].id.CloserRing(key, bestID) {
 				best = v
 				bestID = nw.nodes[v].id
@@ -205,7 +215,7 @@ func (nw *Network) nextHop(n int, key idspace.ID) int {
 			bestDist = d
 		}
 	}
-	for _, v := range nd.leafMembers() {
+	for _, v := range nw.leafMembersScratch(nd) {
 		consider(v)
 	}
 	for _, rtRow := range nd.rt {
