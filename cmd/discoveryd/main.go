@@ -1,0 +1,109 @@
+// Command discoveryd serves MPIL discovery over TCP with the
+// internal/wire binary protocol: insert, lookup, delete, and stats
+// requests against a shard-per-core pool of engines sharing one overlay.
+//
+// Example:
+//
+//	discoveryd -listen :7700 -topology random -nodes 2000 -degree 20 \
+//	           -overlay-seed 42 -shards 4 -maxflows 10 -replicas 5
+//
+// The overlay is generated at startup from the spec flags and never
+// mutates while serving; requests are partitioned across shards by
+// hashing the key, so results are deterministic per (seed, shard count)
+// for any fixed per-shard request order. See the README's "Running the
+// daemon" section for the shard and backpressure model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	discovery "discovery"
+	"discovery/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen      = flag.String("listen", ":7700", "TCP listen address")
+		topo        = flag.String("topology", "random", "overlay family: random, powerlaw, complete")
+		nodes       = flag.Int("nodes", 2000, "overlay size")
+		degree      = flag.Int("degree", 20, "degree of random overlays")
+		overlaySeed = flag.Int64("overlay-seed", 42, "overlay generation seed")
+		shards      = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 128, "per-shard request queue depth")
+		seed        = flag.Int64("seed", 1, "base engine seed (shard i uses seed+i)")
+		maxFlows    = flag.Int("maxflows", 10, "max_flows per request")
+		replicas    = flag.Int("replicas", 5, "per-flow replicas")
+		digitB      = flag.Int("b", 4, "digit width in bits (1, 2, 4, 8)")
+		ds          = flag.Bool("ds", false, "duplicate suppression")
+		maxHops     = flag.Int("maxhops", 0, "per-flow hop bound (0 = node count)")
+	)
+	flag.Parse()
+
+	var ov *discovery.StaticOverlay
+	var err error
+	switch *topo {
+	case "random":
+		ov, err = discovery.RandomOverlay(*nodes, *degree, *overlaySeed)
+	case "powerlaw":
+		ov, err = discovery.PowerLawOverlay(*nodes, *overlaySeed)
+	case "complete":
+		ov, err = discovery.CompleteOverlay(*nodes, *overlaySeed)
+	default:
+		err = fmt.Errorf("unknown topology %q", *topo)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoveryd:", err)
+		return 2
+	}
+
+	opts := []discovery.Option{
+		discovery.WithSeed(*seed),
+		discovery.WithMaxFlows(*maxFlows),
+		discovery.WithPerFlowReplicas(*replicas),
+		discovery.WithDigitBits(*digitB),
+		discovery.WithDuplicateSuppression(*ds),
+	}
+	if *maxHops > 0 {
+		opts = append(opts, discovery.WithMaxHops(*maxHops))
+	}
+	pool, err := discovery.NewPool(ov, *shards, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoveryd:", err)
+		return 2
+	}
+
+	srv, err := server.New(server.Config{Pool: pool, QueueDepth: *queue, Logf: log.Printf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoveryd:", err)
+		return 2
+	}
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoveryd:", err)
+		return 1
+	}
+	log.Printf("discoveryd: serving %s overlay (%d nodes) on %s with %d shards (queue %d)",
+		*topo, ov.N(), addr, pool.NumShards(), *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("discoveryd: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "discoveryd:", err)
+		return 1
+	}
+	st := pool.Stats()
+	log.Printf("discoveryd: served %d requests (%d inserts, %d lookups, %d deletes; %d lookups found)",
+		st.Requests, st.Inserts, st.Lookups, st.Deletes, st.LookupsFound)
+	return 0
+}

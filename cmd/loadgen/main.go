@@ -1,0 +1,160 @@
+// Command loadgen is a closed-loop load generator for discoveryd: it
+// opens many connections, drives each with one outstanding request at a
+// time, and reports throughput and latency percentiles.
+//
+// Example:
+//
+//	loadgen -addr localhost:7700 -conns 8 -requests 20000 \
+//	        -insert-ratio 0.1 -keys 5000 -value-size 32
+//
+// Each connection runs its own deterministic RNG stream (seed + conn
+// index): a request is an insert with probability -insert-ratio and a
+// lookup otherwise, over a shared key population. Inserted keys are
+// findable by later lookups, so a long run converges to the steady-state
+// hit rate of the configured overlay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"discovery/internal/idspace"
+	"discovery/internal/metrics"
+	"discovery/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// connReport is one connection's contribution to the final report.
+type connReport struct {
+	lat      metrics.Distribution // microseconds per request
+	requests int
+	inserts  int
+	lookups  int
+	found    int
+	errs     int
+	firstErr error
+}
+
+func run() int {
+	var (
+		addr        = flag.String("addr", "localhost:7700", "discoveryd address")
+		conns       = flag.Int("conns", 8, "concurrent connections")
+		requests    = flag.Int("requests", 20000, "total requests across all connections")
+		insertRatio = flag.Float64("insert-ratio", 0.1, "fraction of requests that are inserts")
+		keys        = flag.Int("keys", 5000, "key population size")
+		valueSize   = flag.Int("value-size", 32, "insert payload bytes")
+		seed        = flag.Int64("seed", 1, "workload seed (connection i uses seed+i)")
+	)
+	flag.Parse()
+	if *conns < 1 || *requests < 1 || *keys < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -conns, -requests and -keys must be positive")
+		return 2
+	}
+	if *insertRatio < 0 || *insertRatio > 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -insert-ratio must be in [0,1]")
+		return 2
+	}
+	if *valueSize < 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -value-size must be non-negative")
+		return 2
+	}
+
+	// Pre-hash the key population so key derivation is off the timed path.
+	keyIDs := make([]idspace.ID, *keys)
+	for i := range keyIDs {
+		keyIDs[i] = idspace.FromString(fmt.Sprintf("loadgen-key-%d", i))
+	}
+	value := make([]byte, *valueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	reports := make([]connReport, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < *conns; ci++ {
+		per := *requests / *conns
+		if ci < *requests%*conns {
+			per++
+		}
+		wg.Add(1)
+		go func(ci, per int) {
+			defer wg.Done()
+			r := &reports[ci]
+			c, err := server.Dial(*addr)
+			if err != nil {
+				r.errs++
+				r.firstErr = err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(ci)))
+			for i := 0; i < per; i++ {
+				key := keyIDs[rng.Intn(len(keyIDs))]
+				t0 := time.Now()
+				if rng.Float64() < *insertRatio {
+					_, err = c.Insert(server.OriginAuto, key, value)
+					r.inserts++
+				} else {
+					var res, lerr = c.Lookup(server.OriginAuto, key)
+					err = lerr
+					r.lookups++
+					if err == nil && res.Found {
+						r.found++
+					}
+				}
+				r.lat.Add(float64(time.Since(t0).Microseconds()))
+				r.requests++
+				if err != nil {
+					r.errs++
+					if r.firstErr == nil {
+						r.firstErr = err
+					}
+					return
+				}
+			}
+		}(ci, per)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat metrics.Distribution
+	var total, inserts, lookups, found, errs int
+	var firstErr error
+	for i := range reports {
+		r := &reports[i]
+		lat.Merge(&r.lat)
+		total += r.requests
+		inserts += r.inserts
+		lookups += r.lookups
+		found += r.found
+		errs += r.errs
+		if firstErr == nil {
+			firstErr = r.firstErr
+		}
+	}
+
+	fmt.Printf("loadgen: %d requests over %d conns in %s\n", total, *conns, elapsed.Round(time.Millisecond))
+	if total > 0 {
+		fmt.Printf("  throughput  %.0f req/s\n", float64(total)/elapsed.Seconds())
+		fmt.Printf("  latency     p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  mean %.0fµs  max %.0fµs\n",
+			lat.Percentile(50), lat.Percentile(95), lat.Percentile(99), lat.Mean(), lat.Percentile(100))
+		fmt.Printf("  mix         %d inserts, %d lookups (%d found", inserts, lookups, found)
+		if lookups > 0 {
+			fmt.Printf(", %.1f%%", 100*float64(found)/float64(lookups))
+		}
+		fmt.Printf(")\n")
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d errors (first: %v)\n", errs, firstErr)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"discovery/internal/metrics"
+)
+
+// emitter receives an experiment's output events. The text emitter
+// reproduces the historical stdout byte for byte; csv and json render the
+// same tables machine-readably (experiment timings go to stderr there, so
+// the data stream stays clean for pipes).
+type emitter interface {
+	// Title announces the experiment's headline (one line).
+	Title(line string)
+	// Section announces a sub-section between tables. The text emitter
+	// decorates it as "-- line --"; csv/json carry it verbatim.
+	Section(line string)
+	// Table emits one result table.
+	Table(tb *metrics.Table)
+	// Done reports the experiment finished.
+	Done(name string, d time.Duration)
+	// Err returns the first output error, so truncated csv/json streams
+	// (full disk, closed pipe) fail the run instead of exiting 0.
+	Err() error
+}
+
+// newEmitter builds the emitter for one experiment run.
+func newEmitter(format, experiment string) (emitter, error) {
+	switch format {
+	case "text":
+		return &textEmitter{}, nil
+	case "csv":
+		return &csvEmitter{experiment: experiment, w: csv.NewWriter(os.Stdout)}, nil
+	case "json":
+		return &jsonEmitter{experiment: experiment, enc: json.NewEncoder(os.Stdout)}, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want text, csv or json)", format)
+	}
+}
+
+// textEmitter is the historical human-readable output, unchanged.
+type textEmitter struct{}
+
+func (e *textEmitter) Title(line string)       { fmt.Println(line) }
+func (e *textEmitter) Section(line string)     { fmt.Printf("-- %s --\n", line) }
+func (e *textEmitter) Table(tb *metrics.Table) { fmt.Print(tb) }
+func (e *textEmitter) Done(name string, d time.Duration) {
+	fmt.Printf("[%s done in %s]\n\n", name, d.Round(time.Millisecond))
+}
+func (e *textEmitter) Err() error { return nil }
+
+// csvEmitter writes each table as a header record followed by data
+// records, all prefixed with experiment/title/section columns so several
+// tables (and several experiments under "all") concatenate safely.
+type csvEmitter struct {
+	experiment string
+	title      string
+	section    string
+	w          *csv.Writer
+}
+
+func (e *csvEmitter) Title(line string)   { e.title = line; e.section = "" }
+func (e *csvEmitter) Section(line string) { e.section = line }
+func (e *csvEmitter) Table(tb *metrics.Table) {
+	head := append([]string{"experiment", "title", "section"}, tb.Header()...)
+	e.w.Write(head) //nolint:errcheck // collected via Err
+	for _, row := range tb.Rows() {
+		e.w.Write(append([]string{e.experiment, e.title, e.section}, row...)) //nolint:errcheck
+	}
+	e.w.Flush()
+}
+func (e *csvEmitter) Done(name string, d time.Duration) {
+	fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, d.Round(time.Millisecond))
+}
+func (e *csvEmitter) Err() error { return e.w.Error() }
+
+// jsonEmitter writes one JSON object per table (JSON Lines), ready for
+// jq and friends.
+type jsonEmitter struct {
+	experiment string
+	title      string
+	section    string
+	enc        *json.Encoder
+	err        error
+}
+
+// jsonTable is the shape of one emitted table.
+type jsonTable struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title,omitempty"`
+	Section    string     `json:"section,omitempty"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+}
+
+func (e *jsonEmitter) Title(line string)   { e.title = line; e.section = "" }
+func (e *jsonEmitter) Section(line string) { e.section = line }
+func (e *jsonEmitter) Table(tb *metrics.Table) {
+	err := e.enc.Encode(jsonTable{
+		Experiment: e.experiment,
+		Title:      e.title,
+		Section:    e.section,
+		Header:     tb.Header(),
+		Rows:       tb.Rows(),
+	})
+	if e.err == nil {
+		e.err = err
+	}
+}
+func (e *jsonEmitter) Done(name string, d time.Duration) {
+	fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, d.Round(time.Millisecond))
+}
+func (e *jsonEmitter) Err() error { return e.err }

@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	repro [-scale quick|medium|paper] [-seed N] <experiment>
+//	repro [-scale quick|medium|paper] [-seed N] [-format text|csv|json] <experiment>
+//	repro [-format text|csv|json] list
 //
 // where experiment is one of: fig1 fig7 fig8 fig9 fig10 fig11 fig12
-// table1 table2 table3 all.
+// table1 table2 table3 all, and list enumerates them with descriptions.
+// The default text format is the historical human-readable output; csv
+// and json emit the same tables machine-readably (timings move to
+// stderr so stdout stays pipeable).
 //
 // Absolute numbers come from this repository's simulators (see DESIGN.md
 // for the substitutions); the shapes are what reproduce the paper.
@@ -27,18 +31,55 @@ func main() {
 	os.Exit(run())
 }
 
+// experimentOrder is the canonical sequence, used by "all" and "list".
+var experimentOrder = []string{
+	"fig7", "fig8", "fig9", "table1", "table2", "table3",
+	"fig10", "fig1", "fig11", "fig12",
+}
+
+// descriptions feeds the list subcommand.
+var descriptions = map[string]string{
+	"fig1":   "effect of perturbation on MSPastry success rate",
+	"fig7":   "expected number of local maxima, random regular topologies",
+	"fig8":   "expected number of replicas, complete topologies",
+	"fig9":   "MPIL insertion behavior vs overlay size",
+	"fig10":  "MPIL lookup latency and traffic",
+	"fig11":  "success rate under perturbation, all variants",
+	"fig12":  "lookup traffic and total traffic under flapping",
+	"table1": "MPIL lookup success rate grid, power-law overlays",
+	"table2": "MPIL lookup success rate grid, random overlays",
+	"table3": "actual number of flows of lookups",
+	"all":    "every experiment above, in order",
+}
+
 func run() int {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick, medium, or paper")
 	seed := flag.Int64("seed", 1, "root RNG seed")
+	format := flag.String("format", "text", "output format: text, csv, or json")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: repro [-scale quick|medium|paper] [-seed N] <fig1|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|all>\n")
+			"usage: repro [-scale quick|medium|paper] [-seed N] [-format text|csv|json] <fig1|fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|all>\n"+
+				"       repro [-format text|csv|json] list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		return 2
+	}
+	// Validate the format up front (newEmitter is the single source of
+	// truth for the accepted names) so a typo is a usage error.
+	if _, err := newEmitter(*format, ""); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		flag.Usage()
+		return 2
+	}
+	if flag.Arg(0) == "list" {
+		if err := list(*format); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			return 2
+		}
+		return 0
 	}
 
 	static, perturbScale, err := scales(*scaleFlag, *seed)
@@ -47,52 +88,68 @@ func run() int {
 		return 2
 	}
 
-	experimentsByName := map[string]func(experiments.StaticScale, experiments.PerturbScale) error{
-		"fig1":  func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig1(p) },
-		"fig7":  func(experiments.StaticScale, experiments.PerturbScale) error { return fig7() },
-		"fig8":  func(experiments.StaticScale, experiments.PerturbScale) error { return fig8() },
-		"fig9":  func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig9(s) },
-		"fig10": func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig10(s) },
-		"fig11": func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig11(p) },
-		"fig12": func(s experiments.StaticScale, p experiments.PerturbScale) error { return fig12(p) },
-		"table1": func(s experiments.StaticScale, p experiments.PerturbScale) error {
-			return lookupTable(s, experiments.TopoPowerLaw, "Table 1 (power-law)")
+	experimentsByName := map[string]func(emitter, experiments.StaticScale, experiments.PerturbScale) error{
+		"fig1":  func(em emitter, s experiments.StaticScale, p experiments.PerturbScale) error { return fig1(em, p) },
+		"fig7":  func(em emitter, _ experiments.StaticScale, _ experiments.PerturbScale) error { return fig7(em) },
+		"fig8":  func(em emitter, _ experiments.StaticScale, _ experiments.PerturbScale) error { return fig8(em) },
+		"fig9":  func(em emitter, s experiments.StaticScale, p experiments.PerturbScale) error { return fig9(em, s) },
+		"fig10": func(em emitter, s experiments.StaticScale, p experiments.PerturbScale) error { return fig10(em, s) },
+		"fig11": func(em emitter, s experiments.StaticScale, p experiments.PerturbScale) error { return fig11(em, p) },
+		"fig12": func(em emitter, s experiments.StaticScale, p experiments.PerturbScale) error { return fig12(em, p) },
+		"table1": func(em emitter, s experiments.StaticScale, p experiments.PerturbScale) error {
+			return lookupTable(em, s, experiments.TopoPowerLaw, "Table 1 (power-law)")
 		},
-		"table2": func(s experiments.StaticScale, p experiments.PerturbScale) error {
-			return lookupTable(s, experiments.TopoRandom, "Table 2 (random)")
+		"table2": func(em emitter, s experiments.StaticScale, p experiments.PerturbScale) error {
+			return lookupTable(em, s, experiments.TopoRandom, "Table 2 (random)")
 		},
-		"table3": func(s experiments.StaticScale, p experiments.PerturbScale) error { return table3(s) },
+		"table3": func(em emitter, s experiments.StaticScale, p experiments.PerturbScale) error { return table3(em, s) },
+	}
+	runOne := func(n string) error {
+		em, err := newEmitter(*format, n)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := experimentsByName[n](em, static, perturbScale); err != nil {
+			return err
+		}
+		em.Done(n, time.Since(start))
+		return em.Err()
 	}
 	name := flag.Arg(0)
 	if name == "all" {
-		order := []string{"fig7", "fig8", "fig9", "table1", "table2", "table3", "fig10", "fig1", "fig11", "fig12"}
-		for _, n := range order {
-			if err := timed(n, func() error { return experimentsByName[n](static, perturbScale) }); err != nil {
+		for _, n := range experimentOrder {
+			if err := runOne(n); err != nil {
 				fmt.Fprintln(os.Stderr, "repro:", err)
 				return 1
 			}
 		}
 		return 0
 	}
-	fn, ok := experimentsByName[name]
-	if !ok {
+	if _, ok := experimentsByName[name]; !ok {
 		flag.Usage()
 		return 2
 	}
-	if err := timed(name, func() error { return fn(static, perturbScale) }); err != nil {
+	if err := runOne(name); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		return 1
 	}
 	return 0
 }
 
-func timed(name string, fn func() error) error {
-	start := time.Now()
-	if err := fn(); err != nil {
+// list enumerates the experiments in the requested format.
+func list(format string) error {
+	em, err := newEmitter(format, "list")
+	if err != nil {
 		return err
 	}
-	fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
-	return nil
+	tb := metrics.NewTable("experiment", "description")
+	for _, n := range experimentOrder {
+		tb.AddRow(n, descriptions[n])
+	}
+	tb.AddRow("all", descriptions["all"])
+	em.Table(tb)
+	return em.Err()
 }
 
 func scales(name string, seed int64) (experiments.StaticScale, experiments.PerturbScale, error) {
@@ -119,58 +176,58 @@ func scales(name string, seed int64) (experiments.StaticScale, experiments.Pertu
 	return st, pt, nil
 }
 
-func fig7() error {
+func fig7(em emitter) error {
 	ns := []int{4000, 8000, 16000}
 	rows, err := experiments.RunFig7(ns)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Figure 7: expected number of local maxima, random regular topologies")
+	em.Title("Figure 7: expected number of local maxima, random regular topologies")
 	tb := metrics.NewTable("neighbors", "4000 nodes", "8000 nodes", "16000 nodes")
 	for _, r := range rows {
 		tb.AddRow(r.Neighbors, fmt.Sprintf("%.1f", r.Maxima[0]), fmt.Sprintf("%.1f", r.Maxima[1]), fmt.Sprintf("%.1f", r.Maxima[2]))
 	}
-	fmt.Print(tb)
+	em.Table(tb)
 	return nil
 }
 
-func fig8() error {
+func fig8(em emitter) error {
 	rows, err := experiments.RunFig8()
 	if err != nil {
 		return err
 	}
-	fmt.Println("Figure 8: expected number of replicas, complete topologies")
+	em.Title("Figure 8: expected number of replicas, complete topologies")
 	tb := metrics.NewTable("nodes", "replicas")
 	for _, r := range rows {
 		tb.AddRow(r.N, fmt.Sprintf("%.4f", r.Replicas))
 	}
-	fmt.Print(tb)
+	em.Table(tb)
 	return nil
 }
 
-func fig9(scale experiments.StaticScale) error {
-	fmt.Println("Figure 9: MPIL insertion behavior (max_flows 30, 5 per-flow replicas)")
+func fig9(em emitter, scale experiments.StaticScale) error {
+	em.Title("Figure 9: MPIL insertion behavior (max_flows 30, 5 per-flow replicas)")
 	for _, kind := range []experiments.TopoKind{experiments.TopoPowerLaw, experiments.TopoRandom} {
 		rows, err := experiments.RunFig9(scale, kind)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("-- %v overlays --\n", kind)
+		em.Section(fmt.Sprintf("%v overlays", kind))
 		tb := metrics.NewTable("nodes", "avg replicas", "avg traffic", "duplicate msgs")
 		for _, r := range rows {
 			tb.AddRow(r.N, fmt.Sprintf("%.1f", r.Replicas), fmt.Sprintf("%.1f", r.Traffic), fmt.Sprintf("%.0f", r.Duplicates))
 		}
-		fmt.Print(tb)
+		em.Table(tb)
 	}
 	return nil
 }
 
-func lookupTable(scale experiments.StaticScale, kind experiments.TopoKind, title string) error {
+func lookupTable(em emitter, scale experiments.StaticScale, kind experiments.TopoKind, title string) error {
 	rows, err := experiments.RunLookupTable(scale, kind)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: MPIL lookup success rate (%%)\n", title)
+	em.Title(fmt.Sprintf("%s: MPIL lookup success rate (%%)", title))
 	tb := metrics.NewTable("nodes", "max flows", "r=1", "r=2", "r=3", "r=4", "r=5")
 	for _, r := range rows {
 		tb.AddRow(r.N, r.MaxFlows,
@@ -178,12 +235,12 @@ func lookupTable(scale experiments.StaticScale, kind experiments.TopoKind, title
 			fmt.Sprintf("%.1f", r.SuccessPct[2]), fmt.Sprintf("%.1f", r.SuccessPct[3]),
 			fmt.Sprintf("%.1f", r.SuccessPct[4]))
 	}
-	fmt.Print(tb)
+	em.Table(tb)
 	return nil
 }
 
-func table3(scale experiments.StaticScale) error {
-	fmt.Println("Table 3: actual number of flows of lookups (max_flows 10, 3 per-flow replicas)")
+func table3(em emitter, scale experiments.StaticScale) error {
+	em.Title("Table 3: actual number of flows of lookups (max_flows 10, 3 per-flow replicas)")
 	tb := metrics.NewTable("topology", "nodes", "actual flows")
 	for _, kind := range []experiments.TopoKind{experiments.TopoPowerLaw, experiments.TopoRandom} {
 		rows, err := experiments.RunTable3(scale, kind)
@@ -194,12 +251,12 @@ func table3(scale experiments.StaticScale) error {
 			tb.AddRow(kind, r.N, fmt.Sprintf("%.3f", r.Flows))
 		}
 	}
-	fmt.Print(tb)
+	em.Table(tb)
 	return nil
 }
 
-func fig10(scale experiments.StaticScale) error {
-	fmt.Println("Figure 10: MPIL lookup latency and traffic (max_flows 10, 5 per-flow replicas)")
+func fig10(em emitter, scale experiments.StaticScale) error {
+	em.Title("Figure 10: MPIL lookup latency and traffic (max_flows 10, 5 per-flow replicas)")
 	tb := metrics.NewTable("topology", "nodes", "latency (hops)", "traffic (msgs)")
 	for _, kind := range []experiments.TopoKind{experiments.TopoPowerLaw, experiments.TopoRandom} {
 		rows, err := experiments.RunFig10(scale, kind)
@@ -210,12 +267,12 @@ func fig10(scale experiments.StaticScale) error {
 			tb.AddRow(kind, r.N, fmt.Sprintf("%.2f", r.Hops), fmt.Sprintf("%.1f", r.Traffic))
 		}
 	}
-	fmt.Print(tb)
+	em.Table(tb)
 	return nil
 }
 
-func fig1(scale experiments.PerturbScale) error {
-	fmt.Println("Figure 1: effect of perturbation on MSPastry (success rate %)")
+func fig1(em emitter, scale experiments.PerturbScale) error {
+	em.Title("Figure 1: effect of perturbation on MSPastry (success rate %)")
 	probs := experiments.PaperFlapProbs()
 	out, err := experiments.RunFig1(scale, experiments.PaperFlapSettings(), probs)
 	if err != nil {
@@ -233,12 +290,12 @@ func fig1(scale experiments.PerturbScale) error {
 		}
 		tb.AddRow(row...)
 	}
-	fmt.Print(tb)
+	em.Table(tb)
 	return nil
 }
 
-func fig11(scale experiments.PerturbScale) error {
-	fmt.Println("Figure 11: success rate under perturbation, all variants (%)")
+func fig11(em emitter, scale experiments.PerturbScale) error {
+	em.Title("Figure 11: success rate under perturbation, all variants (%)")
 	probs := experiments.PaperFlapProbs()
 	out, err := experiments.RunFig11(scale, experiments.Fig11FlapSettings(), probs)
 	if err != nil {
@@ -249,7 +306,7 @@ func fig11(scale experiments.PerturbScale) error {
 		experiments.VariantMPILDS, experiments.VariantMPILNoDS,
 	}
 	for _, set := range experiments.Fig11FlapSettings() {
-		fmt.Printf("-- idle:offline = %s --\n", set.Label)
+		em.Section("idle:offline = " + set.Label)
 		header := []string{"variant"}
 		for _, p := range probs {
 			header = append(header, fmt.Sprintf("p=%.1f", p))
@@ -262,13 +319,13 @@ func fig11(scale experiments.PerturbScale) error {
 			}
 			tb.AddRow(row...)
 		}
-		fmt.Print(tb)
+		em.Table(tb)
 	}
 	return nil
 }
 
-func fig12(scale experiments.PerturbScale) error {
-	fmt.Println("Figure 12: lookup traffic and total traffic at idle:offline = 30:30")
+func fig12(em emitter, scale experiments.PerturbScale) error {
+	em.Title("Figure 12: lookup traffic and total traffic at idle:offline = 30:30")
 	probs := experiments.PaperFlapProbs()
 	out, err := experiments.RunFig12(scale, probs)
 	if err != nil {
@@ -281,7 +338,7 @@ func fig12(scale experiments.PerturbScale) error {
 		{"lookup messages", func(r experiments.PerturbResult) uint64 { return r.LookupTraffic }},
 		{"total messages (incl. maintenance)", func(r experiments.PerturbResult) uint64 { return r.TotalTraffic }},
 	} {
-		fmt.Printf("-- %s --\n", panel.title)
+		em.Section(panel.title)
 		header := []string{"variant"}
 		for _, p := range probs {
 			header = append(header, fmt.Sprintf("p=%.1f", p))
@@ -294,7 +351,7 @@ func fig12(scale experiments.PerturbScale) error {
 			}
 			tb.AddRow(row...)
 		}
-		fmt.Print(tb)
+		em.Table(tb)
 	}
 	return nil
 }

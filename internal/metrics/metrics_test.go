@@ -104,3 +104,66 @@ func TestTableRowPadding(t *testing.T) {
 		t.Error("excess cells not truncated")
 	}
 }
+
+func TestDistributionPercentiles(t *testing.T) {
+	var d Distribution
+	if d.Percentile(50) != 0 || d.N() != 0 || d.Mean() != 0 {
+		t.Fatal("empty distribution must report zeros")
+	}
+	// 1..100 out of order: percentiles are exact under nearest-rank.
+	for i := 100; i >= 1; i-- {
+		d.Add(float64(i))
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+	} {
+		if got := d.Percentile(tc.p); got != tc.want {
+			t.Errorf("P%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := d.Mean(); got != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+	// Adding after a query re-sorts on the next query.
+	d.Add(1000)
+	if got := d.Percentile(100); got != 1000 {
+		t.Errorf("max after Add = %v, want 1000", got)
+	}
+}
+
+func TestDistributionMerge(t *testing.T) {
+	var a, b Distribution
+	for i := 1; i <= 50; i++ {
+		a.Add(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(&b)
+	if a.N() != 100 {
+		t.Fatalf("merged N = %d, want 100", a.N())
+	}
+	if got := a.Percentile(50); got != 50 {
+		t.Errorf("merged P50 = %v, want 50", got)
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.AddRow(1, "two")
+	h, rows := tb.Header(), tb.Rows()
+	if len(h) != 2 || h[0] != "x" || h[1] != "y" {
+		t.Fatalf("Header = %v", h)
+	}
+	if len(rows) != 1 || rows[0][0] != "1" || rows[0][1] != "two" {
+		t.Fatalf("Rows = %v", rows)
+	}
+	// Mutating the copies must not corrupt the table.
+	h[0], rows[0][0] = "mutated", "mutated"
+	if got := tb.Header()[0]; got != "x" {
+		t.Errorf("header aliased: %q", got)
+	}
+	if got := tb.Rows()[0][0]; got != "1" {
+		t.Errorf("rows aliased: %q", got)
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/wire"
+)
+
+// TestErrorReplyForShortFrameUsesZeroReqID pins the fix for a pipelining
+// hazard: a frame too short to carry a header must produce a TError with
+// reqID 0, not the reqID left over from the previous frame's decode.
+func TestErrorReplyForShortFrameUsesZeroReqID(t *testing.T) {
+	_, addr, _ := newTestServer(t, 2, 16)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := NewClient(nc)
+
+	// Poison the server's reused decode state with a nonzero reqID.
+	if _, err := c.Lookup(OriginAuto, discovery.NewID("poison")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 1-byte body cannot carry the 9-byte type+reqID header.
+	if _, err := nc.Write([]byte{0, 0, 0, 1, byte(wire.TLookup)}); err != nil {
+		t.Fatal(err)
+	}
+	var m wire.Msg
+	if err := c.Recv(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != wire.TError {
+		t.Fatalf("got %v, want TError", m.Type)
+	}
+	if m.ReqID != 0 {
+		t.Fatalf("error reply reqID = %d, want 0 (stale correlator leaked)", m.ReqID)
+	}
+	// The connection survives and correlates normally afterwards.
+	if _, err := c.Lookup(OriginAuto, discovery.NewID("after")); err != nil {
+		t.Fatalf("connection unusable after short frame: %v", err)
+	}
+}
+
+// TestWriteLoopShedsStalledReader drives writeLoop directly over a
+// net.Pipe (whose writes block until the peer reads, and which honors
+// write deadlines): a peer that never reads must trip the write timeout,
+// get its socket closed, and stop blocking producers.
+func TestWriteLoopShedsStalledReader(t *testing.T) {
+	ov, err := discovery.CompleteOverlay(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := discovery.NewPool(ov, 1, discovery.WithMaxHops(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Pool: pool, WriteTimeout: 100 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	srvSide, cliSide := net.Pipe()
+	defer cliSide.Close()
+	c := &conn{nc: srvSide, out: make(chan *[]byte, 4), dead: make(chan struct{})}
+	s.connWg.Add(1)
+	go s.writeLoop(c)
+
+	frame := func() *[]byte {
+		b, err := (&wire.Msg{Type: wire.TDeleteOK, ReqID: 1}).Append(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &b
+	}
+
+	// The peer never reads: the first write must give up within the
+	// deadline and mark the connection dead.
+	c.out <- frame()
+	select {
+	case <-c.dead:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write timeout never tripped; stalled reader would wedge its shard")
+	}
+
+	// Producers no longer block: a send drains via the dead path even
+	// with the writer past its socket.
+	for i := 0; i < 10; i++ {
+		s.send(c, &wire.Msg{Type: wire.TDeleteOK, ReqID: uint64(i)})
+	}
+	close(c.out)
+
+	// The server closed its side, so the peer sees EOF rather than a
+	// silent hang.
+	cliSide.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := io.ReadAll(cliSide); err != nil && err != io.EOF && err != io.ErrClosedPipe {
+		t.Logf("peer read ended with %v (acceptable: connection severed)", err)
+	}
+}
+
+// TestServerForgetsClosedConns pins the connection-set cleanup: entries
+// must not accumulate after clients disconnect.
+func TestServerForgetsClosedConns(t *testing.T) {
+	srv, addr, _ := newTestServer(t, 2, 16)
+	for i := 0; i < 20; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Stats(); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	// Closing is asynchronous (reader EOF -> drain -> writer close);
+	// poll briefly for the set to empty.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		n := len(srv.conns)
+		srv.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d connections still tracked after all clients closed", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFrameLengthPrefixEncoding double-checks the on-wire length field
+// the raw-frame test above relies on.
+func TestFrameLengthPrefixEncoding(t *testing.T) {
+	b, err := (&wire.Msg{Type: wire.TStats, ReqID: 3}).Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint32(b[:4]); int(got) != len(b)-4 {
+		t.Fatalf("length prefix %d, frame body %d", got, len(b)-4)
+	}
+}

@@ -1,0 +1,386 @@
+// Package server is discoveryd's network layer: a TCP server speaking the
+// internal/wire binary protocol in front of a discovery.Pool.
+//
+// # Architecture
+//
+// Each accepted connection gets a reader goroutine and a writer goroutine.
+// The reader decodes frames and dispatches keyed requests to a bounded
+// per-shard queue; one worker goroutine per shard pops requests and
+// executes them on the shard that owns the key (the same key-hash mapping
+// discovery.Pool uses), so a single-threaded MPIL engine never sees two
+// requests at once. Responses carry the request's correlator back and are
+// handed to the connection's writer, which means a client may pipeline
+// requests freely — responses for different shards can complete out of
+// order, and the reqID is what ties them together.
+//
+// # Backpressure
+//
+// Shard queues are bounded. When a queue is full the reader blocks before
+// reading the next frame, which stops draining the connection's socket
+// and lets TCP flow control push back on the client — the server never
+// buffers an unbounded number of requests. Stats requests carry no key
+// and are answered inline by the reader.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/idspace"
+	"discovery/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pool executes requests. Required.
+	Pool *discovery.Pool
+	// QueueDepth bounds each shard's request queue (default 128).
+	QueueDepth int
+	// WriteTimeout bounds any single response write (default 30s). A
+	// client that stops reading responses trips it and is disconnected,
+	// which is what keeps one stalled connection from wedging a shard
+	// worker — and with it 1/shards of the keyspace — indefinitely.
+	WriteTimeout time.Duration
+	// Logf, when set, receives connection-level error lines.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the wire protocol over TCP. Create with New, start with
+// Serve or Start, stop with Close.
+type Server struct {
+	pool         *discovery.Pool
+	logf         func(format string, args ...any)
+	queues       []chan task
+	writeTimeout time.Duration
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	done     chan struct{}
+	readerWg sync.WaitGroup // connection readers
+	workerWg sync.WaitGroup // shard workers
+	connWg   sync.WaitGroup // writers and per-connection drainers
+
+	bufs sync.Pool // *[]byte response frame buffers
+}
+
+// task is one keyed request bound for a shard worker.
+type task struct {
+	c      *conn
+	typ    wire.Type
+	reqID  uint64
+	key    idspace.ID
+	origin uint32
+	value  []byte // insert payload, owned by the task
+}
+
+// conn pairs a network connection with its outbound response queue.
+type conn struct {
+	nc       net.Conn
+	out      chan *[]byte  // encoded response frames (pooled)
+	dead     chan struct{} // closed when the writer gives up
+	deadOnce sync.Once
+	inflight sync.WaitGroup // keyed requests not yet answered
+}
+
+// kill marks the connection's writer as gone so shard workers stop
+// offering it responses.
+func (c *conn) kill() { c.deadOnce.Do(func() { close(c.dead) }) }
+
+// New builds a Server and starts its shard workers. The server is ready
+// for Serve immediately.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("server: Config.Pool is required")
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 128
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	wt := cfg.WriteTimeout
+	if wt <= 0 {
+		wt = 30 * time.Second
+	}
+	s := &Server{
+		pool:         cfg.Pool,
+		logf:         logf,
+		queues:       make([]chan task, cfg.Pool.NumShards()),
+		writeTimeout: wt,
+		conns:        make(map[net.Conn]struct{}),
+		done:         make(chan struct{}),
+	}
+	s.bufs.New = func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan task, depth)
+		s.workerWg.Add(1)
+		go s.shardWorker(i)
+	}
+	return s, nil
+}
+
+// Start listens on addr and serves in a background goroutine, returning
+// the bound address (useful with ":0").
+func (s *Server) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(lis) //nolint:errcheck // surfaced via Close
+	return lis.Addr(), nil
+}
+
+// Serve accepts connections on lis until Close. It returns nil after a
+// clean shutdown and the accept error otherwise.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("server: already closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		c := &conn{
+			nc:   nc,
+			out:  make(chan *[]byte, 64),
+			dead: make(chan struct{}),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+
+		s.connWg.Add(1)
+		go s.writeLoop(c)
+		s.readerWg.Add(1)
+		go s.readLoop(c)
+	}
+}
+
+// Close shuts the server down: stop accepting, sever connections, drain
+// the shard queues, and wait for every goroutine. Safe to call once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	close(s.done)
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	// Readers stop (their sockets are closed), so no new tasks enter the
+	// queues; then workers drain what remains; then writers finish.
+	s.readerWg.Wait()
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.workerWg.Wait()
+	s.connWg.Wait()
+	return nil
+}
+
+// readLoop decodes frames off one connection and dispatches them.
+func (s *Server) readLoop(c *conn) {
+	defer s.readerWg.Done()
+	defer func() {
+		// The reader is the only task producer for this connection. Once
+		// it exits, wait out in-flight tasks, then let the writer drain
+		// and close the socket.
+		s.connWg.Add(1)
+		go func() {
+			defer s.connWg.Done()
+			c.inflight.Wait()
+			close(c.out)
+		}()
+	}()
+
+	var scratch []byte
+	var m wire.Msg
+	n := s.pool.Overlay().N()
+	for {
+		body, err := wire.ReadFrame(c.nc, &scratch)
+		if err != nil {
+			return // EOF, peer reset, or framing error: drop the connection
+		}
+		if err := m.Decode(body); err != nil {
+			// Framing is intact, the body is not. Tell the client and
+			// keep serving the connection.
+			s.replyError(c, m.ReqID, "bad request: "+err.Error())
+			continue
+		}
+		switch m.Type {
+		case wire.TStats:
+			s.replyStats(c, m.ReqID)
+		case wire.TInsert, wire.TLookup, wire.TDelete:
+			origin := m.Origin
+			if origin == wire.OriginAuto {
+				origin = uint32(s.pool.AutoOrigin(m.Key))
+			} else if origin >= uint32(n) {
+				s.replyError(c, m.ReqID, fmt.Sprintf("origin %d out of range (overlay has %d nodes)", origin, n))
+				continue
+			}
+			t := task{c: c, typ: m.Type, reqID: m.ReqID, key: m.Key, origin: origin}
+			if m.Type == wire.TInsert {
+				t.value = append([]byte(nil), m.Value...)
+			}
+			c.inflight.Add(1)
+			select {
+			case s.queues[s.pool.ShardOf(m.Key)] <- t: // may block: backpressure
+			case <-s.done:
+				c.inflight.Done()
+				return
+			}
+		default:
+			s.replyError(c, m.ReqID, "unexpected message type "+m.Type.String())
+		}
+	}
+}
+
+// shardWorker executes tasks for shard i, one at a time, in arrival
+// order.
+func (s *Server) shardWorker(i int) {
+	defer s.workerWg.Done()
+	for t := range s.queues[i] {
+		var m wire.Msg
+		m.ReqID = t.reqID
+		switch t.typ {
+		case wire.TInsert:
+			res := s.pool.Insert(int(t.origin), t.key, t.value)
+			m.Type = wire.TInsertOK
+			m.Insert = wire.InsertReply{
+				Replicas:   uint32(res.Replicas),
+				Messages:   uint32(res.Messages),
+				Duplicates: uint32(res.Duplicates),
+				Flows:      uint32(res.Flows),
+				Dropped:    uint32(res.Dropped),
+			}
+		case wire.TLookup:
+			res := s.pool.Lookup(int(t.origin), t.key)
+			m.Type = wire.TLookupOK
+			m.Lookup = wire.LookupReply{
+				Found:          res.Found,
+				FirstReplyHops: int32(res.FirstReplyHops),
+				Replies:        uint32(res.Replies),
+				Messages:       uint32(res.Messages),
+				Duplicates:     uint32(res.Duplicates),
+				Flows:          uint32(res.Flows),
+				Dropped:        uint32(res.Dropped),
+			}
+		case wire.TDelete:
+			m.Type = wire.TDeleteOK
+			m.Deleted = uint32(s.pool.Delete(int(t.origin), t.key))
+		}
+		s.send(t.c, &m)
+		t.c.inflight.Done()
+	}
+}
+
+// replyStats answers a stats request inline with a pool snapshot.
+func (s *Server) replyStats(c *conn, reqID uint64) {
+	st := s.pool.Stats()
+	m := wire.Msg{Type: wire.TStatsOK, ReqID: reqID}
+	m.Stats = wire.StatsReply{
+		Shards:        uint32(st.Shards),
+		Inserts:       st.Inserts,
+		Lookups:       st.Lookups,
+		Deletes:       st.Deletes,
+		Found:         st.LookupsFound,
+		ShardRequests: make([]uint64, len(st.PerShard)),
+	}
+	for i, ss := range st.PerShard {
+		m.Stats.ShardRequests[i] = ss.Requests
+	}
+	s.send(c, &m)
+}
+
+// replyError sends a TError frame carrying text.
+func (s *Server) replyError(c *conn, reqID uint64, text string) {
+	m := wire.Msg{Type: wire.TError, ReqID: reqID, Value: []byte(text)}
+	s.send(c, &m)
+}
+
+// send encodes m into a pooled buffer and offers it to the connection's
+// writer, dropping it if the writer is gone.
+func (s *Server) send(c *conn, m *wire.Msg) {
+	bp := s.bufs.Get().(*[]byte)
+	frame, err := m.Append((*bp)[:0])
+	if err != nil {
+		// Response construction bugs must not kill the worker; log and
+		// substitute an error frame.
+		s.logf("server: encode %v response: %v", m.Type, err)
+		frame, _ = (&wire.Msg{Type: wire.TError, ReqID: m.ReqID, Value: []byte("internal encode error")}).Append((*bp)[:0])
+	}
+	*bp = frame
+	select {
+	case c.out <- bp:
+	case <-c.dead:
+		s.bufs.Put(bp)
+	}
+}
+
+// writeLoop writes encoded frames to the socket until the out channel
+// closes, then closes the socket. Each write carries a deadline: a peer
+// that stops reading is treated as gone, its socket is closed at once
+// (which also unblocks this connection's reader), and the loop keeps
+// draining so producers never block on a dead connection.
+func (s *Server) writeLoop(c *conn) {
+	defer s.connWg.Done()
+	defer s.forgetConn(c.nc)
+	defer c.nc.Close()
+	defer c.kill()
+	broken := false
+	for bp := range c.out {
+		if !broken {
+			c.nc.SetWriteDeadline(time.Now().Add(s.writeTimeout)) //nolint:errcheck // surfaced by Write
+			if _, err := c.nc.Write(*bp); err != nil {
+				s.logf("server: write to %v: %v", c.nc.RemoteAddr(), err)
+				broken = true
+				c.kill()
+				c.nc.Close()
+			}
+		}
+		s.bufs.Put(bp)
+	}
+}
+
+// forgetConn drops a finished connection from the shutdown set.
+func (s *Server) forgetConn(nc net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}

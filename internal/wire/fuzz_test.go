@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"discovery/internal/idspace"
+)
+
+// FuzzDecode feeds arbitrary bytes to Decode. Decoding must never panic,
+// and anything Decode accepts must re-encode to the exact same frame
+// (the codec is canonical: accepted bytes are a fixed point).
+func FuzzDecode(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		frame, err := m.Append(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[lenWords:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var m Msg
+		if err := m.Decode(body); err != nil {
+			return
+		}
+		frame, err := m.Append(nil)
+		if err != nil {
+			t.Fatalf("decoded message fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[lenWords:], body) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", body, frame[lenWords:])
+		}
+		// Decoding into a dirty, previously-used Msg must agree with the
+		// fresh decode (buffer reuse cannot leak prior state).
+		reused := Msg{
+			Value: append([]byte(nil), "stale-stale-stale"...),
+			Stats: StatsReply{ShardRequests: []uint64{9, 9, 9, 9}},
+		}
+		if err := reused.Decode(body); err != nil {
+			t.Fatalf("reused decode rejects what fresh decode accepted: %v", err)
+		}
+		frame2, err := reused.Append(nil)
+		if err != nil {
+			t.Fatalf("reused re-encode: %v", err)
+		}
+		if !bytes.Equal(frame, frame2) {
+			t.Fatalf("reused decode diverges:\n fresh %x\n reuse %x", frame, frame2)
+		}
+	})
+}
+
+// FuzzRoundTrip builds structured messages from fuzzed fields, encodes
+// them, and requires decode to reproduce the message exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint64(7), []byte("key-material"), uint32(3), []byte("value"), false, int32(-1), uint64(12))
+	f.Add(uint8(4), uint64(0), []byte(""), uint32(0), []byte(""), true, int32(9), uint64(0))
+	f.Add(uint8(0x84), uint64(1), []byte("k"), uint32(2), []byte("v"), true, int32(0), uint64(3))
+	f.Fuzz(func(t *testing.T, ty uint8, reqID uint64, keySrc []byte, origin uint32, value []byte, found bool, hops int32, n uint64) {
+		types := []Type{TInsert, TLookup, TDelete, TStats, TInsertOK, TLookupOK, TDeleteOK, TStatsOK, TError}
+		m := Msg{
+			Type:    types[int(ty)%len(types)],
+			ReqID:   reqID,
+			Key:     idspace.FromBytes(keySrc),
+			Origin:  origin,
+			Value:   value,
+			Insert:  InsertReply{Replicas: uint32(n), Messages: origin, Flows: uint32(n >> 32)},
+			Lookup:  LookupReply{Found: found, FirstReplyHops: hops, Replies: uint32(n)},
+			Deleted: uint32(n),
+		}
+		if m.Type == TStatsOK {
+			shards := int(n % 64)
+			m.Stats = StatsReply{Shards: uint32(shards), Inserts: n, Lookups: reqID, Found: n / 2}
+			for i := 0; i < shards; i++ {
+				m.Stats.ShardRequests = append(m.Stats.ShardRequests, n+uint64(i))
+			}
+		}
+		frame, err := m.Append(nil)
+		if err != nil {
+			if err == ErrOversize && len(value)+headerLen+idspace.Bytes+4 > MaxFrame {
+				return // oversize payloads are rejected by design
+			}
+			t.Fatalf("encode: %v", err)
+		}
+		var got Msg
+		if err := got.Decode(frame[lenWords:]); err != nil {
+			t.Fatalf("decode of own encoding failed: %v (frame %x)", err, frame)
+		}
+		again, err := got.Append(nil)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("round trip not stable:\n %x\n %x", frame, again)
+		}
+	})
+}

@@ -1,0 +1,402 @@
+// Package wire is discoveryd's binary wire protocol: a compact
+// length-prefixed framing with fixed-layout bodies for the four request
+// kinds (insert, lookup, delete, stats) and their responses.
+//
+// The codec follows the repository's zero-allocation buffer discipline:
+// encoding appends to a caller-owned byte slice, decoding fills a reusable
+// Msg whose variable-length fields recycle their backing arrays, and frame
+// reading grows a caller-owned scratch buffer once and then reuses it.
+// There is no reflection and no JSON on the hot path.
+//
+// # Framing
+//
+// Every message on the wire is one frame:
+//
+//	| u32 length | u8 type | u64 reqID | body |
+//
+// where length covers everything after the length word itself, all
+// integers are big-endian, and length is at most MaxFrame. ReqID is an
+// opaque request correlator chosen by the client; the server echoes it in
+// the response, which is what makes request pipelining (and out-of-order
+// completion across shards) possible over a single connection.
+//
+// # Bodies
+//
+//	TInsert:   key[20] | u32 origin | value...         (value = rest of frame)
+//	TLookup:   key[20] | u32 origin
+//	TDelete:   key[20] | u32 origin
+//	TStats:    (empty)
+//	TInsertOK: u32 replicas | u32 messages | u32 duplicates | u32 flows | u32 dropped
+//	TLookupOK: u8 found | u32 firstReplyHops (two's complement) | u32 replies |
+//	           u32 messages | u32 duplicates | u32 flows | u32 dropped
+//	TDeleteOK: u32 removed
+//	TStatsOK:  u32 shards | u64 inserts | u64 lookups | u64 deletes |
+//	           u64 found | shards x u64 perShardRequests
+//	TError:    text...                                 (UTF-8, rest of frame)
+//
+// Decoding is strict: bodies must have exactly the advertised layout, and
+// decoding arbitrary bytes never panics (fuzzed by FuzzDecode).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"discovery/internal/idspace"
+)
+
+// MaxFrame is the largest legal frame body (everything after the length
+// word). It bounds both value payloads and the allocation a malicious
+// length prefix can force on a reader.
+const MaxFrame = 1 << 20
+
+// lenWords is the size of the frame length prefix.
+const lenWords = 4
+
+// headerLen is type byte + reqID, the fixed prefix of every frame body.
+const headerLen = 1 + 8
+
+// Type identifies a message kind. Requests have the high bit clear,
+// responses have it set.
+type Type uint8
+
+// Message types.
+const (
+	TInsert Type = 0x01
+	TLookup Type = 0x02
+	TDelete Type = 0x03
+	TStats  Type = 0x04
+
+	TInsertOK Type = 0x81
+	TLookupOK Type = 0x82
+	TDeleteOK Type = 0x83
+	TStatsOK  Type = 0x84
+	TError    Type = 0xFF
+)
+
+// String implements fmt.Stringer for log lines.
+func (t Type) String() string {
+	switch t {
+	case TInsert:
+		return "insert"
+	case TLookup:
+		return "lookup"
+	case TDelete:
+		return "delete"
+	case TStats:
+		return "stats"
+	case TInsertOK:
+		return "insert-ok"
+	case TLookupOK:
+		return "lookup-ok"
+	case TDeleteOK:
+		return "delete-ok"
+	case TStatsOK:
+		return "stats-ok"
+	case TError:
+		return "error"
+	default:
+		return "unknown"
+	}
+}
+
+// IsRequest reports whether t is a client-to-server type.
+func (t Type) IsRequest() bool { return t >= TInsert && t <= TStats }
+
+// OriginAuto is the origin sentinel meaning "server picks the entry node"
+// (derived deterministically from the key).
+const OriginAuto = ^uint32(0)
+
+// Decode errors. These are predeclared so the steady-state decode path
+// allocates nothing even when rejecting garbage.
+var (
+	ErrShort    = errors.New("wire: frame body too short")
+	ErrTrailing = errors.New("wire: trailing bytes after body")
+	ErrOversize = errors.New("wire: frame exceeds MaxFrame")
+	ErrType     = errors.New("wire: unknown message type")
+	ErrBool     = errors.New("wire: boolean byte not 0 or 1")
+	ErrShards   = errors.New("wire: stats shard count out of range")
+)
+
+// InsertReply carries the insertion statistics of one request.
+type InsertReply struct {
+	Replicas   uint32
+	Messages   uint32
+	Duplicates uint32
+	Flows      uint32
+	Dropped    uint32
+}
+
+// LookupReply carries the lookup outcome of one request.
+type LookupReply struct {
+	Found          bool
+	FirstReplyHops int32 // -1 when not found
+	Replies        uint32
+	Messages       uint32
+	Duplicates     uint32
+	Flows          uint32
+	Dropped        uint32
+}
+
+// StatsReply is the daemon-wide counter snapshot.
+type StatsReply struct {
+	Shards  uint32
+	Inserts uint64
+	Lookups uint64
+	Deletes uint64
+	// Found counts lookups that located at least one replica.
+	Found uint64
+	// ShardRequests has one entry per shard: total requests executed
+	// there. Reused across decodes; len == Shards after a successful
+	// decode.
+	ShardRequests []uint64
+}
+
+// Msg is one decoded message of any type. A single Msg is meant to be
+// reused across a connection's lifetime: Decode refills it in place and
+// Value/Stats.ShardRequests recycle their capacity.
+type Msg struct {
+	Type   Type
+	ReqID  uint64
+	Key    idspace.ID
+	Origin uint32 // requests only; OriginAuto delegates the choice
+	// Value is the insert payload (TInsert) or error text (TError).
+	Value  []byte
+	Insert InsertReply
+	Lookup LookupReply
+	// Deleted is the removed-replica count of a TDeleteOK.
+	Deleted uint32
+	Stats   StatsReply
+}
+
+// ErrorText returns the error message of a TError response.
+func (m *Msg) ErrorText() string { return string(m.Value) }
+
+// bodyLen returns the body size of the message, excluding the frame
+// length word but including the type/reqID header.
+func (m *Msg) bodyLen() int {
+	n := headerLen
+	switch m.Type {
+	case TInsert:
+		n += idspace.Bytes + 4 + len(m.Value)
+	case TLookup, TDelete:
+		n += idspace.Bytes + 4
+	case TStats:
+	case TInsertOK:
+		n += 5 * 4
+	case TLookupOK:
+		n += 1 + 6*4
+	case TDeleteOK:
+		n += 4
+	case TStatsOK:
+		n += 4 + 4*8 + 8*len(m.Stats.ShardRequests)
+	case TError:
+		n += len(m.Value)
+	}
+	return n
+}
+
+// Append encodes the message as one complete frame (length prefix
+// included) appended to dst, returning the extended slice. With
+// sufficient capacity in dst it performs no allocation. It returns
+// ErrOversize when the body would exceed MaxFrame and ErrShards when a
+// TStatsOK shard slice disagrees with its count.
+func (m *Msg) Append(dst []byte) ([]byte, error) {
+	body := m.bodyLen()
+	if body > MaxFrame {
+		return dst, ErrOversize
+	}
+	if m.Type == TStatsOK && int(m.Stats.Shards) != len(m.Stats.ShardRequests) {
+		return dst, ErrShards
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = append(dst, byte(m.Type))
+	dst = binary.BigEndian.AppendUint64(dst, m.ReqID)
+	switch m.Type {
+	case TInsert:
+		dst = append(dst, m.Key[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+		dst = append(dst, m.Value...)
+	case TLookup, TDelete:
+		dst = append(dst, m.Key[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+	case TStats:
+	case TInsertOK:
+		r := &m.Insert
+		dst = binary.BigEndian.AppendUint32(dst, r.Replicas)
+		dst = binary.BigEndian.AppendUint32(dst, r.Messages)
+		dst = binary.BigEndian.AppendUint32(dst, r.Duplicates)
+		dst = binary.BigEndian.AppendUint32(dst, r.Flows)
+		dst = binary.BigEndian.AppendUint32(dst, r.Dropped)
+	case TLookupOK:
+		r := &m.Lookup
+		if r.Found {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(r.FirstReplyHops))
+		dst = binary.BigEndian.AppendUint32(dst, r.Replies)
+		dst = binary.BigEndian.AppendUint32(dst, r.Messages)
+		dst = binary.BigEndian.AppendUint32(dst, r.Duplicates)
+		dst = binary.BigEndian.AppendUint32(dst, r.Flows)
+		dst = binary.BigEndian.AppendUint32(dst, r.Dropped)
+	case TDeleteOK:
+		dst = binary.BigEndian.AppendUint32(dst, m.Deleted)
+	case TStatsOK:
+		s := &m.Stats
+		dst = binary.BigEndian.AppendUint32(dst, s.Shards)
+		dst = binary.BigEndian.AppendUint64(dst, s.Inserts)
+		dst = binary.BigEndian.AppendUint64(dst, s.Lookups)
+		dst = binary.BigEndian.AppendUint64(dst, s.Deletes)
+		dst = binary.BigEndian.AppendUint64(dst, s.Found)
+		for _, v := range s.ShardRequests {
+			dst = binary.BigEndian.AppendUint64(dst, v)
+		}
+	case TError:
+		dst = append(dst, m.Value...)
+	default:
+		return dst[:len(dst)-body-lenWords], ErrType
+	}
+	return dst, nil
+}
+
+// Decode parses one frame body (everything after the length word) into m,
+// reusing m's variable-length buffers. It is strict — every body must
+// have exactly its advertised layout — and never panics on arbitrary
+// input.
+func (m *Msg) Decode(body []byte) error {
+	// Zero the header first so a frame too short to carry one cannot
+	// leave a previous decode's reqID behind (error replies would then
+	// mis-correlate under pipelining).
+	m.Type = 0
+	m.ReqID = 0
+	if len(body) > MaxFrame {
+		return ErrOversize
+	}
+	if len(body) < headerLen {
+		return ErrShort
+	}
+	m.Type = Type(body[0])
+	m.ReqID = binary.BigEndian.Uint64(body[1:9])
+	b := body[headerLen:]
+	switch m.Type {
+	case TInsert:
+		if len(b) < idspace.Bytes+4 {
+			return ErrShort
+		}
+		copy(m.Key[:], b)
+		m.Origin = binary.BigEndian.Uint32(b[idspace.Bytes:])
+		m.Value = append(m.Value[:0], b[idspace.Bytes+4:]...)
+	case TLookup, TDelete:
+		if len(b) != idspace.Bytes+4 {
+			return sizeErr(len(b), idspace.Bytes+4)
+		}
+		copy(m.Key[:], b)
+		m.Origin = binary.BigEndian.Uint32(b[idspace.Bytes:])
+	case TStats:
+		if len(b) != 0 {
+			return ErrTrailing
+		}
+	case TInsertOK:
+		if len(b) != 5*4 {
+			return sizeErr(len(b), 5*4)
+		}
+		r := &m.Insert
+		r.Replicas = binary.BigEndian.Uint32(b[0:])
+		r.Messages = binary.BigEndian.Uint32(b[4:])
+		r.Duplicates = binary.BigEndian.Uint32(b[8:])
+		r.Flows = binary.BigEndian.Uint32(b[12:])
+		r.Dropped = binary.BigEndian.Uint32(b[16:])
+	case TLookupOK:
+		if len(b) != 1+6*4 {
+			return sizeErr(len(b), 1+6*4)
+		}
+		r := &m.Lookup
+		switch b[0] {
+		case 0:
+			r.Found = false
+		case 1:
+			r.Found = true
+		default:
+			return ErrBool
+		}
+		r.FirstReplyHops = int32(binary.BigEndian.Uint32(b[1:]))
+		r.Replies = binary.BigEndian.Uint32(b[5:])
+		r.Messages = binary.BigEndian.Uint32(b[9:])
+		r.Duplicates = binary.BigEndian.Uint32(b[13:])
+		r.Flows = binary.BigEndian.Uint32(b[17:])
+		r.Dropped = binary.BigEndian.Uint32(b[21:])
+	case TDeleteOK:
+		if len(b) != 4 {
+			return sizeErr(len(b), 4)
+		}
+		m.Deleted = binary.BigEndian.Uint32(b)
+	case TStatsOK:
+		if len(b) < 4+4*8 {
+			return ErrShort
+		}
+		s := &m.Stats
+		s.Shards = binary.BigEndian.Uint32(b[0:])
+		s.Inserts = binary.BigEndian.Uint64(b[4:])
+		s.Lookups = binary.BigEndian.Uint64(b[12:])
+		s.Deletes = binary.BigEndian.Uint64(b[20:])
+		s.Found = binary.BigEndian.Uint64(b[28:])
+		rest := b[36:]
+		if uint64(len(rest)) != 8*uint64(s.Shards) {
+			return ErrShards
+		}
+		s.ShardRequests = s.ShardRequests[:0]
+		for len(rest) > 0 {
+			s.ShardRequests = append(s.ShardRequests, binary.BigEndian.Uint64(rest))
+			rest = rest[8:]
+		}
+	case TError:
+		m.Value = append(m.Value[:0], b...)
+	default:
+		return ErrType
+	}
+	return nil
+}
+
+// sizeErr maps a wrong fixed-size body to the matching sentinel without
+// allocating.
+func sizeErr(got, want int) error {
+	if got < want {
+		return ErrShort
+	}
+	return ErrTrailing
+}
+
+// ReadFrame reads one complete frame body from r, growing and reusing
+// *scratch as its buffer. The returned slice aliases *scratch and is only
+// valid until the next call. A length prefix above MaxFrame is rejected
+// before any payload allocation.
+func ReadFrame(r io.Reader, scratch *[]byte) ([]byte, error) {
+	buf := *scratch
+	if cap(buf) < lenWords {
+		buf = make([]byte, lenWords, 512)
+		*scratch = buf
+	}
+	buf = buf[:cap(buf)]
+	if _, err := io.ReadFull(r, buf[:lenWords]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(buf[:lenWords])
+	if n > MaxFrame {
+		return nil, ErrOversize
+	}
+	if int(n) > len(buf) {
+		buf = make([]byte, n)
+		*scratch = buf
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}

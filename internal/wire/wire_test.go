@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"discovery/internal/idspace"
+)
+
+// sampleMsgs returns one well-formed message of every type.
+func sampleMsgs() []Msg {
+	key := idspace.FromString("object-7")
+	return []Msg{
+		{Type: TInsert, ReqID: 1, Key: key, Origin: 42, Value: []byte("tcp://node42:7700")},
+		{Type: TInsert, ReqID: 2, Key: key, Origin: OriginAuto, Value: nil},
+		{Type: TLookup, ReqID: 3, Key: key, Origin: 7},
+		{Type: TDelete, ReqID: 4, Key: key, Origin: 42},
+		{Type: TStats, ReqID: 5},
+		{Type: TInsertOK, ReqID: 1, Insert: InsertReply{Replicas: 9, Messages: 31, Duplicates: 2, Flows: 10, Dropped: 1}},
+		{Type: TLookupOK, ReqID: 3, Lookup: LookupReply{Found: true, FirstReplyHops: 4, Replies: 3, Messages: 17, Duplicates: 1, Flows: 8}},
+		{Type: TLookupOK, ReqID: 6, Lookup: LookupReply{Found: false, FirstReplyHops: -1}},
+		{Type: TDeleteOK, ReqID: 4, Deleted: 5},
+		{Type: TStatsOK, ReqID: 5, Stats: StatsReply{
+			Shards: 3, Inserts: 100, Lookups: 200, Deletes: 3, Found: 180,
+			ShardRequests: []uint64{101, 99, 103},
+		}},
+		{Type: TError, ReqID: 9, Value: []byte("origin 9000 out of range")},
+	}
+}
+
+// eq compares only the fields the wire carries for the message's type, so
+// reused scratch in unrelated fields does not trip the comparison.
+func eq(t *testing.T, a, b *Msg) {
+	t.Helper()
+	if a.Type != b.Type || a.ReqID != b.ReqID {
+		t.Fatalf("header mismatch: %v/%d vs %v/%d", a.Type, a.ReqID, b.Type, b.ReqID)
+	}
+	switch a.Type {
+	case TInsert:
+		if a.Key != b.Key || a.Origin != b.Origin || !bytes.Equal(a.Value, b.Value) {
+			t.Fatalf("insert mismatch: %+v vs %+v", a, b)
+		}
+	case TLookup, TDelete:
+		if a.Key != b.Key || a.Origin != b.Origin {
+			t.Fatalf("keyed request mismatch: %+v vs %+v", a, b)
+		}
+	case TStats:
+	case TInsertOK:
+		if a.Insert != b.Insert {
+			t.Fatalf("insert reply mismatch: %+v vs %+v", a.Insert, b.Insert)
+		}
+	case TLookupOK:
+		if a.Lookup != b.Lookup {
+			t.Fatalf("lookup reply mismatch: %+v vs %+v", a.Lookup, b.Lookup)
+		}
+	case TDeleteOK:
+		if a.Deleted != b.Deleted {
+			t.Fatalf("delete reply mismatch: %d vs %d", a.Deleted, b.Deleted)
+		}
+	case TStatsOK:
+		if a.Stats.Shards != b.Stats.Shards || a.Stats.Inserts != b.Stats.Inserts ||
+			a.Stats.Lookups != b.Stats.Lookups || a.Stats.Deletes != b.Stats.Deletes ||
+			a.Stats.Found != b.Stats.Found ||
+			!reflect.DeepEqual(a.Stats.ShardRequests, b.Stats.ShardRequests) {
+			t.Fatalf("stats mismatch: %+v vs %+v", a.Stats, b.Stats)
+		}
+	case TError:
+		if !bytes.Equal(a.Value, b.Value) {
+			t.Fatalf("error text mismatch: %q vs %q", a.Value, b.Value)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var got Msg
+	for _, m := range sampleMsgs() {
+		frame, err := m.Append(nil)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", m.Type, err)
+		}
+		if err := got.Decode(frame[lenWords:]); err != nil {
+			t.Fatalf("%v: decode: %v", m.Type, err)
+		}
+		eq(t, &m, &got)
+		// Re-encoding must reproduce the exact frame (canonical codec).
+		again, err := got.Append(nil)
+		if err != nil {
+			t.Fatalf("%v: re-encode: %v", m.Type, err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("%v: re-encode differs:\n %x\n %x", m.Type, frame, again)
+		}
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	var stream []byte
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		var err error
+		stream, err = m.Append(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	var scratch []byte
+	var got Msg
+	for _, want := range msgs {
+		body, err := ReadFrame(r, &scratch)
+		if err != nil {
+			t.Fatalf("%v: read: %v", want.Type, err)
+		}
+		if err := got.Decode(body); err != nil {
+			t.Fatalf("%v: decode: %v", want.Type, err)
+		}
+		eq(t, &want, &got)
+	}
+	if _, err := ReadFrame(r, &scratch); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"empty", nil, ErrShort},
+		{"header only lookup", append([]byte{byte(TLookup)}, make([]byte, 8)...), ErrShort},
+		{"unknown type", append([]byte{0x7E}, make([]byte, 8)...), ErrType},
+		{"stats with trailing", append([]byte{byte(TStats)}, make([]byte, 9)...), ErrTrailing},
+		{"lookup trailing", append([]byte{byte(TLookup)}, make([]byte, 8+idspace.Bytes+5)...), ErrTrailing},
+		{"deleteok short", append([]byte{byte(TDeleteOK)}, make([]byte, 8+2)...), ErrShort},
+		{"bad bool", func() []byte {
+			b := append([]byte{byte(TLookupOK)}, make([]byte, 8+25)...)
+			b[9] = 2
+			return b
+		}(), ErrBool},
+		{"stats shard mismatch", func() []byte {
+			b := append([]byte{byte(TStatsOK)}, make([]byte, 8+36+8)...)
+			b[9+3] = 7 // claims 7 shards, carries 1
+			return b
+		}(), ErrShards},
+	}
+	var m Msg
+	for _, tc := range cases {
+		if err := m.Decode(tc.body); err != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizeBeforeAllocating(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF} // 4 GiB claim
+	var scratch []byte
+	if _, err := ReadFrame(bytes.NewReader(hdr), &scratch); err != ErrOversize {
+		t.Fatalf("got %v, want ErrOversize", err)
+	}
+	if cap(scratch) > 1024 {
+		t.Fatalf("oversize frame grew scratch to %d bytes", cap(scratch))
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	m := Msg{Type: TLookup, ReqID: 1, Key: idspace.FromString("k"), Origin: 3}
+	frame, err := m.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch []byte
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3]), &scratch); err != io.ErrUnexpectedEOF {
+		t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestAppendOversizeValue(t *testing.T) {
+	m := Msg{Type: TInsert, ReqID: 1, Value: make([]byte, MaxFrame)}
+	if _, err := m.Append(nil); err != ErrOversize {
+		t.Fatalf("got %v, want ErrOversize", err)
+	}
+}
+
+func TestEncodeZeroAlloc(t *testing.T) {
+	m := Msg{Type: TInsert, ReqID: 1, Key: idspace.FromString("k"), Origin: 3, Value: []byte("payload")}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		if _, err = m.Append(buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode allocates %.1f times per op", allocs)
+	}
+}
+
+func TestDecodeSteadyStateZeroAlloc(t *testing.T) {
+	src := Msg{Type: TInsert, ReqID: 1, Key: idspace.FromString("k"), Origin: 3, Value: []byte("payload")}
+	frame, err := src.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Msg
+	if err := m.Decode(frame[lenWords:]); err != nil { // warm Value capacity
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := m.Decode(frame[lenWords:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decode allocates %.1f times per op", allocs)
+	}
+}
+
+func BenchmarkEncodeInsert(b *testing.B) {
+	m := Msg{Type: TInsert, ReqID: 1, Key: idspace.FromString("k"), Origin: 3, Value: []byte("tcp://node42:7700/object")}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buf, err = m.Append(buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeInsert(b *testing.B) {
+	src := Msg{Type: TInsert, ReqID: 1, Key: idspace.FromString("k"), Origin: 3, Value: []byte("tcp://node42:7700/object")}
+	frame, err := src.Append(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m Msg
+	if err := m.Decode(frame[lenWords:]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Decode(frame[lenWords:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLookupReply(b *testing.B) {
+	src := Msg{Type: TLookupOK, ReqID: 3, Lookup: LookupReply{Found: true, FirstReplyHops: 4, Replies: 3, Messages: 17, Flows: 8}}
+	frame, err := src.Append(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m Msg
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Decode(frame[lenWords:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

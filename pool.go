@@ -1,0 +1,208 @@
+package discovery
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"discovery/internal/metrics"
+)
+
+// Pool is a concurrency-safe, shard-per-core wrapper around Service. A
+// Service is single-threaded by design (the MPIL engine keeps mutable
+// routing scratch and a deterministic RNG), so Pool partitions the key
+// space across a fixed set of shards, each owning one Service over the
+// shared read-only overlay. Every key maps to exactly one shard, so all
+// replicas, deletes, and lookups for a key agree on which engine owns it.
+//
+// Calls for different shards proceed in parallel; calls for the same
+// shard serialize on that shard's mutex. For a fixed seed and shard
+// count, each shard is as deterministic as a lone Service: the i-th
+// operation on a shard gives the same result in any run that delivers
+// the same operations to that shard in the same order.
+//
+// Pool is the library-side counterpart of the discoveryd daemon, which
+// adds bounded request queues and a wire protocol in front of the same
+// sharding scheme (see internal/server).
+type Pool struct {
+	ov     Overlay
+	shards []poolShard
+}
+
+// poolShard is one engine plus its serialization lock and counters.
+// Counters are guarded by mu, not atomics: they mutate only while the
+// shard executes a request, which already holds the lock.
+type poolShard struct {
+	mu       sync.Mutex
+	svc      *Service
+	requests uint64
+	inserts  uint64
+	lookups  uint64
+	deletes  uint64
+	found    metrics.Rate
+	hops     metrics.Sample
+}
+
+// NewPool builds a pool of shards over one overlay. shards <= 0 selects
+// GOMAXPROCS. Options apply to every shard, except that each shard i
+// derives its tie-sampling seed as seed+i so shards draw independent
+// deterministic streams.
+func NewPool(ov Overlay, shards int, opts ...Option) (*Pool, error) {
+	if ov == nil {
+		return nil, fmt.Errorf("discovery: nil overlay")
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	// Recover the base seed the caller configured (default 1) so the
+	// per-shard seeds are derived from it.
+	base := config{seed: 1}
+	for _, opt := range opts {
+		opt(&base)
+	}
+	p := &Pool{ov: ov, shards: make([]poolShard, shards)}
+	for i := range p.shards {
+		svc, err := New(ov, append(append([]Option(nil), opts...), WithSeed(base.seed+int64(i)))...)
+		if err != nil {
+			return nil, err
+		}
+		p.shards[i].svc = svc
+	}
+	return p, nil
+}
+
+// NumShards returns the shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Overlay returns the overlay every shard routes over.
+func (p *Pool) Overlay() Overlay { return p.ov }
+
+// fnv1a hashes the key bytes with FNV-1a, the shard-routing hash.
+func fnv1a(key ID) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// ShardOf returns the shard index owning key. The mapping depends only
+// on the key bytes and the shard count.
+func (p *Pool) ShardOf(key ID) int {
+	return int(fnv1a(key) % uint64(len(p.shards)))
+}
+
+// AutoOrigin deterministically picks an entry node for key, for callers
+// (like the daemon) that accept requests with no origin attached. The
+// choice is spread uniformly and is independent of the shard mapping.
+func (p *Pool) AutoOrigin(key ID) int {
+	return int((fnv1a(key) >> 32) % uint64(p.ov.N()))
+}
+
+// Insert publishes key from origin via the owning shard.
+func (p *Pool) Insert(origin int, key ID, value []byte) InsertResult {
+	s := &p.shards[p.ShardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.inserts++
+	return s.svc.Insert(origin, key, value)
+}
+
+// Lookup queries key from origin via the owning shard.
+func (p *Pool) Lookup(origin int, key ID) LookupResult {
+	s := &p.shards[p.ShardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.lookups++
+	res := s.svc.Lookup(origin, key)
+	s.found.Record(res.Found)
+	if res.Found {
+		s.hops.AddInt(res.FirstReplyHops)
+	}
+	return res
+}
+
+// Delete removes origin's replicas of key via the owning shard.
+func (p *Pool) Delete(origin int, key ID) int {
+	s := &p.shards[p.ShardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.deletes++
+	return s.svc.Delete(origin, key)
+}
+
+// Holders returns the nodes storing key in its owning shard, ascending.
+func (p *Pool) Holders(key ID) []int {
+	s := &p.shards[p.ShardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc.Holders(key)
+}
+
+// Value returns the payload of key stored at node i, if any, consulting
+// the shard that owns key.
+func (p *Pool) Value(i int, key ID) ([]byte, bool) {
+	s := &p.shards[p.ShardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc.Value(i, key)
+}
+
+// ShardStats is one shard's counter snapshot.
+type ShardStats struct {
+	Requests uint64
+	Inserts  uint64
+	Lookups  uint64
+	Deletes  uint64
+	// LookupsFound counts lookups that located a replica.
+	LookupsFound uint64
+	// LookupSuccessPct is the shard's lookup success rate in percent.
+	LookupSuccessPct float64
+	// MeanReplyHops is the mean first-reply hop count of successful
+	// lookups.
+	MeanReplyHops float64
+}
+
+// PoolStats aggregates the pool's counters, overall and per shard.
+type PoolStats struct {
+	Shards       int
+	Requests     uint64
+	Inserts      uint64
+	Lookups      uint64
+	Deletes      uint64
+	LookupsFound uint64
+	PerShard     []ShardStats
+}
+
+// Stats snapshots every shard's counters. It briefly locks each shard in
+// turn, so the snapshot is per-shard consistent.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{Shards: len(p.shards), PerShard: make([]ShardStats, len(p.shards))}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		ss := ShardStats{
+			Requests:         s.requests,
+			Inserts:          s.inserts,
+			Lookups:          s.lookups,
+			Deletes:          s.deletes,
+			LookupsFound:     uint64(s.found.Successes()),
+			LookupSuccessPct: s.found.Percent(),
+			MeanReplyHops:    s.hops.Mean(),
+		}
+		s.mu.Unlock()
+		st.PerShard[i] = ss
+		st.Requests += ss.Requests
+		st.Inserts += ss.Inserts
+		st.Lookups += ss.Lookups
+		st.Deletes += ss.Deletes
+		st.LookupsFound += ss.LookupsFound
+	}
+	return st
+}

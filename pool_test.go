@@ -1,0 +1,184 @@
+package discovery
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestPool(t *testing.T, shards int, seed int64) *Pool {
+	t.Helper()
+	ov, err := RandomOverlay(600, 20, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, shards, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPoolConcurrentInsertLookup(t *testing.T) {
+	const keys, workers = 240, 8
+	// A complete overlay makes lookup success structural rather than
+	// statistical: every argmax node receives a flow (no RNG sampling
+	// below the flow quota), so insert and lookup meet at the same local
+	// maxima no matter how the concurrent schedule interleaves shards.
+	// MaxHops is capped because on a complete overlay a flow that has
+	// passed the argmax tier can never see another local maximum and
+	// would otherwise wander for the default N hops.
+	ov, err := CompleteOverlay(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, 4, WithSeed(1), WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent inserts of distinct keys from many goroutines.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < keys; i += workers {
+				key := NewID(fmt.Sprintf("key-%d", i))
+				res := p.Insert(i%p.Overlay().N(), key, []byte(fmt.Sprintf("value-%d", i)))
+				if res.Replicas == 0 {
+					t.Errorf("key %d stored no replicas", i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Concurrent lookups: every inserted key must be findable, and the
+	// stored payload must match at each reported holder.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < keys; i += workers {
+				key := NewID(fmt.Sprintf("key-%d", i))
+				res := p.Lookup((i*31)%p.Overlay().N(), key)
+				if !res.Found {
+					t.Errorf("key %d not found", i)
+					continue
+				}
+				holders := p.Holders(key)
+				if len(holders) == 0 {
+					t.Errorf("key %d has no holders", i)
+					continue
+				}
+				v, ok := p.Value(holders[0], key)
+				if !ok || string(v) != fmt.Sprintf("value-%d", i) {
+					t.Errorf("key %d holder payload = %q, %v", i, v, ok)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := p.Stats()
+	if st.Inserts != keys || st.Lookups != keys {
+		t.Fatalf("stats count inserts=%d lookups=%d, want %d each", st.Inserts, st.Lookups, keys)
+	}
+	if st.LookupsFound != keys {
+		t.Fatalf("stats found=%d, want %d", st.LookupsFound, keys)
+	}
+	if len(st.PerShard) != 4 {
+		t.Fatalf("per-shard stats: %d entries", len(st.PerShard))
+	}
+	var sum uint64
+	for _, ss := range st.PerShard {
+		sum += ss.Requests
+	}
+	if sum != st.Requests {
+		t.Fatalf("per-shard requests sum %d != total %d", sum, st.Requests)
+	}
+}
+
+// TestPoolDeterminism pins that a fixed seed and shard count reproduce
+// identical per-operation results when each shard sees the same ops in
+// the same order.
+func TestPoolDeterminism(t *testing.T) {
+	run := func() ([]InsertResult, []LookupResult) {
+		p := newTestPool(t, 3, 7)
+		var ins []InsertResult
+		var lks []LookupResult
+		for i := 0; i < 60; i++ {
+			key := NewID(fmt.Sprintf("det-%d", i))
+			ins = append(ins, p.Insert(i*7%p.Overlay().N(), key, []byte("v")))
+		}
+		for i := 0; i < 60; i++ {
+			key := NewID(fmt.Sprintf("det-%d", i))
+			lks = append(lks, p.Lookup(i*13%p.Overlay().N(), key))
+		}
+		return ins, lks
+	}
+	ins1, lks1 := run()
+	ins2, lks2 := run()
+	for i := range ins1 {
+		if ins1[i] != ins2[i] {
+			t.Fatalf("insert %d differs across runs: %+v vs %+v", i, ins1[i], ins2[i])
+		}
+	}
+	for i := range lks1 {
+		if lks1[i] != lks2[i] {
+			t.Fatalf("lookup %d differs across runs: %+v vs %+v", i, lks1[i], lks2[i])
+		}
+	}
+}
+
+func TestPoolShardRoutingStable(t *testing.T) {
+	p := newTestPool(t, 5, 1)
+	for i := 0; i < 100; i++ {
+		key := NewID(fmt.Sprintf("route-%d", i))
+		s := p.ShardOf(key)
+		if s < 0 || s >= p.NumShards() {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if again := p.ShardOf(key); again != s {
+			t.Fatalf("shard mapping unstable: %d then %d", s, again)
+		}
+		o := p.AutoOrigin(key)
+		if o < 0 || o >= p.Overlay().N() {
+			t.Fatalf("auto origin %d out of range", o)
+		}
+	}
+}
+
+func TestPoolDelete(t *testing.T) {
+	p := newTestPool(t, 2, 3)
+	key := NewID("deletable")
+	const origin = 17
+	if res := p.Insert(origin, key, []byte("v")); res.Replicas == 0 {
+		t.Fatal("insert stored nothing")
+	}
+	// A stranger may not delete someone else's object.
+	if removed := p.Delete(origin+1, key); removed != 0 {
+		t.Fatalf("foreign delete removed %d replicas", removed)
+	}
+	if removed := p.Delete(origin, key); removed == 0 {
+		t.Fatal("owner delete removed nothing")
+	}
+	if holders := p.Holders(key); len(holders) != 0 {
+		t.Fatalf("holders after delete: %v", holders)
+	}
+}
+
+func TestPoolDefaultsShardsToGOMAXPROCS(t *testing.T) {
+	ov, err := RandomOverlay(100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() < 1 {
+		t.Fatalf("NumShards = %d", p.NumShards())
+	}
+}
