@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/server"
+)
+
+// buildDaemon compiles the discoveryd binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "discoveryd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var addrRe = regexp.MustCompile(` on (127\.0\.0\.1:\d+) with `)
+
+// startDaemon launches the built daemon on an ephemeral port over a
+// small complete overlay (structural lookup success) with durable
+// storage in dataDir, and returns the bound address.
+func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-topology", "complete", "-nodes", "128", "-maxhops", "8",
+		"-shards", "4",
+		"-data-dir", dataDir, "-fsync", "batch", "-snapshot-every", "64",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("daemon: %s", line)
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	// Reap the process and drain its log scanner no matter how the test
+	// exits. Kill/Wait on an already-finished daemon just error, which
+	// is fine; the scanner ends once the pipe closes.
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+		<-scanDone
+	})
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never reported its listen address")
+		return nil, ""
+	}
+}
+
+// TestCrashRecovery is the end-to-end durability proof: drive a real
+// discoveryd process over loopback, SIGKILL it mid-traffic, restart it
+// on the same data directory, and verify every insert that was
+// acknowledged before the kill is findable. Run under -race in CI (the
+// race detector instruments this test binary's client side; the daemon
+// is a separate process).
+func TestCrashRecovery(t *testing.T) {
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+
+	daemon, addr := startDaemon(t, bin, dataDir)
+
+	// Concurrent inserters record every acknowledged key. The main
+	// goroutine SIGKILLs the daemon once enough acks are in, while the
+	// inserters are still pushing — so the kill lands mid-traffic.
+	const inserters = 4
+	const killAfter = 300
+	var acked atomic.Int64
+	ackedKeys := make([][]string, inserters)
+	var wg sync.WaitGroup
+	for w := 0; w < inserters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				t.Errorf("inserter %d: %v", w, err)
+				return
+			}
+			defer c.Close()
+			for i := 0; ; i++ {
+				key := fmt.Sprintf("crash-%d-%d", w, i)
+				if _, err := c.Insert(server.OriginAuto, discovery.NewID(key), []byte(key)); err != nil {
+					return // the kill landed; everything before it was acked
+				}
+				ackedKeys[w] = append(ackedKeys[w], key)
+				acked.Add(1)
+			}
+		}(w)
+	}
+	// Wait for enough acks, but bail out if the inserters die early (a
+	// failed dial, a dead daemon) instead of spinning until the package
+	// timeout.
+	insertersDone := make(chan struct{})
+	go func() { wg.Wait(); close(insertersDone) }()
+	deadline := time.Now().Add(60 * time.Second)
+	for acked.Load() < killAfter {
+		select {
+		case <-insertersDone:
+			t.Fatalf("inserters exited after only %d acks", acked.Load())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d acks after 60s", acked.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := daemon.Process.Kill(); err != nil { // SIGKILL: no drain, no final snapshot
+		t.Fatal(err)
+	}
+	wg.Wait()
+	daemon.Wait() //nolint:errcheck // killed on purpose
+
+	// Restart on the same directory: recovery must replay the log over
+	// whatever snapshots the background snapshotter managed to land.
+	daemon2, addr2 := startDaemon(t, bin, dataDir)
+
+	c, err := server.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	total, lost := 0, 0
+	for w := range ackedKeys {
+		for _, key := range ackedKeys[w] {
+			total++
+			res, err := c.Lookup(server.OriginAuto, discovery.NewID(key))
+			if err != nil {
+				t.Fatalf("lookup %s: %v", key, err)
+			}
+			if !res.Found {
+				lost++
+				t.Errorf("acked key %s not findable after crash recovery", key)
+			}
+		}
+	}
+	t.Logf("verified %d acked inserts after SIGKILL (%d lost)", total, lost)
+	if total < killAfter {
+		t.Fatalf("only %d inserts were acked before the kill; test did not exercise mid-traffic crash", total)
+	}
+
+	// A graceful SIGTERM must drain cleanly and exit 0 (containers stop
+	// daemons this way).
+	if err := daemon2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon2.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+}

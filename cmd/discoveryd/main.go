@@ -5,22 +5,32 @@
 // Example:
 //
 //	discoveryd -listen :7700 -topology random -nodes 2000 -degree 20 \
-//	           -overlay-seed 42 -shards 4 -maxflows 10 -replicas 5
+//	           -overlay-seed 42 -shards 4 -maxflows 10 -replicas 5 \
+//	           -data-dir /var/lib/discoveryd -fsync batch -snapshot-every 10000
 //
 // The overlay is generated at startup from the spec flags and never
 // mutates while serving; requests are partitioned across shards by
 // hashing the key, so results are deterministic per (seed, shard count)
 // for any fixed per-shard request order. See the README's "Running the
 // daemon" section for the shard and backpressure model.
+//
+// With -data-dir set, every insert and delete is written ahead to a
+// checksummed log (and fsynced per -fsync) before it executes, and
+// shard snapshots every -snapshot-every mutations keep the log short.
+// Restarting on the same directory recovers every acknowledged mutation
+// — including after a SIGKILL or machine crash. See the README's
+// "Persistence & recovery" section.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	discovery "discovery"
 	"discovery/internal/server"
@@ -45,6 +55,9 @@ func run() int {
 		digitB      = flag.Int("b", 4, "digit width in bits (1, 2, 4, 8)")
 		ds          = flag.Bool("ds", false, "duplicate suppression")
 		maxHops     = flag.Int("maxhops", 0, "per-flow hop bound (0 = node count)")
+		dataDir     = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+		fsync       = flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
+		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot a shard after N logged mutations (0 = only on shutdown)")
 	)
 	flag.Parse()
 
@@ -75,13 +88,37 @@ func run() int {
 	if *maxHops > 0 {
 		opts = append(opts, discovery.WithMaxHops(*maxHops))
 	}
-	pool, err := discovery.NewPool(ov, *shards, opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "discoveryd:", err)
-		return 2
+
+	var pool *discovery.Pool
+	var store io.Closer
+	if *dataDir != "" {
+		policy, err := discovery.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discoveryd:", err)
+			return 2
+		}
+		dp, rec, err := discovery.OpenDurablePool(ov, *shards, discovery.DurableConfig{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			SnapshotEvery: *snapEvery,
+			Logf:          log.Printf,
+		}, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discoveryd:", err)
+			return 2
+		}
+		pool, store = dp.Pool, dp
+		log.Printf("discoveryd: recovered %s: %d snapshot entries, %d wal records replayed in %s (fsync=%s, snapshot-every=%d)",
+			*dataDir, rec.SnapshotEntries, rec.Replayed, rec.Elapsed.Round(time.Millisecond), policy, *snapEvery)
+	} else {
+		pool, err = discovery.NewPool(ov, *shards, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discoveryd:", err)
+			return 2
+		}
 	}
 
-	srv, err := server.New(server.Config{Pool: pool, QueueDepth: *queue, Logf: log.Printf})
+	srv, err := server.New(server.Config{Pool: pool, QueueDepth: *queue, Store: store, Logf: log.Printf})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoveryd:", err)
 		return 2
@@ -94,14 +131,19 @@ func run() int {
 	log.Printf("discoveryd: serving %s overlay (%d nodes) on %s with %d shards (queue %d)",
 		*topo, ov.N(), addr, pool.NumShards(), *queue)
 
+	// Containers send SIGTERM, terminals send SIGINT; both get the same
+	// graceful drain (stop accepting, finish queued requests, seal the
+	// store).
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("discoveryd: shutting down")
+	got := <-sig
+	log.Printf("discoveryd: received %v, draining", got)
+	drainStart := time.Now()
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "discoveryd:", err)
 		return 1
 	}
+	log.Printf("discoveryd: drained in %s", time.Since(drainStart).Round(time.Millisecond))
 	st := pool.Stats()
 	log.Printf("discoveryd: served %d requests (%d inserts, %d lookups, %d deletes; %d lookups found)",
 		st.Requests, st.Inserts, st.Lookups, st.Deletes, st.LookupsFound)

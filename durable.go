@@ -1,0 +1,506 @@
+package discovery
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"discovery/internal/idspace"
+	"discovery/internal/snapshot"
+	"discovery/internal/wal"
+)
+
+// This file is the durability layer over Pool: a single write-ahead log
+// shared by every shard (so concurrent shard workers group-commit their
+// fsyncs) plus per-shard snapshots that bound recovery work and let the
+// log be truncated.
+//
+// # Data directory layout
+//
+//	MANIFEST                      pool parameters + overlay fingerprint
+//	wal-<firstSeq>.seg            write-ahead log segments (internal/wal)
+//	snap-<shard>-<seq>.snap       per-shard state snapshots (internal/snapshot)
+//
+// # Invariants
+//
+//   - Write-ahead: a mutation is appended to the log (and made durable
+//     per the fsync policy) before it executes, so an acked operation is
+//     always recoverable and an unlogged one is never applied.
+//   - A snapshot for shard s at sequence S contains the effect of every
+//     shard-s record with seq <= S and nothing newer.
+//   - The log is only truncated below min over shards of the newest
+//     durable snapshot seq, so recovery always finds every record it
+//     needs: restore each shard's snapshot, then replay the log once,
+//     applying each record to its shard iff seq > that shard's snapshot.
+//
+// # Replay determinism
+//
+// Replay re-executes logical operations through the engine. From an
+// empty directory state (no snapshots) this is bit-exact: each shard
+// sees the same operations in the same order from the same seed, so
+// replicas land exactly where they did before the crash. Replaying a
+// log tail OVER a snapshot is exact on overlays where routing never
+// samples ties (e.g. complete overlays within the flow quota), but on
+// tie-heavy overlays the tail's inserts re-sample tie-breaks with a
+// fresh RNG: the recovered placement is then a different — equally
+// valid — MPIL outcome for those inserts, statistically identical for
+// lookups. Deployments that require bit-exact recovery can set
+// SnapshotEvery to 0 (snapshot only on graceful Close, replay the
+// whole log after a crash).
+
+// opKind tags one logged mutation.
+type opKind uint8
+
+// Logged operation kinds.
+const (
+	opInsert opKind = 1
+	opDelete opKind = 2
+)
+
+// op record payload layout (inside one wal record):
+//
+//	| u16 shard | u8 kind | u32 origin | key[20] | value... |
+//
+// value is present only for inserts (rest of the payload). Strict,
+// canonical, never panics — the internal/wire discipline.
+const opHdrLen = 2 + 1 + 4 + idspace.Bytes
+
+// errOpRecord rejects malformed op payloads without allocating.
+var errOpRecord = errors.New("discovery: malformed wal op record")
+
+// appendOp encodes one mutation onto dst.
+func appendOp(dst []byte, shard uint16, kind opKind, origin uint32, key ID, value []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, shard)
+	dst = append(dst, byte(kind))
+	dst = binary.BigEndian.AppendUint32(dst, origin)
+	dst = append(dst, key[:]...)
+	return append(dst, value...)
+}
+
+// decodeOp parses one mutation payload. value aliases payload.
+func decodeOp(payload []byte) (shard uint16, kind opKind, origin uint32, key ID, value []byte, err error) {
+	if len(payload) < opHdrLen {
+		return 0, 0, 0, ID{}, nil, errOpRecord
+	}
+	shard = binary.BigEndian.Uint16(payload[0:2])
+	kind = opKind(payload[2])
+	origin = binary.BigEndian.Uint32(payload[3:7])
+	copy(key[:], payload[7:7+idspace.Bytes])
+	rest := payload[opHdrLen:]
+	switch kind {
+	case opInsert:
+		value = rest
+	case opDelete:
+		if len(rest) != 0 {
+			return 0, 0, 0, ID{}, nil, errOpRecord
+		}
+	default:
+		return 0, 0, 0, ID{}, nil, errOpRecord
+	}
+	return shard, kind, origin, key, value, nil
+}
+
+// FsyncPolicy re-exports the write-ahead log's durability policies under
+// the package's public configuration surface.
+type FsyncPolicy = wal.Policy
+
+// Fsync policies for DurableConfig.Fsync.
+const (
+	// FsyncBatch group-commits: every acked mutation is fsynced, but
+	// concurrent shard workers share fsyncs. The default.
+	FsyncBatch = wal.SyncBatch
+	// FsyncAlways issues a dedicated fsync per mutation.
+	FsyncAlways = wal.SyncAlways
+	// FsyncOff never fsyncs: mutations survive a process crash (they
+	// reach the kernel before the ack) but not a power failure.
+	FsyncOff = wal.SyncOff
+)
+
+// ParseFsyncPolicy parses "always", "batch" or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParsePolicy(s) }
+
+// DurableConfig parameterizes OpenDurablePool.
+type DurableConfig struct {
+	// Dir is the data directory. Created if absent; reusing a directory
+	// recovers the pool state persisted there (the MANIFEST must match).
+	Dir string
+	// Fsync selects when logged mutations are fsynced (default
+	// FsyncBatch).
+	Fsync FsyncPolicy
+	// SnapshotEvery triggers a background snapshot of a shard after that
+	// many logged mutations on it, which in turn lets the write-ahead
+	// log be truncated. Zero snapshots only on Close.
+	SnapshotEvery int
+	// SegmentBytes is the log's segment rotation threshold (0 = the
+	// wal package default, 64 MiB).
+	SegmentBytes int64
+	// Logf, when set, receives background snapshot errors and recovery
+	// notes.
+	Logf func(format string, args ...any)
+}
+
+// RecoveryStats reports what reopening a data directory recovered.
+type RecoveryStats struct {
+	// SnapshotEntries is the number of replicas restored from snapshots.
+	SnapshotEntries int
+	// Replayed is the number of write-ahead log records re-executed.
+	Replayed int
+	// Elapsed is the total recovery wall time.
+	Elapsed time.Duration
+}
+
+// DurablePool is a Pool whose mutations survive restarts and crashes.
+// Reads and writes go through the embedded Pool API; Close drains the
+// background snapshotter, snapshots every shard, and closes the log.
+type DurablePool struct {
+	*Pool
+	cfg DurableConfig
+	log *wal.Log
+	dsh []durableShard
+
+	// snapMu guards snapSeq, the per-shard newest durable snapshot seq.
+	snapMu  sync.Mutex
+	snapSeq []uint64
+
+	snapCh    chan int
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// durableShard is one shard's logging state, guarded by the owning pool
+// shard's mutex (the hook runs with it held).
+type durableShard struct {
+	buf         []byte // op framing scratch
+	seq         uint64 // seq of the shard's most recent logged mutation
+	sinceSnap   int    // mutations since the last snapshot request
+	snapPending bool   // a snapshot request is queued or running
+}
+
+// OpenDurablePool builds a Pool over ov backed by the data directory in
+// cfg. A fresh directory starts empty; an existing one is recovered:
+// each shard's newest snapshot is restored, then the write-ahead log is
+// replayed over it. The pool parameters and overlay must match the ones
+// the directory was created with (checked via MANIFEST).
+func OpenDurablePool(ov Overlay, shards int, cfg DurableConfig, opts ...Option) (*DurablePool, RecoveryStats, error) {
+	var stats RecoveryStats
+	start := time.Now()
+	if cfg.Dir == "" {
+		return nil, stats, errors.New("discovery: DurableConfig.Dir is required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	p, err := NewPool(ov, shards, opts...)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, stats, err
+	}
+	if err := checkManifest(cfg.Dir, p); err != nil {
+		return nil, stats, err
+	}
+
+	dp := &DurablePool{
+		Pool:    p,
+		cfg:     cfg,
+		dsh:     make([]durableShard, p.NumShards()),
+		snapSeq: make([]uint64, p.NumShards()),
+		snapCh:  make(chan int, p.NumShards()),
+		quit:    make(chan struct{}),
+	}
+
+	// Restore each shard's newest snapshot, in parallel: shards are
+	// independent and snapshot decode dominates recovery on big states.
+	errs := make([]error, p.NumShards())
+	entryCounts := make([]int, p.NumShards())
+	var rwg sync.WaitGroup
+	for i := 0; i < p.NumShards(); i++ {
+		rwg.Add(1)
+		go func(i int) {
+			defer rwg.Done()
+			entries, seq, err := snapshot.Load(cfg.Dir, uint32(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := p.restoreShard(i, entries); err != nil {
+				errs[i] = err
+				return
+			}
+			dp.snapSeq[i] = seq
+			dp.dsh[i].seq = seq
+			entryCounts[i] = len(entries)
+		}(i)
+	}
+	rwg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	minSnap, maxSnap := dp.snapSeq[0], dp.snapSeq[0]
+	for _, s := range dp.snapSeq {
+		if s < minSnap {
+			minSnap = s
+		}
+		if s > maxSnap {
+			maxSnap = s
+		}
+	}
+	for _, n := range entryCounts {
+		stats.SnapshotEntries += n
+	}
+
+	log, err := wal.Open(cfg.Dir, wal.Options{SegmentBytes: cfg.SegmentBytes, Sync: cfg.Fsync})
+	if err != nil {
+		return nil, stats, err
+	}
+	dp.log = log
+
+	// The log must reach back to every record the snapshots don't cover.
+	// Two writer states are legitimate: running truncation keeps
+	// first <= min(snapSeq)+1, and a graceful Close leaves an empty log
+	// (first == next) after snapshotting every shard at its final seq.
+	first, next := log.Bounds()
+	if first > minSnap+1 && first != next {
+		log.Close()
+		return nil, stats, fmt.Errorf("discovery: %s: log starts at seq %d but a snapshot only covers through %d", cfg.Dir, first, minSnap)
+	}
+	// Sequence numbers never rewind: a snapshot at seq S implies the log
+	// once reached S, so a log ending below S+1 has lost segments (e.g.
+	// deleted files) and new appends would reuse seqs the snapshots
+	// already pinned, to be silently skipped by the next recovery.
+	if next < maxSnap+1 {
+		log.Close()
+		return nil, stats, fmt.Errorf("discovery: %s: log ends at seq %d but a snapshot covers through %d (missing segments?)", cfg.Dir, next, maxSnap)
+	}
+	from := minSnap + 1
+	if from < first {
+		from = first
+	}
+	err = log.Replay(from, func(seq uint64, payload []byte) error {
+		shard, kind, origin, key, value, err := decodeOp(payload)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
+		if int(shard) >= p.NumShards() {
+			return fmt.Errorf("record %d: shard %d out of range", seq, shard)
+		}
+		if seq <= dp.snapSeq[shard] {
+			return nil // already covered by that shard's snapshot
+		}
+		if kind == opInsert {
+			// The engine retains inserted values; the replay payload
+			// buffer is reused per record.
+			value = append([]byte(nil), value...)
+		}
+		p.applyShard(int(shard), kind, origin, key, value)
+		dp.dsh[shard].seq = seq
+		stats.Replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, stats, fmt.Errorf("discovery: %s: replay: %w", cfg.Dir, err)
+	}
+
+	// Arm the write-ahead hooks and the background snapshotter.
+	for i := range p.shards {
+		p.shards[i].hook = dp.hookFor(i)
+	}
+	dp.wg.Add(1)
+	go dp.snapLoop()
+
+	stats.Elapsed = time.Since(start)
+	return dp, stats, nil
+}
+
+// hookFor builds shard i's write-ahead hook. It runs with the shard's
+// lock held: frame the op, append it to the shared log (blocking until
+// durable per the fsync policy), and occasionally request a snapshot.
+func (dp *DurablePool) hookFor(i int) mutationHook {
+	ds := &dp.dsh[i]
+	return func(kind opKind, origin uint32, key ID, value []byte) error {
+		ds.buf = appendOp(ds.buf[:0], uint16(i), kind, origin, key, value)
+		seq, err := dp.log.Append(ds.buf)
+		if err != nil {
+			return fmt.Errorf("discovery: wal append: %w", err)
+		}
+		ds.seq = seq
+		ds.sinceSnap++
+		if dp.cfg.SnapshotEvery > 0 && ds.sinceSnap >= dp.cfg.SnapshotEvery && !ds.snapPending {
+			ds.snapPending = true
+			select {
+			case dp.snapCh <- i:
+			default:
+				ds.snapPending = false // snapshotter saturated; retry later
+			}
+		}
+		return nil
+	}
+}
+
+// snapLoop runs snapshot requests until Close.
+func (dp *DurablePool) snapLoop() {
+	defer dp.wg.Done()
+	for {
+		select {
+		case i := <-dp.snapCh:
+			if err := dp.snapshotShard(i); err != nil {
+				dp.cfg.Logf("discovery: snapshot shard %d: %v", i, err)
+			}
+		case <-dp.quit:
+			return
+		}
+	}
+}
+
+// snapshotShard exports shard i's state under its lock, writes the
+// snapshot outside it, garbage-collects older snapshots, and truncates
+// the log below the minimum snapshot seq across shards.
+func (dp *DurablePool) snapshotShard(i int) error {
+	s := &dp.Pool.shards[i]
+	ds := &dp.dsh[i]
+
+	s.mu.Lock()
+	entries := dp.Pool.exportShardLocked(i)
+	seq := ds.seq
+	ds.sinceSnap = 0
+	s.mu.Unlock()
+
+	err := snapshot.Write(dp.cfg.Dir, uint32(i), seq, entries)
+
+	s.mu.Lock()
+	ds.snapPending = false
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	dp.snapMu.Lock()
+	if seq > dp.snapSeq[i] {
+		dp.snapSeq[i] = seq
+	}
+	min := dp.snapSeq[0]
+	for _, v := range dp.snapSeq {
+		if v < min {
+			min = v
+		}
+	}
+	dp.snapMu.Unlock()
+
+	if err := snapshot.GC(dp.cfg.Dir, uint32(i), seq); err != nil {
+		return err
+	}
+	return dp.log.TruncateBefore(min + 1)
+}
+
+// Sync forces an fsync of the write-ahead log, regardless of policy.
+// Under FsyncOff this is the only durability point besides Close.
+func (dp *DurablePool) Sync() error { return dp.log.Sync() }
+
+// Close stops the background snapshotter, snapshots every shard (so the
+// next open replays nothing), truncates the log accordingly, and closes
+// it. The caller must have stopped issuing mutations — in discoveryd,
+// the server drains its shard queues first and then closes the store.
+func (dp *DurablePool) Close() error {
+	dp.closeOnce.Do(func() {
+		close(dp.quit)
+		dp.wg.Wait()
+		failed := false
+		for i := range dp.dsh {
+			if err := dp.snapshotShard(i); err != nil {
+				failed = true
+				if dp.closeErr == nil {
+					dp.closeErr = err
+				}
+			}
+		}
+		if !failed {
+			// Mutations are quiesced and every shard just snapshotted at
+			// its final seq, so the whole log is redundant: drop it all
+			// and the next open replays (and scans) nothing.
+			_, next := dp.log.Bounds()
+			if err := dp.log.TruncateBefore(next); err != nil && dp.closeErr == nil {
+				dp.closeErr = err
+			}
+		}
+		if err := dp.log.Close(); err != nil && dp.closeErr == nil {
+			dp.closeErr = err
+		}
+	})
+	return dp.closeErr
+}
+
+// manifestName is the parameter-pinning file inside a data directory.
+const manifestName = "MANIFEST"
+
+// manifestFor renders the parameters that must match across opens of one
+// data directory: logical replay is only valid against the same overlay,
+// shard mapping, and engine configuration.
+func manifestFor(p *Pool) string {
+	c := p.base
+	return fmt.Sprintf(
+		"discovery-manifest v1\nshards %d\nseed %d\ndigitbits %d\nmaxflows %d\nreplicas %d\ndupsupp %t\nmaxhops %d\noverlay %016x\n",
+		len(p.shards), c.seed, c.digitBits, c.maxFlows, c.perFlowReplicas, c.duplicateSuppression, c.maxHops,
+		overlayFingerprint(p.ov),
+	)
+}
+
+// checkManifest writes the manifest on first open and verifies it on
+// later ones, refusing to recover state into a mismatched pool.
+func checkManifest(dir string, p *Pool) error {
+	want := manifestFor(p)
+	path := filepath.Join(dir, manifestName)
+	got, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(want), 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+	if err != nil {
+		return err
+	}
+	if string(got) != want {
+		return fmt.Errorf("discovery: %s was created with different parameters:\n--- stored\n%s--- this pool\n%s", dir, got, want)
+	}
+	return nil
+}
+
+// overlayFingerprint hashes the overlay's structure — node count, IDs,
+// and neighbor lists — with FNV-1a, pinning a data directory to the
+// overlay it was populated on.
+func overlayFingerprint(ov Overlay) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xFF
+			h *= prime64
+		}
+	}
+	n := ov.N()
+	mix(uint64(n))
+	for i := 0; i < n; i++ {
+		id := ov.ID(i)
+		for _, b := range id {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		nbs := ov.Neighbors(i)
+		mix(uint64(len(nbs)))
+		for _, nb := range nbs {
+			mix(uint64(nb))
+		}
+	}
+	return h
+}

@@ -1,0 +1,263 @@
+package discovery
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"discovery/internal/snapshot"
+)
+
+// newDurableTestOverlay is the complete-overlay setup the concurrent
+// pool tests use: lookup success is structural, so "every acked insert
+// is findable" holds for any interleaving (see pool_test.go).
+func newDurableTestOverlay(t testing.TB) *StaticOverlay {
+	t.Helper()
+	ov, err := CompleteOverlay(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ov
+}
+
+func openDurable(t testing.TB, ov Overlay, dir string, cfg DurableConfig) (*DurablePool, RecoveryStats) {
+	t.Helper()
+	cfg.Dir = dir
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	dp, stats, err := OpenDurablePool(ov, 4, cfg, WithSeed(1), WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp, stats
+}
+
+// exportAll snapshots every shard's state for equality comparisons.
+func exportAll(p *Pool) [][]snapshot.Entry {
+	out := make([][]snapshot.Entry, p.NumShards())
+	for i := range out {
+		s := &p.shards[i]
+		s.mu.Lock()
+		out[i] = p.exportShardLocked(i)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func TestDurablePoolRestartAfterClose(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, stats := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	if stats.SnapshotEntries != 0 || stats.Replayed != 0 {
+		t.Fatalf("fresh dir recovered something: %+v", stats)
+	}
+	const keys = 60
+	for i := 0; i < keys; i++ {
+		if _, err := dp.Insert(i%ov.N(), NewID(fmt.Sprintf("dur-%d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a few so replay covers both kinds.
+	for i := 0; i < keys; i += 10 {
+		if _, err := dp.Delete(i%ov.N(), NewID(fmt.Sprintf("dur-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := exportAll(dp.Pool)
+	if err := dp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.Insert(0, NewID("after-close"), []byte("v")); err == nil {
+		t.Fatal("insert after Close succeeded")
+	}
+
+	dp2, stats2 := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp2.Close()
+	// A graceful close snapshots every shard, so nothing replays.
+	if stats2.Replayed != 0 {
+		t.Fatalf("replayed %d records after clean close", stats2.Replayed)
+	}
+	if got := exportAll(dp2.Pool); !reflect.DeepEqual(got, want) {
+		t.Fatal("state after clean restart differs")
+	}
+	// Deleted keys stay deleted; surviving keys stay findable.
+	for i := 1; i < keys; i++ {
+		res := dp2.Lookup((i*31)%ov.N(), NewID(fmt.Sprintf("dur-%d", i)))
+		if want := i%10 != 0; res.Found != want {
+			t.Errorf("key %d found=%v after restart, want %v", i, res.Found, want)
+		}
+	}
+}
+
+func TestDurablePoolCrashReplay(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	const keys = 40
+	for i := 0; i < keys; i++ {
+		if _, err := dp.Insert(i%ov.N(), NewID(fmt.Sprintf("crash-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := exportAll(dp.Pool)
+	// No Close: simulate a crash by abandoning the pool. Every insert
+	// above was acked, and FsyncBatch means acked ⇒ durable, so a fresh
+	// open must rebuild the exact state from the log alone.
+	dp2, stats := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp2.Close()
+	if stats.Replayed != keys {
+		t.Fatalf("replayed %d records, want %d", stats.Replayed, keys)
+	}
+	if stats.SnapshotEntries != 0 {
+		t.Fatalf("loaded %d snapshot entries, want 0", stats.SnapshotEntries)
+	}
+	if got := exportAll(dp2.Pool); !reflect.DeepEqual(got, want) {
+		t.Fatal("state after crash replay differs from the acked state")
+	}
+}
+
+func TestDurablePoolSnapshotTruncatesLog(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	// Tiny segments so snapshots actually free whole segments.
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff, SegmentBytes: 512})
+	const keys = 80
+	for i := 0; i < keys; i++ {
+		if _, err := dp.Insert(i%ov.N(), NewID(fmt.Sprintf("snap-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot every shard synchronously (the background path runs the
+	// same function off snapCh).
+	for i := 0; i < dp.NumShards(); i++ {
+		if err := dp.snapshotShard(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The safe truncation cutoff is min over shards of the snapshot seq,
+	// so whole segments below it are gone; a tail whose records are all
+	// snapshot-covered may remain.
+	first, next := dp.log.Bounds()
+	if first <= 1 {
+		t.Fatalf("log not truncated after all-shard snapshots: [%d,%d)", first, next)
+	}
+	want := exportAll(dp.Pool)
+
+	// Crash-reopen: recovery must come entirely from the snapshots.
+	dp2, stats := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff, SegmentBytes: 512})
+	defer dp2.Close()
+	if stats.Replayed != 0 {
+		t.Fatalf("replayed %d records, want 0 (snapshots cover all)", stats.Replayed)
+	}
+	if stats.SnapshotEntries == 0 {
+		t.Fatal("no snapshot entries restored")
+	}
+	if got := exportAll(dp2.Pool); !reflect.DeepEqual(got, want) {
+		t.Fatal("state after snapshot recovery differs")
+	}
+	// And mutations keep flowing with continuous sequence numbers.
+	if _, err := dp2.Insert(3, NewID("post-snapshot"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, n2 := dp2.log.Bounds(); n2 != next+1 {
+		t.Fatalf("next seq after post-recovery insert = %d, want %d", n2, next+1)
+	}
+}
+
+func TestDurablePoolSnapshotOverWAL(t *testing.T) {
+	// Snapshot some shards but not others; recovery must mix restore
+	// and replay correctly.
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	const keys = 50
+	insert := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if _, err := dp.Insert(i%ov.N(), NewID(fmt.Sprintf("mix-%d", i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	insert(0, keys/2)
+	for i := 0; i < dp.NumShards(); i += 2 {
+		if err := dp.snapshotShard(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insert(keys/2, keys)
+	want := exportAll(dp.Pool)
+
+	dp2, stats := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp2.Close()
+	if stats.SnapshotEntries == 0 || stats.Replayed == 0 {
+		t.Fatalf("expected mixed recovery, got %+v", stats)
+	}
+	if got := exportAll(dp2.Pool); !reflect.DeepEqual(got, want) {
+		t.Fatal("mixed snapshot+replay recovery diverged")
+	}
+}
+
+func TestDurablePoolConcurrent(t *testing.T) {
+	// Concurrent writers over the durable pool: group commit, the
+	// background snapshotter, and the hooks all race-tested together.
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch, SnapshotEvery: 16})
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := NewID(fmt.Sprintf("conc-%d-%d", w, i))
+				if _, err := dp.Insert((w*per+i)%ov.N(), key, []byte("v")); err != nil {
+					t.Errorf("worker %d insert %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Crash-reopen (no Close) and verify every acked insert is findable.
+	dp2, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp2.Close()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			key := NewID(fmt.Sprintf("conc-%d-%d", w, i))
+			if res := dp2.Lookup((w+i)%ov.N(), key); !res.Found {
+				t.Errorf("acked key conc-%d-%d lost across crash", w, i)
+			}
+		}
+	}
+}
+
+func TestDurablePoolManifestMismatch(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff})
+	dp.Close()
+
+	// Different seed.
+	if _, _, err := OpenDurablePool(ov, 4, DurableConfig{Dir: dir}, WithSeed(2), WithMaxHops(8)); err == nil {
+		t.Fatal("mismatched seed accepted")
+	}
+	// Different shard count.
+	if _, _, err := OpenDurablePool(ov, 8, DurableConfig{Dir: dir}, WithSeed(1), WithMaxHops(8)); err == nil {
+		t.Fatal("mismatched shard count accepted")
+	}
+	// Different overlay.
+	ov2, err := CompleteOverlay(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenDurablePool(ov2, 4, DurableConfig{Dir: dir}, WithSeed(1), WithMaxHops(8)); err == nil {
+		t.Fatal("mismatched overlay accepted")
+	}
+	// The original parameters still open fine.
+	dp2, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff})
+	dp2.Close()
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -145,6 +146,123 @@ func TestDistributionMerge(t *testing.T) {
 	}
 	if got := a.Percentile(50); got != 50 {
 		t.Errorf("merged P50 = %v, want 50", got)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := d.Percentile(p); got != 0 {
+			t.Errorf("empty P%v = %v, want 0", p, got)
+		}
+	}
+	if d.N() != 0 || d.Mean() != 0 {
+		t.Errorf("empty N/Mean = %d/%v", d.N(), d.Mean())
+	}
+	// Merging two empties stays empty and queryable.
+	var e Distribution
+	d.Merge(&e)
+	if d.N() != 0 || d.Percentile(50) != 0 {
+		t.Error("merge of empties not empty")
+	}
+}
+
+func TestDistributionSingleSample(t *testing.T) {
+	var d Distribution
+	d.Add(-42.5)
+	for _, p := range []float64{0, 0.1, 50, 99.9, 100} {
+		if got := d.Percentile(p); got != -42.5 {
+			t.Errorf("single-sample P%v = %v, want -42.5", p, got)
+		}
+	}
+	if d.Mean() != -42.5 || d.N() != 1 {
+		t.Errorf("single-sample Mean/N = %v/%d", d.Mean(), d.N())
+	}
+}
+
+func TestDistributionExactBoundaryQuantiles(t *testing.T) {
+	// Ten values: under nearest-rank, P(10k) must land exactly on the
+	// k-th order statistic, and a hair above it must step to the next.
+	var d Distribution
+	for _, v := range []float64{90, 10, 50, 30, 70, 20, 100, 60, 40, 80} {
+		d.Add(v)
+	}
+	for k := 1; k <= 10; k++ {
+		p := float64(k) * 10
+		if got := d.Percentile(p); got != float64(k*10) {
+			t.Errorf("P%v = %v, want %v", p, got, k*10)
+		}
+		if k < 10 {
+			if got := d.Percentile(p + 0.001); got != float64((k+1)*10) {
+				t.Errorf("P%v = %v, want %v", p+0.001, got, (k+1)*10)
+			}
+		}
+	}
+	// Out-of-range p clamps to the extremes.
+	if d.Percentile(-5) != 10 || d.Percentile(250) != 100 {
+		t.Errorf("clamped percentiles = %v/%v", d.Percentile(-5), d.Percentile(250))
+	}
+	// Duplicate-heavy data: quantiles sit on the repeated value.
+	var e Distribution
+	for i := 0; i < 9; i++ {
+		e.Add(5)
+	}
+	e.Add(9)
+	if e.Percentile(50) != 5 || e.Percentile(90) != 5 || e.Percentile(100) != 9 {
+		t.Errorf("duplicate data quantiles: P50=%v P90=%v P100=%v", e.Percentile(50), e.Percentile(90), e.Percentile(100))
+	}
+}
+
+func TestDistributionMergeEmptySides(t *testing.T) {
+	var full, empty Distribution
+	for i := 1; i <= 4; i++ {
+		full.Add(float64(i))
+	}
+	full.Merge(&empty) // right side empty: nothing changes
+	if full.N() != 4 || full.Percentile(100) != 4 {
+		t.Fatalf("merge with empty changed data: N=%d", full.N())
+	}
+	empty.Merge(&full) // left side empty: adopts everything
+	if empty.N() != 4 || empty.Percentile(0) != 1 || empty.Percentile(100) != 4 {
+		t.Fatalf("empty.Merge(full): N=%d", empty.N())
+	}
+}
+
+func TestTableHeaderRowsOrdering(t *testing.T) {
+	tb := NewTable("first", "second", "third")
+	tb.AddRow("r0c0", "r0c1", "r0c2")
+	tb.AddRow("r1c0") // padded
+	tb.AddRow("r2c0", "r2c1", "r2c2", "r2c3")
+
+	h := tb.Header()
+	if len(h) != 3 || h[0] != "first" || h[1] != "second" || h[2] != "third" {
+		t.Fatalf("header order = %v", h)
+	}
+	rows := tb.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("Rows() returned %d rows, want 3", len(rows))
+	}
+	// Rows come back in insertion order, each exactly header-width.
+	for i, row := range rows {
+		if len(row) != 3 {
+			t.Fatalf("row %d has %d cells, want 3", i, len(row))
+		}
+		if want := fmt.Sprintf("r%dc0", i); row[0] != want {
+			t.Errorf("row %d out of order: first cell %q, want %q", i, row[0], want)
+		}
+	}
+	if rows[1][1] != "" || rows[1][2] != "" {
+		t.Errorf("short row not padded with empties: %v", rows[1])
+	}
+	for _, c := range rows[2] {
+		if c == "r2c3" {
+			t.Error("over-long row not truncated to header width")
+		}
+	}
+	// An empty table has headers but no rows.
+	empty := NewTable("solo")
+	if len(empty.Rows()) != 0 || len(empty.Header()) != 1 {
+		t.Errorf("empty table: %v / %v", empty.Header(), empty.Rows())
 	}
 }
 

@@ -82,6 +82,37 @@ func (e *Engine) Stored(i int, key idspace.ID) (Replica, bool) {
 	return r, ok
 }
 
+// ForEachReplica visits every stored replica, in ascending node order
+// with unspecified key order within a node. Snapshot export uses it; the
+// callback must not mutate engine state.
+func (e *Engine) ForEachReplica(fn func(node int, r Replica)) {
+	for i, st := range e.stores {
+		for _, r := range st {
+			fn(i, r)
+		}
+	}
+}
+
+// PutReplica places a replica directly into node i's store, bypassing
+// routing. Snapshot restore uses it to rebuild a shard's state; normal
+// insertion never does.
+func (e *Engine) PutReplica(i int, r Replica) error {
+	if i < 0 || i >= len(e.stores) {
+		return fmt.Errorf("mpil: PutReplica node %d out of range (%d nodes)", i, len(e.stores))
+	}
+	e.stores[i][r.Key] = r
+	return nil
+}
+
+// ReplicaCount returns the total number of stored replicas.
+func (e *Engine) ReplicaCount() int {
+	n := 0
+	for _, st := range e.stores {
+		n += len(st)
+	}
+	return n
+}
+
 // RemoveReplica deletes key's replica at node i, reporting whether one was
 // present. The deletion protocol of Section 4.4 calls this when a replica
 // holder receives an explicit delete from the object's owner.

@@ -25,6 +25,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -45,6 +46,11 @@ type Config struct {
 	// which is what keeps one stalled connection from wedging a shard
 	// worker — and with it 1/shards of the keyspace — indefinitely.
 	WriteTimeout time.Duration
+	// Store, when set, is closed by Close after the shard queues drain,
+	// so every executed mutation has been logged before the store's
+	// final snapshot and log shutdown run. Wire a *discovery.DurablePool
+	// here; leave nil for in-memory pools.
+	Store io.Closer
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
 }
@@ -53,6 +59,7 @@ type Config struct {
 // Serve or Start, stop with Close.
 type Server struct {
 	pool         *discovery.Pool
+	store        io.Closer
 	logf         func(format string, args ...any)
 	queues       []chan task
 	writeTimeout time.Duration
@@ -113,6 +120,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		pool:         cfg.Pool,
+		store:        cfg.Store,
 		logf:         logf,
 		queues:       make([]chan task, cfg.Pool.NumShards()),
 		writeTimeout: wt,
@@ -210,8 +218,14 @@ func (s *Server) Close() error {
 		close(q)
 	}
 	s.workerWg.Wait()
+	// Every mutation the workers executed has been logged by now; seal
+	// the store (final snapshots + log close) before reporting done.
+	var serr error
+	if s.store != nil {
+		serr = s.store.Close()
+	}
 	s.connWg.Wait()
-	return nil
+	return serr
 }
 
 // readLoop decodes frames off one connection and dispatches them.
@@ -280,7 +294,16 @@ func (s *Server) shardWorker(i int) {
 		m.ReqID = t.reqID
 		switch t.typ {
 		case wire.TInsert:
-			res := s.pool.Insert(int(t.origin), t.key, t.value)
+			res, err := s.pool.Insert(int(t.origin), t.key, t.value)
+			if err != nil {
+				// Durability failed: the mutation did not execute and
+				// must not be acked. The client sees the error; the
+				// daemon keeps serving (reads still work).
+				s.logf("server: insert: %v", err)
+				m.Type = wire.TError
+				m.Value = []byte("storage: " + err.Error())
+				break
+			}
 			m.Type = wire.TInsertOK
 			m.Insert = wire.InsertReply{
 				Replicas:   uint32(res.Replicas),
@@ -302,8 +325,15 @@ func (s *Server) shardWorker(i int) {
 				Dropped:        uint32(res.Dropped),
 			}
 		case wire.TDelete:
+			removed, err := s.pool.Delete(int(t.origin), t.key)
+			if err != nil {
+				s.logf("server: delete: %v", err)
+				m.Type = wire.TError
+				m.Value = []byte("storage: " + err.Error())
+				break
+			}
 			m.Type = wire.TDeleteOK
-			m.Deleted = uint32(s.pool.Delete(int(t.origin), t.key))
+			m.Deleted = uint32(removed)
 		}
 		s.send(t.c, &m)
 		t.c.inflight.Done()

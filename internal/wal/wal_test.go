@@ -1,0 +1,480 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// collect replays the whole log into a seq->payload copy map.
+func collect(t testing.TB, l *Log) map[uint64][]byte {
+	t.Helper()
+	first, _ := l.Bounds()
+	got := map[uint64][]byte{}
+	err := l.Replay(first, func(seq uint64, payload []byte) error {
+		got[seq] = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func payloadFor(i int) []byte {
+	return []byte(fmt.Sprintf("record-%d-%s", i, string(bytes.Repeat([]byte{byte('a' + i%26)}, i%40))))
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		seq, err := l.Append(payloadFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d got seq %d", i, seq)
+		}
+	}
+	first, next := l.Bounds()
+	if first != 1 || next != n+1 {
+		t.Fatalf("bounds = [%d,%d), want [1,%d)", first, next, n+1)
+	}
+	got := collect(t, l)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(got[uint64(i+1)], payloadFor(i)) {
+			t.Fatalf("record %d payload mismatch", i+1)
+		}
+	}
+	// Replay from the middle sees only the suffix.
+	count := 0
+	if err := l.Replay(51, func(seq uint64, _ []byte) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("replay from 51 yielded %d records, want 50", count)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{Sync: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first, next := l.Bounds()
+	if first != 1 || next != 11 {
+		t.Fatalf("bounds after reopen = [%d,%d)", first, next)
+	}
+	seq, err := l.Append([]byte("more"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("append after reopen got seq %d, want 11", seq)
+	}
+	if got := collect(t, l); len(got) != 11 || string(got[11]) != "more" {
+		t.Fatalf("replay after reopen: %d records, rec11=%q", len(got), got[11])
+	}
+}
+
+func TestRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	if got := collect(t, l); len(got) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), n)
+	}
+
+	// Truncate below the middle: whole segments below the cutoff go away.
+	if err := l.TruncateBefore(n / 2); err != nil {
+		t.Fatal(err)
+	}
+	first, next := l.Bounds()
+	if first <= 1 || first > n/2 || next != n+1 {
+		t.Fatalf("bounds after truncate = [%d,%d)", first, next)
+	}
+	if err := l.Replay(1, func(uint64, []byte) error { return nil }); err != ErrTruncated {
+		t.Fatalf("replay before first: %v, want ErrTruncated", err)
+	}
+	count := 0
+	if err := l.Replay(first, func(uint64, []byte) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != int(next-first) {
+		t.Fatalf("replayed %d, want %d", count, next-first)
+	}
+
+	// Truncating the entire log rotates the active segment away.
+	if err := l.TruncateBefore(next); err != nil {
+		t.Fatal(err)
+	}
+	first2, next2 := l.Bounds()
+	if first2 != next2 || next2 != next {
+		t.Fatalf("bounds after full truncate = [%d,%d), want empty at %d", first2, next2, next)
+	}
+	seq, err := l.Append([]byte("after-truncate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != next {
+		t.Fatalf("append after full truncate got %d, want %d", seq, next)
+	}
+	l.Close()
+
+	// Reopen sees only the post-truncation state.
+	l, err = Open(dir, Options{Sync: SyncOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := collect(t, l)
+	if len(got) != 1 || string(got[seq]) != "after-truncate" {
+		t.Fatalf("after reopen: %d records", len(got))
+	}
+}
+
+// lastSegment returns the path of the newest segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listSegments: %v (%d)", err, len(segs))
+	}
+	return segs[len(segs)-1].path
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Chop a few bytes off the tail: the last record is torn.
+	path := lastSegment(t, dir)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first, next := l.Bounds()
+	if first != 1 || next != 20 {
+		t.Fatalf("bounds after torn tail = [%d,%d), want [1,20)", first, next)
+	}
+	if got := collect(t, l); len(got) != 19 {
+		t.Fatalf("recovered %d records, want 19", len(got))
+	}
+	// The truncated slot is reused by the next append.
+	if seq, err := l.Append([]byte("replacement")); err != nil || seq != 20 {
+		t.Fatalf("append after torn recovery: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestCorruptTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip a byte inside the last record's payload.
+	path := lastSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, next := l.Bounds(); next != 10 {
+		t.Fatalf("next after corrupt tail = %d, want 10", next)
+	}
+	if got := collect(t, l); len(got) != 9 {
+		t.Fatalf("recovered %d records, want 9", len(got))
+	}
+}
+
+func TestMidLogCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(segs))
+	}
+
+	// Corrupt the middle of the FIRST segment: recovery must keep only
+	// the records before the damage and delete every later segment.
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{Sync: SyncOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first, next := l.Bounds()
+	if first != 1 {
+		t.Fatalf("first = %d", first)
+	}
+	if next >= 64 {
+		t.Fatalf("next = %d, corruption should have cost records", next)
+	}
+	got := collect(t, l)
+	if len(got) != int(next-1) {
+		t.Fatalf("recovered %d records for bounds [1,%d)", len(got), next)
+	}
+	for seq, p := range got {
+		if !bytes.Equal(p, payloadFor(int(seq-1))) {
+			t.Fatalf("surviving record %d corrupted", seq)
+		}
+	}
+	left, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 {
+		t.Fatalf("later segments not deleted: %d remain", len(left))
+	}
+}
+
+func TestConcurrentGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				seqs[w] = append(seqs[w], seq)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Sequence numbers are unique and dense across writers.
+	seen := map[uint64]bool{}
+	for _, ss := range seqs {
+		for _, s := range ss {
+			if seen[s] {
+				t.Fatalf("seq %d assigned twice", s)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) != writers*per {
+		t.Fatalf("%d seqs for %d appends", len(seen), writers*per)
+	}
+	l.Close()
+
+	l, err = Open(dir, Options{Sync: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := collect(t, l); len(got) != writers*per {
+		t.Fatalf("recovered %d records, want %d", len(got), writers*per)
+	}
+}
+
+func TestAppendTooLarge(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxPayload+1)); err != ErrTooLarge {
+		t.Fatalf("oversize append: %v", err)
+	}
+	// Empty payloads are legal.
+	if seq, err := l.Append(nil); err != nil || seq != 1 {
+		t.Fatalf("empty append: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	// Snapshots and manifests share the directory; garbage names too.
+	for _, name := range []string{"MANIFEST", "snap-0001-00000000000000000005.snap", "wal-12.seg", "wal-x.seg", "wal-00000000000000000001.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if seq, err := l.Append([]byte("v")); err != nil || seq != 1 {
+		t.Fatalf("append: seq=%d err=%v", seq, err)
+	}
+	for _, name := range []string{"MANIFEST", "snap-0001-00000000000000000005.snap"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("foreign file %s touched: %v", name, err)
+		}
+	}
+}
+
+func TestAppendZeroAllocs(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	// Warm the scratch buffer.
+	if _, err := l.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"always", SyncAlways}, {"batch", SyncBatch}, {"off", SyncOff}} {
+		p, err := ParsePolicy(tc.in)
+		if err != nil || p != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, p, err)
+		}
+		if p.String() != tc.in {
+			t.Fatalf("Policy(%q).String() = %q", tc.in, p.String())
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
+
+func TestSyncAlwaysDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: reopening must still see every appended record, because
+	// SyncAlways pushed each one to disk before Append returned.
+	l2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != 5 {
+		t.Fatalf("recovered %d records without Close, want 5", len(got))
+	}
+	l.Close()
+}

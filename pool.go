@@ -3,9 +3,12 @@ package discovery
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"discovery/internal/metrics"
+	"discovery/internal/mpil"
+	"discovery/internal/snapshot"
 )
 
 // Pool is a concurrency-safe, shard-per-core wrapper around Service. A
@@ -24,10 +27,22 @@ import (
 // Pool is the library-side counterpart of the discoveryd daemon, which
 // adds bounded request queues and a wire protocol in front of the same
 // sharding scheme (see internal/server).
+//
+// A Pool is in-memory by default: a restart loses every stored replica.
+// OpenDurablePool builds a Pool whose mutations are logged to a
+// write-ahead log and periodically snapshotted, surviving restarts and
+// crashes (see durable.go).
 type Pool struct {
 	ov     Overlay
+	base   config // validated option state shared by every shard
 	shards []poolShard
 }
+
+// mutationHook observes one mutation before it is applied, while the
+// owning shard's lock is held. Returning an error aborts the mutation
+// before it touches the engine — the write-ahead contract: a mutation
+// that was not logged durably is never applied, never acked.
+type mutationHook func(kind opKind, origin uint32, key ID, value []byte) error
 
 // poolShard is one engine plus its serialization lock and counters.
 // Counters are guarded by mu, not atomics: they mutate only while the
@@ -35,6 +50,7 @@ type Pool struct {
 type poolShard struct {
 	mu       sync.Mutex
 	svc      *Service
+	hook     mutationHook // nil for in-memory pools
 	requests uint64
 	inserts  uint64
 	lookups  uint64
@@ -60,7 +76,7 @@ func NewPool(ov Overlay, shards int, opts ...Option) (*Pool, error) {
 	for _, opt := range opts {
 		opt(&base)
 	}
-	p := &Pool{ov: ov, shards: make([]poolShard, shards)}
+	p := &Pool{ov: ov, base: base, shards: make([]poolShard, shards)}
 	for i := range p.shards {
 		svc, err := New(ov, append(append([]Option(nil), opts...), WithSeed(base.seed+int64(i)))...)
 		if err != nil {
@@ -102,14 +118,22 @@ func (p *Pool) AutoOrigin(key ID) int {
 	return int((fnv1a(key) >> 32) % uint64(p.ov.N()))
 }
 
-// Insert publishes key from origin via the owning shard.
-func (p *Pool) Insert(origin int, key ID, value []byte) InsertResult {
+// Insert publishes key from origin via the owning shard. On a durable
+// pool the operation is logged (and, per the fsync policy, made durable)
+// before it executes; a logging failure returns the error with the
+// engine untouched. In-memory pools never return an error.
+func (p *Pool) Insert(origin int, key ID, value []byte) (InsertResult, error) {
 	s := &p.shards[p.ShardOf(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.hook != nil {
+		if err := s.hook(opInsert, uint32(origin), key, value); err != nil {
+			return InsertResult{}, err
+		}
+	}
 	s.requests++
 	s.inserts++
-	return s.svc.Insert(origin, key, value)
+	return s.svc.Insert(origin, key, value), nil
 }
 
 // Lookup queries key from origin via the owning shard.
@@ -127,14 +151,20 @@ func (p *Pool) Lookup(origin int, key ID) LookupResult {
 	return res
 }
 
-// Delete removes origin's replicas of key via the owning shard.
-func (p *Pool) Delete(origin int, key ID) int {
+// Delete removes origin's replicas of key via the owning shard. Like
+// Insert, durable pools log the deletion before applying it.
+func (p *Pool) Delete(origin int, key ID) (int, error) {
 	s := &p.shards[p.ShardOf(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.hook != nil {
+		if err := s.hook(opDelete, uint32(origin), key, nil); err != nil {
+			return 0, err
+		}
+	}
 	s.requests++
 	s.deletes++
-	return s.svc.Delete(origin, key)
+	return s.svc.Delete(origin, key), nil
 }
 
 // Holders returns the nodes storing key in its owning shard, ascending.
@@ -178,6 +208,78 @@ type PoolStats struct {
 	Deletes      uint64
 	LookupsFound uint64
 	PerShard     []ShardStats
+}
+
+// exportShardLocked returns shard i's full replica state, sorted by
+// (node, key) so identical states serialize to identical snapshot bytes.
+// The values alias engine storage (which never mutates stored bytes);
+// the caller holds the shard's lock.
+func (p *Pool) exportShardLocked(i int) []snapshot.Entry {
+	var out []snapshot.Entry
+	p.shards[i].svc.eng.ForEachReplica(func(node int, r mpil.Replica) {
+		out = append(out, snapshot.Entry{
+			Node:   uint32(node),
+			Origin: uint32(r.Origin),
+			Key:    r.Key,
+			Value:  r.Value,
+		})
+	})
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Node != out[b].Node {
+			return out[a].Node < out[b].Node
+		}
+		return out[a].Key.Cmp(out[b].Key) < 0
+	})
+	return out
+}
+
+// restoreShard loads exported replica state back into shard i, placing
+// each replica directly (no routing). Entries must come from a pool with
+// the same overlay; nodes out of range are an error.
+func (p *Pool) restoreShard(i int, entries []snapshot.Entry) error {
+	s := &p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		err := s.svc.eng.PutReplica(int(e.Node), mpil.Replica{
+			Key:    e.Key,
+			Value:  e.Value,
+			Origin: int(e.Origin),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyShard re-executes one logged mutation on shard i during recovery.
+// It bypasses the mutation hook (the record is already in the log) and
+// the request counters (a replayed operation was served by a previous
+// process, not this one).
+func (p *Pool) applyShard(i int, kind opKind, origin uint32, key ID, value []byte) {
+	s := &p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch kind {
+	case opInsert:
+		s.svc.Insert(int(origin), key, value)
+	case opDelete:
+		s.svc.Delete(int(origin), key)
+	}
+}
+
+// replicaCount returns the pool-wide stored replica total, locking each
+// shard in turn.
+func (p *Pool) replicaCount() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += s.svc.eng.ReplicaCount()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats snapshots every shard's counters. It briefly locks each shard in

@@ -45,7 +45,10 @@ func TestPoolConcurrentInsertLookup(t *testing.T) {
 			defer wg.Done()
 			for i := w; i < keys; i += workers {
 				key := NewID(fmt.Sprintf("key-%d", i))
-				res := p.Insert(i%p.Overlay().N(), key, []byte(fmt.Sprintf("value-%d", i)))
+				res, err := p.Insert(i%p.Overlay().N(), key, []byte(fmt.Sprintf("value-%d", i)))
+				if err != nil {
+					t.Errorf("key %d insert: %v", i, err)
+				}
 				if res.Replicas == 0 {
 					t.Errorf("key %d stored no replicas", i)
 				}
@@ -110,7 +113,11 @@ func TestPoolDeterminism(t *testing.T) {
 		var lks []LookupResult
 		for i := 0; i < 60; i++ {
 			key := NewID(fmt.Sprintf("det-%d", i))
-			ins = append(ins, p.Insert(i*7%p.Overlay().N(), key, []byte("v")))
+			res, err := p.Insert(i*7%p.Overlay().N(), key, []byte("v"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ins = append(ins, res)
 		}
 		for i := 0; i < 60; i++ {
 			key := NewID(fmt.Sprintf("det-%d", i))
@@ -154,15 +161,15 @@ func TestPoolDelete(t *testing.T) {
 	p := newTestPool(t, 2, 3)
 	key := NewID("deletable")
 	const origin = 17
-	if res := p.Insert(origin, key, []byte("v")); res.Replicas == 0 {
-		t.Fatal("insert stored nothing")
+	if res, err := p.Insert(origin, key, []byte("v")); err != nil || res.Replicas == 0 {
+		t.Fatalf("insert stored nothing (err=%v)", err)
 	}
 	// A stranger may not delete someone else's object.
-	if removed := p.Delete(origin+1, key); removed != 0 {
-		t.Fatalf("foreign delete removed %d replicas", removed)
+	if removed, err := p.Delete(origin+1, key); err != nil || removed != 0 {
+		t.Fatalf("foreign delete removed %d replicas (err=%v)", removed, err)
 	}
-	if removed := p.Delete(origin, key); removed == 0 {
-		t.Fatal("owner delete removed nothing")
+	if removed, err := p.Delete(origin, key); err != nil || removed == 0 {
+		t.Fatalf("owner delete removed nothing (err=%v)", err)
 	}
 	if holders := p.Holders(key); len(holders) != 0 {
 		t.Fatalf("holders after delete: %v", holders)
