@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/server"
+)
+
+// This file is the end-to-end proof of the p2p deployment: three real
+// discoverynode processes on loopback, each owning one keyspace region
+// with its own durable data directory. Mixed traffic is driven through
+// every node (so forwarding is exercised in both directions), then one
+// node is SIGKILLed mid-cluster and restarted on its data directory.
+// The contract under test:
+//
+//   - every acked insert is findable from every node,
+//   - a dead region fails with an explicit error while the survivors
+//     keep serving their regions,
+//   - the restarted node recovers its region with zero acked-insert
+//     loss.
+//
+// It is the cluster-shaped sibling of cmd/discoveryd's crash_test.go and
+// runs under -race in CI (the race detector instruments the client side;
+// the daemons are separate processes).
+
+// buildNode compiles the discoverynode binary once per test run.
+func buildNode(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "discoverynode")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// reservePeerAddrs grabs n loopback addresses for peer listeners by
+// binding and releasing ephemeral ports. Peer addresses must be known to
+// every member before any process starts, so they cannot be ":0".
+func reservePeerAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	liss := make([]net.Listener, n)
+	for i := range addrs {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		liss[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	for _, lis := range liss {
+		lis.Close()
+	}
+	return addrs
+}
+
+var clientAddrRe = regexp.MustCompile(`serving clients on (127\.0\.0\.1:\d+) \(region`)
+
+// nodeProc is one running cluster member.
+type nodeProc struct {
+	cmd        *exec.Cmd
+	clientAddr string
+}
+
+// startNode launches one member and waits for its serving line. The
+// client listener is ephemeral (scraped from the log); the peer address
+// is fixed cluster configuration.
+func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir string) *nodeProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-peer-listen", peerAddr,
+		"-bootstrap", strings.Join(peers, ","),
+		"-data-dir", dataDir, "-fsync", "batch", "-snapshot-every", "64",
+		"-shards", "2",
+		"-join-timeout", "15s",
+		"-dial-timeout", "250ms",
+		"-call-timeout", "3s",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("node[%s]: %s", peerAddr, line)
+			if m := clientAddrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+		<-scanDone
+	})
+	select {
+	case addr := <-addrCh:
+		return &nodeProc{cmd: cmd, clientAddr: addr}
+	case <-time.After(30 * time.Second):
+		t.Fatal("node never reported its client address")
+		return nil
+	}
+}
+
+// lookupWithRetry tolerates the one transient the architecture allows: a
+// forward may need to redial a peer that just (re)started.
+func lookupWithRetry(c *server.Client, key discovery.ID) (found bool, err error) {
+	for attempt := 0; attempt < 5; attempt++ {
+		res, lerr := c.Lookup(server.OriginAuto, key)
+		if lerr == nil {
+			return res.Found, nil
+		}
+		err = lerr
+		time.Sleep(200 * time.Millisecond)
+	}
+	return false, err
+}
+
+func TestClusterServeKillRecover(t *testing.T) {
+	bin := buildNode(t)
+	peerAddrs := reservePeerAddrs(t, 3)
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+
+	// A node's region is its peer address's rank in the sorted member
+	// list; the test mirrors the derivation to reason about ownership.
+	sorted := append([]string(nil), peerAddrs...)
+	sort.Strings(sorted)
+	regionOf := make(map[string]int, 3)
+	for r, a := range sorted {
+		regionOf[a] = r
+	}
+	ownerRegion := func(name string) int { return discovery.OwnerOf(discovery.NewID(name), 3) }
+
+	procs := make([]*nodeProc, 3)
+	for i := range procs {
+		procs[i] = startNode(t, bin, peerAddrs[i], peerAddrs, dirs[i])
+	}
+	clients := make([]*server.Client, 3)
+	for i := range clients {
+		c, err := server.Dial(procs[i].clientAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	// Phase 1: mixed traffic through every node. Each insert is acked
+	// and immediately read back through a different node, so forwarding
+	// runs in both directions from the start.
+	const total = 180
+	var keys []string
+	perRegion := make([]int, 3)
+	for i := 0; i < total; i++ {
+		name := fmt.Sprintf("cluster-key-%d", i)
+		via := i % 3
+		if _, err := clients[via].Insert(server.OriginAuto, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatalf("insert %s via node %d: %v", name, via, err)
+		}
+		keys = append(keys, name)
+		perRegion[ownerRegion(name)]++
+		res, err := clients[(via+1)%3].Lookup(server.OriginAuto, discovery.NewID(name))
+		if err != nil {
+			t.Fatalf("read-back %s: %v", name, err)
+		}
+		if !res.Found {
+			t.Fatalf("acked insert %s not visible from the next node", name)
+		}
+	}
+	for r, n := range perRegion {
+		if n == 0 {
+			t.Fatalf("region %d owns no test keys; ownership split is broken", r)
+		}
+	}
+	t.Logf("inserted %d keys (per region: %v)", total, perRegion)
+
+	// Phase 2: every acked insert findable from every node.
+	for who, c := range clients {
+		for _, name := range keys {
+			res, err := c.Lookup(server.OriginAuto, discovery.NewID(name))
+			if err != nil {
+				t.Fatalf("lookup %s via node %d: %v", name, who, err)
+			}
+			if !res.Found {
+				t.Fatalf("key %s not findable via node %d", name, who)
+			}
+		}
+	}
+
+	// Phase 3: SIGKILL one node mid-cluster. No drain, no final
+	// snapshot: recovery must come from the write-ahead log.
+	const victim = 2
+	victimRegion := regionOf[peerAddrs[victim]]
+	if err := procs[victim].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[victim].cmd.Wait() //nolint:errcheck // killed on purpose
+	t.Logf("killed node %d (region %d, %d keys)", victim, victimRegion, perRegion[victimRegion])
+
+	// Survivors keep serving their regions; the dead region fails with
+	// an explicit error, never a false not-found.
+	deadErrs := 0
+	for who, c := range clients {
+		if who == victim {
+			continue
+		}
+		for _, name := range keys {
+			if ownerRegion(name) == victimRegion {
+				// One attempt, no retry: the error is the expected
+				// outcome, and it must be fast (a refused dial, not a
+				// timeout).
+				res, err := c.Lookup(server.OriginAuto, discovery.NewID(name))
+				if err == nil {
+					t.Fatalf("lookup of dead-region key %s via node %d returned found=%v, want error", name, who, res.Found)
+				}
+				deadErrs++
+				continue
+			}
+			found, err := lookupWithRetry(c, discovery.NewID(name))
+			if err != nil {
+				t.Fatalf("lookup %s via node %d while peer down: %v", name, who, err)
+			}
+			if !found {
+				t.Fatalf("surviving-region key %s lost on node %d after peer death", name, who)
+			}
+		}
+	}
+	if deadErrs == 0 {
+		t.Fatal("no dead-region lookups exercised")
+	}
+	// Survivors also keep accepting writes for their own regions.
+	newOwned := 0
+	for i := 0; newOwned < 6; i++ {
+		name := fmt.Sprintf("post-kill-%d", i)
+		r := ownerRegion(name)
+		if r == victimRegion {
+			continue
+		}
+		var via int
+		for j := range procs {
+			if j != victim && regionOf[peerAddrs[j]] == r {
+				via = j
+			}
+		}
+		if _, err := clients[via].Insert(server.OriginAuto, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatalf("survivor insert %s: %v", name, err)
+		}
+		keys = append(keys, name)
+		newOwned++
+	}
+
+	// Phase 4: restart the victim on its data directory. It must
+	// recover its region from WAL + snapshots and rejoin; after that,
+	// every insert ever acked is findable from every node again —
+	// zero acked-insert loss.
+	procs[victim] = startNode(t, bin, peerAddrs[victim], peerAddrs, dirs[victim])
+	c, err := server.Dial(procs[victim].clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	clients[victim] = c
+
+	lost := 0
+	for who, c := range clients {
+		for _, name := range keys {
+			found, err := lookupWithRetry(c, discovery.NewID(name))
+			if err != nil {
+				t.Fatalf("post-restart lookup %s via node %d: %v", name, who, err)
+			}
+			if !found {
+				lost++
+				t.Errorf("acked key %s not findable via node %d after restart", name, who)
+			}
+		}
+	}
+	t.Logf("verified %d acked inserts from all 3 nodes after SIGKILL+restart (%d lost)", len(keys), lost)
+
+	// Phase 5: the whole cluster drains cleanly on SIGTERM (containers
+	// stop nodes this way).
+	for i, p := range procs {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.cmd.Wait(); err != nil {
+			t.Fatalf("node %d exit after SIGTERM: %v", i, err)
+		}
+	}
+}

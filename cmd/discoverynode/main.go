@@ -1,0 +1,217 @@
+// Command discoverynode runs one member of a discovery cluster: separate
+// processes, each owning a contiguous region of the 160-bit keyspace,
+// exchanging internal/wire peer frames over TCP (internal/p2p).
+//
+// Example — a three-node cluster on one host:
+//
+//	discoverynode -listen :7800 -peer-listen 127.0.0.1:7900 \
+//	    -bootstrap 127.0.0.1:7900,127.0.0.1:7901,127.0.0.1:7902 \
+//	    -data-dir /var/lib/discovery/n0
+//	discoverynode -listen :7801 -peer-listen 127.0.0.1:7901 \
+//	    -bootstrap 127.0.0.1:7900,127.0.0.1:7901,127.0.0.1:7902 \
+//	    -data-dir /var/lib/discovery/n1
+//	discoverynode -listen :7802 -peer-listen 127.0.0.1:7902 \
+//	    -bootstrap 127.0.0.1:7900,127.0.0.1:7901,127.0.0.1:7902 \
+//	    -data-dir /var/lib/discovery/n2
+//
+// Membership is the sorted, deduplicated bootstrap set (every node must
+// be configured with the same spellings); a node's rank in that order is
+// its keyspace region. Clients may connect to any node's -listen
+// address with the ordinary client protocol: requests for keys the node
+// owns execute locally, everything else is relayed to the owner and the
+// reply relayed back. If a region's owner is down, requests for its keys
+// fail with an explicit error while all other regions keep serving; a
+// node restarted on its -data-dir recovers every acknowledged mutation
+// for its region and resumes serving it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/p2p"
+	"discovery/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen      = flag.String("listen", ":7800", "client TCP listen address")
+		peerListen  = flag.String("peer-listen", "127.0.0.1:7900", "peer TCP listen address (must be reachable by every member)")
+		advertise   = flag.String("advertise", "", "peer address other members know this node by (default: -peer-listen)")
+		bootstrap   = flag.String("bootstrap", "", "comma-separated peer addresses of every cluster member (self may be included)")
+		joinTimeout = flag.Duration("join-timeout", 10*time.Second, "how long to retry the initial peer probes")
+		dialTimeout = flag.Duration("dial-timeout", 500*time.Millisecond, "peer dial timeout")
+		callTimeout = flag.Duration("call-timeout", 5*time.Second, "peer request timeout")
+		antiEntropy = flag.Bool("anti-entropy", true, "after joining, hand off foreign replicas and pull this region's replicas from peers")
+		shards      = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 128, "per-shard request queue depth")
+		seed        = flag.Int64("seed", 1, "base engine seed (shard i uses seed+i)")
+		maxFlows    = flag.Int("maxflows", 10, "max_flows per request")
+		replicas    = flag.Int("replicas", 5, "per-flow replicas")
+		digitB      = flag.Int("b", 4, "digit width in bits (1, 2, 4, 8)")
+		ds          = flag.Bool("ds", false, "duplicate suppression")
+		maxHops     = flag.Int("maxhops", 0, "per-flow hop bound (0 = member count)")
+		dataDir     = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+		fsync       = flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
+		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot a shard after N logged mutations (0 = only on shutdown)")
+	)
+	flag.Parse()
+
+	self := *advertise
+	if self == "" {
+		self = *peerListen
+	}
+	var peers []string
+	for _, a := range strings.Split(*bootstrap, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			peers = append(peers, a)
+		}
+	}
+	cluster, err := p2p.NewCluster(self, peers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoverynode:", err)
+		return 2
+	}
+	ov, err := p2p.NewRemoteOverlay(cluster)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoverynode:", err)
+		return 2
+	}
+	log.Printf("discoverynode: region %d of %d, members %v (fingerprint %016x)",
+		cluster.Self(), cluster.N(), cluster.Addrs(), cluster.Hash())
+
+	opts := []discovery.Option{
+		discovery.WithSeed(*seed),
+		discovery.WithMaxFlows(*maxFlows),
+		discovery.WithPerFlowReplicas(*replicas),
+		discovery.WithDigitBits(*digitB),
+		discovery.WithDuplicateSuppression(*ds),
+		discovery.WithRegion(cluster.Self(), cluster.N()),
+	}
+	if *maxHops > 0 {
+		opts = append(opts, discovery.WithMaxHops(*maxHops))
+	}
+
+	var pool *discovery.Pool
+	var store io.Closer
+	if *dataDir != "" {
+		policy, err := discovery.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discoverynode:", err)
+			return 2
+		}
+		dp, rec, err := discovery.OpenDurablePool(ov, *shards, discovery.DurableConfig{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			SnapshotEvery: *snapEvery,
+			Logf:          log.Printf,
+		}, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discoverynode:", err)
+			return 2
+		}
+		pool, store = dp.Pool, dp
+		log.Printf("discoverynode: recovered %s: %d snapshot entries, %d wal records replayed in %s",
+			*dataDir, rec.SnapshotEntries, rec.Replayed, rec.Elapsed.Round(time.Millisecond))
+	} else {
+		pool, err = discovery.NewPool(ov, *shards, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discoverynode:", err)
+			return 2
+		}
+	}
+
+	node, err := p2p.NewNode(p2p.Config{
+		Cluster:     cluster,
+		Overlay:     ov,
+		Pool:        pool,
+		DialTimeout: *dialTimeout,
+		CallTimeout: *callTimeout,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoverynode:", err)
+		return 2
+	}
+	peerAddr, err := node.Start(*peerListen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoverynode:", err)
+		return 1
+	}
+	log.Printf("discoverynode: peer listener on %s", peerAddr)
+
+	srv, err := server.New(server.Config{
+		Pool:       pool,
+		QueueDepth: *queue,
+		Store:      store,
+		Owns:       node.Owns,
+		Forward:    node.Forward,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoverynode:", err)
+		return 2
+	}
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "discoverynode:", err)
+		return 1
+	}
+	log.Printf("discoverynode: serving clients on %s (region %d of %d, %d shards, queue %d)",
+		addr, cluster.Self(), cluster.N(), pool.NumShards(), *queue)
+
+	// Join and anti-entropy run in the background: a restarted node must
+	// serve its recovered region immediately, not wait for dead peers.
+	// The goroutine is awaited during shutdown (after StopServing cancels
+	// it) because anti-entropy mutates the pool — the store must quiesce
+	// before it is sealed.
+	maintDone := make(chan struct{})
+	go func() {
+		defer close(maintDone)
+		if err := node.Join(*joinTimeout); err != nil {
+			log.Printf("discoverynode: %v (serving own region regardless)", err)
+		} else {
+			log.Printf("discoverynode: joined all %d peers", cluster.N()-1)
+		}
+		if *antiEntropy {
+			moved, pulled, err := node.AntiEntropy()
+			if moved > 0 || pulled > 0 || err != nil {
+				log.Printf("discoverynode: anti-entropy: %d replicas handed off, %d pulled, err=%v", moved, pulled, err)
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("discoverynode: received %v, draining", got)
+	drainStart := time.Now()
+	// Inbound peer mutations and background maintenance stop first (the
+	// store must quiesce before it is sealed), then the client side
+	// drains — forwarding to other nodes keeps working through the
+	// drain — then outbound peer connections close.
+	node.StopServing()
+	<-maintDone
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "discoverynode:", err)
+		return 1
+	}
+	node.Close()
+	log.Printf("discoverynode: drained in %s", time.Since(drainStart).Round(time.Millisecond))
+	st := pool.Stats()
+	log.Printf("discoverynode: served %d requests (%d inserts, %d lookups, %d deletes; %d lookups found)",
+		st.Requests, st.Inserts, st.Lookups, st.Deletes, st.LookupsFound)
+	return 0
+}

@@ -32,6 +32,8 @@ type config struct {
 	duplicateSuppression bool
 	maxHops              int
 	seed                 int64
+	regionIndex          int
+	regionCount          int
 }
 
 // Option customizes a Service.
@@ -64,6 +66,19 @@ func WithMaxHops(n int) Option { return func(c *config) { c.maxHops = n } }
 // WithSeed fixes the tie-sampling RNG seed (default 1).
 func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 
+// WithRegion declares that this pool owns region index of count
+// contiguous keyspace regions (see OwnerOf). Mutations for keys outside
+// the region are refused, and durable pools pin the region in their
+// MANIFEST so a data directory cannot be recovered into a node that owns
+// a different slice of the keyspace. The default (0 of 1) owns
+// everything — the single-process deployment.
+func WithRegion(index, count int) Option {
+	return func(c *config) {
+		c.regionIndex = index
+		c.regionCount = count
+	}
+}
+
 // New builds a Service over the given overlay.
 func New(ov Overlay, opts ...Option) (*Service, error) {
 	if ov == nil {
@@ -74,9 +89,13 @@ func New(ov Overlay, opts ...Option) (*Service, error) {
 		maxFlows:        10,
 		perFlowReplicas: 5,
 		seed:            1,
+		regionCount:     1,
 	}
 	for _, opt := range opts {
 		opt(&c)
+	}
+	if c.regionCount < 1 || c.regionIndex < 0 || c.regionIndex >= c.regionCount {
+		return nil, fmt.Errorf("discovery: region %d of %d is not a valid ownership slice", c.regionIndex, c.regionCount)
 	}
 	space, err := idspace.NewSpace(c.digitBits)
 	if err != nil {

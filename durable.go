@@ -55,36 +55,45 @@ import (
 // opKind tags one logged mutation.
 type opKind uint8
 
-// Logged operation kinds.
+// Logged operation kinds. opInsert/opDelete are routed operations
+// re-executed through the engine on replay; opPut/opDrop are direct
+// replica placements (cluster transfers, internal/p2p) that name the
+// engine node explicitly.
 const (
 	opInsert opKind = 1
 	opDelete opKind = 2
+	opPut    opKind = 3
+	opDrop   opKind = 4
 )
 
 // op record payload layout (inside one wal record):
 //
-//	| u16 shard | u8 kind | u32 origin | key[20] | value... |
+//	| u16 shard | u8 kind | u32 origin | key[20] | rest |
 //
-// value is present only for inserts (rest of the payload). Strict,
-// canonical, never panics — the internal/wire discipline.
+// where rest is, per kind: opInsert — value bytes; opDelete — empty;
+// opPut — u32 node | value bytes; opDrop — u32 node. Strict, canonical,
+// never panics — the internal/wire discipline.
 const opHdrLen = 2 + 1 + 4 + idspace.Bytes
 
 // errOpRecord rejects malformed op payloads without allocating.
 var errOpRecord = errors.New("discovery: malformed wal op record")
 
 // appendOp encodes one mutation onto dst.
-func appendOp(dst []byte, shard uint16, kind opKind, origin uint32, key ID, value []byte) []byte {
+func appendOp(dst []byte, shard uint16, kind opKind, node, origin uint32, key ID, value []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, shard)
 	dst = append(dst, byte(kind))
 	dst = binary.BigEndian.AppendUint32(dst, origin)
 	dst = append(dst, key[:]...)
+	if kind == opPut || kind == opDrop {
+		dst = binary.BigEndian.AppendUint32(dst, node)
+	}
 	return append(dst, value...)
 }
 
 // decodeOp parses one mutation payload. value aliases payload.
-func decodeOp(payload []byte) (shard uint16, kind opKind, origin uint32, key ID, value []byte, err error) {
+func decodeOp(payload []byte) (shard uint16, kind opKind, node, origin uint32, key ID, value []byte, err error) {
 	if len(payload) < opHdrLen {
-		return 0, 0, 0, ID{}, nil, errOpRecord
+		return 0, 0, 0, 0, ID{}, nil, errOpRecord
 	}
 	shard = binary.BigEndian.Uint16(payload[0:2])
 	kind = opKind(payload[2])
@@ -96,12 +105,23 @@ func decodeOp(payload []byte) (shard uint16, kind opKind, origin uint32, key ID,
 		value = rest
 	case opDelete:
 		if len(rest) != 0 {
-			return 0, 0, 0, ID{}, nil, errOpRecord
+			return 0, 0, 0, 0, ID{}, nil, errOpRecord
+		}
+	case opPut, opDrop:
+		if len(rest) < 4 {
+			return 0, 0, 0, 0, ID{}, nil, errOpRecord
+		}
+		node = binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if kind == opPut {
+			value = rest
+		} else if len(rest) != 0 {
+			return 0, 0, 0, 0, ID{}, nil, errOpRecord
 		}
 	default:
-		return 0, 0, 0, ID{}, nil, errOpRecord
+		return 0, 0, 0, 0, ID{}, nil, errOpRecord
 	}
-	return shard, kind, origin, key, value, nil
+	return shard, kind, node, origin, key, value, nil
 }
 
 // FsyncPolicy re-exports the write-ahead log's durability policies under
@@ -286,7 +306,7 @@ func OpenDurablePool(ov Overlay, shards int, cfg DurableConfig, opts ...Option) 
 		from = first
 	}
 	err = log.Replay(from, func(seq uint64, payload []byte) error {
-		shard, kind, origin, key, value, err := decodeOp(payload)
+		shard, kind, node, origin, key, value, err := decodeOp(payload)
 		if err != nil {
 			return fmt.Errorf("record %d: %w", seq, err)
 		}
@@ -296,12 +316,14 @@ func OpenDurablePool(ov Overlay, shards int, cfg DurableConfig, opts ...Option) 
 		if seq <= dp.snapSeq[shard] {
 			return nil // already covered by that shard's snapshot
 		}
-		if kind == opInsert {
+		if kind == opInsert || kind == opPut {
 			// The engine retains inserted values; the replay payload
 			// buffer is reused per record.
 			value = append([]byte(nil), value...)
 		}
-		p.applyShard(int(shard), kind, origin, key, value)
+		if err := p.applyShard(int(shard), kind, node, origin, key, value); err != nil {
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
 		dp.dsh[shard].seq = seq
 		stats.Replayed++
 		return nil
@@ -327,8 +349,8 @@ func OpenDurablePool(ov Overlay, shards int, cfg DurableConfig, opts ...Option) 
 // durable per the fsync policy), and occasionally request a snapshot.
 func (dp *DurablePool) hookFor(i int) mutationHook {
 	ds := &dp.dsh[i]
-	return func(kind opKind, origin uint32, key ID, value []byte) error {
-		ds.buf = appendOp(ds.buf[:0], uint16(i), kind, origin, key, value)
+	return func(kind opKind, node, origin uint32, key ID, value []byte) error {
+		ds.buf = appendOp(ds.buf[:0], uint16(i), kind, node, origin, key, value)
 		seq, err := dp.log.Append(ds.buf)
 		if err != nil {
 			return fmt.Errorf("discovery: wal append: %w", err)
@@ -448,10 +470,49 @@ const manifestName = "MANIFEST"
 func manifestFor(p *Pool) string {
 	c := p.base
 	return fmt.Sprintf(
+		"discovery-manifest v2\nshards %d\nseed %d\ndigitbits %d\nmaxflows %d\nreplicas %d\ndupsupp %t\nmaxhops %d\nregion %d/%d\noverlay %016x\n",
+		len(p.shards), c.seed, c.digitBits, c.maxFlows, c.perFlowReplicas, c.duplicateSuppression, c.maxHops,
+		c.regionIndex, c.regionCount,
+		overlayFingerprint(p.ov),
+	)
+}
+
+// legacyManifestFor renders the v1 manifest (pre-region). A v1 directory
+// is semantically identical to v2 with the unrestricted region 0/1, so
+// unrestricted pools accept and upgrade it.
+func legacyManifestFor(p *Pool) string {
+	c := p.base
+	return fmt.Sprintf(
 		"discovery-manifest v1\nshards %d\nseed %d\ndigitbits %d\nmaxflows %d\nreplicas %d\ndupsupp %t\nmaxhops %d\noverlay %016x\n",
 		len(p.shards), c.seed, c.digitBits, c.maxFlows, c.perFlowReplicas, c.duplicateSuppression, c.maxHops,
 		overlayFingerprint(p.ov),
 	)
+}
+
+// writeManifest atomically and durably writes the manifest file
+// (tmp + fsync + rename + dirsync, the internal/snapshot discipline): a
+// torn MANIFEST would refuse recovery of an intact data directory.
+func writeManifest(path, content string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(content); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return wal.SyncDir(filepath.Dir(path))
 }
 
 // checkManifest writes the manifest on first open and verifies it on
@@ -461,19 +522,21 @@ func checkManifest(dir string, p *Pool) error {
 	path := filepath.Join(dir, manifestName)
 	got, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, []byte(want), 0o644); err != nil {
-			return err
-		}
-		return os.Rename(tmp, path)
+		return writeManifest(path, want)
 	}
 	if err != nil {
 		return err
 	}
-	if string(got) != want {
-		return fmt.Errorf("discovery: %s was created with different parameters:\n--- stored\n%s--- this pool\n%s", dir, got, want)
+	if string(got) == want {
+		return nil
 	}
-	return nil
+	// Migration: a v1 directory opened by an unrestricted pool (region
+	// 0/1, the only region semantics v1 could have) is compatible;
+	// upgrade its manifest in place.
+	if p.base.regionCount == 1 && string(got) == legacyManifestFor(p) {
+		return writeManifest(path, want)
+	}
+	return fmt.Errorf("discovery: %s was created with different parameters:\n--- stored\n%s--- this pool\n%s", dir, got, want)
 }
 
 // overlayFingerprint hashes the overlay's structure — node count, IDs,

@@ -2,6 +2,8 @@ package discovery
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -115,6 +117,57 @@ func TestDurablePoolCrashReplay(t *testing.T) {
 	}
 	if got := exportAll(dp2.Pool); !reflect.DeepEqual(got, want) {
 		t.Fatal("state after crash replay differs from the acked state")
+	}
+}
+
+func TestDurablePoolTransferOpsSurviveCrash(t *testing.T) {
+	// ImportReplica/DropReplica (the cluster replica-transfer primitives,
+	// internal/p2p) are write-ahead logged as direct placements: replay
+	// must reproduce them exactly without re-routing.
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	const keys = 30
+	for i := 0; i < keys; i++ {
+		key := NewID(fmt.Sprintf("xfer-%d", i))
+		if err := dp.ImportReplica(i%ov.N(), uint32(i%7), key, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drop a few, including one that was never stored (a no-op that must
+	// not log anything).
+	for i := 0; i < keys; i += 5 {
+		dropped, err := dp.DropReplica(i%ov.N(), NewID(fmt.Sprintf("xfer-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dropped {
+			t.Fatalf("drop %d reported absent", i)
+		}
+	}
+	if dropped, err := dp.DropReplica(0, NewID("never-stored")); err != nil || dropped {
+		t.Fatalf("phantom drop: %v %v", dropped, err)
+	}
+	want := exportAll(dp.Pool)
+	// Crash: no Close. Replay must rebuild placements and drops alone.
+	dp2, stats := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp2.Close()
+	if wantReplay := keys + keys/5; stats.Replayed != wantReplay {
+		t.Fatalf("replayed %d records, want %d", stats.Replayed, wantReplay)
+	}
+	if got := exportAll(dp2.Pool); !reflect.DeepEqual(got, want) {
+		t.Fatal("transferred state after crash replay differs")
+	}
+	// The direct placements are now first-class state: findable via
+	// routed lookups (the complete overlay reaches every holder).
+	for i := 1; i < keys; i++ {
+		if i%5 == 0 {
+			continue
+		}
+		key := NewID(fmt.Sprintf("xfer-%d", i))
+		if v, ok := dp2.Value(i%ov.N(), key); !ok || string(v) != fmt.Sprintf("payload-%d", i) {
+			t.Errorf("imported replica %d missing after replay (ok=%v v=%q)", i, ok, v)
+		}
 	}
 }
 
@@ -257,7 +310,53 @@ func TestDurablePoolManifestMismatch(t *testing.T) {
 	if _, _, err := OpenDurablePool(ov2, 4, DurableConfig{Dir: dir}, WithSeed(1), WithMaxHops(8)); err == nil {
 		t.Fatal("mismatched overlay accepted")
 	}
+	// A different region slice is a mismatch too: recovering another
+	// region's data into this node would strand it.
+	if _, _, err := OpenDurablePool(ov, 4, DurableConfig{Dir: dir}, WithSeed(1), WithMaxHops(8), WithRegion(1, 3)); err == nil {
+		t.Fatal("mismatched region accepted")
+	}
 	// The original parameters still open fine.
 	dp2, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff})
 	dp2.Close()
+}
+
+func TestDurablePoolAcceptsLegacyV1Manifest(t *testing.T) {
+	// A pre-region (v1) data directory is semantically a v2 directory
+	// with the unrestricted region 0/1: an unrestricted pool must accept
+	// and upgrade it; a region-restricted pool must refuse it.
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff})
+	if _, err := dp.Insert(0, NewID("legacy-key"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	dp.Close()
+
+	// Rewrite the manifest as the previous release wrote it.
+	legacy := legacyManifestFor(dp.Pool)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dp2, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff})
+	if res := dp2.Lookup(1, NewID("legacy-key")); !res.Found {
+		t.Fatal("state behind a v1 manifest not recovered")
+	}
+	dp2.Close()
+	// The manifest was upgraded in place.
+	got, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != manifestFor(dp.Pool) {
+		t.Fatalf("manifest not upgraded to v2:\n%s", got)
+	}
+
+	// Regioned pools refuse v1 directories outright.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenDurablePool(ov, 4, DurableConfig{Dir: dir}, WithSeed(1), WithMaxHops(8), WithRegion(0, 2)); err == nil {
+		t.Fatal("region-restricted pool accepted a v1 manifest")
+	}
 }

@@ -37,6 +37,36 @@ type Overlay interface {
 	Online(i int, at time.Duration) bool
 }
 
+// ValidateOverlay checks the structural contract Engine assumes of an
+// Overlay: at least one node, unique IDs, in-range neighbor indices, and
+// no self-loops. The engine trusts its overlay on the hot path, so
+// adapters built from external state — a cluster member list
+// (internal/p2p), another protocol's routing tables — should validate
+// once at construction.
+func ValidateOverlay(ov Overlay) error {
+	n := ov.N()
+	if n == 0 {
+		return fmt.Errorf("mpil: overlay has no nodes")
+	}
+	seen := make(map[idspace.ID]int, n)
+	for i := 0; i < n; i++ {
+		id := ov.ID(i)
+		if j, dup := seen[id]; dup {
+			return fmt.Errorf("mpil: nodes %d and %d share ID %v", j, i, id)
+		}
+		seen[id] = i
+		for _, nb := range ov.Neighbors(i) {
+			if nb < 0 || nb >= n {
+				return fmt.Errorf("mpil: node %d lists out-of-range neighbor %d (%d nodes)", i, nb, n)
+			}
+			if nb == i {
+				return fmt.Errorf("mpil: node %d lists itself as neighbor", i)
+			}
+		}
+	}
+	return nil
+}
+
 // Config carries the MPIL parameters from the paper.
 type Config struct {
 	// Space selects the digit base 2^b of the routing metric. The paper

@@ -1,0 +1,111 @@
+// Package p2p is the node-to-node transport that turns the discovery
+// engine into a multi-process cluster: separate OS processes, each owning
+// one contiguous region of the 160-bit keyspace, exchanging internal/wire
+// peer frames (route, probe, repair, replica-transfer) over TCP.
+//
+// # Model
+//
+// Membership is static per process lifetime and derived identically on
+// every node: the sorted, deduplicated set of peer addresses from the
+// bootstrap list (plus the node's own advertised address). A node's
+// cluster index is its address's rank in that ordering, and the index is
+// also its keyspace region (discovery.OwnerOf): nodes that agree on the
+// member list agree on every key's owner with no coordination protocol.
+//
+// A client may talk to any node. Requests for keys the node owns execute
+// on its local engine pool; everything else is wrapped in a TRoute frame
+// and relayed to the owner over a multiplexed peer connection, with the
+// owner's reply relayed back byte-for-byte. There is exactly one routing
+// hop — every node knows the full member list — so there are no forward
+// loops to suppress beyond the owner check on the receiving side.
+//
+// Availability is all-or-nothing per region: if a region's owner is down,
+// requests for its keys fail fast with an error (never a silent drop or a
+// bogus not-found ack) while every other region keeps serving.
+// Cross-node replication is the next layer up; the replica-transfer and
+// repair primitives here are its building blocks.
+//
+// Forwarded writes are at-least-once, not at-most-once: a routed request
+// that times out may still have been applied by the owner (the reply was
+// just late), so a client that retries after an error may re-execute the
+// write. MPIL replica placement makes this benign — re-inserting a key
+// overwrites the same per-node replica slots — but counters and stats on
+// the owner count both executions.
+package p2p
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	discovery "discovery"
+	"discovery/internal/idspace"
+)
+
+// Cluster is the static membership view: every peer address, sorted, and
+// this node's position among them. The same bootstrap set yields the
+// same Cluster on every member.
+type Cluster struct {
+	addrs []string
+	self  int
+	hash  uint64
+}
+
+// NewCluster derives membership from this node's advertised address and
+// the bootstrap list (which may or may not include self; both spellings
+// work). Addresses are compared as strings, so every member must be
+// configured with the identical spelling of each address.
+func NewCluster(self string, bootstrap []string) (*Cluster, error) {
+	if self == "" {
+		return nil, fmt.Errorf("p2p: self address is empty")
+	}
+	set := map[string]bool{self: true}
+	for _, a := range bootstrap {
+		if a != "" {
+			set[a] = true
+		}
+	}
+	addrs := make([]string, 0, len(set))
+	for a := range set {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	c := &Cluster{addrs: addrs, self: sort.SearchStrings(addrs, self)}
+	c.hash = fingerprint(addrs)
+	return c, nil
+}
+
+// fingerprint hashes the ordered member list with FNV-1a. Probes carry it
+// so nodes configured with different member lists refuse to serve each
+// other instead of silently disagreeing about key ownership.
+func fingerprint(addrs []string) uint64 {
+	h := fnv.New64a()
+	for _, a := range addrs {
+		h.Write([]byte(a))    //nolint:errcheck // hash.Hash never errors
+		h.Write([]byte{'\n'}) //nolint:errcheck
+	}
+	return h.Sum64()
+}
+
+// N returns the member count.
+func (c *Cluster) N() int { return len(c.addrs) }
+
+// Self returns this node's cluster index (= its keyspace region).
+func (c *Cluster) Self() int { return c.self }
+
+// Addr returns member i's peer address.
+func (c *Cluster) Addr(i int) string { return c.addrs[i] }
+
+// Addrs returns a copy of the ordered member list.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// Hash returns the membership fingerprint carried by probes.
+func (c *Cluster) Hash() uint64 { return c.hash }
+
+// OwnerOf returns the cluster index owning key.
+func (c *Cluster) OwnerOf(key idspace.ID) int {
+	return discovery.OwnerOf(key, len(c.addrs))
+}
+
+// Owns reports whether this node owns key.
+func (c *Cluster) Owns(key idspace.ID) bool { return c.OwnerOf(key) == c.self }

@@ -1,0 +1,604 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/idspace"
+	"discovery/internal/wire"
+)
+
+// Config parameterizes a Node.
+type Config struct {
+	// Cluster is the static membership. Required.
+	Cluster *Cluster
+	// Overlay is the cluster overlay the pool routes over. Required.
+	Overlay *RemoteOverlay
+	// Pool executes owned requests. Required; it should be built over
+	// Overlay with WithRegion(Cluster.Self(), Cluster.N()).
+	Pool *discovery.Pool
+	// DialTimeout bounds one peer dial (default 500ms). Loopback and
+	// datacenter peers answer or refuse fast; a short timeout keeps a
+	// dead region from stalling client connections.
+	DialTimeout time.Duration
+	// CallTimeout bounds one peer round trip (default 5s).
+	CallTimeout time.Duration
+	// MaxForwards caps concurrently in-flight forwarded client requests
+	// (default 256). At the cap the client reader blocks, which turns
+	// into TCP backpressure exactly like a full shard queue.
+	MaxForwards int
+	// Logf, when set, receives connection-level error lines.
+	Logf func(format string, args ...any)
+}
+
+// Node is the per-process cluster runtime: the inbound peer listener, the
+// outbound transport, and the glue that multiplexes peer and client
+// traffic onto one engine pool. Wire Owns and Forward into
+// server.Config; peer traffic flows through Start's listener.
+type Node struct {
+	cfg Config
+	tr  *Transport
+
+	fwdSem chan struct{}
+	// quit is closed by StopServing so background maintenance (Join
+	// retries, anti-entropy batches) stops issuing work promptly: the
+	// store must quiesce before shutdown seals it.
+	quit chan struct{}
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// errNodeClosed aborts maintenance passes interrupted by shutdown.
+var errNodeClosed = errors.New("p2p: node closed")
+
+// NewNode builds the runtime. Call Start to serve peer traffic.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Cluster == nil || cfg.Overlay == nil || cfg.Pool == nil {
+		return nil, errors.New("p2p: Config.Cluster, Overlay and Pool are required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.MaxForwards <= 0 {
+		cfg.MaxForwards = 256
+	}
+	n := &Node{
+		cfg:    cfg,
+		tr:     NewTransport(cfg.Cluster, cfg.Overlay, cfg.DialTimeout, cfg.CallTimeout, cfg.Logf),
+		fwdSem: make(chan struct{}, cfg.MaxForwards),
+		quit:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	return n, nil
+}
+
+// Transport returns the outbound peer transport.
+func (n *Node) Transport() *Transport { return n.tr }
+
+// Owns reports whether this node's region owns key. It has the signature
+// server.Config.Owns expects.
+func (n *Node) Owns(key idspace.ID) bool { return n.cfg.Cluster.Owns(key) }
+
+// Forward relays one client request to the owner of key and delivers the
+// owner's reply (or an error) to respond, exactly once. It has the
+// signature server.Config.Forward expects. The semaphore acquisition
+// blocks the calling connection reader at MaxForwards in-flight
+// forwards — deliberate backpressure.
+func (n *Node) Forward(typ wire.Type, key idspace.ID, origin uint32, value []byte, respond func(*wire.Msg)) {
+	owner := n.cfg.Cluster.OwnerOf(key)
+	n.fwdSem <- struct{}{}
+	go func() {
+		defer func() { <-n.fwdSem }()
+		req := &wire.Msg{Type: wire.TRoute, RouteKind: typ, Cluster: n.cfg.Cluster.Hash(), Key: key, Origin: origin, Value: value}
+		resp, err := n.tr.Call(owner, req)
+		if err != nil {
+			respond(&wire.Msg{Type: wire.TError, Value: []byte(fmt.Sprintf("region %d owner %s unreachable: %v", owner, n.cfg.Cluster.Addr(owner), err))})
+			return
+		}
+		switch resp.Type {
+		case wire.TInsertOK, wire.TLookupOK, wire.TDeleteOK, wire.TError:
+			respond(resp)
+		default:
+			respond(&wire.Msg{Type: wire.TError, Value: []byte("unexpected peer response " + resp.Type.String())})
+		}
+	}()
+}
+
+// Start listens for peer connections on addr and serves them in the
+// background, returning the bound address.
+func (n *Node) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		lis.Close()
+		return nil, errors.New("p2p: node closed")
+	}
+	n.lis = lis
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop(lis)
+	return lis.Addr(), nil
+}
+
+// acceptLoop hands each inbound peer connection to a handler goroutine.
+func (n *Node) acceptLoop(lis net.Listener) {
+	defer n.wg.Done()
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			nc.Close()
+			return
+		}
+		n.conns[nc] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.handleConn(nc)
+	}
+}
+
+// StopServing closes the peer listener and inbound connections and waits
+// for their handlers, without touching the outbound transport. Shutdown
+// wants this split: inbound peer mutations must stop before the store is
+// sealed, but outbound forwarding must keep working while the client
+// side drains.
+func (n *Node) StopServing() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	close(n.quit)
+	lis := n.lis
+	for nc := range n.conns {
+		nc.Close()
+	}
+	n.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	n.wg.Wait()
+}
+
+// Close stops inbound serving and severs outbound peer connections.
+func (n *Node) Close() {
+	n.StopServing()
+	n.tr.Close()
+}
+
+// inboundWorkers caps concurrently-executing requests per inbound peer
+// connection. The sending side multiplexes up to MaxForwards calls onto
+// one connection, so inbound execution must be concurrent too — a
+// serial handler would let queued calls at the tail blow their
+// CallTimeout against a perfectly healthy owner.
+const inboundWorkers = 32
+
+// handleConn serves one inbound peer connection: frames are read and
+// decoded in order, then executed concurrently (bounded by
+// inboundWorkers); response writes are serialized. Responses may
+// therefore complete out of request order, which reqID correlation on
+// the sending side tolerates by design.
+func (n *Node) handleConn(nc net.Conn) {
+	defer n.wg.Done()
+	var reqWg sync.WaitGroup
+	defer func() {
+		// Close the socket first: in-flight handlers blocked on writes
+		// fail fast instead of holding the drain for the write deadline.
+		nc.Close()
+		reqWg.Wait()
+		n.mu.Lock()
+		delete(n.conns, nc)
+		n.mu.Unlock()
+	}()
+	var wmu sync.Mutex // serializes response writes
+	sem := make(chan struct{}, inboundWorkers)
+	var scratch []byte
+	for {
+		body, err := wire.ReadFrame(nc, &scratch)
+		if err != nil {
+			return // EOF, peer reset, or framing error
+		}
+		// Decode before the next ReadFrame reuses scratch; the Msg owns
+		// copies of every variable-length field.
+		m := new(wire.Msg)
+		derr := m.Decode(body)
+		sem <- struct{}{} // backpressure: stop reading at the cap
+		reqWg.Add(1)
+		go func() {
+			defer func() { <-sem; reqWg.Done() }()
+			var reply wire.Msg
+			if derr != nil {
+				reply = wire.Msg{Type: wire.TError, ReqID: m.ReqID, Value: []byte("bad peer frame: " + derr.Error())}
+			} else {
+				n.handlePeer(m, &reply)
+				reply.ReqID = m.ReqID
+			}
+			frame, err := reply.Append(nil)
+			if err != nil {
+				n.cfg.Logf("p2p: encode %v reply: %v", reply.Type, err)
+				frame, _ = (&wire.Msg{Type: wire.TError, ReqID: m.ReqID, Value: []byte("internal encode error")}).Append(nil)
+			}
+			wmu.Lock()
+			nc.SetWriteDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck // surfaced by Write
+			_, werr := nc.Write(frame)
+			wmu.Unlock()
+			if werr != nil {
+				n.cfg.Logf("p2p: write to %v: %v", nc.RemoteAddr(), werr)
+				nc.Close() // also unblocks this connection's reader
+			}
+		}()
+	}
+}
+
+// handlePeer executes one decoded peer request into reply (reqID is
+// filled by the caller).
+func (n *Node) handlePeer(m, reply *wire.Msg) {
+	*reply = wire.Msg{}
+	switch m.Type {
+	case wire.TPeerProbe:
+		if m.Cluster != n.cfg.Cluster.Hash() {
+			reply.Type = wire.TError
+			reply.Value = []byte(fmt.Sprintf("cluster membership mismatch (yours %016x, mine %016x)", m.Cluster, n.cfg.Cluster.Hash()))
+			return
+		}
+		reply.Type = wire.TPeerProbeOK
+		reply.Cluster = n.cfg.Cluster.Hash()
+		reply.Origin = uint32(n.cfg.Cluster.Self())
+		reply.Held = uint64(n.cfg.Pool.ReplicaCount())
+	case wire.TRoute:
+		n.handleRoute(m, reply)
+	case wire.TRepair:
+		n.handleRepair(m, reply)
+	case wire.TTransfer:
+		n.handleTransfer(m, reply)
+	default:
+		reply.Type = wire.TError
+		reply.Value = []byte("unexpected peer message " + m.Type.String())
+	}
+}
+
+// checkCluster verifies a peer request's membership fingerprint,
+// filling reply with the refusal when it disagrees. Ownership is a pure
+// function of the member list, so executing a request from a
+// conflicting view would silently mis-place or mis-report data even
+// when the sender's owner computation happens to coincide.
+func (n *Node) checkCluster(m, reply *wire.Msg) bool {
+	if m.Cluster == n.cfg.Cluster.Hash() {
+		return true
+	}
+	reply.Type = wire.TError
+	reply.Value = []byte(fmt.Sprintf("cluster membership mismatch (yours %016x, mine %016x)", m.Cluster, n.cfg.Cluster.Hash()))
+	return false
+}
+
+// handleRoute executes one forwarded client request on the local pool.
+// The owner check is what terminates routing: with full membership there
+// is exactly one hop, so a mis-routed request means the sender disagrees
+// about ownership and must hear an error, not a second forward.
+func (n *Node) handleRoute(m, reply *wire.Msg) {
+	if !n.checkCluster(m, reply) {
+		return
+	}
+	if !n.cfg.Cluster.Owns(m.Key) {
+		reply.Type = wire.TError
+		reply.Value = []byte(fmt.Sprintf("not the owner of %v (its region is %d, mine is %d)",
+			m.Key, n.cfg.Cluster.OwnerOf(m.Key), n.cfg.Cluster.Self()))
+		return
+	}
+	pool := n.cfg.Pool
+	origin := m.Origin
+	if origin == wire.OriginAuto {
+		origin = uint32(pool.AutoOrigin(m.Key))
+	} else if origin >= uint32(pool.Overlay().N()) {
+		reply.Type = wire.TError
+		reply.Value = []byte(fmt.Sprintf("origin %d out of range (%d cluster members)", origin, pool.Overlay().N()))
+		return
+	}
+	switch m.RouteKind {
+	case wire.TInsert:
+		// Each inbound request decodes into its own Msg, so m.Value is a
+		// private allocation the engine may retain directly.
+		res, err := pool.Insert(int(origin), m.Key, m.Value)
+		if err != nil {
+			reply.Type = wire.TError
+			reply.Value = []byte("storage: " + err.Error())
+			return
+		}
+		reply.Type = wire.TInsertOK
+		reply.Insert = wire.InsertReplyFrom(res)
+	case wire.TLookup:
+		res := pool.Lookup(int(origin), m.Key)
+		reply.Type = wire.TLookupOK
+		reply.Lookup = wire.LookupReplyFrom(res)
+	case wire.TDelete:
+		removed, err := pool.Delete(int(origin), m.Key)
+		if err != nil {
+			reply.Type = wire.TError
+			reply.Value = []byte("storage: " + err.Error())
+			return
+		}
+		reply.Type = wire.TDeleteOK
+		reply.Deleted = uint32(removed)
+	}
+}
+
+// repairBudget bounds the entry bytes of one TRepairOK body well below
+// wire.MaxFrame, leaving room for the frame and body headers.
+const repairBudget = wire.MaxFrame / 2
+
+// handleRepair answers a pull-style anti-entropy request: every replica
+// this node holds whose key belongs to the asked-for region, up to the
+// frame budget. Entry values alias engine storage, which never mutates
+// stored bytes, so encoding after the scan is safe.
+func (n *Node) handleRepair(m, reply *wire.Msg) {
+	if !n.checkCluster(m, reply) {
+		return
+	}
+	if int(m.Region) >= n.cfg.Cluster.N() {
+		reply.Type = wire.TError
+		reply.Value = []byte(fmt.Sprintf("region %d out of range (%d members)", m.Region, n.cfg.Cluster.N()))
+		return
+	}
+	var entries []wire.TransferEntry
+	size, full, skipped := 0, false, 0
+	n.cfg.Pool.ForEachReplica(func(node int, origin uint32, key idspace.ID, value []byte) {
+		if n.cfg.Cluster.OwnerOf(key) != int(m.Region) {
+			return
+		}
+		// Once the budget is hit, stop adding anything — a deterministic
+		// prefix in iteration order, not an arbitrary size-dependent
+		// subset (pagination is future work; see ROADMAP).
+		if cost := wire.EntryOverhead + len(value); !full && size+cost <= repairBudget {
+			entries = append(entries, wire.TransferEntry{Node: uint32(node), Origin: origin, Key: key, Value: value})
+			size += cost
+			return
+		}
+		full = true
+		skipped++
+	})
+	if skipped > 0 {
+		n.cfg.Logf("p2p: repair of region %d truncated at budget: %d replicas withheld", m.Region, skipped)
+	}
+	reply.Type = wire.TRepairOK
+	reply.Region = m.Region
+	reply.Entries = entries
+}
+
+// handleTransfer applies pushed replicas for regions this node owns,
+// reproducing the sender's exact placements. Entries for other regions
+// are refused by not counting them: the sender keeps anything the
+// accepted count does not cover.
+func (n *Node) handleTransfer(m, reply *wire.Msg) {
+	if !n.checkCluster(m, reply) {
+		return
+	}
+	accepted := 0
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		if !n.cfg.Cluster.Owns(e.Key) {
+			n.cfg.Logf("p2p: transfer refused: key %v not owned here", e.Key)
+			continue
+		}
+		// Decoded entry values are freshly allocated (see wire), safe for
+		// the engine to retain.
+		if err := n.cfg.Pool.ImportReplica(int(e.Node), e.Origin, e.Key, e.Value); err != nil {
+			n.cfg.Logf("p2p: transfer apply: %v", err)
+			continue
+		}
+		accepted++
+	}
+	reply.Type = wire.TTransferOK
+	reply.Accepted = uint32(accepted)
+}
+
+// Join probes every peer until it answers or the timeout passes. It
+// returns nil when the whole cluster is reachable and an error naming
+// the peers that are not; the caller decides whether to serve anyway
+// (the usual choice — a node serves its own region regardless, and dead
+// peers are retried lazily by the first forwarded request).
+func (n *Node) Join(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	c := n.cfg.Cluster
+	errs := make([]error, c.N())
+	var wg sync.WaitGroup
+	for i := 0; i < c.N(); i++ {
+		if i == c.Self() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				held, err := n.tr.Probe(i)
+				if err == nil {
+					n.cfg.Logf("p2p: joined %s (region %d, %d replicas held)", c.Addr(i), i, held)
+					errs[i] = nil
+					return
+				}
+				errs[i] = err
+				if time.Now().After(deadline) {
+					return
+				}
+				select {
+				case <-time.After(100 * time.Millisecond):
+				case <-n.quit:
+					errs[i] = errNodeClosed
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var bad []string
+	for i, err := range errs {
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s: %v", c.Addr(i), err))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("p2p: join incomplete: %d peers unreachable: %v", len(bad), bad)
+	}
+	return nil
+}
+
+// transferBatch bounds one TTransfer request's entry count; transfer
+// batches also respect repairBudget in bytes so every batch is
+// encodable within wire.MaxFrame.
+const transferBatch = 128
+
+// Handoff pushes every locally-held replica whose key belongs to another
+// region to its owner, dropping the local copy once the owner has
+// acknowledged the whole batch. It is how a node sheds data that became
+// foreign — typically state recovered from a data directory written
+// under a different membership. Data the owner does not fully accept is
+// kept locally for a later retry. Each owner is probe-verified before
+// any batch is sent: Handoff is the one path that DELETES local data on
+// a peer's say-so, so a peer whose membership fingerprint disagrees
+// must never receive (and ack) a batch under a conflicting ownership
+// view.
+func (n *Node) Handoff() (moved int, err error) {
+	byOwner := make(map[int][]wire.TransferEntry)
+	n.cfg.Pool.ForEachReplica(func(node int, origin uint32, key idspace.ID, value []byte) {
+		owner := n.cfg.Cluster.OwnerOf(key)
+		if owner == n.cfg.Cluster.Self() {
+			return
+		}
+		byOwner[owner] = append(byOwner[owner], wire.TransferEntry{Node: uint32(node), Origin: origin, Key: key, Value: value})
+	})
+	var firstErr error
+	for owner, entries := range byOwner {
+		if _, perr := n.tr.Probe(owner); perr != nil {
+			if firstErr == nil {
+				firstErr = perr
+			}
+			continue // keep the data; never drop on an unverified peer
+		}
+		for len(entries) > 0 {
+			select {
+			case <-n.quit:
+				return moved, errNodeClosed
+			default:
+			}
+			// Batch by count and by bytes, so a batch always fits one
+			// frame. An entry too large to transfer at all (its value
+			// nearly fills a frame alone) is kept locally and logged.
+			size, take := 0, 0
+			for take < len(entries) && take < transferBatch {
+				cost := wire.EntryOverhead + len(entries[take].Value)
+				if size+cost > repairBudget {
+					break
+				}
+				size += cost
+				take++
+			}
+			if take == 0 {
+				n.cfg.Logf("p2p: replica %v too large to transfer (%d bytes); keeping it local", entries[0].Key, len(entries[0].Value))
+				entries = entries[1:]
+				continue
+			}
+			batch := entries[:take]
+			entries = entries[take:]
+			resp, cerr := n.tr.Call(owner, &wire.Msg{Type: wire.TTransfer, Cluster: n.cfg.Cluster.Hash(), Entries: batch})
+			if cerr != nil {
+				if firstErr == nil {
+					firstErr = cerr
+				}
+				break
+			}
+			if resp.Type != wire.TTransferOK || int(resp.Accepted) != len(batch) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("p2p: %s accepted %d of %d transferred replicas", n.cfg.Cluster.Addr(owner), resp.Accepted, len(batch))
+				}
+				break
+			}
+			for i := range batch {
+				if _, derr := n.cfg.Pool.DropReplica(int(batch[i].Node), batch[i].Key); derr != nil && firstErr == nil {
+					firstErr = derr
+				}
+			}
+			moved += len(batch)
+		}
+	}
+	return moved, firstErr
+}
+
+// PullRepair asks peer i for every replica of this node's region that
+// the peer holds, and imports what comes back. It is additive (the peer
+// keeps its copies; Handoff on the peer is the shedding side) and
+// idempotent — re-importing an existing placement overwrites it in
+// place.
+func (n *Node) PullRepair(i int) (applied int, err error) {
+	// Verify the peer shares this cluster's membership view first; a
+	// peer with a different member list computes different owners, and
+	// its idea of "region Self" is not this node's region.
+	if _, err := n.tr.Probe(i); err != nil {
+		return 0, err
+	}
+	resp, err := n.tr.Call(i, &wire.Msg{Type: wire.TRepair, Cluster: n.cfg.Cluster.Hash(), Region: uint32(n.cfg.Cluster.Self())})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type == wire.TError {
+		return 0, fmt.Errorf("p2p: %s: repair refused: %s", n.cfg.Cluster.Addr(i), resp.ErrorText())
+	}
+	if resp.Type != wire.TRepairOK {
+		return 0, fmt.Errorf("p2p: %s: unexpected repair response %v", n.cfg.Cluster.Addr(i), resp.Type)
+	}
+	for j := range resp.Entries {
+		e := &resp.Entries[j]
+		if !n.cfg.Cluster.Owns(e.Key) {
+			continue // a confused peer cannot plant foreign data here
+		}
+		if err := n.cfg.Pool.ImportReplica(int(e.Node), e.Origin, e.Key, e.Value); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// AntiEntropy runs one full maintenance pass: shed foreign replicas to
+// their owners, then pull this region's replicas from every reachable
+// peer. On a steady cluster both halves are no-ops; after a membership
+// change they converge data onto the new owners.
+func (n *Node) AntiEntropy() (moved, pulled int, err error) {
+	moved, err = n.Handoff()
+	for i := 0; i < n.cfg.Cluster.N(); i++ {
+		if i == n.cfg.Cluster.Self() {
+			continue
+		}
+		select {
+		case <-n.quit:
+			if err == nil {
+				err = errNodeClosed
+			}
+			return moved, pulled, err
+		default:
+		}
+		got, perr := n.PullRepair(i)
+		pulled += got
+		if perr != nil && err == nil {
+			err = perr
+		}
+	}
+	return moved, pulled, err
+}

@@ -1,0 +1,477 @@
+package p2p_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/p2p"
+	"discovery/internal/server"
+	"discovery/internal/wire"
+)
+
+// reserveAddrs grabs n distinct loopback addresses by binding and
+// releasing ephemeral ports. The tiny window between release and reuse
+// is the standard cost of needing the address before the process that
+// binds it.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	liss := make([]net.Listener, n)
+	for i := range addrs {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		liss[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	for _, lis := range liss {
+		lis.Close()
+	}
+	return addrs
+}
+
+// testNode is one in-process cluster member: runtime, serving layer, and
+// a client address.
+type testNode struct {
+	cluster    *p2p.Cluster
+	pool       *discovery.Pool
+	node       *p2p.Node
+	srv        *server.Server
+	clientAddr string
+}
+
+// startTestNode brings up the member advertised as selfAddr. When
+// regioned is false the pool accepts any key (the pre-cluster state a
+// handoff cleans up).
+func startTestNode(t *testing.T, selfAddr string, peerAddrs []string, regioned bool) *testNode {
+	t.Helper()
+	cluster, err := p2p.NewCluster(selfAddr, peerAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := p2p.NewRemoteOverlay(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []discovery.Option{discovery.WithSeed(1)}
+	if regioned {
+		opts = append(opts, discovery.WithRegion(cluster.Self(), cluster.N()))
+	}
+	pool, err := discovery.NewPool(ov, 2, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := p2p.NewNode(p2p.Config{
+		Cluster:     cluster,
+		Overlay:     ov,
+		Pool:        pool,
+		DialTimeout: 200 * time.Millisecond,
+		CallTimeout: 2 * time.Second,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Start(selfAddr); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Pool: pool, Owns: node.Owns, Forward: node.Forward, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := &testNode{cluster: cluster, pool: pool, node: node, srv: srv, clientAddr: addr.String()}
+	t.Cleanup(func() {
+		tn.srv.Close()
+		tn.node.Close()
+	})
+	return tn
+}
+
+// keysOwnedBy returns count distinct keys owned by region among n.
+func keysOwnedBy(region, n, count int, salt string) []string {
+	var keys []string
+	for i := 0; len(keys) < count; i++ {
+		name := fmt.Sprintf("%s-%d", salt, i)
+		if discovery.OwnerOf(discovery.NewID(name), n) == region {
+			keys = append(keys, name)
+		}
+	}
+	return keys
+}
+
+func TestClusterMembershipDeterministic(t *testing.T) {
+	addrs := []string{"10.0.0.2:7801", "10.0.0.1:7801", "10.0.0.3:7801"}
+	a, err := p2p.NewCluster("10.0.0.1:7801", addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different bootstrap ordering, and self omitted from the list.
+	b, err := p2p.NewCluster("10.0.0.3:7801", []string{"10.0.0.2:7801", "10.0.0.1:7801"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("same membership, different hashes: %x vs %x", a.Hash(), b.Hash())
+	}
+	if a.N() != 3 || b.N() != 3 {
+		t.Fatalf("member counts %d, %d; want 3", a.N(), b.N())
+	}
+	if a.Self() != 0 || b.Self() != 2 {
+		t.Fatalf("self ranks %d, %d; want 0, 2 (sorted order)", a.Self(), b.Self())
+	}
+	for i := 0; i < 3; i++ {
+		if a.Addr(i) != b.Addr(i) {
+			t.Fatalf("member %d differs: %s vs %s", i, a.Addr(i), b.Addr(i))
+		}
+	}
+	// Every key has the same owner from both views.
+	for i := 0; i < 100; i++ {
+		key := discovery.NewID(fmt.Sprintf("k-%d", i))
+		if a.OwnerOf(key) != b.OwnerOf(key) {
+			t.Fatalf("key %d owner disagreement", i)
+		}
+	}
+	c, err := p2p.NewCluster("10.0.0.1:7801", []string{"10.0.0.9:7801"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash() == a.Hash() {
+		t.Fatal("different memberships share a fingerprint")
+	}
+}
+
+func TestRemoteOverlayIsCompleteAndAlwaysOnline(t *testing.T) {
+	cluster, err := p2p.NewCluster("h1:1", []string{"h2:1", "h3:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := p2p.NewRemoteOverlay(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.N() != 3 {
+		t.Fatalf("N = %d, want 3", ov.N())
+	}
+	for i := 0; i < 3; i++ {
+		if len(ov.Neighbors(i)) != 2 {
+			t.Fatalf("node %d has %d neighbors, want 2", i, len(ov.Neighbors(i)))
+		}
+	}
+	// Transport health must never leak into engine routing: a dead peer
+	// changes forwarding behavior, not simulated-in-process routing (and
+	// with it durable-replay determinism).
+	ov.SetAlive(1, false)
+	if !ov.Online(1, 0) {
+		t.Fatal("Online observed transport health")
+	}
+	if ov.Alive(1) || ov.AliveCount() != 2 {
+		t.Fatal("Alive flags not tracked")
+	}
+}
+
+func TestForwardedRequestsServeWholeKeyspace(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 2)
+	n0 := startTestNode(t, peerAddrs[0], peerAddrs, true)
+	n1 := startTestNode(t, peerAddrs[1], peerAddrs, true)
+
+	c0, err := server.Dial(n0.clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := server.Dial(n1.clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// Drive every insert through node 0: keys owned by node 1 must be
+	// forwarded, stored on node 1, and visible from both entry points.
+	const keys = 40
+	for i := 0; i < keys; i++ {
+		name := fmt.Sprintf("span-%d", i)
+		if _, err := c0.Insert(server.OriginAuto, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatalf("insert %s: %v", name, err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		name := fmt.Sprintf("span-%d", i)
+		for who, c := range []*server.Client{c0, c1} {
+			res, err := c.Lookup(server.OriginAuto, discovery.NewID(name))
+			if err != nil {
+				t.Fatalf("lookup %s via node %d: %v", name, who, err)
+			}
+			if !res.Found {
+				t.Fatalf("key %s not found via node %d", name, who)
+			}
+		}
+	}
+	// Data landed on its owner, not on the entry node.
+	own0, own1 := 0, 0
+	for i := 0; i < keys; i++ {
+		name := fmt.Sprintf("span-%d", i)
+		if n0.cluster.Owns(discovery.NewID(name)) {
+			own0++
+		} else {
+			own1++
+		}
+	}
+	if own1 == 0 {
+		t.Fatal("test never exercised forwarding (no keys owned by node 1)")
+	}
+	if n1.pool.ReplicaCount() == 0 {
+		t.Fatal("node 1 owns keys but stores nothing; forwarding executed locally")
+	}
+	// Deletes forward too. The origin that inserted is derived from the
+	// key (OriginAuto), so a delete with OriginAuto removes it.
+	for i := 0; i < keys; i += 4 {
+		name := fmt.Sprintf("span-%d", i)
+		removed, err := c1.Delete(server.OriginAuto, discovery.NewID(name))
+		if err != nil {
+			t.Fatalf("delete %s: %v", name, err)
+		}
+		if removed == 0 {
+			t.Fatalf("delete %s removed nothing", name)
+		}
+		res, err := c0.Lookup(server.OriginAuto, discovery.NewID(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			t.Fatalf("key %s still findable after delete", name)
+		}
+	}
+}
+
+func TestDeadRegionFailsFastAndSurvivorsServe(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 2)
+	n0 := startTestNode(t, peerAddrs[0], peerAddrs, true)
+	// peerAddrs[1] is never started: that region is down from birth.
+
+	c0, err := server.Dial(n0.clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+
+	deadRegion := 1 - n0.cluster.Self()
+	owned := keysOwnedBy(n0.cluster.Self(), 2, 5, "alive")
+	dead := keysOwnedBy(deadRegion, 2, 5, "dead")
+
+	for _, name := range owned {
+		if _, err := c0.Insert(server.OriginAuto, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatalf("owned insert %s refused: %v", name, err)
+		}
+	}
+	start := time.Now()
+	for _, name := range dead {
+		_, err := c0.Insert(server.OriginAuto, discovery.NewID(name), []byte(name))
+		if err == nil {
+			t.Fatalf("insert for dead region %d was acked", deadRegion)
+		}
+		if !strings.Contains(err.Error(), "unreachable") {
+			t.Fatalf("dead-region error does not name the cause: %v", err)
+		}
+	}
+	// Fail fast: a refused dial, not a timeout, per request.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dead-region errors took %s; want fast refusal", elapsed)
+	}
+	for _, name := range owned {
+		res, err := c0.Lookup(server.OriginAuto, discovery.NewID(name))
+		if err != nil || !res.Found {
+			t.Fatalf("owned key %s lost while a peer is down (err %v)", name, err)
+		}
+	}
+}
+
+func TestProbeRefusesMembershipMismatch(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 2)
+	startTestNode(t, peerAddrs[0], peerAddrs, true)
+
+	// A node configured with an extra phantom member disagrees about
+	// ownership; the probe handshake must catch it.
+	wrong, err := p2p.NewCluster(peerAddrs[1], append(append([]string(nil), peerAddrs...), "10.9.9.9:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := p2p.NewRemoteOverlay(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p2p.NewTransport(wrong, ov, 200*time.Millisecond, 2*time.Second, t.Logf)
+	defer tr.Close()
+	var target int
+	for i := 0; i < wrong.N(); i++ {
+		if wrong.Addr(i) == peerAddrs[0] {
+			target = i
+		}
+	}
+	if _, err := tr.Probe(target); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("probe accepted a mismatched membership: %v", err)
+	}
+	// Not just probes: every peer request carries the fingerprint, so a
+	// routed write from the conflicting view is refused even when the
+	// two views happen to agree on the key's owner.
+	route := &wire.Msg{Type: wire.TRoute, RouteKind: wire.TInsert, Cluster: wrong.Hash(),
+		Key: discovery.NewID("split-brain"), Origin: wire.OriginAuto, Value: []byte("v")}
+	resp, err := tr.Call(target, route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.TError || !strings.Contains(resp.ErrorText(), "mismatch") {
+		t.Fatalf("routed write from a mismatched view was not refused: %v %q", resp.Type, resp.ErrorText())
+	}
+}
+
+func TestJoinHandshake(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 3)
+	nodes := make([]*testNode, 3)
+	for i := range nodes {
+		nodes[i] = startTestNode(t, peerAddrs[i], peerAddrs, true)
+	}
+	for i, tn := range nodes {
+		if err := tn.node.Join(5 * time.Second); err != nil {
+			t.Fatalf("node %d join: %v", i, err)
+		}
+	}
+}
+
+func TestHandoffRefusesUnverifiedPeer(t *testing.T) {
+	// Handoff deletes local data once the owner acks it, so it must
+	// never run against a peer whose membership view disagrees. Build a
+	// node whose member list includes a phantom third member: its probe
+	// of the real peer fails the fingerprint check, and its handoff must
+	// keep every replica local.
+	peerAddrs := reserveAddrs(t, 2)
+	startTestNode(t, peerAddrs[0], peerAddrs, true)
+
+	phantom := append(append([]string(nil), peerAddrs...), "10.9.9.9:1")
+	cluster, err := p2p.NewCluster(peerAddrs[1], phantom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := p2p.NewRemoteOverlay(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := discovery.NewPool(ov, 1, discovery.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := p2p.NewNode(p2p.Config{
+		Cluster: cluster, Overlay: ov, Pool: pool,
+		DialTimeout: 200 * time.Millisecond, CallTimeout: 2 * time.Second, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+
+	// Seed replicas that, under the phantom view, belong to the REAL
+	// peer's region (not the unreachable phantom member's), so handoff
+	// targets the live node and its fingerprint check.
+	realIdx := -1
+	for i := 0; i < cluster.N(); i++ {
+		if cluster.Addr(i) == peerAddrs[0] {
+			realIdx = i
+		}
+	}
+	seeded := 0
+	for i := 0; seeded < 4; i++ {
+		name := fmt.Sprintf("phantom-%d", i)
+		key := discovery.NewID(name)
+		if cluster.OwnerOf(key) != realIdx {
+			continue
+		}
+		if err := pool.ImportReplica(0, 0, key, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+		seeded++
+	}
+	moved, err := node.Handoff()
+	if moved != 0 {
+		t.Fatalf("handoff moved %d replicas to an unverified peer", moved)
+	}
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("handoff error does not name the fingerprint mismatch: %v", err)
+	}
+	if pool.ReplicaCount() != seeded {
+		t.Fatalf("replicas dropped despite refused handoff: %d of %d remain", pool.ReplicaCount(), seeded)
+	}
+}
+
+func TestHandoffAndPullRepair(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 2)
+	// Node 0's pool is unrestricted: it simulates a node whose store
+	// predates the cluster split and therefore holds foreign keys.
+	n0 := startTestNode(t, peerAddrs[0], peerAddrs, false)
+	n1 := startTestNode(t, peerAddrs[1], peerAddrs, true)
+
+	r0, r1 := n0.cluster.Self(), n1.cluster.Self()
+	mine := keysOwnedBy(r0, 2, 6, "mine")
+	theirs := keysOwnedBy(r1, 2, 6, "theirs")
+	for i, name := range append(append([]string(nil), mine...), theirs...) {
+		if err := n0.pool.ImportReplica(i%2, 0, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	moved, err := n0.node.Handoff()
+	if err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	if moved != len(theirs) {
+		t.Fatalf("handoff moved %d replicas, want %d", moved, len(theirs))
+	}
+	// Foreign replicas now live on their owner, placed at the same
+	// engine nodes, and are gone locally.
+	for i, name := range theirs {
+		key := discovery.NewID(name)
+		if v, ok := n1.pool.Value(i%2, key); !ok || string(v) != name {
+			t.Fatalf("handed-off key %s missing on owner (ok=%v)", name, ok)
+		}
+		if _, ok := n0.pool.Value(i%2, key); ok {
+			t.Fatalf("handed-off key %s still held locally", name)
+		}
+	}
+	if n0.pool.ReplicaCount() != len(mine) {
+		t.Fatalf("node 0 holds %d replicas after handoff, want %d", n0.pool.ReplicaCount(), len(mine))
+	}
+
+	// Pull repair is the inverse direction: node 1 lost nothing here, so
+	// seed one of its keys on node 0 again and pull it back.
+	extra := keysOwnedBy(r1, 2, 8, "theirs")[len(theirs):]
+	for _, name := range extra {
+		if err := n0.pool.ImportReplica(0, 0, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var from int
+	for i := 0; i < 2; i++ {
+		if i != r1 {
+			from = i
+		}
+	}
+	applied, err := n1.node.PullRepair(from)
+	if err != nil {
+		t.Fatalf("pull repair: %v", err)
+	}
+	if applied != len(extra) {
+		t.Fatalf("pull repair applied %d, want %d", applied, len(extra))
+	}
+	for _, name := range extra {
+		if v, ok := n1.pool.Value(0, discovery.NewID(name)); !ok || string(v) != name {
+			t.Fatalf("pulled key %s missing on owner", name)
+		}
+	}
+}

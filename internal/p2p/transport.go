@@ -1,0 +1,286 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"discovery/internal/wire"
+)
+
+// Transport is the outbound half of the peer protocol: one lazily-dialed,
+// automatically-redialed TCP connection per peer, multiplexing concurrent
+// requests by reqID. Calls are synchronous; concurrency comes from the
+// callers (the runtime forwards each client request on its own
+// goroutine), which pipeline freely over the shared connection.
+type Transport struct {
+	cluster     *Cluster
+	overlay     *RemoteOverlay
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	logf        func(format string, args ...any)
+	peers       []*peerConn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// errTransportClosed fails calls after Close.
+var errTransportClosed = errors.New("p2p: transport closed")
+
+// NewTransport builds the peer-connection table. Zero timeouts select
+// the defaults (500ms dial, 5s call).
+func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.Duration, logf func(string, ...any)) *Transport {
+	if dialTimeout <= 0 {
+		dialTimeout = 500 * time.Millisecond
+	}
+	if callTimeout <= 0 {
+		callTimeout = 5 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	t := &Transport{
+		cluster:     c,
+		overlay:     ov,
+		dialTimeout: dialTimeout,
+		callTimeout: callTimeout,
+		logf:        logf,
+		peers:       make([]*peerConn, c.N()),
+	}
+	for i := range t.peers {
+		t.peers[i] = &peerConn{t: t, idx: i, addr: c.Addr(i), pending: make(map[uint64]chan *wire.Msg)}
+	}
+	return t
+}
+
+// redialBackoff is how long after a SLOW dial failure (a timeout —
+// e.g. a blackholed peer) further calls fail fast instead of queueing
+// up behind serial dial attempts, each burning its own dial timeout.
+// Fast failures (connection refused, as on a crashed-but-routable peer)
+// never arm the backoff: retrying them is nearly free, and a peer that
+// just restarted must be reachable immediately.
+const redialBackoff = 250 * time.Millisecond
+
+// peerConn is the connection state for one peer. nc is nil when
+// disconnected; the next call redials.
+//
+// Two locks with distinct jobs: wmu serializes the slow path (dialing
+// and socket writes) among callers, while mu guards only the cheap
+// shared state (nc, the pending map, the reqID counter). readLoop needs
+// just mu to deliver responses, so a caller stuck in a dial or a slow
+// write never delays the delivery of responses already received.
+type peerConn struct {
+	t    *Transport
+	idx  int
+	addr string
+
+	wmu sync.Mutex // dial + write serialization
+	enc []byte     // frame encode scratch, guarded by wmu
+
+	mu       sync.Mutex
+	nc       net.Conn
+	nextID   uint64
+	pending  map[uint64]chan *wire.Msg
+	lastFail time.Time // last failed dial, for redialBackoff
+}
+
+// Call sends m to peer i and waits for its response, dialing or redialing
+// as needed. m.ReqID is assigned by the transport. The returned message
+// is owned by the caller. Transport health (RemoteOverlay.Alive) is
+// updated as a side effect.
+func (t *Transport) Call(i int, m *wire.Msg) (*wire.Msg, error) {
+	if i == t.cluster.Self() {
+		return nil, fmt.Errorf("p2p: call to self (index %d)", i)
+	}
+	pc := t.peers[i]
+	ch := make(chan *wire.Msg, 1)
+
+	pc.wmu.Lock()
+	nc, err := pc.connLocked()
+	if err != nil {
+		pc.wmu.Unlock()
+		t.overlay.SetAlive(i, false)
+		return nil, err
+	}
+	pc.mu.Lock()
+	pc.nextID++
+	id := pc.nextID
+	pc.pending[id] = ch
+	pc.mu.Unlock()
+	m.ReqID = id
+	frame, err := m.Append(pc.enc[:0])
+	if err != nil {
+		pc.mu.Lock()
+		delete(pc.pending, id)
+		pc.mu.Unlock()
+		pc.wmu.Unlock()
+		return nil, err
+	}
+	pc.enc = frame
+	nc.SetWriteDeadline(time.Now().Add(t.callTimeout)) //nolint:errcheck // surfaced by Write
+	_, werr := nc.Write(frame)
+	if werr != nil {
+		pc.mu.Lock()
+		delete(pc.pending, id)
+		pc.teardownLocked(nc)
+		pc.mu.Unlock()
+		pc.wmu.Unlock()
+		return nil, fmt.Errorf("p2p: write to %s: %w", pc.addr, werr)
+	}
+	pc.wmu.Unlock()
+
+	timer := time.NewTimer(t.callTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			t.overlay.SetAlive(i, false)
+			return nil, fmt.Errorf("p2p: %s: connection lost awaiting reply", pc.addr)
+		}
+		t.overlay.SetAlive(i, true)
+		return resp, nil
+	case <-timer.C:
+		pc.mu.Lock()
+		delete(pc.pending, id)
+		pc.mu.Unlock()
+		t.overlay.SetAlive(i, false)
+		return nil, fmt.Errorf("p2p: %s: no reply within %s", pc.addr, t.callTimeout)
+	}
+}
+
+// connLocked returns the live connection, dialing if needed. The caller
+// holds wmu (so at most one dial is in flight per peer); pc.mu is taken
+// only around shared-state reads and writes. A dial that fails arms a
+// short backoff so bursts of calls to a dead peer fail fast instead of
+// each burning a dial timeout in turn.
+func (pc *peerConn) connLocked() (net.Conn, error) {
+	t := pc.t
+	pc.mu.Lock()
+	nc := pc.nc
+	backoff := !pc.lastFail.IsZero() && time.Since(pc.lastFail) < redialBackoff
+	pc.mu.Unlock()
+	if nc != nil {
+		return nc, nil
+	}
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return nil, errTransportClosed
+	}
+	if backoff {
+		return nil, fmt.Errorf("p2p: %s: unreachable (in redial backoff)", pc.addr)
+	}
+	dialStart := time.Now()
+	nc, err := net.DialTimeout("tcp", pc.addr, t.dialTimeout)
+	if err != nil {
+		if time.Since(dialStart) >= t.dialTimeout/2 {
+			pc.mu.Lock()
+			pc.lastFail = time.Now()
+			pc.mu.Unlock()
+		}
+		return nil, fmt.Errorf("p2p: dial %s: %w", pc.addr, err)
+	}
+	pc.mu.Lock()
+	// Re-check closed under pc.mu: Close tears peers down under this
+	// lock, so either we see closed here, or Close runs after us and
+	// severs the connection we just installed.
+	t.mu.Lock()
+	closed = t.closed
+	t.mu.Unlock()
+	if closed {
+		pc.mu.Unlock()
+		nc.Close()
+		return nil, errTransportClosed
+	}
+	pc.nc = nc
+	pc.lastFail = time.Time{}
+	pc.mu.Unlock()
+	go pc.readLoop(nc)
+	return nc, nil
+}
+
+// readLoop decodes responses off one connection and delivers them to
+// waiting calls by reqID. Each response gets a fresh Msg: it is handed
+// across goroutines and owned by the receiving call.
+func (pc *peerConn) readLoop(nc net.Conn) {
+	var scratch []byte
+	for {
+		body, err := wire.ReadFrame(nc, &scratch)
+		if err != nil {
+			break
+		}
+		m := new(wire.Msg)
+		if err := m.Decode(body); err != nil {
+			pc.t.logf("p2p: %s: bad response frame: %v", pc.addr, err)
+			break
+		}
+		pc.mu.Lock()
+		ch := pc.pending[m.ReqID]
+		delete(pc.pending, m.ReqID)
+		pc.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+	pc.mu.Lock()
+	pc.teardownLocked(nc)
+	pc.mu.Unlock()
+}
+
+// teardownLocked severs the connection (if it is still the current one)
+// and fails every pending call. Callers hold pc.mu.
+func (pc *peerConn) teardownLocked(nc net.Conn) {
+	nc.Close()
+	if pc.nc != nc {
+		return // a newer connection has already replaced this one
+	}
+	pc.nc = nil
+	for id, ch := range pc.pending {
+		delete(pc.pending, id)
+		ch <- nil // buffered; never blocks
+	}
+	pc.t.overlay.SetAlive(pc.idx, false)
+}
+
+// Probe checks peer i end to end: dial if needed, exchange membership
+// fingerprints, and return the peer's stored replica count. A fingerprint
+// mismatch is an error — the peer is serving a different cluster.
+func (t *Transport) Probe(i int) (held uint64, err error) {
+	req := &wire.Msg{Type: wire.TPeerProbe, Cluster: t.cluster.Hash(), Origin: uint32(t.cluster.Self())}
+	resp, err := t.Call(i, req)
+	if err != nil {
+		return 0, err
+	}
+	switch resp.Type {
+	case wire.TPeerProbeOK:
+		if resp.Cluster != t.cluster.Hash() {
+			t.overlay.SetAlive(i, false)
+			return 0, fmt.Errorf("p2p: %s: cluster membership mismatch (theirs %016x, ours %016x)",
+				t.cluster.Addr(i), resp.Cluster, t.cluster.Hash())
+		}
+		return resp.Held, nil
+	case wire.TError:
+		return 0, fmt.Errorf("p2p: %s: probe refused: %s", t.cluster.Addr(i), resp.ErrorText())
+	default:
+		return 0, fmt.Errorf("p2p: %s: unexpected probe response %v", t.cluster.Addr(i), resp.Type)
+	}
+}
+
+// Close severs every peer connection and fails in-flight and future
+// calls.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	for _, pc := range t.peers {
+		pc.mu.Lock()
+		if pc.nc != nil {
+			pc.teardownLocked(pc.nc)
+		}
+		pc.mu.Unlock()
+	}
+}

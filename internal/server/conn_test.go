@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -133,6 +134,35 @@ func TestServerForgetsClosedConns(t *testing.T) {
 			t.Fatalf("%d connections still tracked after all clients closed", n)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestInsertValueLimitIsForwardable pins the uniform payload cap: the
+// serving layer rejects values above wire.MaxValue — the largest value
+// the TRoute peer wrapper can carry — so an insert never succeeds on
+// its key's owning node but fails when entered through any other
+// cluster node.
+func TestInsertValueLimitIsForwardable(t *testing.T) {
+	_, addr, _ := newTestServer(t, 2, 16)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Insert(OriginAuto, discovery.NewID("max-ok"), make([]byte, wire.MaxValue)); err != nil {
+		t.Fatalf("insert at MaxValue refused: %v", err)
+	}
+	_, err = c.Insert(OriginAuto, discovery.NewID("max-over"), make([]byte, wire.MaxValue+1))
+	if err == nil {
+		t.Fatal("insert above MaxValue accepted; it could not be forwarded in a cluster")
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("limit error does not name the cause: %v", err)
+	}
+	// The connection survives the refusal.
+	if _, err := c.Lookup(OriginAuto, discovery.NewID("max-ok")); err != nil {
+		t.Fatalf("connection unusable after refused insert: %v", err)
 	}
 }
 

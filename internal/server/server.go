@@ -51,6 +51,17 @@ type Config struct {
 	// final snapshot and log shutdown run. Wire a *discovery.DurablePool
 	// here; leave nil for in-memory pools.
 	Store io.Closer
+	// Owns reports whether this process's pool owns key. nil means the
+	// pool owns the whole keyspace (the single-process deployment).
+	// Keyed requests for keys outside the region are handed to Forward
+	// instead of a shard queue.
+	Owns func(key idspace.ID) bool
+	// Forward relays one keyed request this process does not own —
+	// typically to the owning cluster node (internal/p2p). respond must
+	// be called exactly once, from any goroutine; the server stamps the
+	// request's reqID onto the response and delivers it. value is owned
+	// by the callee. Required when Owns is set.
+	Forward func(typ wire.Type, key idspace.ID, origin uint32, value []byte, respond func(*wire.Msg))
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +72,8 @@ type Server struct {
 	pool         *discovery.Pool
 	store        io.Closer
 	logf         func(format string, args ...any)
+	owns         func(key idspace.ID) bool
+	forward      func(typ wire.Type, key idspace.ID, origin uint32, value []byte, respond func(*wire.Msg))
 	queues       []chan task
 	writeTimeout time.Duration
 
@@ -106,6 +119,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Pool == nil {
 		return nil, errors.New("server: Config.Pool is required")
 	}
+	if cfg.Owns != nil && cfg.Forward == nil {
+		return nil, errors.New("server: Config.Forward is required when Owns is set")
+	}
 	depth := cfg.QueueDepth
 	if depth <= 0 {
 		depth = 128
@@ -122,6 +138,8 @@ func New(cfg Config) (*Server, error) {
 		pool:         cfg.Pool,
 		store:        cfg.Store,
 		logf:         logf,
+		owns:         cfg.Owns,
+		forward:      cfg.Forward,
 		queues:       make([]chan task, cfg.Pool.NumShards()),
 		writeTimeout: wt,
 		conns:        make(map[net.Conn]struct{}),
@@ -261,11 +279,39 @@ func (s *Server) readLoop(c *conn) {
 		case wire.TStats:
 			s.replyStats(c, m.ReqID)
 		case wire.TInsert, wire.TLookup, wire.TDelete:
+			if m.Type == wire.TInsert && len(m.Value) > wire.MaxValue {
+				// The limit is the forwardable maximum, enforced
+				// uniformly so an insert never succeeds on the owning
+				// node but fails through any other.
+				s.replyError(c, m.ReqID, fmt.Sprintf("value %d bytes exceeds the %d-byte limit", len(m.Value), wire.MaxValue))
+				continue
+			}
 			origin := m.Origin
 			if origin == wire.OriginAuto {
 				origin = uint32(s.pool.AutoOrigin(m.Key))
 			} else if origin >= uint32(n) {
 				s.replyError(c, m.ReqID, fmt.Sprintf("origin %d out of range (overlay has %d nodes)", origin, n))
+				continue
+			}
+			if s.owns != nil && !s.owns(m.Key) {
+				// Another cluster node owns this key: relay the request
+				// and deliver the owner's reply under this reqID. The
+				// forwarder may block (its in-flight cap), which reads as
+				// backpressure exactly like a full shard queue.
+				var value []byte
+				if m.Type == wire.TInsert {
+					value = append([]byte(nil), m.Value...)
+				}
+				c.inflight.Add(1)
+				reqID := m.ReqID
+				var once sync.Once
+				s.forward(m.Type, m.Key, origin, value, func(resp *wire.Msg) {
+					once.Do(func() {
+						resp.ReqID = reqID
+						s.send(c, resp)
+						c.inflight.Done()
+					})
+				})
 				continue
 			}
 			t := task{c: c, typ: m.Type, reqID: m.ReqID, key: m.Key, origin: origin}
@@ -305,25 +351,11 @@ func (s *Server) shardWorker(i int) {
 				break
 			}
 			m.Type = wire.TInsertOK
-			m.Insert = wire.InsertReply{
-				Replicas:   uint32(res.Replicas),
-				Messages:   uint32(res.Messages),
-				Duplicates: uint32(res.Duplicates),
-				Flows:      uint32(res.Flows),
-				Dropped:    uint32(res.Dropped),
-			}
+			m.Insert = wire.InsertReplyFrom(res)
 		case wire.TLookup:
 			res := s.pool.Lookup(int(t.origin), t.key)
 			m.Type = wire.TLookupOK
-			m.Lookup = wire.LookupReply{
-				Found:          res.Found,
-				FirstReplyHops: int32(res.FirstReplyHops),
-				Replies:        uint32(res.Replies),
-				Messages:       uint32(res.Messages),
-				Duplicates:     uint32(res.Duplicates),
-				Flows:          uint32(res.Flows),
-				Dropped:        uint32(res.Dropped),
-			}
+			m.Lookup = wire.LookupReplyFrom(res)
 		case wire.TDelete:
 			removed, err := s.pool.Delete(int(t.origin), t.key)
 			if err != nil {

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/wire"
+)
+
+// These tests cover the two overload paths end to end, through a served
+// connection rather than a hand-built writeLoop: the write-deadline
+// client shed (a client that stops reading responses is disconnected and
+// stops affecting everyone else) and queue-full backpressure (a client
+// that outruns a shard stops being read, which a real TCP stack turns
+// into flow control). Both use net.Pipe connections — unbuffered and
+// deadline-aware — so "the client stopped reading" is observable
+// immediately instead of being absorbed by kernel socket buffers.
+
+// pipeListener is a net.Listener fed by hand: dial() injects the server
+// end of a fresh net.Pipe into Accept.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn, 8), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// dial hands the server a new connection and returns the client end.
+func (l *pipeListener) dial(t *testing.T) net.Conn {
+	t.Helper()
+	client, srv := net.Pipe()
+	select {
+	case l.conns <- srv:
+	case <-time.After(time.Second):
+		t.Fatal("server never accepted the pipe connection")
+	}
+	return client
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// newPipeServer builds a server over a pipe listener with a short write
+// deadline.
+func newPipeServer(t *testing.T, shards, queueDepth int, writeTimeout time.Duration) (*Server, *pipeListener) {
+	t.Helper()
+	ov, err := discovery.CompleteOverlay(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := discovery.NewPool(ov, shards, discovery.WithSeed(1), discovery.WithMaxHops(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Pool: pool, QueueDepth: queueDepth, WriteTimeout: writeTimeout, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := newPipeListener()
+	go srv.Serve(lis) //nolint:errcheck // surfaced via Close
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis
+}
+
+// writeFrame writes one request frame with a deadline, reporting whether
+// the whole frame was consumed in time.
+func writeFrame(t *testing.T, nc net.Conn, m *wire.Msg, timeout time.Duration) error {
+	t.Helper()
+	frame, err := m.Append(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	_, err = nc.Write(frame)
+	return err
+}
+
+// TestServedConnectionShedsStalledClient drives the full path: a client
+// sends a request through Serve's reader, the shard worker answers, and
+// the client never reads the response. The write deadline must shed
+// exactly that client — its socket closes — while a healthy client on
+// the same server keeps getting answers throughout.
+func TestServedConnectionShedsStalledClient(t *testing.T) {
+	_, lis := newPipeServer(t, 2, 16, 150*time.Millisecond)
+
+	healthy := NewClient(lis.dial(t))
+	defer healthy.Close()
+	if _, err := healthy.Lookup(OriginAuto, discovery.NewID("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	stalled := lis.dial(t)
+	defer stalled.Close()
+	req := &wire.Msg{Type: wire.TLookup, ReqID: 7, Key: discovery.NewID("stall"), Origin: wire.OriginAuto}
+	if err := writeFrame(t, stalled, req, 2*time.Second); err != nil {
+		t.Fatalf("request write: %v", err)
+	}
+
+	// Never read the response. The server's write blocks on the pipe,
+	// trips the deadline, and closes the connection: the stalled client
+	// must observe EOF/closed rather than a silent wedge.
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Sleep without reading first: reading would un-stall the pipe.
+		time.Sleep(50 * time.Millisecond)
+		if _, err := stalled.Read(buf); err != nil {
+			if err == io.EOF || err == io.ErrClosedPipe {
+				break // shed: server severed the connection
+			}
+			t.Fatalf("stalled client read: %v", err)
+		}
+		// A byte arrived — the response write won the race with our
+		// sleep. Stop consuming and wait for the deadline to trip on the
+		// rest (the frame is larger than one byte).
+		if time.Now().After(deadline) {
+			t.Fatal("server kept writing to a client that reads one byte per 50ms; deadline never shed it")
+		}
+	}
+
+	// The healthy connection was never affected.
+	for i := 0; i < 5; i++ {
+		if _, err := healthy.Lookup(OriginAuto, discovery.NewID("after-shed")); err != nil {
+			t.Fatalf("healthy client broken after shed: %v", err)
+		}
+	}
+}
+
+// TestQueueFullBackpressure pins the reader-side contract: when the
+// owning shard's queue is full (here because the single shard's worker
+// is stuck writing to a client that never reads), the server stops
+// reading from the connection instead of buffering unboundedly — so the
+// client's next write blocks. After the write deadline sheds the
+// stalled connection, the server recovers and serves new clients.
+func TestQueueFullBackpressure(t *testing.T) {
+	_, lis := newPipeServer(t, 1, 1, 400*time.Millisecond)
+
+	stalled := lis.dial(t)
+	defer stalled.Close()
+
+	// Pipeline requests without ever reading. Bound: 1 executing + the
+	// response channel (64) + the shard queue (1) + one frame in the
+	// reader. Well before 200 sends, a write must block — that blocking
+	// IS the backpressure (on TCP it becomes a zero window).
+	key := discovery.NewID("pressure")
+	sent, blocked := 0, false
+	for i := 0; i < 200; i++ {
+		req := &wire.Msg{Type: wire.TLookup, ReqID: uint64(i + 1), Key: key, Origin: wire.OriginAuto}
+		if err := writeFrame(t, stalled, req, 100*time.Millisecond); err != nil {
+			blocked = true
+			break
+		}
+		sent++
+	}
+	if !blocked {
+		t.Fatalf("wrote %d pipelined requests with no reader and never blocked; queue is unbounded", sent)
+	}
+	if sent < 2 {
+		t.Fatalf("blocked after only %d sends; queue admitted nothing", sent)
+	}
+	t.Logf("backpressure engaged after %d pipelined requests", sent)
+
+	// The write deadline eventually sheds the stalled connection and the
+	// single shard worker drains; a fresh client must then be served.
+	fresh := NewClient(lis.dial(t))
+	defer fresh.Close()
+	fresh.nc.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	if _, err := fresh.Lookup(OriginAuto, discovery.NewID("recovered")); err != nil {
+		t.Fatalf("server did not recover after shedding the stalled client: %v", err)
+	}
+}

@@ -51,6 +51,104 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzPeerDecode feeds arbitrary bytes to Decode with peer-message frame
+// seeds. Like FuzzDecode, anything accepted must be canonical: it must
+// re-encode to the exact input bytes, from both a fresh and a dirty Msg.
+func FuzzPeerDecode(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		if !m.Type.IsPeerRequest() && m.Type != TPeerProbeOK && m.Type != TRepairOK && m.Type != TTransferOK {
+			continue
+		}
+		frame, err := m.Append(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[lenWords:])
+	}
+	f.Add([]byte{byte(TRoute)})
+	f.Add([]byte{byte(TTransfer), 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var m Msg
+		if err := m.Decode(body); err != nil {
+			return
+		}
+		frame, err := m.Append(nil)
+		if err != nil {
+			t.Fatalf("decoded message fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[lenWords:], body) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", body, frame[lenWords:])
+		}
+		reused := Msg{
+			Value: append([]byte(nil), "stale-stale-stale"...),
+			Entries: []TransferEntry{
+				{Node: 9, Origin: 9, Value: []byte("stale")},
+			},
+		}
+		if err := reused.Decode(body); err != nil {
+			t.Fatalf("reused decode rejects what fresh decode accepted: %v", err)
+		}
+		frame2, err := reused.Append(nil)
+		if err != nil {
+			t.Fatalf("reused re-encode: %v", err)
+		}
+		if !bytes.Equal(frame, frame2) {
+			t.Fatalf("reused decode diverges:\n fresh %x\n reuse %x", frame, frame2)
+		}
+	})
+}
+
+// FuzzPeerRoundTrip builds structured peer messages from fuzzed fields,
+// encodes them, and requires decode to reproduce the message exactly.
+func FuzzPeerRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(7), uint64(0xABCD), uint32(1), []byte("key"), []byte("value"), uint32(3), uint8(1))
+	f.Add(uint8(2), uint64(1), uint64(0), uint32(0), []byte(""), []byte(""), uint32(0), uint8(2))
+	f.Add(uint8(5), uint64(9), uint64(1), uint32(2), []byte("k2"), []byte("entry-payload"), uint32(7), uint8(3))
+	f.Fuzz(func(t *testing.T, ty uint8, reqID, cluster uint64, origin uint32, keySrc, value []byte, region uint32, kind uint8) {
+		types := []Type{TPeerProbe, TRoute, TRepair, TTransfer, TPeerProbeOK, TRepairOK, TTransferOK}
+		m := Msg{
+			Type:      types[int(ty)%len(types)],
+			ReqID:     reqID,
+			Cluster:   cluster,
+			Held:      cluster >> 1,
+			Key:       idspace.FromBytes(keySrc),
+			Origin:    origin,
+			RouteKind: []Type{TInsert, TLookup, TDelete}[int(kind)%3],
+			Region:    region,
+			Accepted:  region,
+			Value:     value,
+		}
+		if m.Type == TTransfer || m.Type == TRepairOK {
+			for i := uint32(0); i < region%4; i++ {
+				m.Entries = append(m.Entries, TransferEntry{
+					Node:   origin + i,
+					Origin: origin,
+					Key:    idspace.FromBytes(append(keySrc, byte(i))),
+					Value:  value,
+				})
+			}
+		}
+		frame, err := m.Append(nil)
+		if err != nil {
+			if err == ErrOversize {
+				return // oversize payloads are rejected by design
+			}
+			t.Fatalf("encode: %v", err)
+		}
+		var got Msg
+		if err := got.Decode(frame[lenWords:]); err != nil {
+			t.Fatalf("decode of own encoding failed: %v (frame %x)", err, frame)
+		}
+		again, err := got.Append(nil)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("round trip not stable:\n %x\n %x", frame, again)
+		}
+	})
+}
+
 // FuzzRoundTrip builds structured messages from fuzzed fields, encodes
 // them, and requires decode to reproduce the message exactly.
 func FuzzRoundTrip(f *testing.F) {

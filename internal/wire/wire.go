@@ -34,8 +34,33 @@
 //	           u64 found | shards x u64 perShardRequests
 //	TError:    text...                                 (UTF-8, rest of frame)
 //
+// # Peer bodies
+//
+// Node-to-node traffic (internal/p2p) reuses the same framing and reqID
+// correlation with its own type range. TRoute wraps one client request
+// for the key's owning node; its response reuses the matching client
+// response type (TInsertOK, TLookupOK, TDeleteOK, or TError), so a routed
+// reply can be relayed to the originating client byte-for-byte.
+//
+// Every peer REQUEST carries the sender's cluster-membership hash:
+// nodes configured with different member lists disagree about key
+// ownership, so a receiver refuses mismatched requests outright instead
+// of executing them under a conflicting view.
+//
+//	TPeerProbe:   u64 clusterHash | u32 sender
+//	TRoute:       u8 kind (TInsert|TLookup|TDelete) | u64 clusterHash |
+//	              key[20] | u32 origin | value...    (value only for insert kind)
+//	TRepair:      u64 clusterHash | u32 region
+//	TTransfer:    u64 clusterHash | u32 count | count x entry
+//	TPeerProbeOK: u64 clusterHash | u32 responder | u64 heldReplicas
+//	TRepairOK:    u32 region | u32 count | count x entry
+//	TTransferOK:  u32 accepted
+//
+// where entry = u32 node | u32 origin | key[20] | u32 valueLen | value.
+//
 // Decoding is strict: bodies must have exactly the advertised layout, and
-// decoding arbitrary bytes never panics (fuzzed by FuzzDecode).
+// decoding arbitrary bytes never panics (fuzzed by FuzzDecode and
+// FuzzPeerDecode).
 package wire
 
 import (
@@ -44,12 +69,21 @@ import (
 	"io"
 
 	"discovery/internal/idspace"
+	"discovery/internal/mpil"
 )
 
 // MaxFrame is the largest legal frame body (everything after the length
 // word). It bounds both value payloads and the allocation a malicious
 // length prefix can force on a reader.
 const MaxFrame = 1 << 20
+
+// MaxValue is the largest insert payload the serving layer accepts. It
+// is derived from the most overhead-heavy frame a value must fit in —
+// the TRoute peer wrapper (header 9 + kind 1 + cluster 8 + key 20 +
+// origin 4) — so an insert accepted on one cluster node is forwardable
+// to any other; a limit derived from the bare TInsert frame would let
+// boundary-size inserts succeed on the owner and fail when routed.
+const MaxValue = MaxFrame - headerLen - 1 - 8 - 20 - 4
 
 // lenWords is the size of the frame length prefix.
 const lenWords = 4
@@ -75,6 +109,20 @@ const (
 	TError    Type = 0xFF
 )
 
+// Peer (node-to-node) message types. 0x91 is deliberately unassigned:
+// TRoute responses reuse the client response types so relays are
+// byte-identical.
+const (
+	TPeerProbe Type = 0x10
+	TRoute     Type = 0x11
+	TRepair    Type = 0x12
+	TTransfer  Type = 0x13
+
+	TPeerProbeOK Type = 0x90
+	TRepairOK    Type = 0x92
+	TTransferOK  Type = 0x93
+)
+
 // String implements fmt.Stringer for log lines.
 func (t Type) String() string {
 	switch t {
@@ -94,6 +142,20 @@ func (t Type) String() string {
 		return "delete-ok"
 	case TStatsOK:
 		return "stats-ok"
+	case TPeerProbe:
+		return "peer-probe"
+	case TRoute:
+		return "route"
+	case TRepair:
+		return "repair"
+	case TTransfer:
+		return "transfer"
+	case TPeerProbeOK:
+		return "peer-probe-ok"
+	case TRepairOK:
+		return "repair-ok"
+	case TTransferOK:
+		return "transfer-ok"
 	case TError:
 		return "error"
 	default:
@@ -103,6 +165,9 @@ func (t Type) String() string {
 
 // IsRequest reports whether t is a client-to-server type.
 func (t Type) IsRequest() bool { return t >= TInsert && t <= TStats }
+
+// IsPeerRequest reports whether t is a node-to-node request type.
+func (t Type) IsPeerRequest() bool { return t >= TPeerProbe && t <= TTransfer }
 
 // OriginAuto is the origin sentinel meaning "server picks the entry node"
 // (derived deterministically from the key).
@@ -117,6 +182,8 @@ var (
 	ErrType     = errors.New("wire: unknown message type")
 	ErrBool     = errors.New("wire: boolean byte not 0 or 1")
 	ErrShards   = errors.New("wire: stats shard count out of range")
+	ErrRoute    = errors.New("wire: route kind must be insert, lookup or delete")
+	ErrEntries  = errors.New("wire: transfer entry count disagrees with body")
 )
 
 // InsertReply carries the insertion statistics of one request.
@@ -139,6 +206,34 @@ type LookupReply struct {
 	Dropped        uint32
 }
 
+// InsertReplyFrom converts the engine's insertion statistics to the
+// wire reply. Shared by the client-serving path (internal/server) and
+// the peer-routing path (internal/p2p) so the field mapping cannot
+// drift between them.
+func InsertReplyFrom(r mpil.InsertStats) InsertReply {
+	return InsertReply{
+		Replicas:   uint32(r.Replicas),
+		Messages:   uint32(r.Messages),
+		Duplicates: uint32(r.Duplicates),
+		Flows:      uint32(r.Flows),
+		Dropped:    uint32(r.Dropped),
+	}
+}
+
+// LookupReplyFrom converts the engine's lookup statistics to the wire
+// reply; see InsertReplyFrom.
+func LookupReplyFrom(r mpil.LookupStats) LookupReply {
+	return LookupReply{
+		Found:          r.Found,
+		FirstReplyHops: int32(r.FirstReplyHops),
+		Replies:        uint32(r.Replies),
+		Messages:       uint32(r.Messages),
+		Duplicates:     uint32(r.Duplicates),
+		Flows:          uint32(r.Flows),
+		Dropped:        uint32(r.Dropped),
+	}
+}
+
 // StatsReply is the daemon-wide counter snapshot.
 type StatsReply struct {
 	Shards  uint32
@@ -153,6 +248,26 @@ type StatsReply struct {
 	ShardRequests []uint64
 }
 
+// TransferEntry is one replica carried by a TTransfer or TRepairOK body:
+// a direct placement (engine node index + inserting origin) rather than a
+// routed operation, so the receiver reproduces the sender's placement
+// exactly. Decode allocates a fresh Value per entry — entries may be
+// retained by the receiver's engine.
+type TransferEntry struct {
+	Node   uint32
+	Origin uint32
+	Key    idspace.ID
+	Value  []byte
+}
+
+// EntryOverhead is a transfer entry's fixed wire cost — node, origin,
+// key, and the value length word — exported so senders can budget entry
+// batches against MaxFrame with the codec's own arithmetic.
+const EntryOverhead = 4 + 4 + idspace.Bytes + 4
+
+// entryHdrLen is EntryOverhead under its decode-side name.
+const entryHdrLen = EntryOverhead
+
 // Msg is one decoded message of any type. A single Msg is meant to be
 // reused across a connection's lifetime: Decode refills it in place and
 // Value/Stats.ShardRequests recycle their capacity.
@@ -161,13 +276,35 @@ type Msg struct {
 	ReqID  uint64
 	Key    idspace.ID
 	Origin uint32 // requests only; OriginAuto delegates the choice
-	// Value is the insert payload (TInsert) or error text (TError).
+	// Value is the insert payload (TInsert, TRoute) or error text
+	// (TError).
 	Value  []byte
 	Insert InsertReply
 	Lookup LookupReply
 	// Deleted is the removed-replica count of a TDeleteOK.
 	Deleted uint32
 	Stats   StatsReply
+
+	// Peer-message fields.
+
+	// RouteKind is the wrapped request type of a TRoute (TInsert,
+	// TLookup or TDelete).
+	RouteKind Type
+	// Cluster is the membership hash carried by probes, letting peers
+	// refuse to serve a node configured with a different member list.
+	// Origin doubles as the sender (TPeerProbe) / responder
+	// (TPeerProbeOK) cluster index.
+	Cluster uint64
+	// Held is the responder's stored replica count (TPeerProbeOK).
+	Held uint64
+	// Region is the keyspace region a TRepair asks for, echoed by
+	// TRepairOK.
+	Region uint32
+	// Entries carries replicas (TTransfer, TRepairOK).
+	Entries []TransferEntry
+	// Accepted is how many transferred entries the receiver applied
+	// (TTransferOK).
+	Accepted uint32
 }
 
 // ErrorText returns the error message of a TError response.
@@ -191,8 +328,34 @@ func (m *Msg) bodyLen() int {
 		n += 4
 	case TStatsOK:
 		n += 4 + 4*8 + 8*len(m.Stats.ShardRequests)
+	case TPeerProbe:
+		n += 8 + 4
+	case TPeerProbeOK:
+		n += 8 + 4 + 8
+	case TRoute:
+		n += 1 + 8 + idspace.Bytes + 4
+		if m.RouteKind == TInsert {
+			n += len(m.Value)
+		}
+	case TRepair:
+		n += 8 + 4
+	case TRepairOK:
+		n += 4 + 4 + entriesLen(m.Entries)
+	case TTransfer:
+		n += 8 + 4 + entriesLen(m.Entries)
+	case TTransferOK:
+		n += 4
 	case TError:
 		n += len(m.Value)
+	}
+	return n
+}
+
+// entriesLen is the encoded size of a transfer entry list.
+func entriesLen(entries []TransferEntry) int {
+	n := 0
+	for i := range entries {
+		n += EntryOverhead + len(entries[i].Value)
 	}
 	return n
 }
@@ -209,6 +372,9 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 	}
 	if m.Type == TStatsOK && int(m.Stats.Shards) != len(m.Stats.ShardRequests) {
 		return dst, ErrShards
+	}
+	if m.Type == TRoute && m.RouteKind != TInsert && m.RouteKind != TLookup && m.RouteKind != TDelete {
+		return dst, ErrRoute
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(m.Type))
@@ -254,12 +420,52 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		for _, v := range s.ShardRequests {
 			dst = binary.BigEndian.AppendUint64(dst, v)
 		}
+	case TPeerProbe:
+		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+	case TPeerProbeOK:
+		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+		dst = binary.BigEndian.AppendUint64(dst, m.Held)
+	case TRoute:
+		dst = append(dst, byte(m.RouteKind))
+		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = append(dst, m.Key[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+		if m.RouteKind == TInsert {
+			dst = append(dst, m.Value...)
+		}
+	case TRepair:
+		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = binary.BigEndian.AppendUint32(dst, m.Region)
+	case TRepairOK:
+		dst = binary.BigEndian.AppendUint32(dst, m.Region)
+		dst = appendEntries(dst, m.Entries)
+	case TTransfer:
+		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = appendEntries(dst, m.Entries)
+	case TTransferOK:
+		dst = binary.BigEndian.AppendUint32(dst, m.Accepted)
 	case TError:
 		dst = append(dst, m.Value...)
 	default:
 		return dst[:len(dst)-body-lenWords], ErrType
 	}
 	return dst, nil
+}
+
+// appendEntries encodes a count-prefixed transfer entry list onto dst.
+func appendEntries(dst []byte, entries []TransferEntry) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		dst = binary.BigEndian.AppendUint32(dst, e.Node)
+		dst = binary.BigEndian.AppendUint32(dst, e.Origin)
+		dst = append(dst, e.Key[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Value)))
+		dst = append(dst, e.Value...)
+	}
+	return dst
 }
 
 // Decode parses one frame body (everything after the length word) into m,
@@ -352,10 +558,108 @@ func (m *Msg) Decode(body []byte) error {
 			s.ShardRequests = append(s.ShardRequests, binary.BigEndian.Uint64(rest))
 			rest = rest[8:]
 		}
+	case TPeerProbe:
+		if len(b) != 8+4 {
+			return sizeErr(len(b), 8+4)
+		}
+		m.Cluster = binary.BigEndian.Uint64(b[0:])
+		m.Origin = binary.BigEndian.Uint32(b[8:])
+	case TPeerProbeOK:
+		if len(b) != 8+4+8 {
+			return sizeErr(len(b), 8+4+8)
+		}
+		m.Cluster = binary.BigEndian.Uint64(b[0:])
+		m.Origin = binary.BigEndian.Uint32(b[8:])
+		m.Held = binary.BigEndian.Uint64(b[12:])
+	case TRoute:
+		if len(b) < 1+8+idspace.Bytes+4 {
+			return ErrShort
+		}
+		m.RouteKind = Type(b[0])
+		m.Cluster = binary.BigEndian.Uint64(b[1:])
+		copy(m.Key[:], b[9:])
+		m.Origin = binary.BigEndian.Uint32(b[9+idspace.Bytes:])
+		rest := b[9+idspace.Bytes+4:]
+		switch m.RouteKind {
+		case TInsert:
+			m.Value = append(m.Value[:0], rest...)
+		case TLookup, TDelete:
+			if len(rest) != 0 {
+				return ErrTrailing
+			}
+		default:
+			return ErrRoute
+		}
+	case TRepair:
+		if len(b) != 8+4 {
+			return sizeErr(len(b), 8+4)
+		}
+		m.Cluster = binary.BigEndian.Uint64(b[0:])
+		m.Region = binary.BigEndian.Uint32(b[8:])
+	case TRepairOK:
+		if len(b) < 4 {
+			return ErrShort
+		}
+		m.Region = binary.BigEndian.Uint32(b)
+		if err := m.decodeEntries(b[4:]); err != nil {
+			return err
+		}
+	case TTransfer:
+		if len(b) < 8 {
+			return ErrShort
+		}
+		m.Cluster = binary.BigEndian.Uint64(b[0:])
+		if err := m.decodeEntries(b[8:]); err != nil {
+			return err
+		}
+	case TTransferOK:
+		if len(b) != 4 {
+			return sizeErr(len(b), 4)
+		}
+		m.Accepted = binary.BigEndian.Uint32(b)
 	case TError:
 		m.Value = append(m.Value[:0], b...)
 	default:
 		return ErrType
+	}
+	return nil
+}
+
+// decodeEntries parses a count-prefixed transfer entry list into
+// m.Entries. It is strict — the count must match the body exactly — and
+// the early count-vs-size check keeps an adversarial count from forcing
+// any allocation beyond the frame itself.
+func (m *Msg) decodeEntries(b []byte) error {
+	if len(b) < 4 {
+		return ErrShort
+	}
+	count := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint64(count)*entryHdrLen > uint64(len(b)) {
+		return ErrEntries
+	}
+	m.Entries = m.Entries[:0]
+	for i := uint32(0); i < count; i++ {
+		if len(b) < entryHdrLen {
+			return ErrEntries
+		}
+		var e TransferEntry
+		e.Node = binary.BigEndian.Uint32(b[0:])
+		e.Origin = binary.BigEndian.Uint32(b[4:])
+		copy(e.Key[:], b[8:])
+		vlen := binary.BigEndian.Uint32(b[8+idspace.Bytes:])
+		b = b[entryHdrLen:]
+		if uint64(vlen) > uint64(len(b)) {
+			return ErrEntries
+		}
+		if vlen > 0 {
+			e.Value = append([]byte(nil), b[:vlen]...)
+		}
+		b = b[vlen:]
+		m.Entries = append(m.Entries, e)
+	}
+	if len(b) != 0 {
+		return ErrTrailing
 	}
 	return nil
 }

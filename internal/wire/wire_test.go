@@ -27,7 +27,37 @@ func sampleMsgs() []Msg {
 			ShardRequests: []uint64{101, 99, 103},
 		}},
 		{Type: TError, ReqID: 9, Value: []byte("origin 9000 out of range")},
+		{Type: TPeerProbe, ReqID: 10, Cluster: 0xDEADBEEF01234567, Origin: 2},
+		{Type: TPeerProbeOK, ReqID: 10, Cluster: 0xDEADBEEF01234567, Origin: 0, Held: 4096},
+		{Type: TRoute, ReqID: 11, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1, Value: []byte("tcp://node1:7700")},
+		{Type: TRoute, ReqID: 12, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1, Value: nil},
+		{Type: TRoute, ReqID: 13, RouteKind: TLookup, Cluster: 0xA1, Key: key, Origin: 0},
+		{Type: TRoute, ReqID: 14, RouteKind: TDelete, Cluster: 0xA1, Key: key, Origin: 2},
+		{Type: TRepair, ReqID: 15, Cluster: 0xA1, Region: 1},
+		{Type: TRepairOK, ReqID: 15, Region: 1, Entries: []TransferEntry{
+			{Node: 0, Origin: 2, Key: key, Value: []byte("v0")},
+			{Node: 1, Origin: 2, Key: idspace.FromString("object-8"), Value: nil},
+		}},
+		{Type: TTransfer, ReqID: 16, Cluster: 0xA1, Entries: []TransferEntry{
+			{Node: 2, Origin: 0, Key: key, Value: []byte("moved")},
+		}},
+		{Type: TTransfer, ReqID: 17, Cluster: 0xA1, Entries: nil},
+		{Type: TTransferOK, ReqID: 16, Accepted: 1},
 	}
+}
+
+// entriesEq compares transfer entry lists field by field.
+func entriesEq(a, b []TransferEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].Origin != b[i].Origin ||
+			a[i].Key != b[i].Key || !bytes.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
 }
 
 // eq compares only the fields the wire carries for the message's type, so
@@ -65,6 +95,37 @@ func eq(t *testing.T, a, b *Msg) {
 			a.Stats.Found != b.Stats.Found ||
 			!reflect.DeepEqual(a.Stats.ShardRequests, b.Stats.ShardRequests) {
 			t.Fatalf("stats mismatch: %+v vs %+v", a.Stats, b.Stats)
+		}
+	case TPeerProbe:
+		if a.Cluster != b.Cluster || a.Origin != b.Origin {
+			t.Fatalf("probe mismatch: %+v vs %+v", a, b)
+		}
+	case TPeerProbeOK:
+		if a.Cluster != b.Cluster || a.Origin != b.Origin || a.Held != b.Held {
+			t.Fatalf("probe reply mismatch: %+v vs %+v", a, b)
+		}
+	case TRoute:
+		if a.RouteKind != b.RouteKind || a.Cluster != b.Cluster || a.Key != b.Key || a.Origin != b.Origin {
+			t.Fatalf("route mismatch: %+v vs %+v", a, b)
+		}
+		if a.RouteKind == TInsert && !bytes.Equal(a.Value, b.Value) {
+			t.Fatalf("route value mismatch: %q vs %q", a.Value, b.Value)
+		}
+	case TRepair:
+		if a.Cluster != b.Cluster || a.Region != b.Region {
+			t.Fatalf("repair mismatch: %+v vs %+v", a, b)
+		}
+	case TRepairOK:
+		if a.Region != b.Region || !entriesEq(a.Entries, b.Entries) {
+			t.Fatalf("repair reply mismatch: %+v vs %+v", a, b)
+		}
+	case TTransfer:
+		if a.Cluster != b.Cluster || !entriesEq(a.Entries, b.Entries) {
+			t.Fatalf("transfer mismatch: %+v vs %+v", a, b)
+		}
+	case TTransferOK:
+		if a.Accepted != b.Accepted {
+			t.Fatalf("transfer reply mismatch: %d vs %d", a.Accepted, b.Accepted)
 		}
 	case TError:
 		if !bytes.Equal(a.Value, b.Value) {
@@ -145,6 +206,35 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			b[9+3] = 7 // claims 7 shards, carries 1
 			return b
 		}(), ErrShards},
+		{"route bad kind", func() []byte {
+			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+idspace.Bytes+4)...)
+			b[9] = byte(TStats) // not a routable kind
+			return b
+		}(), ErrRoute},
+		{"route lookup trailing", func() []byte {
+			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+idspace.Bytes+4+3)...)
+			b[9] = byte(TLookup)
+			return b
+		}(), ErrTrailing},
+		{"probe short", append([]byte{byte(TPeerProbe)}, make([]byte, 8+11)...), ErrShort},
+		{"repair trailing", append([]byte{byte(TRepair)}, make([]byte, 8+8+5)...), ErrTrailing},
+		{"transfer count overruns body", func() []byte {
+			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+4)...)
+			b[9+8+3] = 9 // claims 9 entries, carries none
+			return b
+		}(), ErrEntries},
+		{"transfer value overruns body", func() []byte {
+			// One entry whose value length claims more bytes than remain.
+			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+4+32)...)
+			b[9+8+3] = 1      // one entry
+			b[9+8+4+31] = 200 // vlen = 200, but the body ends here
+			return b
+		}(), ErrEntries},
+		{"transfer trailing", func() []byte {
+			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+4+32+2)...)
+			b[9+8+3] = 1 // one entry with vlen 0, then 2 stray bytes
+			return b
+		}(), ErrTrailing},
 	}
 	var m Msg
 	for _, tc := range cases {

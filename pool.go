@@ -41,8 +41,9 @@ type Pool struct {
 // mutationHook observes one mutation before it is applied, while the
 // owning shard's lock is held. Returning an error aborts the mutation
 // before it touches the engine — the write-ahead contract: a mutation
-// that was not logged durably is never applied, never acked.
-type mutationHook func(kind opKind, origin uint32, key ID, value []byte) error
+// that was not logged durably is never applied, never acked. node is
+// meaningful only for direct replica placements (opPut, opDrop).
+type mutationHook func(kind opKind, node, origin uint32, key ID, value []byte) error
 
 // poolShard is one engine plus its serialization lock and counters.
 // Counters are guarded by mu, not atomics: they mutate only while the
@@ -72,7 +73,7 @@ func NewPool(ov Overlay, shards int, opts ...Option) (*Pool, error) {
 	}
 	// Recover the base seed the caller configured (default 1) so the
 	// per-shard seeds are derived from it.
-	base := config{seed: 1}
+	base := config{seed: 1, regionCount: 1}
 	for _, opt := range opts {
 		opt(&base)
 	}
@@ -92,6 +93,29 @@ func (p *Pool) NumShards() int { return len(p.shards) }
 
 // Overlay returns the overlay every shard routes over.
 func (p *Pool) Overlay() Overlay { return p.ov }
+
+// Region returns the keyspace region this pool owns (index of count
+// contiguous regions; 0 of 1 when unrestricted). See WithRegion.
+func (p *Pool) Region() (index, count int) {
+	return p.base.regionIndex, p.base.regionCount
+}
+
+// Owns reports whether this pool's region owns key. Unrestricted pools
+// own everything.
+func (p *Pool) Owns(key ID) bool {
+	return p.base.regionCount <= 1 || OwnerOf(key, p.base.regionCount) == p.base.regionIndex
+}
+
+// checkOwned refuses mutations for keys outside the pool's region: in a
+// cluster those must be routed to the owning node (internal/p2p), never
+// applied locally where no other node would find them.
+func (p *Pool) checkOwned(key ID) error {
+	if p.Owns(key) {
+		return nil
+	}
+	return fmt.Errorf("discovery: key %v belongs to region %d, this pool owns region %d of %d",
+		key, OwnerOf(key, p.base.regionCount), p.base.regionIndex, p.base.regionCount)
+}
 
 // fnv1a hashes the key bytes with FNV-1a, the shard-routing hash.
 func fnv1a(key ID) uint64 {
@@ -123,11 +147,14 @@ func (p *Pool) AutoOrigin(key ID) int {
 // before it executes; a logging failure returns the error with the
 // engine untouched. In-memory pools never return an error.
 func (p *Pool) Insert(origin int, key ID, value []byte) (InsertResult, error) {
+	if err := p.checkOwned(key); err != nil {
+		return InsertResult{}, err
+	}
 	s := &p.shards[p.ShardOf(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.hook != nil {
-		if err := s.hook(opInsert, uint32(origin), key, value); err != nil {
+		if err := s.hook(opInsert, 0, uint32(origin), key, value); err != nil {
 			return InsertResult{}, err
 		}
 	}
@@ -136,7 +163,14 @@ func (p *Pool) Insert(origin int, key ID, value []byte) (InsertResult, error) {
 	return s.svc.Insert(origin, key, value), nil
 }
 
-// Lookup queries key from origin via the owning shard.
+// Lookup queries key from origin via the owning shard. Unlike Insert
+// and Delete, lookups are deliberately NOT region-checked: a
+// region-restricted pool answers a foreign key honestly from its local
+// state (not found), because reads are harmless and refusing them would
+// break inspection tooling. Callers that want cluster-wide reads must
+// route lookups to the key's owning node (internal/p2p does this in
+// front of the pool); a direct Lookup on a non-owner only reflects
+// local state.
 func (p *Pool) Lookup(origin int, key ID) LookupResult {
 	s := &p.shards[p.ShardOf(key)]
 	s.mu.Lock()
@@ -154,11 +188,14 @@ func (p *Pool) Lookup(origin int, key ID) LookupResult {
 // Delete removes origin's replicas of key via the owning shard. Like
 // Insert, durable pools log the deletion before applying it.
 func (p *Pool) Delete(origin int, key ID) (int, error) {
+	if err := p.checkOwned(key); err != nil {
+		return 0, err
+	}
 	s := &p.shards[p.ShardOf(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.hook != nil {
-		if err := s.hook(opDelete, uint32(origin), key, nil); err != nil {
+		if err := s.hook(opDelete, 0, uint32(origin), key, nil); err != nil {
 			return 0, err
 		}
 	}
@@ -166,6 +203,72 @@ func (p *Pool) Delete(origin int, key ID) (int, error) {
 	s.deletes++
 	return s.svc.Delete(origin, key), nil
 }
+
+// ImportReplica places a replica directly at engine node without routing,
+// write-ahead logged on durable pools. It is the receive half of a
+// cluster replica transfer (internal/p2p): the sender exports its exact
+// placements and the receiver reproduces them, so lookups route to the
+// same holders they did on the sender. The key must belong to this
+// pool's region, and the pool retains value.
+func (p *Pool) ImportReplica(node int, origin uint32, key ID, value []byte) error {
+	if err := p.checkOwned(key); err != nil {
+		return err
+	}
+	if node < 0 || node >= p.ov.N() {
+		return fmt.Errorf("discovery: import node %d out of range (overlay has %d nodes)", node, p.ov.N())
+	}
+	s := &p.shards[p.ShardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hook != nil {
+		if err := s.hook(opPut, uint32(node), origin, key, value); err != nil {
+			return err
+		}
+	}
+	return s.svc.eng.PutReplica(node, mpil.Replica{Key: key, Value: value, Origin: int(origin)})
+}
+
+// DropReplica removes the replica of key stored at engine node, if any,
+// write-ahead logged on durable pools. It is the send half of a replica
+// transfer: once the owner has acknowledged the copy, the local one is
+// dropped. Unlike Delete it is not origin-restricted and not routed, and
+// it deliberately skips the region check — handing off foreign keys is
+// its purpose.
+func (p *Pool) DropReplica(node int, key ID) (bool, error) {
+	if node < 0 || node >= p.ov.N() {
+		return false, fmt.Errorf("discovery: drop node %d out of range (overlay has %d nodes)", node, p.ov.N())
+	}
+	s := &p.shards[p.ShardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.svc.eng.Stored(node, key); !ok {
+		return false, nil
+	}
+	if s.hook != nil {
+		if err := s.hook(opDrop, uint32(node), 0, key, nil); err != nil {
+			return false, err
+		}
+	}
+	return s.svc.eng.RemoveReplica(node, key), nil
+}
+
+// ForEachReplica visits every stored replica across all shards, locking
+// each shard in turn. The value slice aliases engine storage and must be
+// treated as read-only; it remains valid after the callback returns
+// (engine storage never mutates stored bytes).
+func (p *Pool) ForEachReplica(fn func(node int, origin uint32, key ID, value []byte)) {
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.svc.eng.ForEachReplica(func(node int, r mpil.Replica) {
+			fn(node, uint32(r.Origin), r.Key, r.Value)
+		})
+		s.mu.Unlock()
+	}
+}
+
+// ReplicaCount returns the pool-wide stored replica total.
+func (p *Pool) ReplicaCount() int { return p.replicaCount() }
 
 // Holders returns the nodes storing key in its owning shard, ascending.
 func (p *Pool) Holders(key ID) []int {
@@ -254,10 +357,11 @@ func (p *Pool) restoreShard(i int, entries []snapshot.Entry) error {
 }
 
 // applyShard re-executes one logged mutation on shard i during recovery.
-// It bypasses the mutation hook (the record is already in the log) and
-// the request counters (a replayed operation was served by a previous
+// It bypasses the mutation hook (the record is already in the log), the
+// region check (the log only ever holds keys the pool accepted), and the
+// request counters (a replayed operation was served by a previous
 // process, not this one).
-func (p *Pool) applyShard(i int, kind opKind, origin uint32, key ID, value []byte) {
+func (p *Pool) applyShard(i int, kind opKind, node, origin uint32, key ID, value []byte) error {
 	s := &p.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -266,7 +370,12 @@ func (p *Pool) applyShard(i int, kind opKind, origin uint32, key ID, value []byt
 		s.svc.Insert(int(origin), key, value)
 	case opDelete:
 		s.svc.Delete(int(origin), key)
+	case opPut:
+		return s.svc.eng.PutReplica(int(node), mpil.Replica{Key: key, Value: value, Origin: int(origin)})
+	case opDrop:
+		s.svc.eng.RemoveReplica(int(node), key)
 	}
+	return nil
 }
 
 // replicaCount returns the pool-wide stored replica total, locking each

@@ -1,0 +1,49 @@
+package discovery
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// This file defines keyspace regions: the unit of ownership when a
+// cluster of discovery nodes splits the 160-bit ID space among separate
+// processes (cmd/discoverynode, internal/p2p). The space is divided into
+// n contiguous, near-equal regions by a key's top 64 bits, so ownership
+// is a pure function of (key, n): deterministic, total (every ID has
+// exactly one owner), and independent of insertion order or network
+// state. Nodes that agree on the member count agree on every key's
+// owner, with no coordination protocol.
+
+// OwnerOf returns the index of the region owning key among n contiguous
+// regions, in [0, n). Region boundaries are computed in fixed point so
+// every ID has exactly one owner and region i covers keys whose top 64
+// bits lie in [ceil(i*2^64/n), ceil((i+1)*2^64/n)).
+func OwnerOf(key ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	hi := binary.BigEndian.Uint64(key[:8])
+	// floor(hi * n / 2^64): the high word of the 128-bit product.
+	q, _ := bits.Mul64(hi, uint64(n))
+	return int(q)
+}
+
+// RegionStart returns the first ID of region i among n regions: the
+// smallest ID whose owner is i. Useful for boundary tests and range
+// scans; RegionStart(0, n) is the zero ID.
+func RegionStart(i, n int) ID {
+	var id ID
+	if i <= 0 || n <= 1 {
+		return id
+	}
+	if i >= n {
+		for b := range id {
+			id[b] = 0xFF
+		}
+		return id
+	}
+	// ceil(i * 2^64 / n) = floor((i*2^64 + n-1) / n).
+	q, _ := bits.Div64(uint64(i), uint64(n-1), uint64(n))
+	binary.BigEndian.PutUint64(id[:8], q)
+	return id
+}

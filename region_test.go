@@ -1,0 +1,157 @@
+package discovery
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the region ownership contract cluster nodes rely on
+// (internal/p2p, cmd/discoverynode): for any member count, every ID has
+// exactly one owner, the mapping is a pure function of (key, count), and
+// regions are contiguous in ID order. Any change here silently strands
+// data on the wrong node, so the properties are pinned in the same
+// hard-failure style as the seed-equivalence tests.
+
+// idWithHi builds an ID whose top 64 bits are hi; the low 96 bits are
+// filled from pad so keys inside one region still differ.
+func idWithHi(hi uint64, pad byte) ID {
+	var id ID
+	binary.BigEndian.PutUint64(id[:8], hi)
+	for i := 8; i < len(id); i++ {
+		id[i] = pad
+	}
+	return id
+}
+
+func TestOwnerOfTotalAndDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]ID, 0, 2048)
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, RandomID(rng))
+	}
+	// Adversarial keys: space extremes and bytes the hash would never
+	// cluster.
+	keys = append(keys,
+		ID{},
+		idWithHi(0, 0xFF),
+		idWithHi(^uint64(0), 0x00),
+		idWithHi(^uint64(0), 0xFF),
+		idWithHi(1<<63, 0),
+		idWithHi(1<<63-1, 0),
+	)
+	for n := 1; n <= 16; n++ {
+		for _, key := range keys {
+			got := OwnerOf(key, n)
+			if got < 0 || got >= n {
+				t.Fatalf("OwnerOf(%v, %d) = %d, outside [0,%d)", key, n, got, n)
+			}
+			if again := OwnerOf(key, n); again != got {
+				t.Fatalf("OwnerOf(%v, %d) flapped: %d then %d", key, n, got, again)
+			}
+		}
+	}
+}
+
+func TestOwnerOfRegionsAreContiguous(t *testing.T) {
+	// Ownership must be monotone in the key's top 64 bits: if it ever
+	// decreased, a region would be split into disjoint ranges.
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 16; n++ {
+		prevHi, prevOwner := uint64(0), OwnerOf(idWithHi(0, 0), n)
+		for i := 0; i < 4000; i++ {
+			hi := rng.Uint64()
+			owner := OwnerOf(idWithHi(hi, byte(i)), n)
+			if (hi >= prevHi && owner < prevOwner) || (hi <= prevHi && owner > prevOwner) {
+				t.Fatalf("n=%d: owner not monotone: hi %016x -> region %d, hi %016x -> region %d",
+					n, prevHi, prevOwner, hi, owner)
+			}
+			prevHi, prevOwner = hi, owner
+		}
+	}
+}
+
+func TestRegionStartBoundaries(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for i := 0; i < n; i++ {
+			start := RegionStart(i, n)
+			if got := OwnerOf(start, n); got != i {
+				t.Fatalf("n=%d: OwnerOf(RegionStart(%d)) = %d", n, i, got)
+			}
+			if i == 0 {
+				if start != (ID{}) {
+					t.Fatalf("n=%d: RegionStart(0) = %v, want zero ID", n, start)
+				}
+				continue
+			}
+			// The ID immediately below a region start belongs to the
+			// previous region: boundaries are exact, not approximate.
+			hi := binary.BigEndian.Uint64(start[:8])
+			below := idWithHi(hi-1, 0xFF)
+			if got := OwnerOf(below, n); got != i-1 {
+				t.Fatalf("n=%d: key just below RegionStart(%d) owned by %d, want %d", n, i, got, i-1)
+			}
+		}
+	}
+}
+
+func TestOwnerOfBalance(t *testing.T) {
+	// Near-equal regions: with uniform random keys no region should be
+	// starved or doubled. SHA-1 output is uniform, so real keys match
+	// this distribution.
+	rng := rand.New(rand.NewSource(3))
+	const samples = 40000
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		counts := make([]int, n)
+		for i := 0; i < samples; i++ {
+			counts[OwnerOf(RandomID(rng), n)]++
+		}
+		want := float64(samples) / float64(n)
+		for r, c := range counts {
+			if float64(c) < 0.8*want || float64(c) > 1.2*want {
+				t.Fatalf("n=%d: region %d holds %d of %d keys (want ~%.0f)", n, r, c, samples, want)
+			}
+		}
+	}
+}
+
+func TestPoolRefusesForeignMutations(t *testing.T) {
+	ov, err := CompleteOverlay(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, 2, WithRegion(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned, foreign := ID{}, ID{}
+	for i := 0; ; i++ {
+		key := NewID(string(rune('a' + i)))
+		if OwnerOf(key, 4) == 1 && owned == (ID{}) {
+			owned = key
+		}
+		if OwnerOf(key, 4) != 1 && foreign == (ID{}) {
+			foreign = key
+		}
+		if owned != (ID{}) && foreign != (ID{}) {
+			break
+		}
+	}
+	if _, err := p.Insert(0, owned, []byte("v")); err != nil {
+		t.Fatalf("owned insert refused: %v", err)
+	}
+	if _, err := p.Insert(0, foreign, []byte("v")); err == nil {
+		t.Fatal("foreign insert accepted; must be routed to its owner instead")
+	}
+	if _, err := p.Delete(0, foreign); err == nil {
+		t.Fatal("foreign delete accepted")
+	}
+	if err := p.ImportReplica(0, 0, foreign, []byte("v")); err == nil {
+		t.Fatal("foreign import accepted")
+	}
+	// Lookups are unrestricted (a stale router asking a non-owner is
+	// answered honestly with not-found, never an error).
+	if res := p.Lookup(0, foreign); res.Found {
+		t.Fatal("foreign lookup found a replica in an empty pool")
+	}
+}
