@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` text output (the format
+// benchstat consumes) into machine-readable JSON, for CI artifacts that
+// trend performance across PRs:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/server | tee bench.txt
+//	benchjson < bench.txt > BENCH.json
+//
+// The output object carries the run's environment header (goos, goarch,
+// pkg, cpu) and one entry per benchmark line: the name, the iteration
+// count, and every reported metric keyed by its unit (ns/op, B/op,
+// allocs/op, and custom b.ReportMetric units like req/s). Non-benchmark
+// lines (PASS, ok, coverage) are ignored, so piping a whole `go test`
+// run through is fine. Multiple packages' headers merge last-wins for
+// the environment; every benchmark line is kept.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole converted run.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes bench text lines and collects headers and results.
+func parse(sc *bufio.Scanner) (Output, error) {
+	out := Output{Benchmarks: []Benchmark{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue // a benchmark that printed its own text; skip
+			}
+			b.Pkg = pkg
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   12345   987 ns/op   11 B/op   2 allocs/op
+//
+// i.e. name, iterations, then (value, unit) pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

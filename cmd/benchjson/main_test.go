@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchText(t *testing.T) {
+	const text = `goos: linux
+goarch: amd64
+pkg: discovery/internal/server
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDaemonThroughput 	  132286	     19558 ns/op	     51131 req/s	     559 B/op	       6 allocs/op
+BenchmarkDaemonMixed-4    	   73910	     34925 ns/op	    1687 B/op	      19 allocs/op
+--- FAIL: BenchmarkBroken
+PASS
+ok  	discovery/internal/server	13.289s
+`
+	out, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Goos != "linux" || out.Goarch != "amd64" || !strings.Contains(out.CPU, "Xeon") {
+		t.Fatalf("environment header mangled: %+v", out)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(out.Benchmarks))
+	}
+	b := out.Benchmarks[0]
+	if b.Name != "BenchmarkDaemonThroughput" || b.Iterations != 132286 || b.Pkg != "discovery/internal/server" {
+		t.Fatalf("first benchmark mangled: %+v", b)
+	}
+	for unit, want := range map[string]float64{"ns/op": 19558, "req/s": 51131, "B/op": 559, "allocs/op": 6} {
+		if b.Metrics[unit] != want {
+			t.Fatalf("metric %s = %v, want %v", unit, b.Metrics[unit], want)
+		}
+	}
+	if out.Benchmarks[1].Name != "BenchmarkDaemonMixed-4" || out.Benchmarks[1].Metrics["ns/op"] != 34925 {
+		t.Fatalf("second benchmark mangled: %+v", out.Benchmarks[1])
+	}
+}
+
+func TestParseRejectsOddLines(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkHalfPair 10 42",      // dangling value without a unit
+		"BenchmarkNoIters ns/op",       // no iteration count
+		"BenchmarkBadValue 10 x ns/op", // unparsable value
+		"BenchmarkNameOnly",            // nothing else
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("parseBenchLine accepted %q", line)
+		}
+	}
+}

@@ -49,6 +49,9 @@ func run() int {
 		overlaySeed = flag.Int64("overlay-seed", 42, "overlay generation seed")
 		shards      = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 128, "per-shard request queue depth")
+		batch       = flag.Int("batch", 64, "max requests one shard worker executes per batch (shared WAL commit)")
+		coFrames    = flag.Int("coalesce-frames", 64, "max response frames per vectored write")
+		coBytes     = flag.Int("coalesce-bytes", 256<<10, "approximate max bytes per vectored write")
 		seed        = flag.Int64("seed", 1, "base engine seed (shard i uses seed+i)")
 		maxFlows    = flag.Int("maxflows", 10, "max_flows per request")
 		replicas    = flag.Int("replicas", 5, "per-flow replicas")
@@ -118,7 +121,15 @@ func run() int {
 		}
 	}
 
-	srv, err := server.New(server.Config{Pool: pool, QueueDepth: *queue, Store: store, Logf: log.Printf})
+	srv, err := server.New(server.Config{
+		Pool:           pool,
+		QueueDepth:     *queue,
+		MaxBatch:       *batch,
+		CoalesceFrames: *coFrames,
+		CoalesceBytes:  *coBytes,
+		Store:          store,
+		Logf:           log.Printf,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoveryd:", err)
 		return 2

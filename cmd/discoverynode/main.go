@@ -55,8 +55,12 @@ func run() int {
 		dialTimeout = flag.Duration("dial-timeout", 500*time.Millisecond, "peer dial timeout")
 		callTimeout = flag.Duration("call-timeout", 5*time.Second, "peer request timeout")
 		antiEntropy = flag.Bool("anti-entropy", true, "after joining, hand off foreign replicas and pull this region's replicas from peers")
+		probeEvery  = flag.Duration("probe-interval", 2*time.Second, "background peer health probe interval (0 = lazy health only)")
 		shards      = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 128, "per-shard request queue depth")
+		batch       = flag.Int("batch", 64, "max requests one shard worker executes per batch (shared WAL commit)")
+		coFrames    = flag.Int("coalesce-frames", 64, "max response frames per vectored write")
+		coBytes     = flag.Int("coalesce-bytes", 256<<10, "approximate max bytes per vectored write")
 		seed        = flag.Int64("seed", 1, "base engine seed (shard i uses seed+i)")
 		maxFlows    = flag.Int("maxflows", 10, "max_flows per request")
 		replicas    = flag.Int("replicas", 5, "per-flow replicas")
@@ -134,12 +138,13 @@ func run() int {
 	}
 
 	node, err := p2p.NewNode(p2p.Config{
-		Cluster:     cluster,
-		Overlay:     ov,
-		Pool:        pool,
-		DialTimeout: *dialTimeout,
-		CallTimeout: *callTimeout,
-		Logf:        log.Printf,
+		Cluster:       cluster,
+		Overlay:       ov,
+		Pool:          pool,
+		DialTimeout:   *dialTimeout,
+		CallTimeout:   *callTimeout,
+		ProbeInterval: *probeEvery,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
@@ -153,12 +158,15 @@ func run() int {
 	log.Printf("discoverynode: peer listener on %s", peerAddr)
 
 	srv, err := server.New(server.Config{
-		Pool:       pool,
-		QueueDepth: *queue,
-		Store:      store,
-		Owns:       node.Owns,
-		Forward:    node.Forward,
-		Logf:       log.Printf,
+		Pool:           pool,
+		QueueDepth:     *queue,
+		MaxBatch:       *batch,
+		CoalesceFrames: *coFrames,
+		CoalesceBytes:  *coBytes,
+		Store:          store,
+		Owns:           node.Owns,
+		Forward:        node.Forward,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)

@@ -196,10 +196,12 @@ type DurablePool struct {
 // durableShard is one shard's logging state, guarded by the owning pool
 // shard's mutex (the hook runs with it held).
 type durableShard struct {
-	buf         []byte // op framing scratch
-	seq         uint64 // seq of the shard's most recent logged mutation
-	sinceSnap   int    // mutations since the last snapshot request
-	snapPending bool   // a snapshot request is queued or running
+	buf         []byte   // op framing scratch
+	offs        []int    // batch framing record boundaries in buf
+	payloads    [][]byte // batch append argument scratch, aliasing buf
+	seq         uint64   // seq of the shard's most recent logged mutation
+	sinceSnap   int      // mutations since the last snapshot request
+	snapPending bool     // a snapshot request is queued or running
 }
 
 // OpenDurablePool builds a Pool over ov backed by the data directory in
@@ -336,6 +338,7 @@ func OpenDurablePool(ov Overlay, shards int, cfg DurableConfig, opts ...Option) 
 	// Arm the write-ahead hooks and the background snapshotter.
 	for i := range p.shards {
 		p.shards[i].hook = dp.hookFor(i)
+		p.shards[i].batch = dp.batchHookFor(i)
 	}
 	dp.wg.Add(1)
 	go dp.snapLoop()
@@ -357,6 +360,75 @@ func (dp *DurablePool) hookFor(i int) mutationHook {
 		}
 		ds.seq = seq
 		ds.sinceSnap++
+		if dp.cfg.SnapshotEvery > 0 && ds.sinceSnap >= dp.cfg.SnapshotEvery && !ds.snapPending {
+			ds.snapPending = true
+			select {
+			case dp.snapCh <- i:
+			default:
+				ds.snapPending = false // snapshotter saturated; retry later
+			}
+		}
+		return nil
+	}
+}
+
+// batchHookFor builds shard i's batched write-ahead hook, the durable
+// half of Pool.ExecBatch. It runs with the shard's lock held: frame
+// every mutation of the batch into one flat buffer, append them to the
+// shared log as ONE multi-record write covered by one fsync (which
+// concurrent shards' batches share via group commit), and occasionally
+// request a snapshot. Per-mutation durability cost divides by the
+// batch's mutation count.
+func (dp *DurablePool) batchHookFor(i int) batchHook {
+	ds := &dp.dsh[i]
+	return func(ops []BatchOp) error {
+		// Frame into the flat buffer first, recording record boundaries:
+		// the buffer may reallocate while growing, so the payload
+		// subslices are cut only after framing finishes. A buffer grown
+		// by one value-heavy batch is not retained forever (the wal
+		// package applies the same cap to its own scratch).
+		if cap(ds.buf) > 4<<20 {
+			ds.buf = nil
+		}
+		ds.buf = ds.buf[:0]
+		ds.offs = ds.offs[:0]
+		for k := range ops {
+			op := &ops[k]
+			if op.Err != nil {
+				continue
+			}
+			var kind opKind
+			switch op.Kind {
+			case BatchInsert:
+				kind = opInsert
+			case BatchDelete:
+				kind = opDelete
+			default:
+				continue
+			}
+			value := op.Value
+			if kind == opDelete {
+				value = nil
+			}
+			ds.buf = appendOp(ds.buf, uint16(i), kind, 0, uint32(op.Origin), op.Key, value)
+			ds.offs = append(ds.offs, len(ds.buf))
+		}
+		if len(ds.offs) == 0 {
+			return nil
+		}
+		ds.payloads = ds.payloads[:0]
+		start := 0
+		for _, end := range ds.offs {
+			ds.payloads = append(ds.payloads, ds.buf[start:end])
+			start = end
+		}
+		first, err := dp.log.AppendBatch(ds.payloads)
+		if err != nil {
+			return fmt.Errorf("discovery: wal batch append: %w", err)
+		}
+		n := len(ds.payloads)
+		ds.seq = first + uint64(n) - 1
+		ds.sinceSnap += n
 		if dp.cfg.SnapshotEvery > 0 && ds.sinceSnap >= dp.cfg.SnapshotEvery && !ds.snapPending {
 			ds.snapPending = true
 			select {

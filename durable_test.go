@@ -360,3 +360,89 @@ func TestDurablePoolAcceptsLegacyV1Manifest(t *testing.T) {
 		t.Fatal("region-restricted pool accepted a v1 manifest")
 	}
 }
+
+// TestDurablePoolExecBatchCrashReplay pins the batched write-ahead
+// contract: every mutation of an ExecBatch is logged (one multi-record
+// append, one shared fsync) before any of them applies, so a crash after
+// the batch returns loses nothing and replay rebuilds the exact state.
+func TestDurablePoolExecBatchCrashReplay(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+
+	var keys []ID
+	for i := 0; len(keys) < 24; i++ {
+		k := NewID(fmt.Sprintf("batch-crash-%d", i))
+		if dp.ShardOf(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	var ops []BatchOp
+	for i, k := range keys {
+		ops = append(ops, BatchOp{Kind: BatchInsert, Origin: i % ov.N(), Key: k, Value: []byte(fmt.Sprintf("v-%d", i))})
+	}
+	for i, k := range keys {
+		ops = append(ops, BatchOp{Kind: BatchLookup, Origin: i % ov.N(), Key: k})
+	}
+	for i, k := range keys[:6] {
+		ops = append(ops, BatchOp{Kind: BatchDelete, Origin: i % ov.N(), Key: k})
+	}
+	dp.ExecBatch(ops)
+	for i := range ops {
+		if ops[i].Err != nil {
+			t.Fatalf("batch op %d: %v", i, ops[i].Err)
+		}
+	}
+	want := exportAll(dp.Pool)
+
+	// No Close: the pool is abandoned mid-flight. Only the mutations were
+	// logged — lookups leave no records — and all of them were covered by
+	// the batch's shared fsync before ExecBatch returned.
+	dp2, stats := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp2.Close()
+	if wantReplayed := len(keys) + 6; stats.Replayed != wantReplayed {
+		t.Fatalf("replayed %d records, want %d (lookups must not be logged)", stats.Replayed, wantReplayed)
+	}
+	if got := exportAll(dp2.Pool); !reflect.DeepEqual(got, want) {
+		t.Fatal("state after batched crash replay differs from the acked state")
+	}
+	for i, k := range keys {
+		res := dp2.Lookup(i%ov.N(), k)
+		if want := i >= 6; res.Found != want {
+			t.Errorf("key %d found=%v after crash replay, want %v", i, res.Found, want)
+		}
+	}
+}
+
+// TestDurablePoolExecBatchSharesOneAppend pins the shared-commit shape:
+// a batch of N mutations consumes exactly N consecutive log sequence
+// numbers via one AppendBatch, not N separate append+fsync rounds.
+func TestDurablePoolExecBatchSharesOneAppend(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp.Close()
+
+	var keys []ID
+	for i := 0; len(keys) < 16; i++ {
+		k := NewID(fmt.Sprintf("batch-one-append-%d", i))
+		if dp.ShardOf(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	ops := make([]BatchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = BatchOp{Kind: BatchInsert, Origin: i % ov.N(), Key: k, Value: []byte("v")}
+	}
+	before, _ := dp.log.Bounds()
+	dp.ExecBatch(ops)
+	_, after := dp.log.Bounds()
+	if int(after-before) != len(keys) {
+		t.Fatalf("batch logged %d records, want %d", after-before, len(keys))
+	}
+	for i := range ops {
+		if ops[i].Err != nil {
+			t.Fatalf("batch op %d: %v", i, ops[i].Err)
+		}
+	}
+}

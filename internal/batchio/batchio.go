@@ -1,0 +1,110 @@
+// Package batchio coalesces queued response frames into vectored
+// writes: the shared mechanics behind discoveryd's connection writers
+// (internal/server) and the peer listener's response writers
+// (internal/p2p).
+//
+// A producer encodes each frame into a pooled buffer and sends the
+// pointer down a channel. The consumer blocks for the first frame, then
+// greedily drains whatever else is already queued — bounded by a frame
+// count and a byte budget — and hands the whole run to the kernel as one
+// writev(2) via net.Buffers. A pipelining peer's responses therefore
+// cost about one syscall per batch instead of one per response, and the
+// caps keep a single flush from monopolizing the socket (or pinning an
+// unbounded amount of pooled memory) when the queue is deep.
+//
+// Collect appends into caller-owned slices, so a writer loop that
+// truncates and reuses them runs allocation-free in steady state — the
+// same buffer discipline as internal/wire and internal/wal.
+package batchio
+
+import (
+	"net"
+	"time"
+)
+
+// Default coalescing budgets: at most DefaultMaxFrames frames and
+// roughly DefaultMaxBytes bytes per vectored write. 64 frames comfortably
+// covers a deep pipelining burst, and 256 KiB stays well under typical
+// socket buffer sizes so one batch rarely blocks mid-write. Both are
+// overridable per connection (server.Config.CoalesceFrames/Bytes).
+const (
+	DefaultMaxFrames = 64
+	DefaultMaxBytes  = 256 << 10
+)
+
+// Collect gathers one coalesced write batch from ch: it blocks until a
+// first frame arrives, then drains already-queued frames without
+// blocking, stopping at maxFrames frames or once maxBytes bytes have
+// been gathered (the first frame always counts, so a single oversized
+// frame still forms a batch of one). Frame pointers are appended to
+// *slots — for returning buffers to their pool after the write — and
+// the byte slices to *bufs, the writev argument. Zero or negative caps
+// select the defaults.
+//
+// It reports false when ch is closed and nothing was collected. A close
+// that lands mid-drain still returns the partial batch; the next call
+// then reports false.
+// WriteLoop is the coalescing writer both transports run: it drains ch
+// batch by batch (Collect) until ch closes, flushing each batch as one
+// vectored write with a fresh write deadline, and hands every frame
+// pointer to put for recycling. The first failed or timed-out write
+// calls onBroken exactly once — the hook severs the connection — and
+// the loop keeps draining (and recycling) without writing, so producers
+// never block on a dead peer. WriteLoop returns when ch is closed and
+// drained; closing ch is the caller's job, after the last producer is
+// done.
+func WriteLoop(nc net.Conn, ch <-chan *[]byte, maxFrames, maxBytes int, timeout time.Duration, put func(*[]byte), onBroken func(error)) {
+	broken := false
+	var slots []*[]byte
+	var backing net.Buffers
+	for {
+		slots = slots[:0]
+		bufs := backing[:0]
+		if !Collect(ch, &slots, &bufs, maxFrames, maxBytes) {
+			return
+		}
+		// WriteTo consumes the bufs header as it flushes; keep the grown
+		// backing array so the next batch reuses its capacity.
+		backing = bufs
+		if !broken {
+			nc.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck // surfaced by WriteTo
+			if _, err := bufs.WriteTo(nc); err != nil {
+				broken = true
+				onBroken(err)
+			}
+		}
+		for _, bp := range slots {
+			put(bp)
+		}
+	}
+}
+
+func Collect(ch <-chan *[]byte, slots *[]*[]byte, bufs *net.Buffers, maxFrames, maxBytes int) bool {
+	if maxFrames <= 0 {
+		maxFrames = DefaultMaxFrames
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	bp, ok := <-ch
+	if !ok {
+		return false
+	}
+	*slots = append(*slots, bp)
+	*bufs = append(*bufs, *bp)
+	total := len(*bp)
+	for len(*slots) < maxFrames && total < maxBytes {
+		select {
+		case bp, ok := <-ch:
+			if !ok {
+				return true
+			}
+			*slots = append(*slots, bp)
+			*bufs = append(*bufs, *bp)
+			total += len(*bp)
+		default:
+			return true
+		}
+	}
+	return true
+}

@@ -1,0 +1,261 @@
+package batchio
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func frame(n int, fill byte) *[]byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return &b
+}
+
+func TestCollectDrainsQueuedFrames(t *testing.T) {
+	ch := make(chan *[]byte, 16)
+	for i := 0; i < 5; i++ {
+		ch <- frame(10, byte(i))
+	}
+	var slots []*[]byte
+	var bufs net.Buffers
+	if !Collect(ch, &slots, &bufs, 64, 1<<20) {
+		t.Fatal("Collect reported a closed channel")
+	}
+	if len(slots) != 5 || len(bufs) != 5 {
+		t.Fatalf("collected %d slots / %d bufs, want 5", len(slots), len(bufs))
+	}
+	for i, b := range bufs {
+		if len(b) != 10 || b[0] != byte(i) {
+			t.Fatalf("buf %d out of order or corrupt: len=%d fill=%d", i, len(b), b[0])
+		}
+	}
+}
+
+func TestCollectFrameCap(t *testing.T) {
+	ch := make(chan *[]byte, 16)
+	for i := 0; i < 10; i++ {
+		ch <- frame(10, 0)
+	}
+	var slots []*[]byte
+	var bufs net.Buffers
+	if !Collect(ch, &slots, &bufs, 4, 1<<20) {
+		t.Fatal("Collect reported a closed channel")
+	}
+	if len(slots) != 4 {
+		t.Fatalf("frame cap 4 collected %d frames", len(slots))
+	}
+	// The rest stays queued for the next batch.
+	slots, bufs = slots[:0], bufs[:0]
+	if !Collect(ch, &slots, &bufs, 64, 1<<20) || len(slots) != 6 {
+		t.Fatalf("second batch collected %d frames, want 6", len(slots))
+	}
+}
+
+func TestCollectByteBudget(t *testing.T) {
+	ch := make(chan *[]byte, 16)
+	for i := 0; i < 6; i++ {
+		ch <- frame(100, 0)
+	}
+	var slots []*[]byte
+	var bufs net.Buffers
+	// 250 bytes: the first frame (100) is under budget, the second makes
+	// 200 (still under), the third reaches 300 >= 250 after collection —
+	// the budget is a stop condition checked before each extra receive.
+	if !Collect(ch, &slots, &bufs, 64, 250) {
+		t.Fatal("Collect reported a closed channel")
+	}
+	if len(slots) != 3 {
+		t.Fatalf("byte budget collected %d frames, want 3", len(slots))
+	}
+}
+
+func TestCollectOversizeFirstFrame(t *testing.T) {
+	ch := make(chan *[]byte, 4)
+	ch <- frame(5000, 0)
+	ch <- frame(10, 0)
+	var slots []*[]byte
+	var bufs net.Buffers
+	// A first frame above the byte budget still forms a batch of one.
+	if !Collect(ch, &slots, &bufs, 64, 100) {
+		t.Fatal("Collect reported a closed channel")
+	}
+	if len(slots) != 1 || len(bufs[0]) != 5000 {
+		t.Fatalf("oversize first frame batch: %d frames", len(slots))
+	}
+}
+
+func TestCollectClosedChannel(t *testing.T) {
+	ch := make(chan *[]byte, 4)
+	ch <- frame(10, 0)
+	ch <- frame(10, 0)
+	close(ch)
+	var slots []*[]byte
+	var bufs net.Buffers
+	// The queued frames drain as one final batch...
+	if !Collect(ch, &slots, &bufs, 64, 1<<20) || len(slots) != 2 {
+		t.Fatalf("final batch: %d frames", len(slots))
+	}
+	// ...then the closed channel reports done, without blocking.
+	done := make(chan bool, 1)
+	go func() {
+		var s []*[]byte
+		var b net.Buffers
+		done <- Collect(ch, &s, &b, 64, 1<<20)
+	}()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Collect returned a batch from a closed empty channel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Collect blocked on a closed channel")
+	}
+}
+
+func TestCollectBlocksForFirstFrame(t *testing.T) {
+	ch := make(chan *[]byte, 4)
+	got := make(chan int, 1)
+	go func() {
+		var s []*[]byte
+		var b net.Buffers
+		Collect(ch, &s, &b, 64, 1<<20)
+		got <- len(s)
+	}()
+	select {
+	case <-got:
+		t.Fatal("Collect returned before any frame arrived")
+	case <-time.After(50 * time.Millisecond):
+	}
+	ch <- frame(10, 0)
+	select {
+	case n := <-got:
+		if n != 1 {
+			t.Fatalf("late frame batch has %d frames", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Collect never woke for the first frame")
+	}
+}
+
+// TestCollectZeroAllocs pins the writer loop's allocation discipline:
+// with warm caller-owned slices, collecting a full batch allocates
+// nothing.
+func TestCollectZeroAllocs(t *testing.T) {
+	ch := make(chan *[]byte, 64)
+	frames := make([]*[]byte, 32)
+	for i := range frames {
+		frames[i] = frame(64, byte(i))
+	}
+	var slots []*[]byte
+	var bufs net.Buffers
+	// Warm the slices to full batch capacity.
+	for _, f := range frames {
+		ch <- f
+	}
+	Collect(ch, &slots, &bufs, 64, 1<<20)
+	backing := bufs[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, f := range frames {
+			ch <- f
+		}
+		slots = slots[:0]
+		bufs = backing
+		if !Collect(ch, &slots, &bufs, 64, 1<<20) || len(slots) != 32 {
+			t.Fatal("collect failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Collect allocates %.1f per batch, want 0", allocs)
+	}
+}
+
+// TestWriteLoopFlushesAndRecycles drives the shared writer loop over a
+// pipe: frames arrive in order on the read side, every frame pointer
+// comes back through put, and closing the channel ends the loop.
+func TestWriteLoopFlushesAndRecycles(t *testing.T) {
+	client, srv := net.Pipe()
+	defer client.Close()
+	ch := make(chan *[]byte, 8)
+	recycled := make(chan *[]byte, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		WriteLoop(srv, ch, 0, 0, time.Second,
+			func(bp *[]byte) { recycled <- bp },
+			func(error) { srv.Close() })
+	}()
+	var want []byte
+	for i := 0; i < 5; i++ {
+		f := frame(10, byte(i))
+		want = append(want, *f...)
+		ch <- f
+	}
+	close(ch)
+	got := make([]byte, len(want))
+	client.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatalf("read flushed frames: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("frames corrupted or reordered through WriteLoop")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteLoop never returned after channel close")
+	}
+	if len(recycled) != 5 {
+		t.Fatalf("recycled %d of 5 frames", len(recycled))
+	}
+}
+
+// TestWriteLoopSurvivesBrokenPeer pins the drain-after-error contract:
+// once the peer breaks, onBroken fires exactly once and later frames
+// are still recycled without blocking.
+func TestWriteLoopSurvivesBrokenPeer(t *testing.T) {
+	client, srv := net.Pipe()
+	ch := make(chan *[]byte, 16)
+	recycled := 0
+	rec := make(chan struct{}, 16)
+	broke := make(chan error, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		WriteLoop(srv, ch, 0, 0, 50*time.Millisecond,
+			func(*[]byte) { rec <- struct{}{} },
+			func(err error) { broke <- err; srv.Close() })
+	}()
+	// The peer never reads: the first write trips the deadline.
+	ch <- frame(10, 1)
+	select {
+	case <-broke:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write deadline never tripped")
+	}
+	client.Close()
+	// Producers keep sending; the loop must drain and recycle them all.
+	for i := 0; i < 10; i++ {
+		ch <- frame(10, byte(i))
+	}
+	close(ch)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteLoop wedged draining after the break")
+	}
+	close(rec)
+	for range rec {
+		recycled++
+	}
+	if recycled != 11 {
+		t.Fatalf("recycled %d of 11 frames", recycled)
+	}
+	if len(broke) != 0 {
+		t.Fatalf("onBroken fired %d extra times", len(broke)+1)
+	}
+}

@@ -29,6 +29,22 @@ type Engine struct {
 	// so the routing hot loop allocates nothing in steady state.
 	cands []int
 	fwds  []forward
+
+	// iterKeys is ForEachReplicaFrom's per-node sort scratch.
+	iterKeys []idspace.ID
+
+	// Score memo. score(key, ID(i)) is a pure function of the key and
+	// the node's immutable overlay ID, but the routing loop re-scores
+	// the same nodes at every hop of every flow — on dense overlays the
+	// single hottest computation in the daemon. The memo holds one value
+	// per node, validated by an era stamp: a step whose key differs from
+	// the previous one bumps scoreEra, invalidating everything at once
+	// without clearing. Routing outcomes are bit-identical with and
+	// without the memo (pinned by the seed-equivalence tests).
+	scoreVals []uint64
+	scoreGen  []uint64
+	scoreEra  uint64
+	scoreKey  idspace.ID
 }
 
 // NewEngine validates cfg and builds an engine over ov. The rng drives tie
@@ -45,11 +61,14 @@ func NewEngine(ov Overlay, cfg Config, rng *rand.Rand) (*Engine, error) {
 	}
 	n := ov.N()
 	e := &Engine{
-		cfg:    cfg,
-		ov:     ov,
-		rng:    rng,
-		stores: make([]map[idspace.ID]Replica, n),
-		seen:   make([]map[uint64]bool, n),
+		cfg:       cfg,
+		ov:        ov,
+		rng:       rng,
+		stores:    make([]map[idspace.ID]Replica, n),
+		seen:      make([]map[uint64]bool, n),
+		scoreVals: make([]uint64, n),
+		scoreGen:  make([]uint64, n),
+		scoreEra:  1, // gen 0 means "never computed"
 	}
 	for i := range e.stores {
 		e.stores[i] = make(map[idspace.ID]Replica)
@@ -91,6 +110,41 @@ func (e *Engine) ForEachReplica(fn func(node int, r Replica)) {
 			fn(i, r)
 		}
 	}
+}
+
+// ForEachReplicaFrom visits stored replicas in ascending (node, key)
+// order, starting at the first replica with node > fromNode, or
+// node == fromNode and key >= fromKey. fn returning false stops the walk
+// at that replica; ForEachReplicaFrom reports whether it instead reached
+// the end of the store. Unlike ForEachReplica the visit order is total
+// and stable, which is what lets a caller resume a stopped walk at the
+// rejected replica: per visited node the keys are collected into a
+// reused scratch slice and sorted, and nodes past a stop are never
+// touched. The callback must not mutate engine state.
+func (e *Engine) ForEachReplicaFrom(fromNode int, fromKey idspace.ID, fn func(node int, r Replica) bool) bool {
+	if fromNode < 0 {
+		fromNode = 0
+	}
+	for i := fromNode; i < len(e.stores); i++ {
+		st := e.stores[i]
+		if len(st) == 0 {
+			continue
+		}
+		e.iterKeys = e.iterKeys[:0]
+		for k := range st {
+			if i == fromNode && k.Cmp(fromKey) < 0 {
+				continue
+			}
+			e.iterKeys = append(e.iterKeys, k)
+		}
+		sort.Slice(e.iterKeys, func(a, b int) bool { return e.iterKeys[a].Cmp(e.iterKeys[b]) < 0 })
+		for _, k := range e.iterKeys {
+			if !fn(i, st[k]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // PutReplica places a replica directly into node i's store, bypassing
@@ -177,6 +231,10 @@ func (e *Engine) step(n int, m *Message) stepResult {
 	e.seen[n][m.UID] = true
 
 	key := m.Key
+	if e.scoreKey != key {
+		e.scoreEra++
+		e.scoreKey = key
+	}
 
 	// Candidate list: argmax of the routing metric over neighbors not on
 	// the route (and never back to self — a simple graph has no
@@ -192,7 +250,7 @@ func (e *Engine) step(n int, m *Message) stepResult {
 		if nb == n {
 			continue
 		}
-		c := e.score(key, e.ov.ID(nb))
+		c := e.scoreMemo(key, nb)
 		if !hasBestAll || c > bestAll {
 			hasBestAll = true
 			bestAll = c
@@ -212,7 +270,7 @@ func (e *Engine) step(n int, m *Message) stepResult {
 	}
 	e.cands = cands[:0] // retain any growth for the next step
 
-	selfVal := e.score(key, e.ov.ID(n))
+	selfVal := e.scoreMemo(key, n)
 	isDest := !hasBestAll || selfVal >= bestAll // no neighbor strictly better: local maximum
 
 	switch m.Kind {
@@ -296,6 +354,18 @@ func (e *Engine) step(n int, m *Message) stepResult {
 
 // score evaluates the configured routing metric as an integer where
 // higher means closer to the key.
+// scoreMemo returns score(key, ID(i)) through the per-era memo. The
+// caller (step) has already synchronized scoreEra with key.
+func (e *Engine) scoreMemo(key idspace.ID, i int) uint64 {
+	if e.scoreGen[i] == e.scoreEra {
+		return e.scoreVals[i]
+	}
+	c := e.score(key, e.ov.ID(i))
+	e.scoreGen[i] = e.scoreEra
+	e.scoreVals[i] = c
+	return c
+}
+
 func (e *Engine) score(key, id idspace.ID) uint64 {
 	switch e.cfg.Metric {
 	case MetricCommonDigits:

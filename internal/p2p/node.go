@@ -8,6 +8,7 @@ import (
 	"time"
 
 	discovery "discovery"
+	"discovery/internal/batchio"
 	"discovery/internal/idspace"
 	"discovery/internal/wire"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	// (default 256). At the cap the client reader blocks, which turns
 	// into TCP backpressure exactly like a full shard queue.
 	MaxForwards int
+	// ProbeInterval, when positive, probes every peer on that interval
+	// so transport health (RemoteOverlay.Alive) flips eagerly instead of
+	// on the next call that happens to hit a dead peer. Zero disables
+	// the timer; health is then updated lazily as before.
+	ProbeInterval time.Duration
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +61,8 @@ type Node struct {
 	closed bool
 
 	wg sync.WaitGroup
+
+	bufs sync.Pool // *[]byte pooled peer-reply frame buffers
 }
 
 // errNodeClosed aborts maintenance passes interrupted by shutdown.
@@ -78,6 +86,11 @@ func NewNode(cfg Config) (*Node, error) {
 		quit:   make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	n.bufs.New = func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	}
+	n.tr.StartProber(cfg.ProbeInterval)
 	return n, nil
 }
 
@@ -194,22 +207,30 @@ const inboundWorkers = 32
 
 // handleConn serves one inbound peer connection: frames are read and
 // decoded in order, then executed concurrently (bounded by
-// inboundWorkers); response writes are serialized. Responses may
-// therefore complete out of request order, which reqID correlation on
-// the sending side tolerates by design.
+// inboundWorkers); responses flow through a per-connection writer that
+// coalesces queued frames into vectored writes (internal/batchio) — a
+// peer multiplexing many calls costs about one writev(2) per batch.
+// Responses may complete out of request order, which reqID correlation
+// on the sending side tolerates by design.
 func (n *Node) handleConn(nc net.Conn) {
 	defer n.wg.Done()
 	var reqWg sync.WaitGroup
+	out := make(chan *[]byte, inboundWorkers)
+	writerDone := make(chan struct{})
+	go n.connWriter(nc, out, writerDone)
 	defer func() {
-		// Close the socket first: in-flight handlers blocked on writes
-		// fail fast instead of holding the drain for the write deadline.
+		// Close the socket first: in-flight handlers blocked on the out
+		// queue of a wedged writer fail fast instead of holding the
+		// drain for the write deadline. Handlers are the only producers,
+		// so out closes only after the last of them finishes.
 		nc.Close()
 		reqWg.Wait()
+		close(out)
+		<-writerDone
 		n.mu.Lock()
 		delete(n.conns, nc)
 		n.mu.Unlock()
 	}()
-	var wmu sync.Mutex // serializes response writes
 	sem := make(chan struct{}, inboundWorkers)
 	var scratch []byte
 	for {
@@ -232,21 +253,31 @@ func (n *Node) handleConn(nc net.Conn) {
 				n.handlePeer(m, &reply)
 				reply.ReqID = m.ReqID
 			}
-			frame, err := reply.Append(nil)
+			bp := n.bufs.Get().(*[]byte)
+			frame, err := reply.Append((*bp)[:0])
 			if err != nil {
 				n.cfg.Logf("p2p: encode %v reply: %v", reply.Type, err)
-				frame, _ = (&wire.Msg{Type: wire.TError, ReqID: m.ReqID, Value: []byte("internal encode error")}).Append(nil)
+				frame, _ = (&wire.Msg{Type: wire.TError, ReqID: m.ReqID, Value: []byte("internal encode error")}).Append((*bp)[:0])
 			}
-			wmu.Lock()
-			nc.SetWriteDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck // surfaced by Write
-			_, werr := nc.Write(frame)
-			wmu.Unlock()
-			if werr != nil {
-				n.cfg.Logf("p2p: write to %v: %v", nc.RemoteAddr(), werr)
-				nc.Close() // also unblocks this connection's reader
-			}
+			*bp = frame
+			out <- bp // the writer always drains, even after a write error
 		}()
 	}
+}
+
+// connWriter flushes one inbound connection's response queue with
+// coalesced vectored writes until the queue closes (batchio.WriteLoop),
+// recycling frame buffers. After a failed or timed-out write it severs
+// the socket (which also unblocks the connection's reader) and keeps
+// draining so response producers never block on a dead peer.
+func (n *Node) connWriter(nc net.Conn, out <-chan *[]byte, done chan<- struct{}) {
+	defer close(done)
+	batchio.WriteLoop(nc, out, 0, 0, 30*time.Second,
+		func(bp *[]byte) { n.bufs.Put(bp) },
+		func(err error) {
+			n.cfg.Logf("p2p: write to %v: %v", nc.RemoteAddr(), err)
+			nc.Close()
+		})
 }
 
 // handlePeer executes one decoded peer request into reply (reqID is
@@ -341,14 +372,25 @@ func (n *Node) handleRoute(m, reply *wire.Msg) {
 	}
 }
 
-// repairBudget bounds the entry bytes of one TRepairOK body well below
-// wire.MaxFrame, leaving room for the frame and body headers.
+// repairBudget bounds the entry bytes of one TRepairOK page well below
+// wire.MaxFrame, leaving room for the frame and body headers. A single
+// entry above the budget still ships alone (wire.MaxValue guarantees it
+// fits a one-entry page), so pagination always makes progress.
 const repairBudget = wire.MaxFrame / 2
 
-// handleRepair answers a pull-style anti-entropy request: every replica
-// this node holds whose key belongs to the asked-for region, up to the
-// frame budget. Entry values alias engine storage, which never mutates
-// stored bytes, so encoding after the scan is safe.
+// handleRepair answers one page of a pull-style anti-entropy request:
+// replicas this node holds whose keys belong to the asked-for region,
+// streamed in the store's stable (shard, node, key) order starting at
+// the request's cursor, up to the page byte budget. When the budget cuts
+// the page, the reply carries More plus the cursor of the first withheld
+// replica, and iteration stops right there: the walk never visits (or
+// locks) the shards past the stop point. Within the resume shard, the
+// engine re-collects and re-sorts the resume node's remaining keys each
+// page (stores are hash maps; see Engine.ForEachReplicaFrom), so one
+// pathologically huge single-node store still costs O(remaining) per
+// page — an ordered index would remove that term (ROADMAP). Entry
+// values alias engine storage, which never mutates stored bytes, so
+// encoding after the scan is safe.
 func (n *Node) handleRepair(m, reply *wire.Msg) {
 	if !n.checkCluster(m, reply) {
 		return
@@ -359,28 +401,39 @@ func (n *Node) handleRepair(m, reply *wire.Msg) {
 		return
 	}
 	var entries []wire.TransferEntry
-	size, full, skipped := 0, false, 0
-	n.cfg.Pool.ForEachReplica(func(node int, origin uint32, key idspace.ID, value []byte) {
+	size, oversize := 0, 0
+	cur := discovery.ReplicaCursor{Shard: m.Cursor.Shard, Node: m.Cursor.Node, Key: m.Cursor.Key}
+	next, done := n.cfg.Pool.ForEachReplicaFrom(cur, func(node int, origin uint32, key idspace.ID, value []byte) bool {
 		if n.cfg.Cluster.OwnerOf(key) != int(m.Region) {
-			return
+			return true // foreign region: skip, keep walking
 		}
-		// Once the budget is hit, stop adding anything — a deterministic
-		// prefix in iteration order, not an arbitrary size-dependent
-		// subset (pagination is future work; see ROADMAP).
-		if cost := wire.EntryOverhead + len(value); !full && size+cost <= repairBudget {
-			entries = append(entries, wire.TransferEntry{Node: uint32(node), Origin: origin, Key: key, Value: value})
-			size += cost
-			return
+		if len(value) > wire.MaxValue {
+			// Cannot ride any page — only a direct library placement can
+			// produce such a value (the serving layer caps inserts at
+			// MaxValue). Count it and keep walking: a skipped replica
+			// must be loud, never a silent repair gap.
+			oversize++
+			return true
 		}
-		full = true
-		skipped++
+		cost := wire.EntryOverhead + len(value)
+		if len(entries) > 0 && size+cost > repairBudget {
+			return false // page full: stop the walk at this replica
+		}
+		entries = append(entries, wire.TransferEntry{Node: uint32(node), Origin: origin, Key: key, Value: value})
+		size += cost
+		return true
 	})
-	if skipped > 0 {
-		n.cfg.Logf("p2p: repair of region %d truncated at budget: %d replicas withheld", m.Region, skipped)
+	if oversize > 0 {
+		n.cfg.Logf("p2p: repair of region %d skipped %d replicas above wire.MaxValue (unrepairable; placed by direct import?)", m.Region, oversize)
 	}
 	reply.Type = wire.TRepairOK
 	reply.Region = m.Region
 	reply.Entries = entries
+	if !done {
+		reply.More = true
+		reply.Cursor = wire.RepairCursor{Shard: next.Shard, Node: next.Node, Key: next.Key}
+		n.cfg.Logf("p2p: repair of region %d paged at budget: %d entries (%d bytes) sent, cursor handed back", m.Region, len(entries), size)
+	}
 }
 
 // handleTransfer applies pushed replicas for regions this node owns,
@@ -542,10 +595,13 @@ func (n *Node) Handoff() (moved int, err error) {
 }
 
 // PullRepair asks peer i for every replica of this node's region that
-// the peer holds, and imports what comes back. It is additive (the peer
-// keeps its copies; Handoff on the peer is the shedding side) and
-// idempotent — re-importing an existing placement overwrites it in
-// place.
+// the peer holds, streaming the peer's store in budgeted pages: each
+// TRepairOK that was cut by the byte budget carries a resume cursor,
+// which the loop sends back verbatim until the peer reports the walk
+// complete — so any amount of repairable state converges, not just the
+// first frame's worth. It is additive (the peer keeps its copies;
+// Handoff on the peer is the shedding side) and idempotent —
+// re-importing an existing placement overwrites it in place.
 func (n *Node) PullRepair(i int) (applied int, err error) {
 	// Verify the peer shares this cluster's membership view first; a
 	// peer with a different member list computes different owners, and
@@ -553,27 +609,46 @@ func (n *Node) PullRepair(i int) (applied int, err error) {
 	if _, err := n.tr.Probe(i); err != nil {
 		return 0, err
 	}
-	resp, err := n.tr.Call(i, &wire.Msg{Type: wire.TRepair, Cluster: n.cfg.Cluster.Hash(), Region: uint32(n.cfg.Cluster.Self())})
-	if err != nil {
-		return 0, err
-	}
-	if resp.Type == wire.TError {
-		return 0, fmt.Errorf("p2p: %s: repair refused: %s", n.cfg.Cluster.Addr(i), resp.ErrorText())
-	}
-	if resp.Type != wire.TRepairOK {
-		return 0, fmt.Errorf("p2p: %s: unexpected repair response %v", n.cfg.Cluster.Addr(i), resp.Type)
-	}
-	for j := range resp.Entries {
-		e := &resp.Entries[j]
-		if !n.cfg.Cluster.Owns(e.Key) {
-			continue // a confused peer cannot plant foreign data here
+	var cursor wire.RepairCursor
+	for page := 0; ; page++ {
+		select {
+		case <-n.quit:
+			return applied, errNodeClosed
+		default:
 		}
-		if err := n.cfg.Pool.ImportReplica(int(e.Node), e.Origin, e.Key, e.Value); err != nil {
+		resp, err := n.tr.Call(i, &wire.Msg{Type: wire.TRepair, Cluster: n.cfg.Cluster.Hash(), Region: uint32(n.cfg.Cluster.Self()), Cursor: cursor})
+		if err != nil {
 			return applied, err
 		}
-		applied++
+		if resp.Type == wire.TError {
+			return applied, fmt.Errorf("p2p: %s: repair refused: %s", n.cfg.Cluster.Addr(i), resp.ErrorText())
+		}
+		if resp.Type != wire.TRepairOK {
+			return applied, fmt.Errorf("p2p: %s: unexpected repair response %v", n.cfg.Cluster.Addr(i), resp.Type)
+		}
+		for j := range resp.Entries {
+			e := &resp.Entries[j]
+			if !n.cfg.Cluster.Owns(e.Key) {
+				continue // a confused peer cannot plant foreign data here
+			}
+			if err := n.cfg.Pool.ImportReplica(int(e.Node), e.Origin, e.Key, e.Value); err != nil {
+				return applied, err
+			}
+			applied++
+		}
+		if !resp.More {
+			if page > 0 {
+				n.cfg.Logf("p2p: pull repair from %s converged after %d pages (%d replicas)", n.cfg.Cluster.Addr(i), page+1, applied)
+			}
+			return applied, nil
+		}
+		// A well-behaved responder's cursor always advances; a stuck one
+		// (same cursor, empty page) would otherwise loop forever.
+		if resp.Cursor == cursor && len(resp.Entries) == 0 {
+			return applied, fmt.Errorf("p2p: %s: repair cursor made no progress at page %d", n.cfg.Cluster.Addr(i), page)
+		}
+		cursor = resp.Cursor
 	}
-	return applied, nil
 }
 
 // AntiEntropy runs one full maintenance pass: shed foreign replicas to

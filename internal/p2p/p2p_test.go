@@ -1,6 +1,7 @@
 package p2p_test
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"strings"
@@ -474,4 +475,137 @@ func TestHandoffAndPullRepair(t *testing.T) {
 			t.Fatalf("pulled key %s missing on owner", name)
 		}
 	}
+}
+
+// TestPullRepairPaginatesLargeState pins the repair pagination contract
+// end to end: well over 512 KiB of repairable replicas stream across in
+// budgeted TRepairOK pages, each page's cursor resumes the next, and the
+// pull converges with EVERY replica transferred — no silent prefix-only
+// repair (the pre-pagination blind spot).
+func TestPullRepairPaginatesLargeState(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 2)
+	n0 := startTestNode(t, peerAddrs[0], peerAddrs, false)
+	n1 := startTestNode(t, peerAddrs[1], peerAddrs, true)
+
+	r0, r1 := n0.cluster.Self(), n1.cluster.Self()
+	// ~300 replicas x 4 KiB ≈ 1.2 MiB of region-r1 state on node 0:
+	// more than double the ~512 KiB page budget, so convergence requires
+	// at least three pages.
+	const count, valueSize = 300, 4096
+	names := keysOwnedBy(r1, 2, count, "paged")
+	values := map[string][]byte{}
+	for i, name := range names {
+		v := bytes.Repeat([]byte{byte(i)}, valueSize)
+		copy(v, name) // make every value distinct and self-identifying
+		values[name] = v
+		if err := n0.pool.ImportReplica(i%2, uint32(i%2), discovery.NewID(name), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First, drive the paging protocol by hand through node 1's
+	// transport and pin its invariants: budgeted pages, advancing
+	// cursors, More on every page but the last, exactly-once delivery.
+	var cursor wire.RepairCursor
+	seen := map[string]bool{}
+	pages := 0
+	for {
+		resp, err := n1.node.Transport().Call(r0, &wire.Msg{
+			Type: wire.TRepair, Cluster: n1.cluster.Hash(), Region: uint32(r1), Cursor: cursor,
+		})
+		if err != nil {
+			t.Fatalf("repair page %d: %v", pages, err)
+		}
+		if resp.Type != wire.TRepairOK {
+			t.Fatalf("repair page %d: %v %s", pages, resp.Type, resp.ErrorText())
+		}
+		pages++
+		size := 0
+		for j := range resp.Entries {
+			e := &resp.Entries[j]
+			size += wire.EntryOverhead + len(e.Value)
+			k := fmt.Sprintf("%d/%v", e.Node, e.Key)
+			if seen[k] {
+				t.Fatalf("replica %s delivered twice across pages", k)
+			}
+			seen[k] = true
+		}
+		if size > wire.MaxFrame/2+wire.EntryOverhead+valueSize {
+			t.Fatalf("page %d carries %d bytes, far above the budget", pages, size)
+		}
+		if !resp.More {
+			break
+		}
+		if resp.Cursor == cursor {
+			t.Fatalf("page %d cursor did not advance", pages)
+		}
+		cursor = resp.Cursor
+		if pages > count {
+			t.Fatal("pagination never converged")
+		}
+	}
+	if pages < 3 {
+		t.Fatalf("1.2 MiB of state fit %d pages; budget not exercised", pages)
+	}
+	if len(seen) != count {
+		t.Fatalf("pages delivered %d distinct replicas, want %d", len(seen), count)
+	}
+
+	// Then the real puller: every replica lands on node 1 with its exact
+	// value and placement.
+	applied, err := n1.node.PullRepair(r0)
+	if err != nil {
+		t.Fatalf("pull repair: %v", err)
+	}
+	if applied != count {
+		t.Fatalf("pull repair applied %d replicas, want %d", applied, count)
+	}
+	for i, name := range names {
+		v, ok := n1.pool.Value(i%2, discovery.NewID(name))
+		if !ok || !bytes.Equal(v, values[name]) {
+			t.Fatalf("replica %s missing or corrupt after paginated repair (ok=%v)", name, ok)
+		}
+	}
+}
+
+// TestProberFlipsAliveEagerly pins timer-driven health: a peer's death
+// and recovery are observed by the background prober alone — the test
+// never issues a call on the probing side.
+func TestProberFlipsAliveEagerly(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 2)
+	peer := startTestNode(t, peerAddrs[1], peerAddrs, true)
+
+	cluster, err := p2p.NewCluster(peerAddrs[0], peerAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := p2p.NewRemoteOverlay(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerIdx := peer.cluster.Self()
+	tr := p2p.NewTransport(cluster, ov, 200*time.Millisecond, 2*time.Second, t.Logf)
+	defer tr.Close()
+	tr.StartProber(50 * time.Millisecond)
+
+	waitAlive := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for ov.Alive(peerIdx) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("prober never observed %s (Alive=%v)", what, ov.Alive(peerIdx))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitAlive(true, "the live peer")
+
+	// Kill the peer: the prober must flip Alive false with no help.
+	peer.srv.Close()
+	peer.node.Close()
+	waitAlive(false, "the peer's death")
+
+	// Revive it on the same address: the prober must notice that too.
+	startTestNode(t, peerAddrs[1], peerAddrs, true)
+	waitAlive(true, "the peer's recovery")
 }

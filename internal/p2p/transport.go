@@ -23,8 +23,12 @@ type Transport struct {
 	logf        func(format string, args ...any)
 	peers       []*peerConn
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	closed  bool
+	probing bool
+
+	proberQuit chan struct{}
+	proberWg   sync.WaitGroup
 }
 
 // errTransportClosed fails calls after Close.
@@ -49,6 +53,7 @@ func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.D
 		callTimeout: callTimeout,
 		logf:        logf,
 		peers:       make([]*peerConn, c.N()),
+		proberQuit:  make(chan struct{}),
 	}
 	for i := range t.peers {
 		t.peers[i] = &peerConn{t: t, idx: i, addr: c.Addr(i), pending: make(map[uint64]chan *wire.Msg)}
@@ -270,12 +275,62 @@ func (t *Transport) Probe(i int) (held uint64, err error) {
 	}
 }
 
-// Close severs every peer connection and fails in-flight and future
-// calls.
+// StartProber launches a background health prober: every interval it
+// probes each peer, which flips the overlay's Alive flags eagerly — a
+// peer's death (or recovery) is noticed within one interval instead of
+// on the next forwarded call that happens to hit it. Probe failures are
+// already rate-limited by the dial backoff, and a probe that finds a
+// mismatched membership fingerprint marks the peer dead exactly like
+// Call would. No-op when interval <= 0, after Close, or if a prober is
+// already running; Close stops it.
+func (t *Transport) StartProber(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.closed || t.probing {
+		t.mu.Unlock()
+		return
+	}
+	t.probing = true
+	t.mu.Unlock()
+	t.proberWg.Add(1)
+	go func() {
+		defer t.proberWg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.proberQuit:
+				return
+			case <-ticker.C:
+			}
+			for i := range t.peers {
+				if i == t.cluster.Self() {
+					continue
+				}
+				select {
+				case <-t.proberQuit:
+					return
+				default:
+				}
+				t.Probe(i) //nolint:errcheck // Alive is updated as a side effect either way
+			}
+		}
+	}()
+}
+
+// Close severs every peer connection, stops the health prober, and fails
+// in-flight and future calls.
 func (t *Transport) Close() {
 	t.mu.Lock()
+	already := t.closed
 	t.closed = true
 	t.mu.Unlock()
+	if !already {
+		close(t.proberQuit)
+	}
+	t.proberWg.Wait()
 	for _, pc := range t.peers {
 		pc.mu.Lock()
 		if pc.nc != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	discovery "discovery"
+	"discovery/internal/wire"
 )
 
 // newDurableTestServer is newTestServer backed by a durable pool on dir.
@@ -98,8 +99,16 @@ func TestE2EDurableDrainAndRestart(t *testing.T) {
 	_ = dp2
 }
 
-// benchThroughput is the shared closed-loop lookup driver behind the
-// daemon throughput benchmarks.
+// benchThroughput is the shared pipelined driver behind the daemon
+// throughput benchmarks: conns connections, each keeping a window of
+// benchWindow requests in flight (send a burst, flush once, read the
+// burst's responses). This is the heavy-traffic shape the serving layer
+// batches for: bursts arrive together, so shard workers execute them as
+// batches (sharing write-ahead fsyncs) and connection writers flush the
+// responses as coalesced writev batches. BenchmarkDaemonThroughputSerial
+// keeps the one-request-at-a-time shape for comparison.
+const benchWindow = 32
+
 func benchThroughput(b *testing.B, addr string, insertRatio float64) {
 	const conns, keys = 4, 64
 	seedClient, err := Dial(addr)
@@ -128,24 +137,60 @@ func benchThroughput(b *testing.B, addr string, insertRatio float64) {
 		go func(ci int, c *Client) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(ci)))
-			for i := ci; i < b.N; i += conns {
-				key := discovery.NewID(fmt.Sprintf("bench-%d", i%keys))
-				if insertRatio > 0 && rng.Float64() < insertRatio {
-					if _, err := c.Insert(OriginAuto, key, []byte("v")); err != nil {
+			quota := b.N / conns
+			if ci < b.N%conns {
+				quota++
+			}
+			var m wire.Msg
+			for done := 0; done < quota; {
+				burst := benchWindow
+				if left := quota - done; left < burst {
+					burst = left
+				}
+				inserts, lookups := 0, 0
+				for i := 0; i < burst; i++ {
+					key := discovery.NewID(fmt.Sprintf("bench-%d", (done+i)%keys))
+					req := wire.Msg{Type: wire.TLookup, Key: key, Origin: wire.OriginAuto}
+					if insertRatio > 0 && rng.Float64() < insertRatio {
+						req.Type = wire.TInsert
+						req.Value = []byte("v")
+						inserts++
+					} else {
+						lookups++
+					}
+					if _, err := c.Send(&req); err != nil {
 						b.Error(err)
 						return
 					}
-					continue
 				}
-				res, err := c.Lookup(OriginAuto, key)
-				if err != nil {
+				if err := c.Flush(); err != nil {
 					b.Error(err)
 					return
 				}
-				if !res.Found {
-					b.Errorf("bench key %d missed", i%keys)
+				for i := 0; i < burst; i++ {
+					if err := c.Recv(&m); err != nil {
+						b.Error(err)
+						return
+					}
+					switch m.Type {
+					case wire.TInsertOK:
+						inserts--
+					case wire.TLookupOK:
+						if !m.Lookup.Found {
+							b.Error("bench lookup missed")
+							return
+						}
+						lookups--
+					default:
+						b.Errorf("unexpected response %v: %s", m.Type, m.ErrorText())
+						return
+					}
+				}
+				if inserts != 0 || lookups != 0 {
+					b.Errorf("burst response mix off by %d inserts / %d lookups", inserts, lookups)
 					return
 				}
+				done += burst
 			}
 		}(ci, c)
 	}

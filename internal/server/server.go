@@ -13,6 +13,23 @@
 // requests freely — responses for different shards can complete out of
 // order, and the reqID is what ties them together.
 //
+// # Batching
+//
+// Batches, not single requests, are the unit of work on both halves of
+// the hot path. A shard worker blocks for one task, then greedily drains
+// whatever else is already queued (up to MaxBatch) and executes the run
+// as one Pool.ExecBatch: one shard-lock acquisition, and on durable
+// pools one multi-record write-ahead append whose single fsync covers
+// every mutation in the batch — acks are only sent after that shared
+// sync returns, so the write-ahead contract is per-response intact. A
+// connection writer likewise blocks for one encoded response, drains the
+// rest of its queue (up to CoalesceFrames/CoalesceBytes), and hands the
+// run to the kernel as one writev(2) via net.Buffers, so a pipelining
+// client costs about one syscall per batch instead of one per response.
+// Under light load every batch has size one and behavior is identical to
+// the unbatched path; batches emerge exactly when queues are non-empty,
+// which is when the amortization pays.
+//
 // # Backpressure
 //
 // Shard queues are bounded. When a queue is full the reader blocks before
@@ -31,6 +48,7 @@ import (
 	"time"
 
 	discovery "discovery"
+	"discovery/internal/batchio"
 	"discovery/internal/idspace"
 	"discovery/internal/wire"
 )
@@ -41,6 +59,18 @@ type Config struct {
 	Pool *discovery.Pool
 	// QueueDepth bounds each shard's request queue (default 128).
 	QueueDepth int
+	// MaxBatch bounds how many queued requests one shard worker drains
+	// and executes as a single Pool.ExecBatch (default 64; capped at
+	// QueueDepth+1 since a drain can never observe more). Mutations in a
+	// batch share one write-ahead append and one fsync on durable pools.
+	MaxBatch int
+	// CoalesceFrames and CoalesceBytes bound one vectored response
+	// write: a connection writer drains at most CoalesceFrames queued
+	// responses (default batchio.DefaultMaxFrames) or roughly
+	// CoalesceBytes bytes (default batchio.DefaultMaxBytes) into a
+	// single writev(2).
+	CoalesceFrames int
+	CoalesceBytes  int
 	// WriteTimeout bounds any single response write (default 30s). A
 	// client that stops reading responses trips it and is disconnected,
 	// which is what keeps one stalled connection from wedging a shard
@@ -76,6 +106,9 @@ type Server struct {
 	forward      func(typ wire.Type, key idspace.ID, origin uint32, value []byte, respond func(*wire.Msg))
 	queues       []chan task
 	writeTimeout time.Duration
+	maxBatch     int
+	coFrames     int
+	coBytes      int
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -134,6 +167,13 @@ func New(cfg Config) (*Server, error) {
 	if wt <= 0 {
 		wt = 30 * time.Second
 	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	if maxBatch > depth+1 {
+		maxBatch = depth + 1 // one blocking receive + a full queue drain
+	}
 	s := &Server{
 		pool:         cfg.Pool,
 		store:        cfg.Store,
@@ -142,6 +182,9 @@ func New(cfg Config) (*Server, error) {
 		forward:      cfg.Forward,
 		queues:       make([]chan task, cfg.Pool.NumShards()),
 		writeTimeout: wt,
+		maxBatch:     maxBatch,
+		coFrames:     cfg.CoalesceFrames,
+		coBytes:      cfg.CoalesceBytes,
 		conns:        make(map[net.Conn]struct{}),
 		done:         make(chan struct{}),
 	}
@@ -331,41 +374,97 @@ func (s *Server) readLoop(c *conn) {
 	}
 }
 
-// shardWorker executes tasks for shard i, one at a time, in arrival
-// order.
+// shardWorker executes tasks for shard i in arrival order, a batch at a
+// time: one blocking receive, then a greedy non-blocking drain of
+// whatever else is queued, executed as a single Pool.ExecBatch. Batch
+// order is arrival order, so per-shard FIFO semantics (and with them
+// determinism and read-your-writes across a pipelined connection) are
+// exactly those of the one-at-a-time loop.
 func (s *Server) shardWorker(i int) {
 	defer s.workerWg.Done()
-	for t := range s.queues[i] {
-		var m wire.Msg
-		m.ReqID = t.reqID
+	q := s.queues[i]
+	tasks := make([]task, 0, s.maxBatch)
+	ops := make([]discovery.BatchOp, 0, s.maxBatch)
+	for {
+		ok, closed := collectBatch(q, &tasks, s.maxBatch)
+		if !ok {
+			return
+		}
+		s.execBatch(tasks, &ops)
+		if closed {
+			return
+		}
+	}
+}
+
+// collectBatch blocks for one task on q, then greedily drains more
+// without blocking, up to max tasks total, appending into *tasks (which
+// is truncated first and reused — the loop allocates nothing once the
+// slice is warm). It reports whether a batch was collected (ok is false
+// when q is closed and empty — note a closed channel still yields its
+// buffered tasks first) and whether the drain observed the close.
+func collectBatch(q <-chan task, tasks *[]task, max int) (ok, closed bool) {
+	t, open := <-q
+	if !open {
+		return false, true
+	}
+	*tasks = append((*tasks)[:0], t)
+	for len(*tasks) < max {
+		select {
+		case t, open := <-q:
+			if !open {
+				return true, true
+			}
+			*tasks = append(*tasks, t)
+		default:
+			return true, false
+		}
+	}
+	return true, false
+}
+
+// execBatch runs one drained task batch through the pool and answers
+// every task. Responses are sent only after ExecBatch returns, i.e.
+// after the batch's shared write-ahead sync on durable pools: an acked
+// mutation is durable, batched or not.
+func (s *Server) execBatch(tasks []task, ops *[]discovery.BatchOp) {
+	*ops = (*ops)[:0]
+	for k := range tasks {
+		t := &tasks[k]
+		op := discovery.BatchOp{Origin: int(t.origin), Key: t.key, Value: t.value}
 		switch t.typ {
 		case wire.TInsert:
-			res, err := s.pool.Insert(int(t.origin), t.key, t.value)
-			if err != nil {
-				// Durability failed: the mutation did not execute and
-				// must not be acked. The client sees the error; the
-				// daemon keeps serving (reads still work).
-				s.logf("server: insert: %v", err)
-				m.Type = wire.TError
-				m.Value = []byte("storage: " + err.Error())
-				break
-			}
-			m.Type = wire.TInsertOK
-			m.Insert = wire.InsertReplyFrom(res)
+			op.Kind = discovery.BatchInsert
 		case wire.TLookup:
-			res := s.pool.Lookup(int(t.origin), t.key)
-			m.Type = wire.TLookupOK
-			m.Lookup = wire.LookupReplyFrom(res)
+			op.Kind = discovery.BatchLookup
 		case wire.TDelete:
-			removed, err := s.pool.Delete(int(t.origin), t.key)
-			if err != nil {
-				s.logf("server: delete: %v", err)
-				m.Type = wire.TError
-				m.Value = []byte("storage: " + err.Error())
-				break
-			}
+			op.Kind = discovery.BatchDelete
+		}
+		*ops = append(*ops, op)
+	}
+	s.pool.ExecBatch(*ops)
+	for k := range tasks {
+		t := &tasks[k]
+		op := &(*ops)[k]
+		var m wire.Msg
+		m.ReqID = t.reqID
+		switch {
+		case op.Err != nil:
+			// Durability (or ownership) failed: the operation did not
+			// execute and must not be acked. The client sees the error;
+			// the daemon keeps serving (reads still work).
+			s.logf("server: %v: %v", t.typ, op.Err)
+			m.Type = wire.TError
+			m.Value = []byte("storage: " + op.Err.Error())
+		case t.typ == wire.TInsert:
+			m.Type = wire.TInsertOK
+			m.Insert = wire.InsertReplyFrom(op.Insert)
+		case t.typ == wire.TLookup:
+			m.Type = wire.TLookupOK
+			m.Lookup = wire.LookupReplyFrom(op.Lookup)
+		case t.typ == wire.TDelete:
 			m.Type = wire.TDeleteOK
-			m.Deleted = uint32(removed)
+			m.Deleted = uint32(op.Removed)
 		}
 		s.send(t.c, &m)
 		t.c.inflight.Done()
@@ -416,28 +515,26 @@ func (s *Server) send(c *conn, m *wire.Msg) {
 }
 
 // writeLoop writes encoded frames to the socket until the out channel
-// closes, then closes the socket. Each write carries a deadline: a peer
-// that stops reading is treated as gone, its socket is closed at once
-// (which also unblocks this connection's reader), and the loop keeps
-// draining so producers never block on a dead connection.
+// closes, then closes the socket. Frames are coalesced: the loop blocks
+// for one response, drains whatever else the workers have queued (up to
+// the coalesce budgets), and issues the run as one vectored write — a
+// pipelining client costs about one writev(2) per batch. Each batch
+// carries a write deadline: a peer that stops reading is treated as
+// gone, its socket is closed at once (which also unblocks this
+// connection's reader), and the loop keeps draining so producers never
+// block on a dead connection.
 func (s *Server) writeLoop(c *conn) {
 	defer s.connWg.Done()
 	defer s.forgetConn(c.nc)
 	defer c.nc.Close()
 	defer c.kill()
-	broken := false
-	for bp := range c.out {
-		if !broken {
-			c.nc.SetWriteDeadline(time.Now().Add(s.writeTimeout)) //nolint:errcheck // surfaced by Write
-			if _, err := c.nc.Write(*bp); err != nil {
-				s.logf("server: write to %v: %v", c.nc.RemoteAddr(), err)
-				broken = true
-				c.kill()
-				c.nc.Close()
-			}
-		}
-		s.bufs.Put(bp)
-	}
+	batchio.WriteLoop(c.nc, c.out, s.coFrames, s.coBytes, s.writeTimeout,
+		func(bp *[]byte) { s.bufs.Put(bp) },
+		func(err error) {
+			s.logf("server: write to %v: %v", c.nc.RemoteAddr(), err)
+			c.kill()
+			c.nc.Close()
+		})
 }
 
 // forgetConn drops a finished connection from the shutdown set.

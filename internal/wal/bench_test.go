@@ -100,3 +100,28 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
+
+// BenchmarkWALAppendBatch measures the multi-record append: 64 records
+// framed into one buffer, one write(2), one fsync for the whole batch.
+// Per-record durable cost divides by the batch size — the shard workers'
+// shared-commit path.
+func BenchmarkWALAppendBatch(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{Sync: SyncBatch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	const batch = 64
+	payloads := make([][]byte, batch)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{0xCD}, 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.AppendBatch(payloads); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "records/s")
+}

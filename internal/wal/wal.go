@@ -72,6 +72,14 @@ const (
 	// DefaultSegmentBytes is the rotation threshold when Options leaves
 	// SegmentBytes zero.
 	DefaultSegmentBytes = 64 << 20
+
+	// maxRetainedScratch caps the framing scratch kept between appends.
+	// A batch of near-MaxPayload records can legitimately need tens of
+	// megabytes once, but retaining that forever would pin the worst
+	// batch ever seen; anything above the cap is dropped for the next
+	// append to reallocate right-sized. The cap stays above MaxPayload
+	// plus framing so the single-record path never thrashes.
+	maxRetainedScratch = 4 << 20
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -292,43 +300,110 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	seq := l.nextSeq
 	l.buf = appendRecord(l.buf[:0], seq, payload)
+	f, err := l.commitBufLocked(1) // unlocks l.mu
+	if err != nil {
+		return 0, err
+	}
+	if err := l.syncAppended(f, seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendBatch writes one record per payload with consecutive sequence
+// numbers, framed into a single buffer and handed to the OS with ONE
+// write(2); the k-th payload receives sequence first+k. Durability
+// matches Append — under SyncAlways and SyncBatch every record in the
+// batch is durable when AppendBatch returns — but the whole batch shares
+// one fsync, and concurrent batches from other appenders share it too
+// via the same group commit. An empty batch is a no-op returning (0, nil).
+//
+// A write failure poisons the log exactly like Append: no record in the
+// batch was acknowledged, and whatever prefix reached the disk is
+// truncated or replayed by recovery exactly as a crash between append
+// and ack would be.
+func (l *Log) AppendBatch(payloads [][]byte) (first uint64, err error) {
+	for _, p := range payloads {
+		if len(p) > MaxPayload {
+			return 0, ErrTooLarge
+		}
+	}
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		return 0, err
+	}
+	if cap(l.buf) > maxRetainedScratch {
+		l.buf = nil // an earlier giant batch grew it; start fresh
+	}
+	first = l.nextSeq
+	l.buf = l.buf[:0]
+	for k, p := range payloads {
+		l.buf = appendRecord(l.buf, first+uint64(k), p)
+	}
+	f, err := l.commitBufLocked(len(payloads)) // unlocks l.mu
+	if err != nil {
+		return 0, err
+	}
+	last := first + uint64(len(payloads)) - 1
+	if err := l.syncAppended(f, last); err != nil {
+		return 0, err
+	}
+	return first, nil
+}
+
+// commitBufLocked writes the framed records in l.buf (n of them) to the
+// active segment, advances the sequence space, and rotates if the
+// segment is full. The caller holds l.mu; commitBufLocked RELEASES it and
+// returns the file whose fsync covers the new records.
+func (l *Log) commitBufLocked(n int) (*os.File, error) {
 	if _, err := l.f.Write(l.buf); err != nil {
 		// The file offset may now sit mid-record; anything appended after
 		// it would be unreachable to recovery. Poison the log instead.
 		l.werr = err
 		l.mu.Unlock()
-		return 0, err
+		return nil, err
 	}
-	l.nextSeq++
+	l.nextSeq += uint64(n)
 	l.size += int64(len(l.buf))
 	if l.size >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.werr = err
 			l.mu.Unlock()
-			return 0, err
+			return nil, err
 		}
 	}
 	f := l.f
 	l.mu.Unlock()
+	return f, nil
+}
 
+// syncAppended applies the durability policy to records up to seq, which
+// were just written to f (or fsynced already by a rotation).
+func (l *Log) syncAppended(f *os.File, seq uint64) error {
 	switch l.opts.Sync {
 	case SyncOff:
-		return seq, nil
+		return nil
 	case SyncAlways:
 		// A dedicated fsync per append. If rotation just happened, the
 		// record was fsynced as part of sealing the old segment and
 		// syncing the fresh file is a cheap no-op.
 		if err := f.Sync(); err != nil {
 			l.poison(err)
-			return 0, err
+			return err
 		}
 		l.gc.advance(seq)
-		return seq, nil
+		return nil
 	default: // SyncBatch
-		if err := l.syncTo(seq); err != nil {
-			return 0, err
-		}
-		return seq, nil
+		return l.syncTo(seq)
 	}
 }
 
@@ -634,7 +709,6 @@ func appendRecord(dst []byte, seq uint64, payload []byte) []byte {
 	binary.BigEndian.PutUint32(dst[base+4:], crc)
 	return dst
 }
-
 
 // scanResult is what validating one segment file yields.
 type scanResult struct {

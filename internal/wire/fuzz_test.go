@@ -128,6 +128,15 @@ func FuzzPeerRoundTrip(f *testing.F) {
 				})
 			}
 		}
+		// Cursor-bearing combinations, kept canonical: a TRepair may
+		// carry any cursor; a TRepairOK carries one only with More set.
+		if m.Type == TRepair {
+			m.Cursor = RepairCursor{Shard: region % 8, Node: origin, Key: idspace.FromBytes(value)}
+		}
+		if m.Type == TRepairOK && kind%2 == 1 {
+			m.More = true
+			m.Cursor = RepairCursor{Shard: region % 8, Node: origin, Key: idspace.FromBytes(value)}
+		}
 		frame, err := m.Append(nil)
 		if err != nil {
 			if err == ErrOversize {

@@ -50,13 +50,19 @@
 //	TPeerProbe:   u64 clusterHash | u32 sender
 //	TRoute:       u8 kind (TInsert|TLookup|TDelete) | u64 clusterHash |
 //	              key[20] | u32 origin | value...    (value only for insert kind)
-//	TRepair:      u64 clusterHash | u32 region
+//	TRepair:      u64 clusterHash | u32 region | cursor
 //	TTransfer:    u64 clusterHash | u32 count | count x entry
 //	TPeerProbeOK: u64 clusterHash | u32 responder | u64 heldReplicas
-//	TRepairOK:    u32 region | u32 count | count x entry
+//	TRepairOK:    u32 region | u8 more | cursor | u32 count | count x entry
 //	TTransferOK:  u32 accepted
 //
-// where entry = u32 node | u32 origin | key[20] | u32 valueLen | value.
+// where entry = u32 node | u32 origin | key[20] | u32 valueLen | value,
+// and cursor = u32 shard | u32 node | key[20] — a resume position in the
+// store's stable replica order. A TRepair's cursor is where the
+// responder should start (zero = the beginning); a TRepairOK whose reply
+// hit its byte budget sets more=1 and returns the cursor of the first
+// entry it withheld, which the puller sends back verbatim to stream the
+// next page. When more is 0 the cursor must be zero (strict, canonical).
 //
 // Decoding is strict: bodies must have exactly the advertised layout, and
 // decoding arbitrary bytes never panics (fuzzed by FuzzDecode and
@@ -78,12 +84,25 @@ import (
 const MaxFrame = 1 << 20
 
 // MaxValue is the largest insert payload the serving layer accepts. It
-// is derived from the most overhead-heavy frame a value must fit in —
-// the TRoute peer wrapper (header 9 + kind 1 + cluster 8 + key 20 +
-// origin 4) — so an insert accepted on one cluster node is forwardable
-// to any other; a limit derived from the bare TInsert frame would let
-// boundary-size inserts succeed on the owner and fail when routed.
-const MaxValue = MaxFrame - headerLen - 1 - 8 - 20 - 4
+// is derived from the most overhead-heavy frame a value must ever fit
+// in, so that an insert accepted anywhere is forwardable (TRoute),
+// transferable (a single-entry TTransfer) and repairable (a single-entry
+// TRepairOK page) through every other cluster node — a limit derived
+// from the bare TInsert frame would let boundary-size inserts succeed
+// on the owner and then be unroutable or silently unrepairable. The
+// worst wrapper is the single-entry TRepairOK page:
+//
+//	header 9 + region 4 + more 1 + cursor 28 + count 4 + entry 32 = 78
+//
+// (TRoute needs 42 and a single-entry TTransfer 53.)
+const MaxValue = MaxFrame - maxValueOverhead
+
+// maxValueOverhead is the single-entry TRepairOK wrapper cost derived
+// above, re-stated from the codec's own constants.
+const maxValueOverhead = headerLen + 4 + 1 + cursorLen + 4 + EntryOverhead
+
+// cursorLen is the encoded size of a RepairCursor.
+const cursorLen = 4 + 4 + idspace.Bytes
 
 // lenWords is the size of the frame length prefix.
 const lenWords = 4
@@ -184,6 +203,7 @@ var (
 	ErrShards   = errors.New("wire: stats shard count out of range")
 	ErrRoute    = errors.New("wire: route kind must be insert, lookup or delete")
 	ErrEntries  = errors.New("wire: transfer entry count disagrees with body")
+	ErrCursor   = errors.New("wire: repair cursor present without more flag")
 )
 
 // InsertReply carries the insertion statistics of one request.
@@ -265,6 +285,20 @@ type TransferEntry struct {
 // batches against MaxFrame with the codec's own arithmetic.
 const EntryOverhead = 4 + 4 + idspace.Bytes + 4
 
+// RepairCursor is a resume position in a store's stable replica
+// iteration order (shard, then engine node, then key, all ascending —
+// discovery.ReplicaCursor's wire twin). The zero cursor means the start
+// of the store. A TRepair carries where the responder should resume; a
+// budget-limited TRepairOK carries where the next page begins.
+type RepairCursor struct {
+	Shard uint32
+	Node  uint32
+	Key   idspace.ID
+}
+
+// IsZero reports whether c is the start-of-store cursor.
+func (c RepairCursor) IsZero() bool { return c == RepairCursor{} }
+
 // entryHdrLen is EntryOverhead under its decode-side name.
 const entryHdrLen = EntryOverhead
 
@@ -300,6 +334,13 @@ type Msg struct {
 	// Region is the keyspace region a TRepair asks for, echoed by
 	// TRepairOK.
 	Region uint32
+	// Cursor is the repair resume position: where a TRepair asks the
+	// responder to start, and — when More is set on a TRepairOK — where
+	// the next page begins. Must be zero on a TRepairOK without More.
+	Cursor RepairCursor
+	// More reports that a TRepairOK was cut by its byte budget and
+	// Cursor resumes the remainder.
+	More bool
 	// Entries carries replicas (TTransfer, TRepairOK).
 	Entries []TransferEntry
 	// Accepted is how many transferred entries the receiver applied
@@ -338,9 +379,9 @@ func (m *Msg) bodyLen() int {
 			n += len(m.Value)
 		}
 	case TRepair:
-		n += 8 + 4
+		n += 8 + 4 + cursorLen
 	case TRepairOK:
-		n += 4 + 4 + entriesLen(m.Entries)
+		n += 4 + 1 + cursorLen + 4 + entriesLen(m.Entries)
 	case TTransfer:
 		n += 8 + 4 + entriesLen(m.Entries)
 	case TTransferOK:
@@ -375,6 +416,9 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 	}
 	if m.Type == TRoute && m.RouteKind != TInsert && m.RouteKind != TLookup && m.RouteKind != TDelete {
 		return dst, ErrRoute
+	}
+	if m.Type == TRepairOK && !m.More && !m.Cursor.IsZero() {
+		return dst, ErrCursor
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(m.Type))
@@ -438,8 +482,15 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 	case TRepair:
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
 		dst = binary.BigEndian.AppendUint32(dst, m.Region)
+		dst = appendCursor(dst, m.Cursor)
 	case TRepairOK:
 		dst = binary.BigEndian.AppendUint32(dst, m.Region)
+		if m.More {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendCursor(dst, m.Cursor)
 		dst = appendEntries(dst, m.Entries)
 	case TTransfer:
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
@@ -452,6 +503,22 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		return dst[:len(dst)-body-lenWords], ErrType
 	}
 	return dst, nil
+}
+
+// appendCursor encodes a repair cursor onto dst.
+func appendCursor(dst []byte, c RepairCursor) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, c.Shard)
+	dst = binary.BigEndian.AppendUint32(dst, c.Node)
+	return append(dst, c.Key[:]...)
+}
+
+// decodeCursor parses a repair cursor from the front of b.
+func decodeCursor(b []byte) RepairCursor {
+	var c RepairCursor
+	c.Shard = binary.BigEndian.Uint32(b[0:])
+	c.Node = binary.BigEndian.Uint32(b[4:])
+	copy(c.Key[:], b[8:])
+	return c
 }
 
 // appendEntries encodes a count-prefixed transfer entry list onto dst.
@@ -591,17 +658,30 @@ func (m *Msg) Decode(body []byte) error {
 			return ErrRoute
 		}
 	case TRepair:
-		if len(b) != 8+4 {
-			return sizeErr(len(b), 8+4)
+		if len(b) != 8+4+cursorLen {
+			return sizeErr(len(b), 8+4+cursorLen)
 		}
 		m.Cluster = binary.BigEndian.Uint64(b[0:])
 		m.Region = binary.BigEndian.Uint32(b[8:])
+		m.Cursor = decodeCursor(b[12:])
 	case TRepairOK:
-		if len(b) < 4 {
+		if len(b) < 4+1+cursorLen {
 			return ErrShort
 		}
 		m.Region = binary.BigEndian.Uint32(b)
-		if err := m.decodeEntries(b[4:]); err != nil {
+		switch b[4] {
+		case 0:
+			m.More = false
+		case 1:
+			m.More = true
+		default:
+			return ErrBool
+		}
+		m.Cursor = decodeCursor(b[5:])
+		if !m.More && !m.Cursor.IsZero() {
+			return ErrCursor
+		}
+		if err := m.decodeEntries(b[5+cursorLen:]); err != nil {
 			return err
 		}
 	case TTransfer:

@@ -34,10 +34,15 @@ func sampleMsgs() []Msg {
 		{Type: TRoute, ReqID: 13, RouteKind: TLookup, Cluster: 0xA1, Key: key, Origin: 0},
 		{Type: TRoute, ReqID: 14, RouteKind: TDelete, Cluster: 0xA1, Key: key, Origin: 2},
 		{Type: TRepair, ReqID: 15, Cluster: 0xA1, Region: 1},
+		{Type: TRepair, ReqID: 18, Cluster: 0xA1, Region: 2,
+			Cursor: RepairCursor{Shard: 3, Node: 17, Key: idspace.FromString("resume-here")}},
 		{Type: TRepairOK, ReqID: 15, Region: 1, Entries: []TransferEntry{
 			{Node: 0, Origin: 2, Key: key, Value: []byte("v0")},
 			{Node: 1, Origin: 2, Key: idspace.FromString("object-8"), Value: nil},
 		}},
+		{Type: TRepairOK, ReqID: 18, Region: 2, More: true,
+			Cursor:  RepairCursor{Shard: 1, Node: 9, Key: idspace.FromString("next-page")},
+			Entries: []TransferEntry{{Node: 4, Origin: 1, Key: key, Value: []byte("paged")}}},
 		{Type: TTransfer, ReqID: 16, Cluster: 0xA1, Entries: []TransferEntry{
 			{Node: 2, Origin: 0, Key: key, Value: []byte("moved")},
 		}},
@@ -112,11 +117,11 @@ func eq(t *testing.T, a, b *Msg) {
 			t.Fatalf("route value mismatch: %q vs %q", a.Value, b.Value)
 		}
 	case TRepair:
-		if a.Cluster != b.Cluster || a.Region != b.Region {
+		if a.Cluster != b.Cluster || a.Region != b.Region || a.Cursor != b.Cursor {
 			t.Fatalf("repair mismatch: %+v vs %+v", a, b)
 		}
 	case TRepairOK:
-		if a.Region != b.Region || !entriesEq(a.Entries, b.Entries) {
+		if a.Region != b.Region || a.More != b.More || a.Cursor != b.Cursor || !entriesEq(a.Entries, b.Entries) {
 			t.Fatalf("repair reply mismatch: %+v vs %+v", a, b)
 		}
 	case TTransfer:
@@ -217,7 +222,19 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			return b
 		}(), ErrTrailing},
 		{"probe short", append([]byte{byte(TPeerProbe)}, make([]byte, 8+11)...), ErrShort},
-		{"repair trailing", append([]byte{byte(TRepair)}, make([]byte, 8+8+5)...), ErrTrailing},
+		{"repair short", append([]byte{byte(TRepair)}, make([]byte, 8+8+5)...), ErrShort},
+		{"repair trailing", append([]byte{byte(TRepair)}, make([]byte, 8+8+4+28+2)...), ErrTrailing},
+		{"repair-ok bad more byte", func() []byte {
+			b := append([]byte{byte(TRepairOK)}, make([]byte, 8+4+1+28+4)...)
+			b[9+4] = 7 // more must be 0 or 1
+			return b
+		}(), ErrBool},
+		{"repair-ok cursor without more", func() []byte {
+			b := append([]byte{byte(TRepairOK)}, make([]byte, 8+4+1+28+4)...)
+			b[9+4] = 0   // more = 0
+			b[9+4+1] = 9 // ...but a nonzero cursor shard
+			return b
+		}(), ErrCursor},
 		{"transfer count overruns body", func() []byte {
 			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+4)...)
 			b[9+8+3] = 9 // claims 9 entries, carries none

@@ -45,6 +45,14 @@ type Pool struct {
 // meaningful only for direct replica placements (opPut, opDrop).
 type mutationHook func(kind opKind, node, origin uint32, key ID, value []byte) error
 
+// batchHook observes every mutation of one ExecBatch before any of them
+// is applied, with the owning shard's lock held: the durable layer logs
+// them as a single multi-record append covered by one shared fsync.
+// Ops whose Err is already set and non-mutating ops must be skipped.
+// Returning an error means no mutation in the batch is known durable,
+// so none of them may execute.
+type batchHook func(ops []BatchOp) error
+
 // poolShard is one engine plus its serialization lock and counters.
 // Counters are guarded by mu, not atomics: they mutate only while the
 // shard executes a request, which already holds the lock.
@@ -52,6 +60,7 @@ type poolShard struct {
 	mu       sync.Mutex
 	svc      *Service
 	hook     mutationHook // nil for in-memory pools
+	batch    batchHook    // nil for in-memory pools
 	requests uint64
 	inserts  uint64
 	lookups  uint64
@@ -204,6 +213,113 @@ func (p *Pool) Delete(origin int, key ID) (int, error) {
 	return s.svc.Delete(origin, key), nil
 }
 
+// BatchKind tags one operation of an ExecBatch.
+type BatchKind uint8
+
+// Batch operation kinds. They mirror Insert, Lookup and Delete; direct
+// replica placements (ImportReplica, DropReplica) stay per-call — they
+// ride the anti-entropy path, not the request hot path.
+const (
+	BatchInsert BatchKind = iota + 1
+	BatchLookup
+	BatchDelete
+)
+
+// BatchOp is one operation of a shard batch executed by ExecBatch. Kind,
+// Origin, Key and Value are the request; exactly one result field is
+// filled on success, and Err reports a refused or failed operation (the
+// other ops of the batch are unaffected).
+type BatchOp struct {
+	Kind   BatchKind
+	Origin int
+	Key    ID
+	Value  []byte // insert payload; retained by the engine on success
+
+	Insert  InsertResult
+	Lookup  LookupResult
+	Removed int
+	Err     error
+}
+
+// ExecBatch executes ops — whose keys must all map to the same shard —
+// in order under ONE shard-lock acquisition. On a durable pool every
+// mutation of the batch is logged as a single multi-record write-ahead
+// append covered by one shared fsync before any of them applies, so the
+// per-mutation durability cost divides by the batch's mutation count
+// while the write-ahead contract is untouched: a mutation whose record
+// is not durable never executes and never acks. Results and errors land
+// in the ops themselves. An op whose key maps to another shard, or whose
+// mutation targets a foreign region, gets Err set and is skipped; a
+// failed batch append fails every mutation of the batch (their outcome
+// is unknown, exactly like a crash between append and ack) while
+// lookups still execute.
+//
+// A batch is equivalent to issuing its ops back to back on the shard:
+// intra-batch read-your-writes holds because mutations apply in batch
+// order before any later lookup in the same batch runs.
+func (p *Pool) ExecBatch(ops []BatchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	shard := p.ShardOf(ops[0].Key)
+	s := &p.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	mutations := false
+	for i := range ops {
+		op := &ops[i]
+		op.Err = nil
+		if so := p.ShardOf(op.Key); so != shard {
+			op.Err = fmt.Errorf("discovery: batch op %d: key %v maps to shard %d, batch executes on shard %d", i, op.Key, so, shard)
+			continue
+		}
+		switch op.Kind {
+		case BatchInsert, BatchDelete:
+			if err := p.checkOwned(op.Key); err != nil {
+				op.Err = err
+				continue
+			}
+			mutations = true
+		case BatchLookup:
+		default:
+			op.Err = fmt.Errorf("discovery: batch op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	if mutations && s.batch != nil {
+		if err := s.batch(ops); err != nil {
+			for i := range ops {
+				op := &ops[i]
+				if op.Err == nil && (op.Kind == BatchInsert || op.Kind == BatchDelete) {
+					op.Err = err
+				}
+			}
+		}
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.Err != nil {
+			continue
+		}
+		s.requests++
+		switch op.Kind {
+		case BatchInsert:
+			s.inserts++
+			op.Insert = s.svc.Insert(op.Origin, op.Key, op.Value)
+		case BatchLookup:
+			s.lookups++
+			op.Lookup = s.svc.Lookup(op.Origin, op.Key)
+			s.found.Record(op.Lookup.Found)
+			if op.Lookup.Found {
+				s.hops.AddInt(op.Lookup.FirstReplyHops)
+			}
+		case BatchDelete:
+			s.deletes++
+			op.Removed = s.svc.Delete(op.Origin, op.Key)
+		}
+	}
+}
+
 // ImportReplica places a replica directly at engine node without routing,
 // write-ahead logged on durable pools. It is the receive half of a
 // cluster replica transfer (internal/p2p): the sender exports its exact
@@ -265,6 +381,62 @@ func (p *Pool) ForEachReplica(fn func(node int, origin uint32, key ID, value []b
 		})
 		s.mu.Unlock()
 	}
+}
+
+// ReplicaCursor marks a resume position in the pool's stable replica
+// iteration order: shard ascending, then engine node ascending, then key
+// ascending. The zero cursor is the start of the store. Cursors are
+// meaningful across calls (and across processes with the same pool
+// parameters) because the order depends only on the shard mapping and
+// the key bytes, never on map iteration order.
+type ReplicaCursor struct {
+	Shard uint32
+	Node  uint32
+	Key   ID
+}
+
+// ForEachReplicaFrom visits stored replicas in stable (shard, node, key)
+// order starting at the first position at or after cur, locking one
+// shard at a time. fn returning false stops the walk at that replica:
+// shards and nodes past the stop point are never visited and their locks
+// never taken, which is what makes a byte-budgeted caller (peer repair)
+// cheap on a large store. next is the cursor of the first unvisited
+// replica — the one fn rejected — so passing it back resumes the walk
+// there; done reports that the walk reached the end of the store
+// instead. Values alias engine storage, exactly as in ForEachReplica.
+//
+// Replicas added or removed between paginated calls may be missed or
+// revisited, as with any cursor over live state; anti-entropy converges
+// by re-running.
+func (p *Pool) ForEachReplicaFrom(cur ReplicaCursor, fn func(node int, origin uint32, key ID, value []byte) bool) (next ReplicaCursor, done bool) {
+	// Cursors arrive off the wire (peer repair): a shard at or past the
+	// end means the walk is over, and the explicit >= guard also keeps a
+	// hostile cursor from going negative through int() on 32-bit builds.
+	if cur.Shard >= uint32(len(p.shards)) {
+		return ReplicaCursor{}, true
+	}
+	for si := int(cur.Shard); si < len(p.shards); si++ {
+		fromNode, fromKey := 0, ID{}
+		if si == int(cur.Shard) {
+			fromNode, fromKey = int(cur.Node), cur.Key
+		}
+		s := &p.shards[si]
+		s.mu.Lock()
+		var stopNode int
+		var stopKey ID
+		complete := s.svc.eng.ForEachReplicaFrom(fromNode, fromKey, func(node int, r mpil.Replica) bool {
+			if !fn(node, uint32(r.Origin), r.Key, r.Value) {
+				stopNode, stopKey = node, r.Key
+				return false
+			}
+			return true
+		})
+		s.mu.Unlock()
+		if !complete {
+			return ReplicaCursor{Shard: uint32(si), Node: uint32(stopNode), Key: stopKey}, false
+		}
+	}
+	return ReplicaCursor{}, true
 }
 
 // ReplicaCount returns the pool-wide stored replica total.

@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -187,5 +188,245 @@ func TestPoolDefaultsShardsToGOMAXPROCS(t *testing.T) {
 	}
 	if p.NumShards() < 1 {
 		t.Fatalf("NumShards = %d", p.NumShards())
+	}
+}
+
+// TestPoolForEachReplicaFromPaginates pins the pool-level cursor walk:
+// stable (shard, node, key) order, exactly-once delivery across budgeted
+// pages, and termination — the contract paginated peer repair builds on.
+func TestPoolForEachReplicaFromPaginates(t *testing.T) {
+	ov, err := CompleteOverlay(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, 4, WithSeed(1), WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replicas = 200
+	type pos struct {
+		node int
+		key  ID
+	}
+	want := map[pos]bool{}
+	for i := 0; i < replicas; i++ {
+		key := NewID(fmt.Sprintf("page-%d", i))
+		node := i % ov.N()
+		if err := p.ImportReplica(node, uint32(i%ov.N()), key, []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		want[pos{node, key}] = true
+	}
+
+	for _, page := range []int{1, 7, 64, replicas + 10} {
+		got := map[pos]bool{}
+		var cur ReplicaCursor
+		var last ReplicaCursor
+		pages := 0
+		for {
+			if pages > replicas+1 {
+				t.Fatalf("page size %d: pagination never terminated", page)
+			}
+			n := 0
+			next, done := p.ForEachReplicaFrom(cur, func(node int, origin uint32, key ID, value []byte) bool {
+				if n == page {
+					return false
+				}
+				n++
+				pp := pos{node, key}
+				if got[pp] {
+					t.Fatalf("page size %d: replica %v/%v delivered twice", page, node, key)
+				}
+				got[pp] = true
+				return true
+			})
+			pages++
+			if done {
+				break
+			}
+			if next == last && n == 0 {
+				t.Fatalf("page size %d: cursor made no progress", page)
+			}
+			cur, last = next, next
+		}
+		if len(got) != replicas {
+			t.Fatalf("page size %d: visited %d replicas in %d pages, want %d", page, len(got), pages, replicas)
+		}
+		for pp := range want {
+			if !got[pp] {
+				t.Fatalf("page size %d: replica %v never visited", page, pp)
+			}
+		}
+	}
+
+	// The full-size page walks everything in one call and reports done.
+	if _, done := p.ForEachReplicaFrom(ReplicaCursor{}, func(int, uint32, ID, []byte) bool { return true }); !done {
+		t.Fatal("unbudgeted walk reported an early stop")
+	}
+}
+
+// sameShardKeys returns n distinct keys that all map to shard 0 of p,
+// generated deterministically from prefix.
+func sameShardKeys(p *Pool, prefix string, n int) []ID {
+	var keys []ID
+	for i := 0; len(keys) < n; i++ {
+		k := NewID(fmt.Sprintf("%s-%d", prefix, i))
+		if p.ShardOf(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestPoolExecBatchMatchesSequential pins the batch execution contract:
+// a batch is equivalent to issuing its ops back to back on the shard —
+// same results, same stats, intra-batch read-your-writes included.
+func TestPoolExecBatchMatchesSequential(t *testing.T) {
+	ov, err := CompleteOverlay(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newP := func() *Pool {
+		p, err := NewPool(ov, 4, WithSeed(1), WithMaxHops(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	seq, bat := newP(), newP()
+	keys := sameShardKeys(seq, "batch-eq", 30)
+
+	var ops []BatchOp
+	for i, k := range keys {
+		ops = append(ops, BatchOp{Kind: BatchInsert, Origin: i % ov.N(), Key: k, Value: []byte(fmt.Sprintf("v-%d", i))})
+	}
+	for i, k := range keys {
+		ops = append(ops, BatchOp{Kind: BatchLookup, Origin: (i * 31) % ov.N(), Key: k})
+	}
+	for i, k := range keys[:10] {
+		ops = append(ops, BatchOp{Kind: BatchDelete, Origin: i % ov.N(), Key: k})
+	}
+
+	// The reference: the same op stream, one call at a time.
+	want := make([]BatchOp, len(ops))
+	copy(want, ops)
+	for i := range want {
+		op := &want[i]
+		switch op.Kind {
+		case BatchInsert:
+			op.Insert, op.Err = seq.Insert(op.Origin, op.Key, op.Value)
+		case BatchLookup:
+			op.Lookup = seq.Lookup(op.Origin, op.Key)
+		case BatchDelete:
+			op.Removed, op.Err = seq.Delete(op.Origin, op.Key)
+		}
+		if op.Err != nil {
+			t.Fatalf("sequential op %d: %v", i, op.Err)
+		}
+	}
+
+	bat.ExecBatch(ops)
+	for i := range ops {
+		if ops[i].Err != nil {
+			t.Fatalf("batched op %d: %v", i, ops[i].Err)
+		}
+		if ops[i].Insert != want[i].Insert || ops[i].Lookup != want[i].Lookup || ops[i].Removed != want[i].Removed {
+			t.Fatalf("op %d differs batched vs sequential:\n %+v\n %+v", i, ops[i], want[i])
+		}
+		if ops[i].Kind == BatchLookup && !ops[i].Lookup.Found {
+			t.Fatalf("op %d: intra-batch read-your-writes broken", i)
+		}
+	}
+	if a, b := seq.Stats(), bat.Stats(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("stats differ batched vs sequential:\n %+v\n %+v", b, a)
+	}
+}
+
+// TestPoolExecBatchRefusals: an op whose key maps to another shard, or
+// whose mutation targets a foreign region, is refused individually while
+// the rest of the batch executes — and foreign-region lookups still
+// serve, matching Pool.Lookup.
+func TestPoolExecBatchRefusals(t *testing.T) {
+	ov, err := CompleteOverlay(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, 4, WithSeed(1), WithMaxHops(8), WithRegion(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hunt for: an owned key on shard 0, a foreign-region key on shard 0,
+	// and any key on another shard.
+	var owned, foreign, wrongShard ID
+	var haveOwned, haveForeign, haveWrong bool
+	for i := 0; !(haveOwned && haveForeign && haveWrong); i++ {
+		k := NewID(fmt.Sprintf("refuse-%d", i))
+		switch {
+		case p.ShardOf(k) != 0:
+			wrongShard, haveWrong = k, true
+		case p.Owns(k) && !haveOwned:
+			owned, haveOwned = k, true
+		case !p.Owns(k) && !haveForeign:
+			foreign, haveForeign = k, true
+		}
+	}
+	ops := []BatchOp{
+		{Kind: BatchInsert, Origin: 1, Key: owned, Value: []byte("v")},
+		{Kind: BatchInsert, Origin: 1, Key: foreign, Value: []byte("v")},
+		{Kind: BatchLookup, Origin: 1, Key: foreign},
+		{Kind: BatchInsert, Origin: 1, Key: wrongShard, Value: []byte("v")},
+		{Kind: BatchLookup, Origin: 2, Key: owned},
+	}
+	p.ExecBatch(ops)
+	if ops[0].Err != nil {
+		t.Fatalf("owned insert refused: %v", ops[0].Err)
+	}
+	if ops[1].Err == nil {
+		t.Fatal("foreign-region insert accepted")
+	}
+	if ops[2].Err != nil {
+		t.Fatalf("foreign-region lookup refused: %v", ops[2].Err)
+	}
+	if ops[2].Lookup.Found {
+		t.Fatal("foreign lookup found a refused insert")
+	}
+	if ops[3].Err == nil {
+		t.Fatal("wrong-shard insert accepted")
+	}
+	if ops[4].Err != nil || !ops[4].Lookup.Found {
+		t.Fatalf("batch tail broken after refusals: err=%v found=%v", ops[4].Err, ops[4].Lookup.Found)
+	}
+}
+
+// TestPoolForEachReplicaFromStopsEarly pins the early-stop guarantee
+// behind budgeted repair: once the callback rejects a replica, the walk
+// invokes it exactly zero more times — later replicas, nodes and shards
+// are never visited (and their locks never taken).
+func TestPoolForEachReplicaFromStopsEarly(t *testing.T) {
+	ov, err := CompleteOverlay(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, 4, WithSeed(1), WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replicas = 500
+	for i := 0; i < replicas; i++ {
+		if err := p.ImportReplica(i%ov.N(), 0, NewID(fmt.Sprintf("early-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const accept = 5
+	calls := 0
+	_, done := p.ForEachReplicaFrom(ReplicaCursor{}, func(int, uint32, ID, []byte) bool {
+		calls++
+		return calls <= accept
+	})
+	if done {
+		t.Fatal("stopped walk reported done")
+	}
+	if calls != accept+1 {
+		t.Fatalf("callback ran %d times after rejecting at %d; the walk did not stop", calls, accept+1)
 	}
 }
