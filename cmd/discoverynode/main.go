@@ -50,6 +50,7 @@ func run() int {
 		listen      = flag.String("listen", ":7800", "client TCP listen address")
 		peerListen  = flag.String("peer-listen", "127.0.0.1:7900", "peer TCP listen address (must be reachable by every member)")
 		advertise   = flag.String("advertise", "", "peer address other members know this node by (default: -peer-listen)")
+		advClient   = flag.String("advertise-client", "", "client address gossiped to peers for cluster-smart clients (default: the bound -listen address; \"none\" withholds it)")
 		bootstrap   = flag.String("bootstrap", "", "comma-separated peer addresses of every cluster member (self may be included)")
 		joinTimeout = flag.Duration("join-timeout", 10*time.Second, "how long to retry the initial peer probes")
 		dialTimeout = flag.Duration("dial-timeout", 500*time.Millisecond, "peer dial timeout")
@@ -166,6 +167,8 @@ func run() int {
 		Store:          store,
 		Owns:           node.Owns,
 		Forward:        node.Forward,
+		ClusterHash:    cluster.Hash(),
+		Members:        node.Members,
 		Logf:           log.Printf,
 	})
 	if err != nil {
@@ -179,6 +182,19 @@ func run() int {
 	}
 	log.Printf("discoverynode: serving clients on %s (region %d of %d, %d shards, queue %d)",
 		addr, cluster.Self(), cluster.N(), pool.NumShards(), *queue)
+
+	// Advertise the client address to peers: probe gossip spreads it, and
+	// every member then serves the full table to cluster-smart clients
+	// (TMembers). A wildcard -listen like ":7800" binds every interface
+	// but advertises an address peers and clients cannot reliably dial, so
+	// such deployments should set -advertise-client explicitly.
+	switch *advClient {
+	case "none":
+	case "":
+		node.SetClientAddr(addr.String())
+	default:
+		node.SetClientAddr(*advClient)
+	}
 
 	// Join and anti-entropy run in the background: a restarted node must
 	// serve its recovered region immediately, not wait for dead peers.

@@ -12,6 +12,13 @@
 // lookup otherwise, over a shared key population. Inserted keys are
 // findable by later lookups, so a long run converges to the steady-state
 // hit rate of the configured overlay.
+//
+// With -cluster, -addr is a comma-separated seed list of cluster nodes
+// and the same workload runs twice: once route-direct through the
+// cluster-smart client (owners computed locally, one hop per request)
+// and once relayed through the first seed like a cluster-unaware client
+// (foreign keys take a second server-side hop). The two results print
+// side by side.
 package main
 
 import (
@@ -19,16 +26,26 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"discovery/internal/cluster"
 	"discovery/internal/idspace"
 	"discovery/internal/metrics"
 	"discovery/internal/server"
+	"discovery/internal/wire"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// requester is the request surface a workload drives; both the plain
+// per-connection client and the shared cluster-smart client satisfy it.
+type requester interface {
+	Insert(origin int, key idspace.ID, value []byte) (wire.InsertReply, error)
+	Lookup(origin int, key idspace.ID) (wire.LookupReply, error)
 }
 
 // connReport is one connection's contribution to the final report.
@@ -42,9 +59,109 @@ type connReport struct {
 	firstErr error
 }
 
+// report is the aggregate of one measured workload run.
+type report struct {
+	lat     metrics.Distribution
+	elapsed time.Duration
+	total   int
+	inserts int
+	lookups int
+	found   int
+	errs    int
+	first   error
+}
+
+func (r *report) throughput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.total) / r.elapsed.Seconds()
+}
+
+func (r *report) print(indent string) {
+	fmt.Printf("%sthroughput  %.0f req/s\n", indent, r.throughput())
+	fmt.Printf("%slatency     p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  mean %.0fµs  max %.0fµs\n",
+		indent, r.lat.Percentile(50), r.lat.Percentile(95), r.lat.Percentile(99), r.lat.Mean(), r.lat.Percentile(100))
+	fmt.Printf("%smix         %d inserts, %d lookups (%d found", indent, r.inserts, r.lookups, r.found)
+	if r.lookups > 0 {
+		fmt.Printf(", %.1f%%", 100*float64(r.found)/float64(r.lookups))
+	}
+	fmt.Printf(")\n")
+}
+
+// runWorkload drives the standard closed-loop mix over conns workers,
+// each using the requester from dial(ci). The returned report merges
+// every worker.
+func runWorkload(conns, requests int, insertRatio float64, keyIDs []idspace.ID, value []byte, seed int64,
+	dial func(ci int) (requester, func(), error)) report {
+	reports := make([]connReport, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < conns; ci++ {
+		per := requests / conns
+		if ci < requests%conns {
+			per++
+		}
+		wg.Add(1)
+		go func(ci, per int) {
+			defer wg.Done()
+			r := &reports[ci]
+			c, closeFn, err := dial(ci)
+			if err != nil {
+				r.errs++
+				r.firstErr = err
+				return
+			}
+			defer closeFn()
+			rng := rand.New(rand.NewSource(seed + int64(ci)))
+			for i := 0; i < per; i++ {
+				key := keyIDs[rng.Intn(len(keyIDs))]
+				t0 := time.Now()
+				if rng.Float64() < insertRatio {
+					_, err = c.Insert(server.OriginAuto, key, value)
+					r.inserts++
+				} else {
+					var res, lerr = c.Lookup(server.OriginAuto, key)
+					err = lerr
+					r.lookups++
+					if err == nil && res.Found {
+						r.found++
+					}
+				}
+				r.lat.Add(float64(time.Since(t0).Microseconds()))
+				r.requests++
+				if err != nil {
+					r.errs++
+					if r.firstErr == nil {
+						r.firstErr = err
+					}
+					return
+				}
+			}
+		}(ci, per)
+	}
+	wg.Wait()
+
+	agg := report{elapsed: time.Since(start)}
+	for i := range reports {
+		r := &reports[i]
+		agg.lat.Merge(&r.lat)
+		agg.total += r.requests
+		agg.inserts += r.inserts
+		agg.lookups += r.lookups
+		agg.found += r.found
+		agg.errs += r.errs
+		if agg.first == nil {
+			agg.first = r.firstErr
+		}
+	}
+	return agg
+}
+
 func run() int {
 	var (
-		addr        = flag.String("addr", "localhost:7700", "discoveryd address")
+		addr        = flag.String("addr", "localhost:7700", "discoveryd address (with -cluster: comma-separated seed list)")
+		clusterMode = flag.Bool("cluster", false, "drive a multi-node cluster: run the workload route-direct (cluster-smart client) and relayed (one entry node), report side by side")
 		conns       = flag.Int("conns", 8, "concurrent connections")
 		requests    = flag.Int("requests", 20000, "total requests across all connections")
 		insertRatio = flag.Float64("insert-ratio", 0.1, "fraction of requests that are inserts")
@@ -77,121 +194,151 @@ func run() int {
 		value[i] = byte('a' + i%26)
 	}
 
+	if *clusterMode {
+		return runCluster(*addr, *conns, *requests, *insertRatio, *seed, *preload, keyIDs, value)
+	}
+
 	// Warm-up phase: populate the store before the measured window so
 	// lookup hit rates reflect steady state, not a cold daemon. Preload
 	// time is reported separately and excluded from throughput.
 	if *preload > 0 {
-		t0 := time.Now()
-		var pwg sync.WaitGroup
-		perrs := make([]error, *conns)
-		for ci := 0; ci < *conns; ci++ {
-			pwg.Add(1)
-			go func(ci int) {
-				defer pwg.Done()
-				c, err := server.Dial(*addr)
-				if err != nil {
-					perrs[ci] = err
-					return
-				}
-				defer c.Close()
-				for i := ci; i < *preload; i += *conns {
-					if _, err := c.Insert(server.OriginAuto, keyIDs[i%len(keyIDs)], value); err != nil {
-						perrs[ci] = err
-						return
-					}
-				}
-			}(ci)
-		}
-		pwg.Wait()
-		for _, err := range perrs {
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "loadgen: preload: %v\n", err)
-				return 1
-			}
-		}
-		pd := time.Since(t0)
-		fmt.Printf("loadgen: preloaded %d inserts in %s (%.0f req/s, not measured)\n",
-			*preload, pd.Round(time.Millisecond), float64(*preload)/pd.Seconds())
-	}
-
-	reports := make([]connReport, *conns)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for ci := 0; ci < *conns; ci++ {
-		per := *requests / *conns
-		if ci < *requests%*conns {
-			per++
-		}
-		wg.Add(1)
-		go func(ci, per int) {
-			defer wg.Done()
-			r := &reports[ci]
+		if err := preloadKeys(*preload, *conns, keyIDs, value, func(int) (requester, func(), error) {
 			c, err := server.Dial(*addr)
 			if err != nil {
-				r.errs++
-				r.firstErr = err
+				return nil, nil, err
+			}
+			return c, func() { c.Close() }, nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: preload: %v\n", err)
+			return 1
+		}
+	}
+
+	agg := runWorkload(*conns, *requests, *insertRatio, keyIDs, value, *seed, func(int) (requester, func(), error) {
+		c, err := server.Dial(*addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() { c.Close() }, nil
+	})
+
+	fmt.Printf("loadgen: %d requests over %d conns in %s\n", agg.total, *conns, agg.elapsed.Round(time.Millisecond))
+	if agg.total > 0 {
+		agg.print("  ")
+	}
+	if agg.errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d errors (first: %v)\n", agg.errs, agg.first)
+		return 1
+	}
+	return 0
+}
+
+// preloadKeys inserts n keys round-robin over the population using one
+// requester per connection, off the measured clock.
+func preloadKeys(n, conns int, keyIDs []idspace.ID, value []byte, dial func(int) (requester, func(), error)) error {
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, closeFn, err := dial(ci)
+			if err != nil {
+				errs[ci] = err
 				return
 			}
-			defer c.Close()
-			rng := rand.New(rand.NewSource(*seed + int64(ci)))
-			for i := 0; i < per; i++ {
-				key := keyIDs[rng.Intn(len(keyIDs))]
-				t0 := time.Now()
-				if rng.Float64() < *insertRatio {
-					_, err = c.Insert(server.OriginAuto, key, value)
-					r.inserts++
-				} else {
-					var res, lerr = c.Lookup(server.OriginAuto, key)
-					err = lerr
-					r.lookups++
-					if err == nil && res.Found {
-						r.found++
-					}
-				}
-				r.lat.Add(float64(time.Since(t0).Microseconds()))
-				r.requests++
-				if err != nil {
-					r.errs++
-					if r.firstErr == nil {
-						r.firstErr = err
-					}
+			defer closeFn()
+			for i := ci; i < n; i += conns {
+				if _, err := c.Insert(server.OriginAuto, keyIDs[i%len(keyIDs)], value); err != nil {
+					errs[ci] = err
 					return
 				}
 			}
-		}(ci, per)
+		}(ci)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	pd := time.Since(t0)
+	fmt.Printf("loadgen: preloaded %d inserts in %s (%.0f req/s, not measured)\n",
+		n, pd.Round(time.Millisecond), float64(n)/pd.Seconds())
+	return nil
+}
 
-	var lat metrics.Distribution
-	var total, inserts, lookups, found, errs int
-	var firstErr error
-	for i := range reports {
-		r := &reports[i]
-		lat.Merge(&r.lat)
-		total += r.requests
-		inserts += r.inserts
-		lookups += r.lookups
-		found += r.found
-		errs += r.errs
-		if firstErr == nil {
-			firstErr = r.firstErr
+// runCluster runs the workload twice against a cluster — route-direct
+// through the cluster-smart client, then relayed through the first seed
+// — and reports the two side by side.
+func runCluster(addrList string, conns, requests int, insertRatio float64, seed int64, preload int,
+	keyIDs []idspace.ID, value []byte) int {
+	var seeds []string
+	for _, a := range strings.Split(addrList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			seeds = append(seeds, a)
+		}
+	}
+	if len(seeds) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -cluster needs at least one seed in -addr")
+		return 2
+	}
+	cc, err := cluster.Dial(cluster.Config{Seeds: seeds})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	defer cc.Close()
+	hash, members := cc.Members()
+	known := 0
+	for _, m := range members {
+		if m != "" {
+			known++
+		}
+	}
+	fmt.Printf("loadgen: cluster of %d members (%d addresses known, fingerprint %016x)\n", len(members), known, hash)
+
+	if preload > 0 {
+		if err := preloadKeys(preload, conns, keyIDs, value, func(int) (requester, func(), error) {
+			return cc, func() {}, nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: preload: %v\n", err)
+			return 1
 		}
 	}
 
-	fmt.Printf("loadgen: %d requests over %d conns in %s\n", total, *conns, elapsed.Round(time.Millisecond))
-	if total > 0 {
-		fmt.Printf("  throughput  %.0f req/s\n", float64(total)/elapsed.Seconds())
-		fmt.Printf("  latency     p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  mean %.0fµs  max %.0fµs\n",
-			lat.Percentile(50), lat.Percentile(95), lat.Percentile(99), lat.Mean(), lat.Percentile(100))
-		fmt.Printf("  mix         %d inserts, %d lookups (%d found", inserts, lookups, found)
-		if lookups > 0 {
-			fmt.Printf(", %.1f%%", 100*float64(found)/float64(lookups))
+	// Route-direct: all workers multiplex onto the shared cluster-smart
+	// client, whose per-node connections pipeline and coalesce.
+	direct := runWorkload(conns, requests, insertRatio, keyIDs, value, seed, func(int) (requester, func(), error) {
+		return cc, func() {}, nil
+	})
+	st := cc.Stats()
+
+	// Relay: the identical workload, cluster-unaware, through seed 0.
+	relay := runWorkload(conns, requests, insertRatio, keyIDs, value, seed, func(int) (requester, func(), error) {
+		c, err := server.Dial(seeds[0])
+		if err != nil {
+			return nil, nil, err
 		}
-		fmt.Printf(")\n")
+		return c, func() { c.Close() }, nil
+	})
+
+	fmt.Printf("loadgen: route-direct — %d requests over %d conns in %s (%d routed, %d relayed, %d refreshes)\n",
+		direct.total, conns, direct.elapsed.Round(time.Millisecond), st.Routed, st.Relayed, st.Refreshes)
+	direct.print("  ")
+	fmt.Printf("loadgen: relay via %s — %d requests over %d conns in %s\n",
+		seeds[0], relay.total, conns, relay.elapsed.Round(time.Millisecond))
+	relay.print("  ")
+	if relay.throughput() > 0 {
+		fmt.Printf("loadgen: route-direct / relay throughput ratio: %.2fx\n", direct.throughput()/relay.throughput())
 	}
-	if errs > 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: %d errors (first: %v)\n", errs, firstErr)
+	if direct.errs+relay.errs > 0 {
+		first := direct.first
+		if first == nil {
+			first = relay.first
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %d errors (first: %v)\n", direct.errs+relay.errs, first)
 		return 1
 	}
 	return 0

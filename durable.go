@@ -398,11 +398,15 @@ func (dp *DurablePool) batchHookFor(i int) batchHook {
 				continue
 			}
 			var kind opKind
+			var node uint32
 			switch op.Kind {
 			case BatchInsert:
 				kind = opInsert
 			case BatchDelete:
 				kind = opDelete
+			case BatchPut:
+				kind = opPut
+				node = uint32(op.Node)
 			default:
 				continue
 			}
@@ -410,7 +414,7 @@ func (dp *DurablePool) batchHookFor(i int) batchHook {
 			if kind == opDelete {
 				value = nil
 			}
-			ds.buf = appendOp(ds.buf, uint16(i), kind, 0, uint32(op.Origin), op.Key, value)
+			ds.buf = appendOp(ds.buf, uint16(i), kind, node, uint32(op.Origin), op.Key, value)
 			ds.offs = append(ds.offs, len(ds.buf))
 		}
 		if len(ds.offs) == 0 {

@@ -446,3 +446,71 @@ func TestDurablePoolExecBatchSharesOneAppend(t *testing.T) {
 		}
 	}
 }
+
+// TestDurablePoolImportBatchCrashReplay pins the batched transfer-apply
+// durability contract: every entry of an acked ImportBatch is recovered
+// as the exact direct placement it was (no re-routing), from the log
+// alone after a crash.
+func TestDurablePoolImportBatchCrashReplay(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+
+	var entries []ReplicaEntry
+	for i := 0; i < 48; i++ {
+		entries = append(entries, ReplicaEntry{
+			Node:   i % ov.N(),
+			Origin: uint32(i % 5),
+			Key:    NewID(fmt.Sprintf("import-crash-%d", i)),
+			Value:  []byte(fmt.Sprintf("payload-%d", i)),
+		})
+	}
+	accepted, err := dp.ImportBatch(entries)
+	if err != nil || accepted != len(entries) {
+		t.Fatalf("ImportBatch: accepted %d, err %v", accepted, err)
+	}
+	want := exportAll(dp.Pool)
+
+	// No Close: the batch was acked, FsyncBatch means acked ⇒ durable.
+	dp2, stats := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp2.Close()
+	if stats.Replayed != len(entries) {
+		t.Fatalf("replayed %d records, want %d", stats.Replayed, len(entries))
+	}
+	if got := exportAll(dp2.Pool); !reflect.DeepEqual(got, want) {
+		t.Fatal("state after batched-import crash replay differs from the acked state")
+	}
+	for _, e := range entries {
+		if v, ok := dp2.Value(e.Node, e.Key); !ok || string(v) != string(e.Value) {
+			t.Fatalf("entry at node %d missing after replay (ok=%v v=%q)", e.Node, ok, v)
+		}
+	}
+}
+
+// TestDurablePoolImportBatchSharesAppends pins the group-commit shape of
+// the batched transfer apply: a batch of N same-shard entries consumes N
+// consecutive log seqs via one AppendBatch per shard group, not N
+// append+fsync rounds.
+func TestDurablePoolImportBatchSharesAppends(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
+	defer dp.Close()
+
+	var entries []ReplicaEntry
+	for i := 0; len(entries) < 16; i++ {
+		k := NewID(fmt.Sprintf("import-one-append-%d", i))
+		if dp.ShardOf(k) != 0 {
+			continue
+		}
+		entries = append(entries, ReplicaEntry{Node: i % ov.N(), Origin: 1, Key: k, Value: []byte("v")})
+	}
+	before, _ := dp.log.Bounds()
+	if accepted, err := dp.ImportBatch(entries); err != nil || accepted != len(entries) {
+		t.Fatalf("ImportBatch: accepted %d, err %v", accepted, err)
+	}
+	_, after := dp.log.Bounds()
+	if int(after-before) != len(entries) {
+		t.Fatalf("batch logged %d records, want %d", after-before, len(entries))
+	}
+}

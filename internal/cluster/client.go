@@ -1,0 +1,510 @@
+// Package cluster is the cluster-smart client: it learns the member
+// list and region split from any node, computes each key's owner
+// locally, and sends every request directly to the owning node — one
+// network hop, no server-side relay on the hot path.
+//
+// # Protocol
+//
+// On dial the client asks a seed for the membership table (TMembers →
+// TMembersOK): the ordered client-serving addresses of every member
+// plus the membership fingerprint. Ownership is a pure function of the
+// ordered member list (discovery.OwnerOf), so client and cluster agree
+// on every key's owner as long as their views match — and the
+// fingerprint is how a mismatch is caught. Every routed request carries
+// the client's fingerprint in a TRoute envelope; a node whose view
+// disagrees refuses with TWrongView instead of executing, the client
+// re-fetches the table and retries once against the newly computed
+// owner. A stale client can therefore never execute a write on the
+// wrong region: the fingerprint check runs before the request does.
+//
+// Members whose client address is not (yet) known — the table learns
+// addresses from probe gossip, so a freshly started cluster may have
+// gaps — are reached through the relay fallback: the plain un-enveloped
+// request goes to the anchor node, which forwards it over the peer
+// transport exactly like any cluster-unaware client's request.
+//
+// # Connections
+//
+// The client keeps one pipelined connection per node, multiplexing
+// concurrent requests by reqID, mirroring the peer transport: each
+// connection has a writer goroutine that drains an out-queue into
+// vectored writes and a reader goroutine that delivers responses by
+// correlator. The Client is safe for concurrent use; goroutines
+// pipeline onto the shared per-node connections.
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	discovery "discovery"
+	"discovery/internal/batchio"
+	"discovery/internal/idspace"
+	"discovery/internal/wire"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Seeds are client-serving addresses of cluster nodes, any of which
+	// can bootstrap the member table. Required (at least one).
+	Seeds []string
+	// DialTimeout bounds one node dial (default 500ms).
+	DialTimeout time.Duration
+	// CallTimeout bounds one request round trip (default 5s).
+	CallTimeout time.Duration
+	// Logf, when set, receives connection-level error lines.
+	Logf func(format string, args ...any)
+}
+
+// OriginAuto, passed as the origin of Insert/Lookup/Delete, lets the
+// serving node pick the entry node deterministically from the key.
+const OriginAuto = -1
+
+// view is one fetched membership table: the fingerprint and the
+// client-serving address per cluster slot ("" = not yet advertised).
+type view struct {
+	hash  uint64
+	addrs []string
+}
+
+// Stats counts how the client's requests traveled.
+type Stats struct {
+	// Routed requests went directly to the key's owner (one hop).
+	Routed uint64
+	// Relayed requests fell back to the anchor node because the owner's
+	// client address was unknown; the anchor forwarded them (two hops).
+	Relayed uint64
+	// Refreshes counts member-table re-fetches forced by TWrongView.
+	Refreshes uint64
+}
+
+// Client routes requests directly to owning nodes. Safe for concurrent
+// use. Create with Dial, stop with Close.
+type Client struct {
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	logf        func(format string, args ...any)
+	seeds       []string
+
+	mu     sync.Mutex
+	view   *view
+	anchor string // last address that served the member table
+	conns  map[string]*nodeConn
+	closed bool
+
+	routed    atomic.Uint64
+	relayed   atomic.Uint64
+	refreshes atomic.Uint64
+
+	bufs sync.Pool // *[]byte outbound frame buffers
+}
+
+// Dial bootstraps a Client: it fetches the member table from the first
+// reachable seed and is then ready to route.
+func Dial(cfg Config) (*Client, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, errors.New("cluster: Config.Seeds is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 500 * time.Millisecond
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Client{
+		dialTimeout: cfg.DialTimeout,
+		callTimeout: cfg.CallTimeout,
+		logf:        cfg.Logf,
+		seeds:       append([]string(nil), cfg.Seeds...),
+		conns:       make(map[string]*nodeConn),
+	}
+	c.bufs.New = func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	}
+	if err := c.Refresh(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stats returns how requests traveled so far.
+func (c *Client) Stats() Stats {
+	return Stats{Routed: c.routed.Load(), Relayed: c.relayed.Load(), Refreshes: c.refreshes.Load()}
+}
+
+// Members returns the current member table (a copy) and its fingerprint.
+func (c *Client) Members() (hash uint64, addrs []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.view == nil {
+		return 0, nil
+	}
+	return c.view.hash, append([]string(nil), c.view.addrs...)
+}
+
+// Refresh re-fetches the member table from the anchor, the seeds, and
+// every known member address, keeping the first success.
+func (c *Client) Refresh() error {
+	c.mu.Lock()
+	candidates := make([]string, 0, 8)
+	seen := map[string]bool{}
+	add := func(a string) {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			candidates = append(candidates, a)
+		}
+	}
+	add(c.anchor)
+	for _, a := range c.seeds {
+		add(a)
+	}
+	if c.view != nil {
+		for _, a := range c.view.addrs {
+			add(a)
+		}
+	}
+	c.mu.Unlock()
+
+	var errs []error
+	for _, addr := range candidates {
+		resp, err := c.call(addr, &wire.Msg{Type: wire.TMembers})
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if resp.Type != wire.TMembersOK {
+			errs = append(errs, fmt.Errorf("cluster: %s: %s", addr, resp.ErrorText()))
+			continue
+		}
+		v := &view{hash: resp.Cluster, addrs: append([]string(nil), resp.Members...)}
+		if len(v.addrs) == 0 {
+			errs = append(errs, fmt.Errorf("cluster: %s advertised an empty member table", addr))
+			continue
+		}
+		c.mu.Lock()
+		c.view = v
+		c.anchor = addr
+		c.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("cluster: no seed served a member table: %v", errors.Join(errs...))
+}
+
+// wireOrigin translates the public origin convention (-1 = server
+// picks) into the wire sentinel.
+func wireOrigin(origin int) uint32 {
+	if origin < 0 {
+		return wire.OriginAuto
+	}
+	return uint32(origin)
+}
+
+// Insert publishes key with the given payload on the owning node.
+// origin may be OriginAuto.
+func (c *Client) Insert(origin int, key idspace.ID, value []byte) (wire.InsertReply, error) {
+	resp, err := c.do(wire.TInsert, key, wireOrigin(origin), value, wire.TInsertOK)
+	if err != nil {
+		return wire.InsertReply{}, err
+	}
+	return resp.Insert, nil
+}
+
+// Lookup queries key on the owning node. origin may be OriginAuto.
+func (c *Client) Lookup(origin int, key idspace.ID) (wire.LookupReply, error) {
+	resp, err := c.do(wire.TLookup, key, wireOrigin(origin), nil, wire.TLookupOK)
+	if err != nil {
+		return wire.LookupReply{}, err
+	}
+	return resp.Lookup, nil
+}
+
+// Delete removes origin's replicas of key on the owning node, returning
+// how many were removed.
+func (c *Client) Delete(origin int, key idspace.ID) (int, error) {
+	resp, err := c.do(wire.TDelete, key, wireOrigin(origin), nil, wire.TDeleteOK)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Deleted), nil
+}
+
+// do routes one request: owner computed locally from the current view,
+// TRoute envelope to the owner (or plain relay through the anchor when
+// the owner's address is unknown), one refresh-and-retry on TWrongView.
+func (c *Client) do(typ wire.Type, key idspace.ID, origin uint32, value []byte, want wire.Type) (*wire.Msg, error) {
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		v := c.view
+		anchor := c.anchor
+		c.mu.Unlock()
+		if v == nil {
+			return nil, errors.New("cluster: no member table (closed?)")
+		}
+		owner := discovery.OwnerOf(key, len(v.addrs))
+		addr := v.addrs[owner]
+
+		var req *wire.Msg
+		if addr == "" {
+			// Owner address unknown: relay the plain request through the
+			// anchor, which forwards it over the peer transport. Correct,
+			// just two hops instead of one.
+			req = &wire.Msg{Type: typ, Key: key, Origin: origin, Value: value}
+			addr = anchor
+			c.relayed.Add(1)
+		} else {
+			req = &wire.Msg{Type: wire.TRoute, RouteKind: typ, Cluster: v.hash, Key: key, Origin: origin, Value: value}
+			c.routed.Add(1)
+		}
+		resp, err := c.call(addr, req)
+		if err != nil {
+			return nil, err
+		}
+		switch resp.Type {
+		case want:
+			return resp, nil
+		case wire.TWrongView:
+			// The node refused under a different membership fingerprint:
+			// this view is stale (or the node's is — a refresh resolves
+			// either way). Re-fetch and re-route once; a second refusal
+			// means the cluster is reconfiguring faster than we can learn.
+			if attempt >= 1 {
+				return nil, fmt.Errorf("cluster: %s still refuses after refresh (its view %016x)", addr, resp.Cluster)
+			}
+			c.refreshes.Add(1)
+			if rerr := c.Refresh(); rerr != nil {
+				return nil, fmt.Errorf("cluster: view rejected by %s and refresh failed: %w", addr, rerr)
+			}
+			continue
+		case wire.TError:
+			return nil, fmt.Errorf("cluster: %s: %s", addr, resp.ErrorText())
+		default:
+			return nil, fmt.Errorf("cluster: %s: response type %v, want %v", addr, resp.Type, want)
+		}
+	}
+}
+
+// Close severs every node connection and fails in-flight calls.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	conns := make([]*nodeConn, 0, len(c.conns))
+	for _, nc := range c.conns {
+		conns = append(conns, nc)
+	}
+	c.mu.Unlock()
+	for _, nc := range conns {
+		c.teardown(nc)
+	}
+}
+
+// nodeConn is one pipelined connection to one node: requests multiplex
+// by reqID, a writer goroutine drains the out-queue into vectored
+// writes, a reader goroutine delivers responses to waiting calls.
+type nodeConn struct {
+	addr string
+	nc   net.Conn
+	out  chan *[]byte
+	dead chan struct{}
+	once sync.Once
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Msg
+}
+
+func (nc *nodeConn) kill() { nc.once.Do(func() { close(nc.dead) }) }
+
+// conn returns the live connection to addr, dialing under the lock if
+// needed (concurrent callers to one cold node serialize on the dial;
+// everyone else proceeds).
+func (c *Client) conn(addr string) (*nodeConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("cluster: client closed")
+	}
+	if nc := c.conns[addr]; nc != nil {
+		c.mu.Unlock()
+		return nc, nil
+	}
+	c.mu.Unlock()
+
+	raw, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	nc := &nodeConn{
+		addr:    addr,
+		nc:      raw,
+		out:     make(chan *[]byte, 64),
+		dead:    make(chan struct{}),
+		pending: make(map[uint64]chan *wire.Msg),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		raw.Close()
+		return nil, errors.New("cluster: client closed")
+	}
+	if existing := c.conns[addr]; existing != nil {
+		// A concurrent dial won; use its connection.
+		c.mu.Unlock()
+		raw.Close()
+		return existing, nil
+	}
+	c.conns[addr] = nc
+	c.mu.Unlock()
+	go c.readLoop(nc)
+	go c.writeLoop(nc)
+	return nc, nil
+}
+
+// call sends m to the node at addr and waits for its response.
+func (c *Client) call(addr string, m *wire.Msg) (*wire.Msg, error) {
+	nc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan *wire.Msg, 1)
+	nc.mu.Lock()
+	nc.nextID++
+	id := nc.nextID
+	nc.pending[id] = ch
+	nc.mu.Unlock()
+	m.ReqID = id
+	bp := c.bufs.Get().(*[]byte)
+	frame, err := m.Append((*bp)[:0])
+	if err != nil {
+		nc.mu.Lock()
+		delete(nc.pending, id)
+		nc.mu.Unlock()
+		c.bufs.Put(bp)
+		return nil, err
+	}
+	*bp = frame
+	select {
+	case nc.out <- bp:
+	case <-nc.dead:
+		nc.mu.Lock()
+		delete(nc.pending, id)
+		nc.mu.Unlock()
+		c.bufs.Put(bp)
+		return nil, fmt.Errorf("cluster: %s: connection lost before send", addr)
+	}
+	timer := time.NewTimer(c.callTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			return nil, fmt.Errorf("cluster: %s: connection lost awaiting reply", addr)
+		}
+		return resp, nil
+	case <-timer.C:
+		nc.mu.Lock()
+		delete(nc.pending, id)
+		nc.mu.Unlock()
+		return nil, fmt.Errorf("cluster: %s: no reply within %s", addr, c.callTimeout)
+	}
+}
+
+// writeLoop drains the out-queue into vectored writes until the
+// connection dies, mirroring the peer transport's writer.
+func (c *Client) writeLoop(nc *nodeConn) {
+	slots := make([]*[]byte, 0, batchio.DefaultMaxFrames)
+	backing := make(net.Buffers, 0, batchio.DefaultMaxFrames)
+	broken := false
+	for {
+		slots = slots[:0]
+		bufs := backing[:0]
+		var first *[]byte
+		select {
+		case first = <-nc.out:
+		case <-nc.dead:
+			select {
+			case first = <-nc.out:
+			default:
+				return
+			}
+		}
+		slots = append(slots, first)
+		bufs = append(bufs, *first)
+		total := len(*first)
+	drain:
+		for len(slots) < batchio.DefaultMaxFrames && total < batchio.DefaultMaxBytes {
+			select {
+			case bp := <-nc.out:
+				slots = append(slots, bp)
+				bufs = append(bufs, *bp)
+				total += len(*bp)
+			default:
+				break drain
+			}
+		}
+		backing = bufs
+		if !broken {
+			nc.nc.SetWriteDeadline(time.Now().Add(c.callTimeout)) //nolint:errcheck // surfaced by WriteTo
+			if _, err := bufs.WriteTo(nc.nc); err != nil {
+				broken = true
+				c.logf("cluster: write to %s: %v", nc.addr, err)
+				c.teardown(nc)
+			}
+		}
+		for _, bp := range slots {
+			c.bufs.Put(bp)
+		}
+	}
+}
+
+// readLoop delivers responses to waiting calls by reqID. Each response
+// gets a fresh Msg: it crosses goroutines to its caller.
+func (c *Client) readLoop(nc *nodeConn) {
+	br := bufio.NewReaderSize(nc.nc, 32<<10)
+	var scratch []byte
+	for {
+		body, err := wire.ReadFrame(br, &scratch)
+		if err != nil {
+			break
+		}
+		m := new(wire.Msg)
+		if err := m.Decode(body); err != nil {
+			c.logf("cluster: %s: bad response frame: %v", nc.addr, err)
+			break
+		}
+		nc.mu.Lock()
+		ch := nc.pending[m.ReqID]
+		delete(nc.pending, m.ReqID)
+		nc.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+	c.teardown(nc)
+}
+
+// teardown severs one node connection and fails its pending calls. The
+// next request to that node redials.
+func (c *Client) teardown(nc *nodeConn) {
+	nc.kill()
+	nc.nc.Close()
+	c.mu.Lock()
+	if c.conns[nc.addr] == nc {
+		delete(c.conns, nc.addr)
+	}
+	c.mu.Unlock()
+	nc.mu.Lock()
+	for id, ch := range nc.pending {
+		delete(nc.pending, id)
+		ch <- nil // buffered; never blocks
+	}
+	nc.mu.Unlock()
+}

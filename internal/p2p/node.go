@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -60,6 +61,13 @@ type Node struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// addrMu guards clientAddrs: slot i is member i's client-serving
+	// address, learned from probe exchanges (both directions piggyback
+	// it) — empty until that member advertises one. Members() republishes
+	// the table to cluster-smart clients via TMembersOK.
+	addrMu      sync.Mutex
+	clientAddrs []string
+
 	wg sync.WaitGroup
 
 	bufs sync.Pool // *[]byte pooled peer-reply frame buffers
@@ -80,22 +88,56 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.MaxForwards = 256
 	}
 	n := &Node{
-		cfg:    cfg,
-		tr:     NewTransport(cfg.Cluster, cfg.Overlay, cfg.DialTimeout, cfg.CallTimeout, cfg.Logf),
-		fwdSem: make(chan struct{}, cfg.MaxForwards),
-		quit:   make(chan struct{}),
-		conns:  make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		tr:          NewTransport(cfg.Cluster, cfg.Overlay, cfg.DialTimeout, cfg.CallTimeout, cfg.Logf),
+		fwdSem:      make(chan struct{}, cfg.MaxForwards),
+		quit:        make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
+		clientAddrs: make([]string, cfg.Cluster.N()),
 	}
 	n.bufs.New = func() any {
 		b := make([]byte, 0, 512)
 		return &b
 	}
+	n.tr.OnPeerClientAddr(n.learnClientAddr)
 	n.tr.StartProber(cfg.ProbeInterval)
 	return n, nil
 }
 
 // Transport returns the outbound peer transport.
 func (n *Node) Transport() *Transport { return n.tr }
+
+// SetClientAddr records this node's client-serving address and starts
+// advertising it to peers on every probe (both directions piggyback it).
+// Call it once the client listener is bound.
+func (n *Node) SetClientAddr(addr string) {
+	n.addrMu.Lock()
+	n.clientAddrs[n.cfg.Cluster.Self()] = addr
+	n.addrMu.Unlock()
+	n.tr.SetClientAddr(addr)
+}
+
+// learnClientAddr records member i's advertised client-serving address.
+func (n *Node) learnClientAddr(i int, addr string) {
+	if i < 0 || i >= n.cfg.Cluster.N() || i == n.cfg.Cluster.Self() || addr == "" {
+		return
+	}
+	n.addrMu.Lock()
+	n.clientAddrs[i] = addr
+	n.addrMu.Unlock()
+}
+
+// Members returns the client-serving address table, indexed by cluster
+// position: slot i is member i's advertised client address, or "" while
+// unknown. It has the shape server.Config.Members expects; TMembersOK
+// carries it to cluster-smart clients together with the membership
+// fingerprint, so clients compute owners over the same ordered list the
+// cluster does.
+func (n *Node) Members() []string {
+	n.addrMu.Lock()
+	defer n.addrMu.Unlock()
+	return append([]string(nil), n.clientAddrs...)
+}
 
 // Owns reports whether this node's region owns key. It has the signature
 // server.Config.Owns expects.
@@ -232,9 +274,13 @@ func (n *Node) handleConn(nc net.Conn) {
 		n.mu.Unlock()
 	}()
 	sem := make(chan struct{}, inboundWorkers)
+	// Sized buffered reader: a pipelined burst from a peer decodes
+	// several frames per read(2), the symmetric twin of the coalesced
+	// writer on the other side.
+	br := bufio.NewReaderSize(nc, peerReadBuffer)
 	var scratch []byte
 	for {
-		body, err := wire.ReadFrame(nc, &scratch)
+		body, err := wire.ReadFrame(br, &scratch)
 		if err != nil {
 			return // EOF, peer reset, or framing error
 		}
@@ -291,10 +337,20 @@ func (n *Node) handlePeer(m, reply *wire.Msg) {
 			reply.Value = []byte(fmt.Sprintf("cluster membership mismatch (yours %016x, mine %016x)", m.Cluster, n.cfg.Cluster.Hash()))
 			return
 		}
+		// Probes carry client-serving addresses both ways: learn the
+		// sender's, advertise ours. Every probe exchange teaches both ends,
+		// so the Members table fills in without a separate gossip round.
+		if len(m.ClientAddr) > 0 {
+			n.learnClientAddr(int(m.Origin), string(m.ClientAddr))
+		}
+		n.addrMu.Lock()
+		self := n.clientAddrs[n.cfg.Cluster.Self()]
+		n.addrMu.Unlock()
 		reply.Type = wire.TPeerProbeOK
 		reply.Cluster = n.cfg.Cluster.Hash()
 		reply.Origin = uint32(n.cfg.Cluster.Self())
 		reply.Held = uint64(n.cfg.Pool.ReplicaCount())
+		reply.ClientAddr = append(reply.ClientAddr[:0], self...)
 	case wire.TRoute:
 		n.handleRoute(m, reply)
 	case wire.TRepair:
@@ -439,25 +495,28 @@ func (n *Node) handleRepair(m, reply *wire.Msg) {
 // handleTransfer applies pushed replicas for regions this node owns,
 // reproducing the sender's exact placements. Entries for other regions
 // are refused by not counting them: the sender keeps anything the
-// accepted count does not cover.
+// accepted count does not cover. The owned entries of a batch are
+// imported together (Pool.ImportBatch): per shard, one lock acquisition
+// and one group-committed WAL append cover the whole batch, instead of
+// a lock-log-fsync cycle per entry.
 func (n *Node) handleTransfer(m, reply *wire.Msg) {
 	if !n.checkCluster(m, reply) {
 		return
 	}
-	accepted := 0
+	// Decoded entry values are freshly allocated (see wire), safe for the
+	// engine to retain.
+	batch := make([]discovery.ReplicaEntry, 0, len(m.Entries))
 	for i := range m.Entries {
 		e := &m.Entries[i]
 		if !n.cfg.Cluster.Owns(e.Key) {
 			n.cfg.Logf("p2p: transfer refused: key %v not owned here", e.Key)
 			continue
 		}
-		// Decoded entry values are freshly allocated (see wire), safe for
-		// the engine to retain.
-		if err := n.cfg.Pool.ImportReplica(int(e.Node), e.Origin, e.Key, e.Value); err != nil {
-			n.cfg.Logf("p2p: transfer apply: %v", err)
-			continue
-		}
-		accepted++
+		batch = append(batch, discovery.ReplicaEntry{Node: int(e.Node), Origin: e.Origin, Key: e.Key, Value: e.Value})
+	}
+	accepted, err := n.cfg.Pool.ImportBatch(batch)
+	if err != nil {
+		n.cfg.Logf("p2p: transfer apply: %v", err)
 	}
 	reply.Type = wire.TTransferOK
 	reply.Accepted = uint32(accepted)
@@ -626,15 +685,21 @@ func (n *Node) PullRepair(i int) (applied int, err error) {
 		if resp.Type != wire.TRepairOK {
 			return applied, fmt.Errorf("p2p: %s: unexpected repair response %v", n.cfg.Cluster.Addr(i), resp.Type)
 		}
+		// Each accepted page lands as one batch: per shard, one lock
+		// acquisition and one group-committed WAL append for the page's
+		// entries, instead of a cycle per entry.
+		batch := make([]discovery.ReplicaEntry, 0, len(resp.Entries))
 		for j := range resp.Entries {
 			e := &resp.Entries[j]
 			if !n.cfg.Cluster.Owns(e.Key) {
 				continue // a confused peer cannot plant foreign data here
 			}
-			if err := n.cfg.Pool.ImportReplica(int(e.Node), e.Origin, e.Key, e.Value); err != nil {
-				return applied, err
-			}
-			applied++
+			batch = append(batch, discovery.ReplicaEntry{Node: int(e.Node), Origin: e.Origin, Key: e.Key, Value: e.Value})
+		}
+		got, ierr := n.cfg.Pool.ImportBatch(batch)
+		applied += got
+		if ierr != nil {
+			return applied, ierr
 		}
 		if !resp.More {
 			if page > 0 {

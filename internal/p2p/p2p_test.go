@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,7 +19,7 @@ import (
 // releasing ephemeral ports. The tiny window between release and reuse
 // is the standard cost of needing the address before the process that
 // binds it.
-func reserveAddrs(t *testing.T, n int) []string {
+func reserveAddrs(t testing.TB, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	liss := make([]net.Listener, n)
@@ -49,7 +50,7 @@ type testNode struct {
 // startTestNode brings up the member advertised as selfAddr. When
 // regioned is false the pool accepts any key (the pre-cluster state a
 // handoff cleans up).
-func startTestNode(t *testing.T, selfAddr string, peerAddrs []string, regioned bool) *testNode {
+func startTestNode(t testing.TB, selfAddr string, peerAddrs []string, regioned bool) *testNode {
 	t.Helper()
 	cluster, err := p2p.NewCluster(selfAddr, peerAddrs)
 	if err != nil {
@@ -89,6 +90,7 @@ func startTestNode(t *testing.T, selfAddr string, peerAddrs []string, regioned b
 	if err != nil {
 		t.Fatal(err)
 	}
+	node.SetClientAddr(addr.String())
 	tn := &testNode{cluster: cluster, pool: pool, node: node, srv: srv, clientAddr: addr.String()}
 	t.Cleanup(func() {
 		tn.srv.Close()
@@ -564,6 +566,92 @@ func TestPullRepairPaginatesLargeState(t *testing.T) {
 		v, ok := n1.pool.Value(i%2, discovery.NewID(name))
 		if !ok || !bytes.Equal(v, values[name]) {
 			t.Fatalf("replica %s missing or corrupt after paginated repair (ok=%v)", name, ok)
+		}
+	}
+}
+
+// TestProbeTeachesClientAddrs pins the membership-table plumbing behind
+// TMembersOK: probe exchanges piggyback client-serving addresses in both
+// directions, so after every node joins, every node's Members() table
+// names every member's client address by cluster slot.
+func TestProbeTeachesClientAddrs(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 3)
+	nodes := make([]*testNode, 3)
+	for i := range nodes {
+		nodes[i] = startTestNode(t, peerAddrs[i], peerAddrs, true)
+	}
+	want := make([]string, 3)
+	for _, tn := range nodes {
+		want[tn.cluster.Self()] = tn.clientAddr
+	}
+	for _, tn := range nodes {
+		if err := tn.node.Join(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Join guarantees each node probed every peer (learning the peers'
+	// addresses from the replies); the peers learned this node's address
+	// from the same exchanges.
+	for i, tn := range nodes {
+		got := tn.node.Members()
+		for slot, addr := range want {
+			if got[slot] != addr {
+				t.Fatalf("node %d Members()[%d] = %q, want %q (full table %v)", i, slot, got[slot], addr, got)
+			}
+		}
+	}
+}
+
+// TestOutboundCoalescingSharesWrites proves the tentpole syscall claim on
+// a live connection: a burst of concurrent calls to one peer leaves the
+// transport with more frames written than write(2) invocations — the
+// out-queue drain coalesced queued frames into shared vectored writes.
+// Each round releases every caller through one barrier so their frames
+// genuinely land in the queue together (steady one-at-a-time pipelining
+// on a fast loopback drains at depth 1 and proves nothing); coalescing
+// is still scheduling-dependent, so rounds accumulate until the
+// cumulative ratio clears the bar.
+func TestOutboundCoalescingSharesWrites(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 2)
+	n0 := startTestNode(t, peerAddrs[0], peerAddrs, true)
+	n1 := startTestNode(t, peerAddrs[1], peerAddrs, true)
+
+	tr := n0.node.Transport()
+	target := n1.cluster.Self()
+	keys := keysOwnedBy(target, 2, 64, "coalesce")
+
+	deadline := time.Now().Add(30 * time.Second)
+	for round := 0; ; round++ {
+		release := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := range keys {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				m := &wire.Msg{Type: wire.TRoute, RouteKind: wire.TLookup, Cluster: n0.cluster.Hash(),
+					Key: discovery.NewID(name), Origin: wire.OriginAuto}
+				<-release
+				if _, err := tr.Call(target, m); err != nil {
+					t.Errorf("call: %v", err)
+				}
+			}(keys[g])
+		}
+		close(release)
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		writes, frames := tr.WriteStats()
+		if writes == 0 {
+			t.Fatal("no writes counted")
+		}
+		ratio := float64(frames) / float64(writes)
+		if ratio >= 1.2 {
+			t.Logf("coalescing after %d rounds: %d frames over %d writes (%.2f frames/write)", round+1, frames, writes, ratio)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after %d rounds still %.2f frames/write (%d frames, %d writes); outbound writes are not coalescing", round+1, ratio, frames, writes)
 		}
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package p2p
+
+const raceEnabled = false

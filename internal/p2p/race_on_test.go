@@ -1,0 +1,8 @@
+//go:build race
+
+package p2p
+
+// raceEnabled skips allocation gates under the race detector, which
+// deliberately bypasses sync.Pool caching and so allocates where
+// production builds do not.
+const raceEnabled = true

@@ -1,12 +1,15 @@
 package p2p
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"discovery/internal/batchio"
 	"discovery/internal/wire"
 )
 
@@ -15,6 +18,14 @@ import (
 // requests by reqID. Calls are synchronous; concurrency comes from the
 // callers (the runtime forwards each client request on its own
 // goroutine), which pipeline freely over the shared connection.
+//
+// Outbound writes are coalesced, mirroring the inbound response writers:
+// a Call encodes its frame into a pooled buffer and queues it on the
+// peer's out-queue, and the connection's writer goroutine drains the
+// queue into vectored writes (net.Buffers) bounded by the batchio
+// budgets. Concurrent callers therefore cost about one write(2) per
+// batch instead of one per call, while reqID multiplexing and per-call
+// timeouts are untouched.
 type Transport struct {
 	cluster     *Cluster
 	overlay     *RemoteOverlay
@@ -27,12 +38,31 @@ type Transport struct {
 	closed  bool
 	probing bool
 
+	// addrMu guards the client-address advertisement plumbing: the
+	// address this node tells peers about, and the callback invoked with
+	// addresses peers tell us about.
+	addrMu         sync.Mutex
+	selfClientAddr string
+	peerAddrFn     func(i int, addr string)
+
 	proberQuit chan struct{}
 	proberWg   sync.WaitGroup
+
+	// Outbound syscall accounting: writes counts vectored write(2) calls,
+	// frames counts the frames they carried. frames/writes is the
+	// coalescing ratio — above 1.0 means pipelined calls shared syscalls.
+	writes    atomic.Uint64
+	framesOut atomic.Uint64
+
+	bufs sync.Pool // *[]byte outbound frame buffers
 }
 
 // errTransportClosed fails calls after Close.
 var errTransportClosed = errors.New("p2p: transport closed")
+
+// peerReadBuffer sizes the buffered reader on peer response connections,
+// so a burst of pipelined responses decodes several frames per read(2).
+const peerReadBuffer = 32 << 10
 
 // NewTransport builds the peer-connection table. Zero timeouts select
 // the defaults (500ms dial, 5s call).
@@ -55,10 +85,39 @@ func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.D
 		peers:       make([]*peerConn, c.N()),
 		proberQuit:  make(chan struct{}),
 	}
+	t.bufs.New = func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	}
 	for i := range t.peers {
 		t.peers[i] = &peerConn{t: t, idx: i, addr: c.Addr(i), pending: make(map[uint64]chan *wire.Msg)}
 	}
 	return t
+}
+
+// SetClientAddr sets the client-serving address probes advertise to
+// peers (empty = not advertised). Safe to call at any time; the next
+// probe carries it.
+func (t *Transport) SetClientAddr(addr string) {
+	t.addrMu.Lock()
+	t.selfClientAddr = addr
+	t.addrMu.Unlock()
+}
+
+// OnPeerClientAddr registers fn to receive the client-serving addresses
+// peers advertise in probe responses. fn must be safe for concurrent
+// calls.
+func (t *Transport) OnPeerClientAddr(fn func(i int, addr string)) {
+	t.addrMu.Lock()
+	t.peerAddrFn = fn
+	t.addrMu.Unlock()
+}
+
+// WriteStats returns the cumulative outbound syscall counters: vectored
+// writes issued and frames they carried. frames >= writes always;
+// frames > writes means pipelined calls shared write(2) invocations.
+func (t *Transport) WriteStats() (writes, frames uint64) {
+	return t.writes.Load(), t.framesOut.Load()
 }
 
 // redialBackoff is how long after a SLOW dial failure (a timeout —
@@ -69,24 +128,37 @@ func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.D
 // just restarted must be reachable immediately.
 const redialBackoff = 250 * time.Millisecond
 
-// peerConn is the connection state for one peer. nc is nil when
+// connState is one live connection: the socket, its out-queue, and the
+// death signal that tells producers to stop offering frames. A peerConn
+// replaces its connState wholesale on reconnect, so the writer and
+// reader goroutines of a dead connection never touch the new one.
+type connState struct {
+	nc   net.Conn
+	out  chan *[]byte  // encoded request frames (pooled)
+	dead chan struct{} // closed when the connection is torn down
+	once sync.Once
+}
+
+// kill marks the connection dead so producers stop offering frames.
+func (cs *connState) kill() { cs.once.Do(func() { close(cs.dead) }) }
+
+// peerConn is the connection state for one peer. cur is nil when
 // disconnected; the next call redials.
 //
-// Two locks with distinct jobs: wmu serializes the slow path (dialing
-// and socket writes) among callers, while mu guards only the cheap
-// shared state (nc, the pending map, the reqID counter). readLoop needs
-// just mu to deliver responses, so a caller stuck in a dial or a slow
-// write never delays the delivery of responses already received.
+// Two locks with distinct jobs: wmu serializes the slow path (dialing)
+// among callers, while mu guards only the cheap shared state (cur, the
+// pending map, the reqID counter). The socket itself is written by the
+// connection's writer goroutine alone, so no caller ever blocks on a
+// peer's socket — it blocks, at worst, on the out-queue (backpressure).
 type peerConn struct {
 	t    *Transport
 	idx  int
 	addr string
 
-	wmu sync.Mutex // dial + write serialization
-	enc []byte     // frame encode scratch, guarded by wmu
+	wmu sync.Mutex // dial serialization
 
 	mu       sync.Mutex
-	nc       net.Conn
+	cur      *connState
 	nextID   uint64
 	pending  map[uint64]chan *wire.Msg
 	lastFail time.Time // last failed dial, for redialBackoff
@@ -101,41 +173,38 @@ func (t *Transport) Call(i int, m *wire.Msg) (*wire.Msg, error) {
 		return nil, fmt.Errorf("p2p: call to self (index %d)", i)
 	}
 	pc := t.peers[i]
-	ch := make(chan *wire.Msg, 1)
-
-	pc.wmu.Lock()
-	nc, err := pc.connLocked()
+	cs, err := pc.conn()
 	if err != nil {
-		pc.wmu.Unlock()
 		t.overlay.SetAlive(i, false)
 		return nil, err
 	}
+	ch := make(chan *wire.Msg, 1)
 	pc.mu.Lock()
 	pc.nextID++
 	id := pc.nextID
 	pc.pending[id] = ch
 	pc.mu.Unlock()
 	m.ReqID = id
-	frame, err := m.Append(pc.enc[:0])
+	bp := t.bufs.Get().(*[]byte)
+	frame, err := m.Append((*bp)[:0])
 	if err != nil {
 		pc.mu.Lock()
 		delete(pc.pending, id)
 		pc.mu.Unlock()
-		pc.wmu.Unlock()
+		t.bufs.Put(bp)
 		return nil, err
 	}
-	pc.enc = frame
-	nc.SetWriteDeadline(time.Now().Add(t.callTimeout)) //nolint:errcheck // surfaced by Write
-	_, werr := nc.Write(frame)
-	if werr != nil {
+	*bp = frame
+	select {
+	case cs.out <- bp: // may block when the queue is full: backpressure
+	case <-cs.dead:
 		pc.mu.Lock()
 		delete(pc.pending, id)
-		pc.teardownLocked(nc)
 		pc.mu.Unlock()
-		pc.wmu.Unlock()
-		return nil, fmt.Errorf("p2p: write to %s: %w", pc.addr, werr)
+		t.bufs.Put(bp)
+		t.overlay.SetAlive(i, false)
+		return nil, fmt.Errorf("p2p: %s: connection lost before send", pc.addr)
 	}
-	pc.wmu.Unlock()
 
 	timer := time.NewTimer(t.callTimeout)
 	defer timer.Stop()
@@ -156,19 +225,21 @@ func (t *Transport) Call(i int, m *wire.Msg) (*wire.Msg, error) {
 	}
 }
 
-// connLocked returns the live connection, dialing if needed. The caller
-// holds wmu (so at most one dial is in flight per peer); pc.mu is taken
-// only around shared-state reads and writes. A dial that fails arms a
-// short backoff so bursts of calls to a dead peer fail fast instead of
-// each burning a dial timeout in turn.
-func (pc *peerConn) connLocked() (net.Conn, error) {
+// conn returns the live connection state, dialing if needed. wmu is held
+// across the dial so at most one dial is in flight per peer; pc.mu is
+// taken only around shared-state reads and writes. A dial that fails
+// arms a short backoff so bursts of calls to a dead peer fail fast
+// instead of each burning a dial timeout in turn.
+func (pc *peerConn) conn() (*connState, error) {
 	t := pc.t
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
 	pc.mu.Lock()
-	nc := pc.nc
+	cs := pc.cur
 	backoff := !pc.lastFail.IsZero() && time.Since(pc.lastFail) < redialBackoff
 	pc.mu.Unlock()
-	if nc != nil {
-		return nc, nil
+	if cs != nil {
+		return cs, nil
 	}
 	t.mu.Lock()
 	closed := t.closed
@@ -189,6 +260,7 @@ func (pc *peerConn) connLocked() (net.Conn, error) {
 		}
 		return nil, fmt.Errorf("p2p: dial %s: %w", pc.addr, err)
 	}
+	cs = &connState{nc: nc, out: make(chan *[]byte, 64), dead: make(chan struct{})}
 	pc.mu.Lock()
 	// Re-check closed under pc.mu: Close tears peers down under this
 	// lock, so either we see closed here, or Close runs after us and
@@ -201,20 +273,97 @@ func (pc *peerConn) connLocked() (net.Conn, error) {
 		nc.Close()
 		return nil, errTransportClosed
 	}
-	pc.nc = nc
+	pc.cur = cs
 	pc.lastFail = time.Time{}
 	pc.mu.Unlock()
-	go pc.readLoop(nc)
-	return nc, nil
+	go pc.readLoop(cs)
+	go pc.writeLoop(cs)
+	return cs, nil
+}
+
+// collectOut gathers one coalesced write batch from cs: it blocks until
+// a first frame arrives (or the connection dies), then drains
+// already-queued frames without blocking, bounded by the batchio
+// budgets. Frame pointers land in *slots, byte slices in *bufs — both
+// caller-owned and reused, so the steady-state drain allocates nothing.
+// It reports false when the connection died with nothing collected; a
+// death that lands mid-drain still returns the partial batch.
+func collectOut(cs *connState, slots *[]*[]byte, bufs *net.Buffers) bool {
+	var first *[]byte
+	select {
+	case first = <-cs.out:
+	case <-cs.dead:
+		// One more non-blocking look: a producer that won the race may
+		// have queued a frame the instant before death.
+		select {
+		case first = <-cs.out:
+		default:
+			return false
+		}
+	}
+	*slots = append(*slots, first)
+	*bufs = append(*bufs, *first)
+	total := len(*first)
+	for len(*slots) < batchio.DefaultMaxFrames && total < batchio.DefaultMaxBytes {
+		select {
+		case bp := <-cs.out:
+			*slots = append(*slots, bp)
+			*bufs = append(*bufs, *bp)
+			total += len(*bp)
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+// writeLoop drains the connection's out-queue into vectored writes until
+// the connection dies. Each batch carries a write deadline; the first
+// failed or timed-out write tears the connection down, and the loop
+// keeps draining (recycling buffers) so producers never block on a dead
+// peer.
+func (pc *peerConn) writeLoop(cs *connState) {
+	t := pc.t
+	slots := make([]*[]byte, 0, batchio.DefaultMaxFrames)
+	backing := make(net.Buffers, 0, batchio.DefaultMaxFrames)
+	broken := false
+	for {
+		slots = slots[:0]
+		bufs := backing[:0]
+		if !collectOut(cs, &slots, &bufs) {
+			return
+		}
+		// WriteTo consumes the bufs header as it flushes; keep the grown
+		// backing array so the next batch reuses its capacity.
+		backing = bufs
+		if !broken {
+			n := len(slots)
+			cs.nc.SetWriteDeadline(time.Now().Add(t.callTimeout)) //nolint:errcheck // surfaced by WriteTo
+			if _, err := bufs.WriteTo(cs.nc); err != nil {
+				broken = true
+				t.logf("p2p: write to %s: %v", pc.addr, err)
+				pc.teardown(cs)
+			} else {
+				t.writes.Add(1)
+				t.framesOut.Add(uint64(n))
+			}
+		}
+		for _, bp := range slots {
+			t.bufs.Put(bp)
+		}
+	}
 }
 
 // readLoop decodes responses off one connection and delivers them to
-// waiting calls by reqID. Each response gets a fresh Msg: it is handed
-// across goroutines and owned by the receiving call.
-func (pc *peerConn) readLoop(nc net.Conn) {
+// waiting calls by reqID. The socket is wrapped in a sized buffered
+// reader, so a pipelined burst of responses decodes several frames per
+// read(2). Each response gets a fresh Msg: it is handed across
+// goroutines and owned by the receiving call.
+func (pc *peerConn) readLoop(cs *connState) {
+	br := bufio.NewReaderSize(cs.nc, peerReadBuffer)
 	var scratch []byte
 	for {
-		body, err := wire.ReadFrame(nc, &scratch)
+		body, err := wire.ReadFrame(br, &scratch)
 		if err != nil {
 			break
 		}
@@ -231,31 +380,37 @@ func (pc *peerConn) readLoop(nc net.Conn) {
 			ch <- m
 		}
 	}
+	pc.teardown(cs)
+}
+
+// teardown severs cs: the socket closes, producers are told to stop
+// (dead), and — if cs is still the peer's current connection — every
+// pending call fails and the peer is marked dead. A stale connState
+// (already replaced by a redial) only cleans up after itself.
+func (pc *peerConn) teardown(cs *connState) {
+	cs.kill()
+	cs.nc.Close()
 	pc.mu.Lock()
-	pc.teardownLocked(nc)
+	if pc.cur == cs {
+		pc.cur = nil
+		for id, ch := range pc.pending {
+			delete(pc.pending, id)
+			ch <- nil // buffered; never blocks
+		}
+		pc.t.overlay.SetAlive(pc.idx, false)
+	}
 	pc.mu.Unlock()
 }
 
-// teardownLocked severs the connection (if it is still the current one)
-// and fails every pending call. Callers hold pc.mu.
-func (pc *peerConn) teardownLocked(nc net.Conn) {
-	nc.Close()
-	if pc.nc != nc {
-		return // a newer connection has already replaced this one
-	}
-	pc.nc = nil
-	for id, ch := range pc.pending {
-		delete(pc.pending, id)
-		ch <- nil // buffered; never blocks
-	}
-	pc.t.overlay.SetAlive(pc.idx, false)
-}
-
 // Probe checks peer i end to end: dial if needed, exchange membership
-// fingerprints, and return the peer's stored replica count. A fingerprint
-// mismatch is an error — the peer is serving a different cluster.
+// fingerprints and client-serving addresses, and return the peer's
+// stored replica count. A fingerprint mismatch is an error — the peer is
+// serving a different cluster.
 func (t *Transport) Probe(i int) (held uint64, err error) {
-	req := &wire.Msg{Type: wire.TPeerProbe, Cluster: t.cluster.Hash(), Origin: uint32(t.cluster.Self())}
+	t.addrMu.Lock()
+	self := t.selfClientAddr
+	t.addrMu.Unlock()
+	req := &wire.Msg{Type: wire.TPeerProbe, Cluster: t.cluster.Hash(), Origin: uint32(t.cluster.Self()), ClientAddr: []byte(self)}
 	resp, err := t.Call(i, req)
 	if err != nil {
 		return 0, err
@@ -266,6 +421,14 @@ func (t *Transport) Probe(i int) (held uint64, err error) {
 			t.overlay.SetAlive(i, false)
 			return 0, fmt.Errorf("p2p: %s: cluster membership mismatch (theirs %016x, ours %016x)",
 				t.cluster.Addr(i), resp.Cluster, t.cluster.Hash())
+		}
+		if len(resp.ClientAddr) > 0 {
+			t.addrMu.Lock()
+			fn := t.peerAddrFn
+			t.addrMu.Unlock()
+			if fn != nil {
+				fn(i, string(resp.ClientAddr))
+			}
 		}
 		return resp.Held, nil
 	case wire.TError:
@@ -333,9 +496,10 @@ func (t *Transport) Close() {
 	t.proberWg.Wait()
 	for _, pc := range t.peers {
 		pc.mu.Lock()
-		if pc.nc != nil {
-			pc.teardownLocked(pc.nc)
-		}
+		cs := pc.cur
 		pc.mu.Unlock()
+		if cs != nil {
+			pc.teardown(cs)
+		}
 	}
 }

@@ -110,7 +110,14 @@ func TestE2EDurableDrainAndRestart(t *testing.T) {
 const benchWindow = 32
 
 func benchThroughput(b *testing.B, addr string, insertRatio float64) {
-	const conns, keys = 4, 64
+	benchThroughputConns(b, addr, insertRatio, 4)
+}
+
+// benchThroughputConns is benchThroughput with a configurable connection
+// count (the shard-scaling sweep grows connections with shards so the
+// offered load keeps every worker busy). Returns the measured req/s.
+func benchThroughputConns(b *testing.B, addr string, insertRatio float64, conns int) float64 {
+	const keys = 64
 	seedClient, err := Dial(addr)
 	if err != nil {
 		b.Fatal(err)
@@ -195,7 +202,9 @@ func benchThroughput(b *testing.B, addr string, insertRatio float64) {
 		}(ci, c)
 	}
 	wg.Wait()
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	rps := float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(rps, "req/s")
+	return rps
 }
 
 // BenchmarkDaemonThroughputDurable is BenchmarkDaemonThroughput against

@@ -40,6 +40,7 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -92,6 +93,23 @@ type Config struct {
 	// request's reqID onto the response and delivers it. value is owned
 	// by the callee. Required when Owns is set.
 	Forward func(typ wire.Type, key idspace.ID, origin uint32, value []byte, respond func(*wire.Msg))
+	// ClusterHash and Members enable cluster-smart clients. ClusterHash
+	// is the membership fingerprint (p2p.Cluster.Hash); Members returns
+	// the client-serving address table by cluster slot ("" = unknown;
+	// p2p.Node.Members has the right shape). Set both or neither: with
+	// them, TMembers is answered with the table, and TRoute frames from
+	// clients execute locally after a fingerprint check — a mismatch is
+	// refused with TWrongView (refresh and retry), a matched-fingerprint
+	// misroute with TError (a bug, not staleness). Routed requests are
+	// never forwarded: route-direct means one hop, enforced server-side.
+	ClusterHash uint64
+	Members     func() []string
+	// ReadBuffer sizes each connection's buffered reader, letting a
+	// pipelining client's burst decode several frames per read(2).
+	// 0 selects the 32 KiB default; negative disables buffering (frames
+	// are then read with at most one syscall of readahead — for tests
+	// that need byte-accurate backpressure).
+	ReadBuffer int
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
 }
@@ -109,6 +127,9 @@ type Server struct {
 	maxBatch     int
 	coFrames     int
 	coBytes      int
+	readBuffer   int
+	clusterHash  uint64
+	members      func() []string
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -155,6 +176,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Owns != nil && cfg.Forward == nil {
 		return nil, errors.New("server: Config.Forward is required when Owns is set")
 	}
+	if (cfg.ClusterHash == 0) != (cfg.Members == nil) {
+		return nil, errors.New("server: Config.ClusterHash and Members must be set together")
+	}
 	depth := cfg.QueueDepth
 	if depth <= 0 {
 		depth = 128
@@ -185,6 +209,9 @@ func New(cfg Config) (*Server, error) {
 		maxBatch:     maxBatch,
 		coFrames:     cfg.CoalesceFrames,
 		coBytes:      cfg.CoalesceBytes,
+		readBuffer:   cfg.ReadBuffer,
+		clusterHash:  cfg.ClusterHash,
+		members:      cfg.Members,
 		conns:        make(map[net.Conn]struct{}),
 		done:         make(chan struct{}),
 	}
@@ -304,11 +331,21 @@ func (s *Server) readLoop(c *conn) {
 		}()
 	}()
 
+	// Buffered reads: a pipelining client's burst decodes several frames
+	// per read(2). ReadBuffer < 0 keeps the raw socket for tests that
+	// need byte-accurate backpressure.
+	var r io.Reader = c.nc
+	if s.readBuffer >= 0 {
+		size := s.readBuffer
+		if size == 0 {
+			size = defaultReadBuffer
+		}
+		r = bufio.NewReaderSize(c.nc, size)
+	}
 	var scratch []byte
 	var m wire.Msg
-	n := s.pool.Overlay().N()
 	for {
-		body, err := wire.ReadFrame(c.nc, &scratch)
+		body, err := wire.ReadFrame(r, &scratch)
 		if err != nil {
 			return // EOF, peer reset, or framing error: drop the connection
 		}
@@ -321,57 +358,109 @@ func (s *Server) readLoop(c *conn) {
 		switch m.Type {
 		case wire.TStats:
 			s.replyStats(c, m.ReqID)
+		case wire.TMembers:
+			s.replyMembers(c, m.ReqID)
 		case wire.TInsert, wire.TLookup, wire.TDelete:
-			if m.Type == wire.TInsert && len(m.Value) > wire.MaxValue {
-				// The limit is the forwardable maximum, enforced
-				// uniformly so an insert never succeeds on the owning
-				// node but fails through any other.
-				s.replyError(c, m.ReqID, fmt.Sprintf("value %d bytes exceeds the %d-byte limit", len(m.Value), wire.MaxValue))
-				continue
-			}
-			origin := m.Origin
-			if origin == wire.OriginAuto {
-				origin = uint32(s.pool.AutoOrigin(m.Key))
-			} else if origin >= uint32(n) {
-				s.replyError(c, m.ReqID, fmt.Sprintf("origin %d out of range (overlay has %d nodes)", origin, n))
-				continue
-			}
-			if s.owns != nil && !s.owns(m.Key) {
-				// Another cluster node owns this key: relay the request
-				// and deliver the owner's reply under this reqID. The
-				// forwarder may block (its in-flight cap), which reads as
-				// backpressure exactly like a full shard queue.
-				var value []byte
-				if m.Type == wire.TInsert {
-					value = append([]byte(nil), m.Value...)
-				}
-				c.inflight.Add(1)
-				reqID := m.ReqID
-				var once sync.Once
-				s.forward(m.Type, m.Key, origin, value, func(resp *wire.Msg) {
-					once.Do(func() {
-						resp.ReqID = reqID
-						s.send(c, resp)
-						c.inflight.Done()
-					})
-				})
-				continue
-			}
-			t := task{c: c, typ: m.Type, reqID: m.ReqID, key: m.Key, origin: origin}
-			if m.Type == wire.TInsert {
-				t.value = append([]byte(nil), m.Value...)
-			}
-			c.inflight.Add(1)
-			select {
-			case s.queues[s.pool.ShardOf(m.Key)] <- t: // may block: backpressure
-			case <-s.done:
-				c.inflight.Done()
+			if !s.dispatchKeyed(c, m.Type, &m, false) {
 				return
+			}
+		case wire.TRoute:
+			// A cluster-smart client computed the owner itself and sent the
+			// request here directly. The fingerprint decides staleness:
+			// a mismatched view gets TWrongView (refresh and retry), a
+			// matched-view misroute gets TError (the client's owner math is
+			// broken, not stale). Either way the request NEVER forwards —
+			// route-direct means exactly one hop.
+			switch {
+			case s.clusterHash == 0:
+				s.replyError(c, m.ReqID, "not a cluster node: direct routing unavailable")
+			case m.Cluster != s.clusterHash:
+				s.send(c, &wire.Msg{Type: wire.TWrongView, ReqID: m.ReqID, Cluster: s.clusterHash})
+			case m.RouteKind != wire.TInsert && m.RouteKind != wire.TLookup && m.RouteKind != wire.TDelete:
+				s.replyError(c, m.ReqID, "unexpected route kind "+m.RouteKind.String())
+			case s.owns != nil && !s.owns(m.Key):
+				s.replyError(c, m.ReqID, fmt.Sprintf("not the owner of %v", m.Key))
+			default:
+				if !s.dispatchKeyed(c, m.RouteKind, &m, true) {
+					return
+				}
 			}
 		default:
 			s.replyError(c, m.ReqID, "unexpected message type "+m.Type.String())
 		}
 	}
+}
+
+// defaultReadBuffer sizes connection read buffering when Config leaves
+// ReadBuffer zero.
+const defaultReadBuffer = 32 << 10
+
+// dispatchKeyed validates one keyed request and hands it to its shard
+// queue or the forwarder. typ is the operation (TInsert/TLookup/TDelete)
+// — for routed requests it comes from the TRoute envelope's RouteKind.
+// Routed requests skip the forward branch: their owner check already
+// ran in the caller, so route-direct traffic executes locally or not at
+// all. It reports false when the server shut down mid-enqueue.
+func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool) bool {
+	if typ == wire.TInsert && len(m.Value) > wire.MaxValue {
+		// The limit is the forwardable maximum, enforced uniformly so an
+		// insert never succeeds on the owning node but fails through any
+		// other.
+		s.replyError(c, m.ReqID, fmt.Sprintf("value %d bytes exceeds the %d-byte limit", len(m.Value), wire.MaxValue))
+		return true
+	}
+	origin := m.Origin
+	if origin == wire.OriginAuto {
+		origin = uint32(s.pool.AutoOrigin(m.Key))
+	} else if n := s.pool.Overlay().N(); origin >= uint32(n) {
+		s.replyError(c, m.ReqID, fmt.Sprintf("origin %d out of range (overlay has %d nodes)", origin, n))
+		return true
+	}
+	if s.owns != nil && !routed && !s.owns(m.Key) {
+		// Another cluster node owns this key: relay the request and
+		// deliver the owner's reply under this reqID. The forwarder may
+		// block (its in-flight cap), which reads as backpressure exactly
+		// like a full shard queue.
+		var value []byte
+		if typ == wire.TInsert {
+			value = append([]byte(nil), m.Value...)
+		}
+		c.inflight.Add(1)
+		reqID := m.ReqID
+		var once sync.Once
+		s.forward(typ, m.Key, origin, value, func(resp *wire.Msg) {
+			once.Do(func() {
+				resp.ReqID = reqID
+				s.send(c, resp)
+				c.inflight.Done()
+			})
+		})
+		return true
+	}
+	t := task{c: c, typ: typ, reqID: m.ReqID, key: m.Key, origin: origin}
+	if typ == wire.TInsert {
+		t.value = append([]byte(nil), m.Value...)
+	}
+	c.inflight.Add(1)
+	select {
+	case s.queues[s.pool.ShardOf(m.Key)] <- t: // may block: backpressure
+	case <-s.done:
+		c.inflight.Done()
+		return false
+	}
+	return true
+}
+
+// replyMembers answers a TMembers request with the membership
+// fingerprint and the client-serving address table, or an error when
+// this server is not part of a cluster.
+func (s *Server) replyMembers(c *conn, reqID uint64) {
+	if s.members == nil {
+		s.replyError(c, reqID, "not a cluster node: no member table")
+		return
+	}
+	m := wire.Msg{Type: wire.TMembersOK, ReqID: reqID, Cluster: s.clusterHash, Members: s.members()}
+	s.send(c, &m)
 }
 
 // shardWorker executes tasks for shard i in arrival order, a batch at a

@@ -77,7 +77,10 @@ func newPipeServer(t *testing.T, shards, queueDepth int, writeTimeout time.Durat
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Config{Pool: pool, QueueDepth: queueDepth, WriteTimeout: writeTimeout, Logf: t.Logf})
+	// ReadBuffer off: these tests count queued frames byte-for-byte, and
+	// a 32 KiB readahead would absorb the pipelined burst they expect to
+	// block on.
+	srv, err := New(Config{Pool: pool, QueueDepth: queueDepth, WriteTimeout: writeTimeout, ReadBuffer: -1, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,7 +56,7 @@ func FuzzDecode(f *testing.F) {
 // re-encode to the exact input bytes, from both a fresh and a dirty Msg.
 func FuzzPeerDecode(f *testing.F) {
 	for _, m := range sampleMsgs() {
-		if !m.Type.IsPeerRequest() && m.Type != TPeerProbeOK && m.Type != TRepairOK && m.Type != TTransferOK {
+		if !m.Type.IsPeerRequest() && m.Type != TPeerProbeOK && m.Type != TRepairOK && m.Type != TTransferOK && m.Type != TWrongView {
 			continue
 		}
 		frame, err := m.Append(nil)
@@ -105,7 +105,7 @@ func FuzzPeerRoundTrip(f *testing.F) {
 	f.Add(uint8(2), uint64(1), uint64(0), uint32(0), []byte(""), []byte(""), uint32(0), uint8(2))
 	f.Add(uint8(5), uint64(9), uint64(1), uint32(2), []byte("k2"), []byte("entry-payload"), uint32(7), uint8(3))
 	f.Fuzz(func(t *testing.T, ty uint8, reqID, cluster uint64, origin uint32, keySrc, value []byte, region uint32, kind uint8) {
-		types := []Type{TPeerProbe, TRoute, TRepair, TTransfer, TPeerProbeOK, TRepairOK, TTransferOK}
+		types := []Type{TPeerProbe, TRoute, TRepair, TTransfer, TPeerProbeOK, TRepairOK, TTransferOK, TWrongView}
 		m := Msg{
 			Type:      types[int(ty)%len(types)],
 			ReqID:     reqID,
@@ -117,6 +117,13 @@ func FuzzPeerRoundTrip(f *testing.F) {
 			Region:    region,
 			Accepted:  region,
 			Value:     value,
+		}
+		if m.Type == TPeerProbe || m.Type == TPeerProbeOK {
+			addr := keySrc
+			if len(addr) > 1024 {
+				addr = addr[:1024]
+			}
+			m.ClientAddr = addr
 		}
 		if m.Type == TTransfer || m.Type == TRepairOK {
 			for i := uint32(0); i < region%4; i++ {
@@ -165,7 +172,7 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add(uint8(4), uint64(0), []byte(""), uint32(0), []byte(""), true, int32(9), uint64(0))
 	f.Add(uint8(0x84), uint64(1), []byte("k"), uint32(2), []byte("v"), true, int32(0), uint64(3))
 	f.Fuzz(func(t *testing.T, ty uint8, reqID uint64, keySrc []byte, origin uint32, value []byte, found bool, hops int32, n uint64) {
-		types := []Type{TInsert, TLookup, TDelete, TStats, TInsertOK, TLookupOK, TDeleteOK, TStatsOK, TError}
+		types := []Type{TInsert, TLookup, TDelete, TStats, TInsertOK, TLookupOK, TDeleteOK, TStatsOK, TError, TMembers, TMembersOK, TWrongView}
 		m := Msg{
 			Type:    types[int(ty)%len(types)],
 			ReqID:   reqID,
@@ -181,6 +188,18 @@ func FuzzRoundTrip(f *testing.F) {
 			m.Stats = StatsReply{Shards: uint32(shards), Inserts: n, Lookups: reqID, Found: n / 2}
 			for i := 0; i < shards; i++ {
 				m.Stats.ShardRequests = append(m.Stats.ShardRequests, n+uint64(i))
+			}
+		}
+		if m.Type == TMembersOK || m.Type == TWrongView {
+			m.Cluster = n
+		}
+		if m.Type == TMembersOK {
+			addr := value
+			if len(addr) > 1024 {
+				addr = addr[:1024]
+			}
+			for i := 0; i < int(n%5); i++ {
+				m.Members = append(m.Members, string(addr))
 			}
 		}
 		frame, err := m.Append(nil)

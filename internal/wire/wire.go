@@ -26,13 +26,21 @@
 //	TLookup:   key[20] | u32 origin
 //	TDelete:   key[20] | u32 origin
 //	TStats:    (empty)
+//	TMembers:  (empty)
 //	TInsertOK: u32 replicas | u32 messages | u32 duplicates | u32 flows | u32 dropped
 //	TLookupOK: u8 found | u32 firstReplyHops (two's complement) | u32 replies |
 //	           u32 messages | u32 duplicates | u32 flows | u32 dropped
 //	TDeleteOK: u32 removed
 //	TStatsOK:  u32 shards | u64 inserts | u64 lookups | u64 deletes |
 //	           u64 found | shards x u64 perShardRequests
+//	TMembersOK: u64 clusterHash | u32 count | count x (u16 len | addr)
 //	TError:    text...                                 (UTF-8, rest of frame)
+//
+// TMembers/TMembersOK let a cluster-aware client learn the member list
+// and its fingerprint from any node: the reply's addresses are the
+// cluster's client-serving endpoints in region order (an empty address
+// means that member's endpoint is not yet known), and the hash is the
+// membership fingerprint every routed request must echo.
 //
 // # Peer bodies
 //
@@ -47,14 +55,25 @@
 // ownership, so a receiver refuses mismatched requests outright instead
 // of executing them under a conflicting view.
 //
-//	TPeerProbe:   u64 clusterHash | u32 sender
+//	TPeerProbe:   u64 clusterHash | u32 sender | u16 len | clientAddr
 //	TRoute:       u8 kind (TInsert|TLookup|TDelete) | u64 clusterHash |
 //	              key[20] | u32 origin | value...    (value only for insert kind)
 //	TRepair:      u64 clusterHash | u32 region | cursor
 //	TTransfer:    u64 clusterHash | u32 count | count x entry
-//	TPeerProbeOK: u64 clusterHash | u32 responder | u64 heldReplicas
+//	TPeerProbeOK: u64 clusterHash | u32 responder | u64 heldReplicas |
+//	              u16 len | clientAddr
 //	TRepairOK:    u32 region | u8 more | cursor | u32 count | count x entry
 //	TTransferOK:  u32 accepted
+//	TWrongView:   u64 clusterHash                    (the receiver's hash)
+//
+// Probes piggyback the sender's (and responder's) client-serving address
+// so every node learns where its peers accept client connections without
+// a separate exchange; TMembersOK republishes that table to clients. An
+// empty address means "not advertised". TWrongView is the refusal a node
+// sends a client whose TRoute carried a stale membership hash — it
+// announces the receiver's own hash so the client knows a refresh is
+// worthwhile, and it is deliberately distinct from TError so clients can
+// tell "re-learn the cluster and retry" from a terminal failure.
 //
 // where entry = u32 node | u32 origin | key[20] | u32 valueLen | value,
 // and cursor = u32 shard | u32 node | key[20] — a resume position in the
@@ -116,16 +135,18 @@ type Type uint8
 
 // Message types.
 const (
-	TInsert Type = 0x01
-	TLookup Type = 0x02
-	TDelete Type = 0x03
-	TStats  Type = 0x04
+	TInsert  Type = 0x01
+	TLookup  Type = 0x02
+	TDelete  Type = 0x03
+	TStats   Type = 0x04
+	TMembers Type = 0x05
 
-	TInsertOK Type = 0x81
-	TLookupOK Type = 0x82
-	TDeleteOK Type = 0x83
-	TStatsOK  Type = 0x84
-	TError    Type = 0xFF
+	TInsertOK  Type = 0x81
+	TLookupOK  Type = 0x82
+	TDeleteOK  Type = 0x83
+	TStatsOK   Type = 0x84
+	TMembersOK Type = 0x85
+	TError     Type = 0xFF
 )
 
 // Peer (node-to-node) message types. 0x91 is deliberately unassigned:
@@ -140,6 +161,7 @@ const (
 	TPeerProbeOK Type = 0x90
 	TRepairOK    Type = 0x92
 	TTransferOK  Type = 0x93
+	TWrongView   Type = 0x95
 )
 
 // String implements fmt.Stringer for log lines.
@@ -153,6 +175,8 @@ func (t Type) String() string {
 		return "delete"
 	case TStats:
 		return "stats"
+	case TMembers:
+		return "members"
 	case TInsertOK:
 		return "insert-ok"
 	case TLookupOK:
@@ -161,6 +185,8 @@ func (t Type) String() string {
 		return "delete-ok"
 	case TStatsOK:
 		return "stats-ok"
+	case TMembersOK:
+		return "members-ok"
 	case TPeerProbe:
 		return "peer-probe"
 	case TRoute:
@@ -175,6 +201,8 @@ func (t Type) String() string {
 		return "repair-ok"
 	case TTransferOK:
 		return "transfer-ok"
+	case TWrongView:
+		return "wrong-view"
 	case TError:
 		return "error"
 	default:
@@ -183,7 +211,7 @@ func (t Type) String() string {
 }
 
 // IsRequest reports whether t is a client-to-server type.
-func (t Type) IsRequest() bool { return t >= TInsert && t <= TStats }
+func (t Type) IsRequest() bool { return t >= TInsert && t <= TMembers }
 
 // IsPeerRequest reports whether t is a node-to-node request type.
 func (t Type) IsPeerRequest() bool { return t >= TPeerProbe && t <= TTransfer }
@@ -204,6 +232,8 @@ var (
 	ErrRoute    = errors.New("wire: route kind must be insert, lookup or delete")
 	ErrEntries  = errors.New("wire: transfer entry count disagrees with body")
 	ErrCursor   = errors.New("wire: repair cursor present without more flag")
+	ErrMembers  = errors.New("wire: member list disagrees with body")
+	ErrAddr     = errors.New("wire: address exceeds 65535 bytes")
 )
 
 // InsertReply carries the insertion statistics of one request.
@@ -346,6 +376,14 @@ type Msg struct {
 	// Accepted is how many transferred entries the receiver applied
 	// (TTransferOK).
 	Accepted uint32
+	// ClientAddr is the sender's (TPeerProbe) or responder's
+	// (TPeerProbeOK) client-serving address; empty means not advertised.
+	// Reused across decodes like Value.
+	ClientAddr []byte
+	// Members is the cluster's client-serving address list in region
+	// order (TMembersOK). Cluster carries the matching fingerprint.
+	// Decoding allocates fresh strings — member lists are small and rare.
+	Members []string
 }
 
 // ErrorText returns the error message of a TError response.
@@ -360,7 +398,7 @@ func (m *Msg) bodyLen() int {
 		n += idspace.Bytes + 4 + len(m.Value)
 	case TLookup, TDelete:
 		n += idspace.Bytes + 4
-	case TStats:
+	case TStats, TMembers:
 	case TInsertOK:
 		n += 5 * 4
 	case TLookupOK:
@@ -369,10 +407,15 @@ func (m *Msg) bodyLen() int {
 		n += 4
 	case TStatsOK:
 		n += 4 + 4*8 + 8*len(m.Stats.ShardRequests)
-	case TPeerProbe:
+	case TMembersOK:
 		n += 8 + 4
+		for _, a := range m.Members {
+			n += 2 + len(a)
+		}
+	case TPeerProbe:
+		n += 8 + 4 + 2 + len(m.ClientAddr)
 	case TPeerProbeOK:
-		n += 8 + 4 + 8
+		n += 8 + 4 + 8 + 2 + len(m.ClientAddr)
 	case TRoute:
 		n += 1 + 8 + idspace.Bytes + 4
 		if m.RouteKind == TInsert {
@@ -386,6 +429,8 @@ func (m *Msg) bodyLen() int {
 		n += 8 + 4 + entriesLen(m.Entries)
 	case TTransferOK:
 		n += 4
+	case TWrongView:
+		n += 8
 	case TError:
 		n += len(m.Value)
 	}
@@ -420,6 +465,16 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 	if m.Type == TRepairOK && !m.More && !m.Cursor.IsZero() {
 		return dst, ErrCursor
 	}
+	if (m.Type == TPeerProbe || m.Type == TPeerProbeOK) && len(m.ClientAddr) > 0xFFFF {
+		return dst, ErrAddr
+	}
+	if m.Type == TMembersOK {
+		for _, a := range m.Members {
+			if len(a) > 0xFFFF {
+				return dst, ErrAddr
+			}
+		}
+	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
 	dst = append(dst, byte(m.Type))
 	dst = binary.BigEndian.AppendUint64(dst, m.ReqID)
@@ -431,7 +486,7 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 	case TLookup, TDelete:
 		dst = append(dst, m.Key[:]...)
 		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
-	case TStats:
+	case TStats, TMembers:
 	case TInsertOK:
 		r := &m.Insert
 		dst = binary.BigEndian.AppendUint32(dst, r.Replicas)
@@ -464,13 +519,24 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		for _, v := range s.ShardRequests {
 			dst = binary.BigEndian.AppendUint64(dst, v)
 		}
+	case TMembersOK:
+		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Members)))
+		for _, a := range m.Members {
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(a)))
+			dst = append(dst, a...)
+		}
 	case TPeerProbe:
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
 		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.ClientAddr)))
+		dst = append(dst, m.ClientAddr...)
 	case TPeerProbeOK:
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
 		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
 		dst = binary.BigEndian.AppendUint64(dst, m.Held)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.ClientAddr)))
+		dst = append(dst, m.ClientAddr...)
 	case TRoute:
 		dst = append(dst, byte(m.RouteKind))
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
@@ -497,6 +563,8 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		dst = appendEntries(dst, m.Entries)
 	case TTransferOK:
 		dst = binary.BigEndian.AppendUint32(dst, m.Accepted)
+	case TWrongView:
+		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
 	case TError:
 		dst = append(dst, m.Value...)
 	default:
@@ -568,7 +636,7 @@ func (m *Msg) Decode(body []byte) error {
 		}
 		copy(m.Key[:], b)
 		m.Origin = binary.BigEndian.Uint32(b[idspace.Bytes:])
-	case TStats:
+	case TStats, TMembers:
 		if len(b) != 0 {
 			return ErrTrailing
 		}
@@ -626,18 +694,56 @@ func (m *Msg) Decode(body []byte) error {
 			rest = rest[8:]
 		}
 	case TPeerProbe:
-		if len(b) != 8+4 {
-			return sizeErr(len(b), 8+4)
+		if len(b) < 8+4+2 {
+			return ErrShort
 		}
 		m.Cluster = binary.BigEndian.Uint64(b[0:])
 		m.Origin = binary.BigEndian.Uint32(b[8:])
+		alen := int(binary.BigEndian.Uint16(b[12:]))
+		if len(b) != 8+4+2+alen {
+			return sizeErr(len(b), 8+4+2+alen)
+		}
+		m.ClientAddr = append(m.ClientAddr[:0], b[14:]...)
 	case TPeerProbeOK:
-		if len(b) != 8+4+8 {
-			return sizeErr(len(b), 8+4+8)
+		if len(b) < 8+4+8+2 {
+			return ErrShort
 		}
 		m.Cluster = binary.BigEndian.Uint64(b[0:])
 		m.Origin = binary.BigEndian.Uint32(b[8:])
 		m.Held = binary.BigEndian.Uint64(b[12:])
+		alen := int(binary.BigEndian.Uint16(b[20:]))
+		if len(b) != 8+4+8+2+alen {
+			return sizeErr(len(b), 8+4+8+2+alen)
+		}
+		m.ClientAddr = append(m.ClientAddr[:0], b[22:]...)
+	case TMembersOK:
+		if len(b) < 8+4 {
+			return ErrShort
+		}
+		m.Cluster = binary.BigEndian.Uint64(b[0:])
+		count := binary.BigEndian.Uint32(b[8:])
+		rest := b[12:]
+		// Each member costs at least its length word; the early check
+		// keeps an adversarial count from forcing allocation.
+		if uint64(count)*2 > uint64(len(rest)) {
+			return ErrMembers
+		}
+		m.Members = m.Members[:0]
+		for i := uint32(0); i < count; i++ {
+			if len(rest) < 2 {
+				return ErrMembers
+			}
+			alen := int(binary.BigEndian.Uint16(rest))
+			rest = rest[2:]
+			if alen > len(rest) {
+				return ErrMembers
+			}
+			m.Members = append(m.Members, string(rest[:alen]))
+			rest = rest[alen:]
+		}
+		if len(rest) != 0 {
+			return ErrTrailing
+		}
 	case TRoute:
 		if len(b) < 1+8+idspace.Bytes+4 {
 			return ErrShort
@@ -697,6 +803,11 @@ func (m *Msg) Decode(body []byte) error {
 			return sizeErr(len(b), 4)
 		}
 		m.Accepted = binary.BigEndian.Uint32(b)
+	case TWrongView:
+		if len(b) != 8 {
+			return sizeErr(len(b), 8)
+		}
+		m.Cluster = binary.BigEndian.Uint64(b)
 	case TError:
 		m.Value = append(m.Value[:0], b...)
 	default:

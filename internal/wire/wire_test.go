@@ -26,9 +26,16 @@ func sampleMsgs() []Msg {
 			Shards: 3, Inserts: 100, Lookups: 200, Deletes: 3, Found: 180,
 			ShardRequests: []uint64{101, 99, 103},
 		}},
+		{Type: TMembers, ReqID: 19},
+		{Type: TMembersOK, ReqID: 19, Cluster: 0xA1,
+			Members: []string{"127.0.0.1:7701", "", "127.0.0.1:7703"}},
+		{Type: TMembersOK, ReqID: 20, Cluster: 0xA2, Members: nil},
+		{Type: TWrongView, ReqID: 21, Cluster: 0xBEEF},
 		{Type: TError, ReqID: 9, Value: []byte("origin 9000 out of range")},
-		{Type: TPeerProbe, ReqID: 10, Cluster: 0xDEADBEEF01234567, Origin: 2},
-		{Type: TPeerProbeOK, ReqID: 10, Cluster: 0xDEADBEEF01234567, Origin: 0, Held: 4096},
+		{Type: TPeerProbe, ReqID: 10, Cluster: 0xDEADBEEF01234567, Origin: 2, ClientAddr: []byte("127.0.0.1:7702")},
+		{Type: TPeerProbe, ReqID: 22, Cluster: 0xDEADBEEF01234567, Origin: 1},
+		{Type: TPeerProbeOK, ReqID: 10, Cluster: 0xDEADBEEF01234567, Origin: 0, Held: 4096, ClientAddr: []byte("127.0.0.1:7700")},
+		{Type: TPeerProbeOK, ReqID: 23, Cluster: 0xDEADBEEF01234567, Origin: 2, Held: 1},
 		{Type: TRoute, ReqID: 11, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1, Value: []byte("tcp://node1:7700")},
 		{Type: TRoute, ReqID: 12, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1, Value: nil},
 		{Type: TRoute, ReqID: 13, RouteKind: TLookup, Cluster: 0xA1, Key: key, Origin: 0},
@@ -101,12 +108,26 @@ func eq(t *testing.T, a, b *Msg) {
 			!reflect.DeepEqual(a.Stats.ShardRequests, b.Stats.ShardRequests) {
 			t.Fatalf("stats mismatch: %+v vs %+v", a.Stats, b.Stats)
 		}
+	case TMembers:
+	case TMembersOK:
+		if a.Cluster != b.Cluster || len(a.Members) != len(b.Members) {
+			t.Fatalf("members mismatch: %+v vs %+v", a, b)
+		}
+		for i := range a.Members {
+			if a.Members[i] != b.Members[i] {
+				t.Fatalf("member %d mismatch: %q vs %q", i, a.Members[i], b.Members[i])
+			}
+		}
+	case TWrongView:
+		if a.Cluster != b.Cluster {
+			t.Fatalf("wrong-view mismatch: %+v vs %+v", a, b)
+		}
 	case TPeerProbe:
-		if a.Cluster != b.Cluster || a.Origin != b.Origin {
+		if a.Cluster != b.Cluster || a.Origin != b.Origin || !bytes.Equal(a.ClientAddr, b.ClientAddr) {
 			t.Fatalf("probe mismatch: %+v vs %+v", a, b)
 		}
 	case TPeerProbeOK:
-		if a.Cluster != b.Cluster || a.Origin != b.Origin || a.Held != b.Held {
+		if a.Cluster != b.Cluster || a.Origin != b.Origin || a.Held != b.Held || !bytes.Equal(a.ClientAddr, b.ClientAddr) {
 			t.Fatalf("probe reply mismatch: %+v vs %+v", a, b)
 		}
 	case TRoute:
@@ -222,6 +243,29 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			return b
 		}(), ErrTrailing},
 		{"probe short", append([]byte{byte(TPeerProbe)}, make([]byte, 8+11)...), ErrShort},
+		{"probe addr overruns body", func() []byte {
+			b := append([]byte{byte(TPeerProbe)}, make([]byte, 8+14)...)
+			b[9+13] = 5 // alen = 5, but the body ends here
+			return b
+		}(), ErrShort},
+		{"probe addr trailing", append([]byte{byte(TPeerProbe)}, make([]byte, 8+14+3)...), ErrTrailing},
+		{"probe-ok short", append([]byte{byte(TPeerProbeOK)}, make([]byte, 8+20)...), ErrShort},
+		{"members with body", append([]byte{byte(TMembers)}, make([]byte, 8+1)...), ErrTrailing},
+		{"members-ok short", append([]byte{byte(TMembersOK)}, make([]byte, 8+10)...), ErrShort},
+		{"members-ok count overruns body", func() []byte {
+			b := append([]byte{byte(TMembersOK)}, make([]byte, 8+12)...)
+			b[9+11] = 9 // claims 9 members, carries none
+			return b
+		}(), ErrMembers},
+		{"members-ok len overruns body", func() []byte {
+			b := append([]byte{byte(TMembersOK)}, make([]byte, 8+12+2)...)
+			b[9+11] = 1  // one member...
+			b[9+13] = 40 // ...claiming 40 bytes the body lacks
+			return b
+		}(), ErrMembers},
+		{"members-ok trailing", append([]byte{byte(TMembersOK)}, make([]byte, 8+12+1)...), ErrTrailing},
+		{"wrong-view short", append([]byte{byte(TWrongView)}, make([]byte, 8+4)...), ErrShort},
+		{"wrong-view trailing", append([]byte{byte(TWrongView)}, make([]byte, 8+9)...), ErrTrailing},
 		{"repair short", append([]byte{byte(TRepair)}, make([]byte, 8+8+5)...), ErrShort},
 		{"repair trailing", append([]byte{byte(TRepair)}, make([]byte, 8+8+4+28+2)...), ErrTrailing},
 		{"repair-ok bad more byte", func() []byte {

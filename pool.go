@@ -216,24 +216,29 @@ func (p *Pool) Delete(origin int, key ID) (int, error) {
 // BatchKind tags one operation of an ExecBatch.
 type BatchKind uint8
 
-// Batch operation kinds. They mirror Insert, Lookup and Delete; direct
-// replica placements (ImportReplica, DropReplica) stay per-call — they
-// ride the anti-entropy path, not the request hot path.
+// Batch operation kinds. The first three mirror Insert, Lookup and
+// Delete; BatchPut is ImportReplica's batched twin — a direct replica
+// placement at an explicit engine node, used by the cluster transfer
+// and repair receive paths so a whole entry page imports under one
+// shard-lock acquisition and one group-committed WAL append.
 const (
 	BatchInsert BatchKind = iota + 1
 	BatchLookup
 	BatchDelete
+	BatchPut
 )
 
 // BatchOp is one operation of a shard batch executed by ExecBatch. Kind,
 // Origin, Key and Value are the request; exactly one result field is
 // filled on success, and Err reports a refused or failed operation (the
-// other ops of the batch are unaffected).
+// other ops of the batch are unaffected). Node is the explicit engine
+// node of a BatchPut placement and ignored otherwise.
 type BatchOp struct {
 	Kind   BatchKind
 	Origin int
 	Key    ID
 	Value  []byte // insert payload; retained by the engine on success
+	Node   int    // BatchPut only: engine node holding the replica
 
 	Insert  InsertResult
 	Lookup  LookupResult
@@ -281,6 +286,16 @@ func (p *Pool) ExecBatch(ops []BatchOp) {
 				continue
 			}
 			mutations = true
+		case BatchPut:
+			if err := p.checkOwned(op.Key); err != nil {
+				op.Err = err
+				continue
+			}
+			if op.Node < 0 || op.Node >= p.ov.N() {
+				op.Err = fmt.Errorf("discovery: batch op %d: import node %d out of range (overlay has %d nodes)", i, op.Node, p.ov.N())
+				continue
+			}
+			mutations = true
 		case BatchLookup:
 		default:
 			op.Err = fmt.Errorf("discovery: batch op %d: unknown kind %d", i, op.Kind)
@@ -290,7 +305,7 @@ func (p *Pool) ExecBatch(ops []BatchOp) {
 		if err := s.batch(ops); err != nil {
 			for i := range ops {
 				op := &ops[i]
-				if op.Err == nil && (op.Kind == BatchInsert || op.Kind == BatchDelete) {
+				if op.Err == nil && op.Kind != BatchLookup {
 					op.Err = err
 				}
 			}
@@ -301,12 +316,13 @@ func (p *Pool) ExecBatch(ops []BatchOp) {
 		if op.Err != nil {
 			continue
 		}
-		s.requests++
 		switch op.Kind {
 		case BatchInsert:
+			s.requests++
 			s.inserts++
 			op.Insert = s.svc.Insert(op.Origin, op.Key, op.Value)
 		case BatchLookup:
+			s.requests++
 			s.lookups++
 			op.Lookup = s.svc.Lookup(op.Origin, op.Key)
 			s.found.Record(op.Lookup.Found)
@@ -314,8 +330,13 @@ func (p *Pool) ExecBatch(ops []BatchOp) {
 				s.hops.AddInt(op.Lookup.FirstReplyHops)
 			}
 		case BatchDelete:
+			s.requests++
 			s.deletes++
 			op.Removed = s.svc.Delete(op.Origin, op.Key)
+		case BatchPut:
+			// Direct placements are anti-entropy traffic, not client
+			// requests, so like ImportReplica they skip the counters.
+			op.Err = s.svc.eng.PutReplica(op.Node, mpil.Replica{Key: op.Key, Value: op.Value, Origin: op.Origin})
 		}
 	}
 }
@@ -342,6 +363,62 @@ func (p *Pool) ImportReplica(node int, origin uint32, key ID, value []byte) erro
 		}
 	}
 	return s.svc.eng.PutReplica(node, mpil.Replica{Key: key, Value: value, Origin: int(origin)})
+}
+
+// ReplicaEntry is one direct replica placement applied by ImportBatch:
+// ImportReplica's arguments in batch form.
+type ReplicaEntry struct {
+	Node   int
+	Origin uint32
+	Key    ID
+	Value  []byte // retained by the pool on success
+}
+
+// ImportBatch places a batch of replicas directly at their engine nodes,
+// grouping entries by owning shard so each group applies under ONE
+// shard-lock acquisition and — on durable pools — ONE group-committed
+// write-ahead append, instead of ImportReplica's per-entry lock and
+// fsync rounds. It is the receive half of a batched cluster transfer
+// (TTransfer / TRepairOK pages in internal/p2p).
+//
+// The result state is exactly what applying the entries one by one
+// through ImportReplica would produce: placement order within a shard is
+// preserved, and a refused entry (foreign region, node out of range)
+// skips only itself. accepted counts the entries applied; firstErr is
+// the first refusal or failure encountered, nil when every entry landed.
+// A failed group append fails that whole group — none of its entries is
+// known durable, so none of them executes.
+func (p *Pool) ImportBatch(entries []ReplicaEntry) (accepted int, firstErr error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	byShard := make([][]BatchOp, len(p.shards))
+	for _, e := range entries {
+		si := p.ShardOf(e.Key)
+		byShard[si] = append(byShard[si], BatchOp{
+			Kind:   BatchPut,
+			Node:   e.Node,
+			Origin: int(e.Origin),
+			Key:    e.Key,
+			Value:  e.Value,
+		})
+	}
+	for _, ops := range byShard {
+		if len(ops) == 0 {
+			continue
+		}
+		p.ExecBatch(ops)
+		for i := range ops {
+			if ops[i].Err != nil {
+				if firstErr == nil {
+					firstErr = ops[i].Err
+				}
+				continue
+			}
+			accepted++
+		}
+	}
+	return accepted, firstErr
 }
 
 // DropReplica removes the replica of key stored at engine node, if any,

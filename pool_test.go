@@ -430,3 +430,109 @@ func TestPoolForEachReplicaFromStopsEarly(t *testing.T) {
 		t.Fatalf("callback ran %d times after rejecting at %d; the walk did not stop", calls, accept+1)
 	}
 }
+
+// TestPoolImportBatchMatchesPerEntry pins the equivalence that makes the
+// batched transfer-apply path safe to substitute for the per-entry one:
+// importing a batch produces exactly the state (same placements, same
+// serialized bytes) that applying each entry through ImportReplica does,
+// and per-entry refusals (foreign regions, out-of-range nodes) skip only
+// themselves in both.
+func TestPoolImportBatchMatchesPerEntry(t *testing.T) {
+	ov, err := CompleteOverlay(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRegioned := func() *Pool {
+		p, err := NewPool(ov, 4, WithSeed(1), WithMaxHops(8), WithRegion(1, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	batched, perEntry := newRegioned(), newRegioned()
+
+	var entries []ReplicaEntry
+	owned, refused := 0, 0
+	for i := 0; len(entries) < 200; i++ {
+		e := ReplicaEntry{
+			Node:   i % ov.N(),
+			Origin: uint32(i % 7),
+			Key:    NewID(fmt.Sprintf("import-batch-%d", i)),
+			Value:  []byte(fmt.Sprintf("payload-%d", i)),
+		}
+		if batched.Owns(e.Key) {
+			owned++
+		} else {
+			refused++
+		}
+		entries = append(entries, e)
+	}
+	// A duplicate placement (same node, same key, new value) must resolve
+	// the same way in both paths, and an out-of-range node must be
+	// refused without poisoning its neighbors.
+	entries = append(entries, ReplicaEntry{Node: ov.N(), Origin: 0, Key: entries[0].Key, Value: []byte("bad-node")})
+	refused++
+	for i := 0; i < 10; i++ {
+		if batched.Owns(entries[i].Key) {
+			dup := entries[i]
+			dup.Value = []byte("rewritten")
+			entries = append(entries, dup)
+			owned++
+			break
+		}
+	}
+	if owned == 0 || refused == 0 {
+		t.Fatalf("test needs both owned (%d) and refused (%d) entries", owned, refused)
+	}
+
+	accepted, firstErr := batched.ImportBatch(entries)
+	if accepted != owned {
+		t.Fatalf("ImportBatch accepted %d entries, want %d (err %v)", accepted, owned, firstErr)
+	}
+	if firstErr == nil {
+		t.Fatal("ImportBatch reported no error despite refused entries")
+	}
+
+	perAccepted := 0
+	for _, e := range entries {
+		if err := perEntry.ImportReplica(e.Node, e.Origin, e.Key, e.Value); err == nil {
+			perAccepted++
+		}
+	}
+	if perAccepted != owned {
+		t.Fatalf("per-entry accepted %d, want %d", perAccepted, owned)
+	}
+
+	got, want := exportAll(batched), exportAll(perEntry)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("batched import state differs from per-entry state")
+	}
+}
+
+// TestPoolImportBatchEmptyAndUnrestricted covers the trivial shapes: an
+// empty batch is a no-op and an unrestricted pool accepts everything.
+func TestPoolImportBatchEmptyAndUnrestricted(t *testing.T) {
+	ov, err := CompleteOverlay(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, 4, WithSeed(1), WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.ImportBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty batch: %d %v", n, err)
+	}
+	var entries []ReplicaEntry
+	for i := 0; i < 50; i++ {
+		entries = append(entries, ReplicaEntry{
+			Node: i % ov.N(), Origin: uint32(i), Key: NewID(fmt.Sprintf("unres-%d", i)), Value: []byte("v"),
+		})
+	}
+	if n, err := p.ImportBatch(entries); n != len(entries) || err != nil {
+		t.Fatalf("unrestricted batch: %d %v", n, err)
+	}
+	if got := p.ReplicaCount(); got != len(entries) {
+		t.Fatalf("stored %d replicas, want %d", got, len(entries))
+	}
+}
