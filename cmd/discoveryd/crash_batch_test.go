@@ -30,7 +30,7 @@ import (
 func TestCrashRecoveryBatchedWrites(t *testing.T) {
 	bin := buildDaemon(t)
 	dataDir := t.TempDir()
-	daemon, addr := startDaemon(t, bin, dataDir)
+	daemon, addr, _ := startDaemon(t, bin, dataDir)
 
 	const workers = 3
 	const burst = 16
@@ -142,7 +142,7 @@ func TestCrashRecoveryBatchedWrites(t *testing.T) {
 	wg.Wait()
 	daemon.Wait() //nolint:errcheck // killed on purpose
 
-	_, addr2 := startDaemon(t, bin, dataDir)
+	_, addr2, _ := startDaemon(t, bin, dataDir)
 	c, err := server.Dial(addr2)
 	if err != nil {
 		t.Fatal(err)

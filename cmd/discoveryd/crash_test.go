@@ -3,9 +3,12 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -32,16 +35,20 @@ func buildDaemon(t *testing.T) string {
 
 var addrRe = regexp.MustCompile(` on (127\.0\.0\.1:\d+) with `)
 
+var metricsRe = regexp.MustCompile(`metrics on http://(127\.0\.0\.1:\d+)/metrics`)
+
 // startDaemon launches the built daemon on an ephemeral port over a
 // small complete overlay (structural lookup success) with durable
-// storage in dataDir, and returns the bound address.
-func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+// storage in dataDir, and returns the bound client and metrics
+// addresses.
+func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string, string) {
 	t.Helper()
 	cmd := exec.Command(bin,
 		"-listen", "127.0.0.1:0",
 		"-topology", "complete", "-nodes", "128", "-maxhops", "8",
 		"-shards", "4",
 		"-data-dir", dataDir, "-fsync", "batch", "-snapshot-every", "64",
+		"-metrics-listen", "127.0.0.1:0",
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -51,6 +58,7 @@ func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
 		t.Fatal(err)
 	}
 	addrCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
 	scanDone := make(chan struct{})
 	go func() {
 		defer close(scanDone)
@@ -64,6 +72,12 @@ func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
 				default:
 				}
 			}
+			if m := metricsRe.FindStringSubmatch(line); m != nil {
+				select {
+				case metricsCh <- m[1]:
+				default:
+				}
+			}
 		}
 	}()
 	// Reap the process and drain its log scanner no matter how the test
@@ -74,13 +88,17 @@ func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
 		cmd.Wait()         //nolint:errcheck
 		<-scanDone
 	})
-	select {
-	case addr := <-addrCh:
-		return cmd, addr
-	case <-time.After(30 * time.Second):
-		t.Fatal("daemon never reported its listen address")
-		return nil, ""
+	var addr, maddr string
+	deadline := time.After(30 * time.Second)
+	for addr == "" || maddr == "" {
+		select {
+		case addr = <-addrCh:
+		case maddr = <-metricsCh:
+		case <-deadline:
+			t.Fatalf("daemon never reported its addresses (client %q, metrics %q)", addr, maddr)
+		}
 	}
+	return cmd, addr, maddr
 }
 
 // TestCrashRecovery is the end-to-end durability proof: drive a real
@@ -93,7 +111,7 @@ func TestCrashRecovery(t *testing.T) {
 	bin := buildDaemon(t)
 	dataDir := t.TempDir()
 
-	daemon, addr := startDaemon(t, bin, dataDir)
+	daemon, addr, _ := startDaemon(t, bin, dataDir)
 
 	// Concurrent inserters record every acknowledged key. The main
 	// goroutine SIGKILLs the daemon once enough acks are in, while the
@@ -148,7 +166,7 @@ func TestCrashRecovery(t *testing.T) {
 
 	// Restart on the same directory: recovery must replay the log over
 	// whatever snapshots the background snapshotter managed to land.
-	daemon2, addr2 := startDaemon(t, bin, dataDir)
+	daemon2, addr2, maddr2 := startDaemon(t, bin, dataDir)
 
 	c, err := server.Dial(addr2)
 	if err != nil {
@@ -173,6 +191,33 @@ func TestCrashRecovery(t *testing.T) {
 	if total < killAfter {
 		t.Fatalf("only %d inserts were acked before the kill; test did not exercise mid-traffic crash", total)
 	}
+
+	// The restarted daemon's /metrics must expose what recovery did: the
+	// SIGKILL skipped the final snapshot, so snapshots plus replayed WAL
+	// records account for a nonzero amount of restored state.
+	resp, err := http.Get("http://" + maddr2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape restarted daemon: HTTP %d, err %v", resp.StatusCode, err)
+	}
+	recovered := 0.0
+	for _, g := range []string{"recovery_snapshot_entries", "recovery_wal_records_replayed"} {
+		re := regexp.MustCompile(`(?m)^` + g + ` (\d+)$`)
+		m := re.FindSubmatch(body)
+		if m == nil {
+			t.Fatalf("restarted daemon /metrics is missing %s:\n%s", g, body)
+		}
+		v, _ := strconv.ParseFloat(string(m[1]), 64)
+		recovered += v
+	}
+	if recovered == 0 {
+		t.Fatal("restarted daemon reports zero recovered state despite acked inserts before SIGKILL")
+	}
+	t.Logf("restart scrape: %v entries+records recovered", recovered)
 
 	// A graceful SIGTERM must drain cleanly and exit 0 (containers stop
 	// daemons this way).

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	discovery "discovery"
+	"discovery/internal/metrics"
 	"discovery/internal/server"
 )
 
@@ -61,6 +62,7 @@ func run() int {
 		dataDir     = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 		fsync       = flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
 		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot a shard after N logged mutations (0 = only on shutdown)")
+		metricsAddr = flag.String("metrics-listen", "", "HTTP listen address serving /metrics (Prometheus text), /debug/pprof and /debug/vars (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -81,7 +83,13 @@ func run() int {
 		return 2
 	}
 
+	// One process-wide registry: pool, WAL, and server all register into
+	// it, so TStats and a /metrics scrape read the same atomics and can
+	// never disagree.
+	reg := metrics.NewRegistry()
+
 	opts := []discovery.Option{
+		discovery.WithMetrics(reg),
 		discovery.WithSeed(*seed),
 		discovery.WithMaxFlows(*maxFlows),
 		discovery.WithPerFlowReplicas(*replicas),
@@ -113,6 +121,9 @@ func run() int {
 		pool, store = dp.Pool, dp
 		log.Printf("discoveryd: recovered %s: %d snapshot entries, %d wal records replayed in %s (fsync=%s, snapshot-every=%d)",
 			*dataDir, rec.SnapshotEntries, rec.Replayed, rec.Elapsed.Round(time.Millisecond), policy, *snapEvery)
+		reg.Gauge("recovery.snapshot_entries").Set(int64(rec.SnapshotEntries))
+		reg.Gauge("recovery.wal_records_replayed").Set(int64(rec.Replayed))
+		reg.Gauge("recovery.millis").Set(rec.Elapsed.Milliseconds())
 	} else {
 		pool, err = discovery.NewPool(ov, *shards, opts...)
 		if err != nil {
@@ -129,6 +140,7 @@ func run() int {
 		CoalesceBytes:  *coBytes,
 		Store:          store,
 		Logf:           log.Printf,
+		Metrics:        reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoveryd:", err)
@@ -141,6 +153,16 @@ func run() int {
 	}
 	log.Printf("discoveryd: serving %s overlay (%d nodes) on %s with %d shards (queue %d)",
 		*topo, ov.N(), addr, pool.NumShards(), *queue)
+
+	if *metricsAddr != "" {
+		maddr, stopMetrics, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discoveryd:", err)
+			return 1
+		}
+		defer stopMetrics()
+		log.Printf("discoveryd: metrics on http://%s/metrics (pprof on /debug/pprof)", maddr)
+	}
 
 	// Containers send SIGTERM, terminals send SIGINT; both get the same
 	// graceful drain (stop accepting, finish queued requests, seal the

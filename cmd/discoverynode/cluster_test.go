@@ -3,11 +3,14 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -71,10 +74,55 @@ func reservePeerAddrs(t *testing.T, n int) []string {
 
 var clientAddrRe = regexp.MustCompile(`serving clients on (127\.0\.0\.1:\d+) \(region`)
 
+var metricsAddrRe = regexp.MustCompile(`metrics on http://(127\.0\.0\.1:\d+)/metrics`)
+
 // nodeProc is one running cluster member.
 type nodeProc struct {
-	cmd        *exec.Cmd
-	clientAddr string
+	cmd         *exec.Cmd
+	clientAddr  string
+	metricsAddr string
+}
+
+// scrapeMetrics fetches one node's /metrics endpoint and sums the
+// samples of each family (labels collapsed): pool_ops{op=insert} and
+// pool_ops{op=lookup} both land under "pool_ops". Family presence is
+// checkable via the returned map even at value 0.
+func scrapeMetrics(t *testing.T, addr string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("scrape %s: HTTP %d: %s", addr, resp.StatusCode, body)
+	}
+	sums := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("scrape %s: malformed line %q", addr, line)
+		}
+		name := line[:sp]
+		if lb := strings.IndexByte(name, '{'); lb >= 0 {
+			name = name[:lb]
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("scrape %s: bad value in %q: %v", addr, line, err)
+		}
+		sums[name] += v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scrape %s: %v", addr, err)
+	}
+	return sums
 }
 
 // startNode launches one member and waits for its serving line. The
@@ -91,6 +139,7 @@ func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir strin
 		"-join-timeout", "15s",
 		"-dial-timeout", "250ms",
 		"-call-timeout", "3s",
+		"-metrics-listen", "127.0.0.1:0",
 	)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -100,6 +149,7 @@ func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir strin
 		t.Fatal(err)
 	}
 	addrCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
 	scanDone := make(chan struct{})
 	go func() {
 		defer close(scanDone)
@@ -113,6 +163,12 @@ func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir strin
 				default:
 				}
 			}
+			if m := metricsAddrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case metricsCh <- m[1]:
+				default:
+				}
+			}
 		}
 	}()
 	t.Cleanup(func() {
@@ -120,13 +176,19 @@ func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir strin
 		cmd.Wait()         //nolint:errcheck
 		<-scanDone
 	})
-	select {
-	case addr := <-addrCh:
-		return &nodeProc{cmd: cmd, clientAddr: addr}
-	case <-time.After(30 * time.Second):
-		t.Fatal("node never reported its client address")
-		return nil
+	p := &nodeProc{cmd: cmd}
+	deadline := time.After(30 * time.Second)
+	for p.clientAddr == "" || p.metricsAddr == "" {
+		select {
+		case addr := <-addrCh:
+			p.clientAddr = addr
+		case addr := <-metricsCh:
+			p.metricsAddr = addr
+		case <-deadline:
+			t.Fatalf("node never reported its addresses (client %q, metrics %q)", p.clientAddr, p.metricsAddr)
+		}
 	}
+	return p
 }
 
 // lookupWithRetry tolerates the one transient the architecture allows: a
@@ -213,6 +275,80 @@ func TestClusterServeKillRecover(t *testing.T) {
 			}
 		}
 	}
+
+	// Phase 2b: scrape every live node's /metrics mid-cluster. The
+	// instrumentation contract: the cluster-level families exist on every
+	// node, forwarded traffic shows up somewhere (each insert above was
+	// read back via a different node, so ~2/3 of requests crossed nodes),
+	// durability shows up as fsyncs, and the binary TStatsOK speaks from
+	// the same registry — the counts must match exactly on a quiet node.
+	first := make([]map[string]float64, 3)
+	for i, p := range procs {
+		first[i] = scrapeMetrics(t, p.metricsAddr)
+	}
+	for i, m := range first {
+		for _, fam := range []string{
+			"server_requests", "server_routed", "server_forwarded", "server_wrongview", "server_shed",
+			"server_queue_wait_seconds_count", "server_service_seconds_count", "server_frames_per_write_count",
+			"pool_ops", "wal_fsyncs", "wal_fsync_seconds_count", "wal_records",
+			"p2p_calls", "p2p_call_seconds_count", "p2p_dials", "p2p_writes", "p2p_frames",
+			"p2p_peer_writes", "p2p_peer_frames",
+		} {
+			if _, ok := m[fam]; !ok {
+				t.Fatalf("node %d /metrics is missing family %s", i, fam)
+			}
+		}
+		if m["wal_fsyncs"] == 0 {
+			t.Fatalf("node %d logged mutations but wal_fsyncs is 0", i)
+		}
+	}
+	routedTotal, forwardedTotal := 0.0, 0.0
+	for _, m := range first {
+		routedTotal += m["server_routed"]
+		forwardedTotal += m["server_forwarded"]
+	}
+	if routedTotal+forwardedTotal == 0 {
+		t.Fatal("no cross-node traffic visible in server_routed/server_forwarded across the cluster")
+	}
+	// TStatsOK cross-check: the binary stats protocol reads the same
+	// registry counters the scrape renders.
+	for i, c := range clients {
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatalf("TStats via node %d: %v", i, err)
+		}
+		m := scrapeMetrics(t, procs[i].metricsAddr)
+		if got, want := m["pool_lookups_found"], float64(st.Found); got != want {
+			t.Fatalf("node %d: /metrics pool_lookups_found %v != TStatsOK Found %v", i, got, want)
+		}
+		ops := m["pool_ops"]
+		if want := float64(st.Inserts + st.Lookups + st.Deletes); ops != want {
+			t.Fatalf("node %d: /metrics pool_ops total %v != TStatsOK total %v", i, ops, want)
+		}
+	}
+	// Monotonicity: more forwarded traffic, then a second scrape — every
+	// cumulative counter must be >= its first reading, and the traffic
+	// counters strictly greater.
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("scrape-key-%d", i)
+		via := i % 3
+		if _, err := clients[via].Insert(server.OriginAuto, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatalf("insert %s via node %d: %v", name, via, err)
+		}
+		keys = append(keys, name)
+	}
+	for i, p := range procs {
+		second := scrapeMetrics(t, p.metricsAddr)
+		for _, ctr := range []string{"server_requests", "server_routed", "server_forwarded", "wal_fsyncs", "wal_records", "pool_ops", "p2p_calls"} {
+			if second[ctr] < first[i][ctr] {
+				t.Fatalf("node %d: counter %s went backwards across scrapes: %v -> %v", i, ctr, first[i][ctr], second[ctr])
+			}
+		}
+		if second["server_requests"] <= first[i]["server_requests"] {
+			t.Fatalf("node %d: server_requests did not advance across traffic (%v -> %v)", i, first[i]["server_requests"], second["server_requests"])
+		}
+	}
+	t.Logf("mid-traffic scrape OK on all 3 nodes (%v routed + %v forwarded cluster-wide)", routedTotal, forwardedTotal)
 
 	// Phase 3: SIGKILL one node mid-cluster. No drain, no final
 	// snapshot: recovery must come from the write-ahead log.
@@ -302,6 +438,22 @@ func TestClusterServeKillRecover(t *testing.T) {
 		}
 	}
 	t.Logf("verified %d acked inserts from all 3 nodes after SIGKILL+restart (%d lost)", len(keys), lost)
+
+	// The restarted node's scrape must expose what recovery did: a
+	// SIGKILLed node with acked mutations recovers from snapshots and/or
+	// the WAL tail, so the recovery gauges exist and something nonzero
+	// was restored.
+	rm := scrapeMetrics(t, procs[victim].metricsAddr)
+	for _, g := range []string{"recovery_snapshot_entries", "recovery_wal_records_replayed", "recovery_millis"} {
+		if _, ok := rm[g]; !ok {
+			t.Fatalf("restarted node /metrics is missing %s", g)
+		}
+	}
+	if rm["recovery_snapshot_entries"]+rm["recovery_wal_records_replayed"] == 0 {
+		t.Fatal("restarted node reports zero recovered state despite acked mutations before SIGKILL")
+	}
+	t.Logf("restart scrape: %v snapshot entries, %v wal records replayed in %vms",
+		rm["recovery_snapshot_entries"], rm["recovery_wal_records_replayed"], rm["recovery_millis"])
 
 	// Phase 5: the whole cluster drains cleanly on SIGTERM (containers
 	// stop nodes this way).

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	discovery "discovery"
+	"discovery/internal/metrics"
 	"discovery/internal/p2p"
 	"discovery/internal/server"
 )
@@ -71,6 +72,7 @@ func run() int {
 		dataDir     = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 		fsync       = flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
 		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot a shard after N logged mutations (0 = only on shutdown)")
+		metricsAddr = flag.String("metrics-listen", "", "HTTP listen address serving /metrics (Prometheus text), /debug/pprof and /debug/vars (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -97,7 +99,13 @@ func run() int {
 	log.Printf("discoverynode: region %d of %d, members %v (fingerprint %016x)",
 		cluster.Self(), cluster.N(), cluster.Addrs(), cluster.Hash())
 
+	// One process-wide registry: pool, WAL, server, and p2p layers all
+	// register into it, so TStats and a /metrics scrape read the same
+	// atomics and can never disagree.
+	reg := metrics.NewRegistry()
+
 	opts := []discovery.Option{
+		discovery.WithMetrics(reg),
 		discovery.WithSeed(*seed),
 		discovery.WithMaxFlows(*maxFlows),
 		discovery.WithPerFlowReplicas(*replicas),
@@ -130,6 +138,9 @@ func run() int {
 		pool, store = dp.Pool, dp
 		log.Printf("discoverynode: recovered %s: %d snapshot entries, %d wal records replayed in %s",
 			*dataDir, rec.SnapshotEntries, rec.Replayed, rec.Elapsed.Round(time.Millisecond))
+		reg.Gauge("recovery.snapshot_entries").Set(int64(rec.SnapshotEntries))
+		reg.Gauge("recovery.wal_records_replayed").Set(int64(rec.Replayed))
+		reg.Gauge("recovery.millis").Set(rec.Elapsed.Milliseconds())
 	} else {
 		pool, err = discovery.NewPool(ov, *shards, opts...)
 		if err != nil {
@@ -146,6 +157,7 @@ func run() int {
 		CallTimeout:   *callTimeout,
 		ProbeInterval: *probeEvery,
 		Logf:          log.Printf,
+		Metrics:       reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
@@ -170,6 +182,7 @@ func run() int {
 		ClusterHash:    cluster.Hash(),
 		Members:        node.Members,
 		Logf:           log.Printf,
+		Metrics:        reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
@@ -182,6 +195,16 @@ func run() int {
 	}
 	log.Printf("discoverynode: serving clients on %s (region %d of %d, %d shards, queue %d)",
 		addr, cluster.Self(), cluster.N(), pool.NumShards(), *queue)
+
+	if *metricsAddr != "" {
+		maddr, stopMetrics, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "discoverynode:", err)
+			return 1
+		}
+		defer stopMetrics()
+		log.Printf("discoverynode: metrics on http://%s/metrics (pprof on /debug/pprof)", maddr)
+	}
 
 	// Advertise the client address to peers: probe gossip spreads it, and
 	// every member then serves the full table to cluster-smart clients

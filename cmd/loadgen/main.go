@@ -1,6 +1,6 @@
-// Command loadgen is a closed-loop load generator for discoveryd: it
-// opens many connections, drives each with one outstanding request at a
-// time, and reports throughput and latency percentiles.
+// Command loadgen is a load generator for discoveryd: it opens many
+// connections, drives a mixed insert/lookup workload, and reports
+// throughput and latency percentiles.
 //
 // Example:
 //
@@ -13,12 +13,28 @@
 // findable by later lookups, so a long run converges to the steady-state
 // hit rate of the configured overlay.
 //
+// # Closed loop vs open loop
+//
+// By default each connection is closed-loop: one outstanding request,
+// the next sent when the previous returns, latency measured from actual
+// send time. That measures server latency under self-throttling load —
+// a slow server slows the generator down, hiding queueing delay
+// (coordinated omission).
+//
+// With -rate R the generator is open-loop: request k has the fixed
+// intended send time start + k/R, workers claim arrival slots from a
+// shared schedule, and latency is measured from the INTENDED send time
+// — a request that could not even be sent on schedule, because the
+// server (or a worker stuck behind it) lagged, has its wait counted.
+// Open-loop percentiles therefore answer "what would a client arriving
+// at time t experience", which the closed-loop numbers cannot.
+//
 // With -cluster, -addr is a comma-separated seed list of cluster nodes
 // and the same workload runs twice: once route-direct through the
 // cluster-smart client (owners computed locally, one hop per request)
 // and once relayed through the first seed like a cluster-unaware client
 // (foreign keys take a second server-side hop). The two results print
-// side by side.
+// side by side. -rate applies to both phases.
 package main
 
 import (
@@ -28,6 +44,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discovery/internal/cluster"
@@ -49,8 +66,9 @@ type requester interface {
 }
 
 // connReport is one connection's contribution to the final report.
+// Latency goes straight into the run's shared histogram (concurrent,
+// lock-free); only the counts are per-connection.
 type connReport struct {
-	lat      metrics.Distribution // microseconds per request
 	requests int
 	inserts  int
 	lookups  int
@@ -59,16 +77,20 @@ type connReport struct {
 	firstErr error
 }
 
-// report is the aggregate of one measured workload run.
+// report is the aggregate of one measured workload run. lat holds
+// nanoseconds in a bounded log-scale histogram (internal/metrics): a
+// million-request run costs the same fixed few KB as a hundred-request
+// one, and tail quantiles stay within one bucket (<=12.5%) of exact.
 type report struct {
-	lat     metrics.Distribution
-	elapsed time.Duration
-	total   int
-	inserts int
-	lookups int
-	found   int
-	errs    int
-	first   error
+	lat      *metrics.Histogram
+	elapsed  time.Duration
+	openLoop bool // latencies measured from intended send times
+	total    int
+	inserts  int
+	lookups  int
+	found    int
+	errs     int
+	first    error
 }
 
 func (r *report) throughput() float64 {
@@ -78,15 +100,63 @@ func (r *report) throughput() float64 {
 	return float64(r.total) / r.elapsed.Seconds()
 }
 
+// us converts a histogram quantile (nanoseconds) to microseconds.
+func (r *report) us(q float64) float64 { return r.lat.Quantile(q) / 1e3 }
+
 func (r *report) print(indent string) {
 	fmt.Printf("%sthroughput  %.0f req/s\n", indent, r.throughput())
-	fmt.Printf("%slatency     p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  mean %.0fµs  max %.0fµs\n",
-		indent, r.lat.Percentile(50), r.lat.Percentile(95), r.lat.Percentile(99), r.lat.Mean(), r.lat.Percentile(100))
+	label := "latency"
+	if r.openLoop {
+		label = "latency*" // * = from intended send time (see footnote)
+	}
+	fmt.Printf("%s%-11s p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  p99.9 %.0fµs  mean %.0fµs  max %.0fµs\n",
+		indent, label, r.us(0.5), r.us(0.95), r.us(0.99), r.us(0.999), r.lat.Mean()/1e3, r.us(1))
 	fmt.Printf("%smix         %d inserts, %d lookups (%d found", indent, r.inserts, r.lookups, r.found)
 	if r.lookups > 0 {
 		fmt.Printf(", %.1f%%", 100*float64(r.found)/float64(r.lookups))
 	}
 	fmt.Printf(")\n")
+	if r.openLoop {
+		fmt.Printf("%s            (* measured from each request's scheduled send time: queueing delay counts)\n", indent)
+	}
+}
+
+// newLatHist allocates one run's latency histogram (nanosecond samples).
+// Each run gets a private registry so repeated runs never merge.
+func newLatHist() *metrics.Histogram {
+	return metrics.NewRegistry().Histogram("loadgen.latency_seconds", 1e-9)
+}
+
+// doOne issues one request of the standard mix against c, updating r and
+// returning the error (if any).
+func doOne(c requester, rng *rand.Rand, insertRatio float64, keyIDs []idspace.ID, value []byte, r *connReport) error {
+	key := keyIDs[rng.Intn(len(keyIDs))]
+	if rng.Float64() < insertRatio {
+		_, err := c.Insert(server.OriginAuto, key, value)
+		r.inserts++
+		return err
+	}
+	res, err := c.Lookup(server.OriginAuto, key)
+	r.lookups++
+	if err == nil && res.Found {
+		r.found++
+	}
+	return err
+}
+
+// merge folds the per-connection counts into the aggregate report.
+func merge(agg *report, reports []connReport) {
+	for i := range reports {
+		r := &reports[i]
+		agg.total += r.requests
+		agg.inserts += r.inserts
+		agg.lookups += r.lookups
+		agg.found += r.found
+		agg.errs += r.errs
+		if agg.first == nil {
+			agg.first = r.firstErr
+		}
+	}
 }
 
 // runWorkload drives the standard closed-loop mix over conns workers,
@@ -95,6 +165,7 @@ func (r *report) print(indent string) {
 func runWorkload(conns, requests int, insertRatio float64, keyIDs []idspace.ID, value []byte, seed int64,
 	dial func(ci int) (requester, func(), error)) report {
 	reports := make([]connReport, conns)
+	lat := newLatHist()
 	var wg sync.WaitGroup
 	start := time.Now()
 	for ci := 0; ci < conns; ci++ {
@@ -115,20 +186,9 @@ func runWorkload(conns, requests int, insertRatio float64, keyIDs []idspace.ID, 
 			defer closeFn()
 			rng := rand.New(rand.NewSource(seed + int64(ci)))
 			for i := 0; i < per; i++ {
-				key := keyIDs[rng.Intn(len(keyIDs))]
 				t0 := time.Now()
-				if rng.Float64() < insertRatio {
-					_, err = c.Insert(server.OriginAuto, key, value)
-					r.inserts++
-				} else {
-					var res, lerr = c.Lookup(server.OriginAuto, key)
-					err = lerr
-					r.lookups++
-					if err == nil && res.Found {
-						r.found++
-					}
-				}
-				r.lat.Add(float64(time.Since(t0).Microseconds()))
+				err := doOne(c, rng, insertRatio, keyIDs, value, r)
+				lat.Observe(int64(time.Since(t0)))
 				r.requests++
 				if err != nil {
 					r.errs++
@@ -142,28 +202,88 @@ func runWorkload(conns, requests int, insertRatio float64, keyIDs []idspace.ID, 
 	}
 	wg.Wait()
 
-	agg := report{elapsed: time.Since(start)}
-	for i := range reports {
-		r := &reports[i]
-		agg.lat.Merge(&r.lat)
-		agg.total += r.requests
-		agg.inserts += r.inserts
-		agg.lookups += r.lookups
-		agg.found += r.found
-		agg.errs += r.errs
-		if agg.first == nil {
-			agg.first = r.firstErr
-		}
-	}
+	agg := report{lat: lat, elapsed: time.Since(start)}
+	merge(&agg, reports)
 	return agg
+}
+
+// runOpenLoop drives the mix at a fixed arrival rate: request k's
+// intended send time is start + k/rate, workers claim arrival slots from
+// a shared atomic counter, and latency is measured from the intended
+// time — so a request delayed because every worker was stuck behind a
+// slow server still shows its full wait in the percentiles (no
+// coordinated omission). conns bounds in-flight requests; if the server
+// cannot sustain the rate, the schedule slips and the slip is measured,
+// not hidden.
+func runOpenLoop(conns, requests int, rate, insertRatio float64, keyIDs []idspace.ID, value []byte, seed int64,
+	dial func(ci int) (requester, func(), error)) report {
+	reports := make([]connReport, conns)
+	lat := newLatHist()
+	interval := time.Duration(float64(time.Second) / rate)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	// Small lead so the earliest arrivals aren't already late before the
+	// workers finish dialing.
+	start := time.Now().Add(20 * time.Millisecond)
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			r := &reports[ci]
+			c, closeFn, err := dial(ci)
+			if err != nil {
+				r.errs++
+				r.firstErr = err
+				return
+			}
+			defer closeFn()
+			rng := rand.New(rand.NewSource(seed + int64(ci)))
+			for {
+				k := next.Add(1) - 1
+				if k >= int64(requests) {
+					return
+				}
+				intended := start.Add(time.Duration(k) * interval)
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				}
+				err := doOne(c, rng, insertRatio, keyIDs, value, r)
+				lat.Observe(int64(time.Since(intended)))
+				r.requests++
+				if err != nil {
+					r.errs++
+					if r.firstErr == nil {
+						r.firstErr = err
+					}
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	agg := report{lat: lat, elapsed: time.Since(start), openLoop: true}
+	merge(&agg, reports)
+	return agg
+}
+
+// runPhase picks the loop discipline: open-loop when rate > 0, else
+// closed-loop.
+func runPhase(conns, requests int, rate, insertRatio float64, keyIDs []idspace.ID, value []byte, seed int64,
+	dial func(ci int) (requester, func(), error)) report {
+	if rate > 0 {
+		return runOpenLoop(conns, requests, rate, insertRatio, keyIDs, value, seed, dial)
+	}
+	return runWorkload(conns, requests, insertRatio, keyIDs, value, seed, dial)
 }
 
 func run() int {
 	var (
 		addr        = flag.String("addr", "localhost:7700", "discoveryd address (with -cluster: comma-separated seed list)")
 		clusterMode = flag.Bool("cluster", false, "drive a multi-node cluster: run the workload route-direct (cluster-smart client) and relayed (one entry node), report side by side")
-		conns       = flag.Int("conns", 8, "concurrent connections")
+		conns       = flag.Int("conns", 8, "concurrent connections (with -rate: max in-flight requests)")
 		requests    = flag.Int("requests", 20000, "total requests across all connections")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop); latency is measured from each request's scheduled send time, so server-induced queueing counts (no coordinated omission)")
 		insertRatio = flag.Float64("insert-ratio", 0.1, "fraction of requests that are inserts")
 		keys        = flag.Int("keys", 5000, "key population size")
 		valueSize   = flag.Int("value-size", 32, "insert payload bytes")
@@ -183,6 +303,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "loadgen: -value-size must be non-negative")
 		return 2
 	}
+	if *rate < 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -rate must be non-negative")
+		return 2
+	}
 
 	// Pre-hash the key population so key derivation is off the timed path.
 	keyIDs := make([]idspace.ID, *keys)
@@ -195,7 +319,7 @@ func run() int {
 	}
 
 	if *clusterMode {
-		return runCluster(*addr, *conns, *requests, *insertRatio, *seed, *preload, keyIDs, value)
+		return runCluster(*addr, *conns, *requests, *rate, *insertRatio, *seed, *preload, keyIDs, value)
 	}
 
 	// Warm-up phase: populate the store before the measured window so
@@ -214,7 +338,7 @@ func run() int {
 		}
 	}
 
-	agg := runWorkload(*conns, *requests, *insertRatio, keyIDs, value, *seed, func(int) (requester, func(), error) {
+	agg := runPhase(*conns, *requests, *rate, *insertRatio, keyIDs, value, *seed, func(int) (requester, func(), error) {
 		c, err := server.Dial(*addr)
 		if err != nil {
 			return nil, nil, err
@@ -222,7 +346,12 @@ func run() int {
 		return c, func() { c.Close() }, nil
 	})
 
-	fmt.Printf("loadgen: %d requests over %d conns in %s\n", agg.total, *conns, agg.elapsed.Round(time.Millisecond))
+	if *rate > 0 {
+		fmt.Printf("loadgen: %d requests at %.0f req/s open-loop over %d conns in %s\n",
+			agg.total, *rate, *conns, agg.elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("loadgen: %d requests over %d conns in %s\n", agg.total, *conns, agg.elapsed.Round(time.Millisecond))
+	}
 	if agg.total > 0 {
 		agg.print("  ")
 	}
@@ -272,7 +401,7 @@ func preloadKeys(n, conns int, keyIDs []idspace.ID, value []byte, dial func(int)
 // runCluster runs the workload twice against a cluster — route-direct
 // through the cluster-smart client, then relayed through the first seed
 // — and reports the two side by side.
-func runCluster(addrList string, conns, requests int, insertRatio float64, seed int64, preload int,
+func runCluster(addrList string, conns, requests int, rate, insertRatio float64, seed int64, preload int,
 	keyIDs []idspace.ID, value []byte) int {
 	var seeds []string
 	for _, a := range strings.Split(addrList, ",") {
@@ -310,13 +439,13 @@ func runCluster(addrList string, conns, requests int, insertRatio float64, seed 
 
 	// Route-direct: all workers multiplex onto the shared cluster-smart
 	// client, whose per-node connections pipeline and coalesce.
-	direct := runWorkload(conns, requests, insertRatio, keyIDs, value, seed, func(int) (requester, func(), error) {
+	direct := runPhase(conns, requests, rate, insertRatio, keyIDs, value, seed, func(int) (requester, func(), error) {
 		return cc, func() {}, nil
 	})
 	st := cc.Stats()
 
 	// Relay: the identical workload, cluster-unaware, through seed 0.
-	relay := runWorkload(conns, requests, insertRatio, keyIDs, value, seed, func(int) (requester, func(), error) {
+	relay := runPhase(conns, requests, rate, insertRatio, keyIDs, value, seed, func(int) (requester, func(), error) {
 		c, err := server.Dial(seeds[0])
 		if err != nil {
 			return nil, nil, err
@@ -324,11 +453,15 @@ func runCluster(addrList string, conns, requests int, insertRatio float64, seed 
 		return c, func() { c.Close() }, nil
 	})
 
-	fmt.Printf("loadgen: route-direct — %d requests over %d conns in %s (%d routed, %d relayed, %d refreshes)\n",
-		direct.total, conns, direct.elapsed.Round(time.Millisecond), st.Routed, st.Relayed, st.Refreshes)
+	mode := ""
+	if rate > 0 {
+		mode = fmt.Sprintf(" at %.0f req/s open-loop", rate)
+	}
+	fmt.Printf("loadgen: route-direct%s — %d requests over %d conns in %s (%d routed, %d relayed, %d refreshes)\n",
+		mode, direct.total, conns, direct.elapsed.Round(time.Millisecond), st.Routed, st.Relayed, st.Refreshes)
 	direct.print("  ")
-	fmt.Printf("loadgen: relay via %s — %d requests over %d conns in %s\n",
-		seeds[0], relay.total, conns, relay.elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: relay via %s%s — %d requests over %d conns in %s\n",
+		seeds[0], mode, relay.total, conns, relay.elapsed.Round(time.Millisecond))
 	relay.print("  ")
 	if relay.throughput() > 0 {
 		fmt.Printf("loadgen: route-direct / relay throughput ratio: %.2fx\n", direct.throughput()/relay.throughput())

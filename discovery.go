@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"discovery/internal/idspace"
+	"discovery/internal/metrics"
 	"discovery/internal/mpil"
 )
 
@@ -34,6 +35,16 @@ type config struct {
 	seed                 int64
 	regionIndex          int
 	regionCount          int
+	metrics              *metrics.Registry
+}
+
+// WithMetrics registers the pool's per-shard operation counters in reg
+// (under pool.ops{op=...,shard=...} and friends) instead of a private
+// registry, so a process-wide registry — the daemon's /metrics endpoint
+// — sees them. Pool.Stats reads the same counters either way; the wire
+// TStatsOK reply and the exposition endpoint can never disagree.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *config) { c.metrics = reg }
 }
 
 // Option customizes a Service.

@@ -280,7 +280,10 @@ func OpenDurablePool(ov Overlay, shards int, cfg DurableConfig, opts ...Option) 
 		stats.SnapshotEntries += n
 	}
 
-	log, err := wal.Open(cfg.Dir, wal.Options{SegmentBytes: cfg.SegmentBytes, Sync: cfg.Fsync})
+	// The WAL shares the pool's metrics registry (NewPool guarantees one,
+	// private unless WithMetrics supplied a shared registry), so wal.*
+	// series land next to pool.* under one /metrics scrape.
+	log, err := wal.Open(cfg.Dir, wal.Options{SegmentBytes: cfg.SegmentBytes, Sync: cfg.Fsync, Metrics: p.base.metrics})
 	if err != nil {
 		return nil, stats, err
 	}

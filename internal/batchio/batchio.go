@@ -20,6 +20,8 @@ package batchio
 import (
 	"net"
 	"time"
+
+	"discovery/internal/metrics"
 )
 
 // Default coalescing budgets: at most DefaultMaxFrames frames and
@@ -31,6 +33,30 @@ const (
 	DefaultMaxFrames = 64
 	DefaultMaxBytes  = 256 << 10
 )
+
+// Stats meters a WriteLoop's coalescing: vectored writes issued, frames
+// and bytes flushed, and the frames-per-write distribution (the
+// coalescing ratio). The metric fields are nil-safe, so a zero Stats —
+// or a nil *Stats — meters nothing; observation happens only after a
+// successful write.
+type Stats struct {
+	Writes         *metrics.Counter
+	Frames         *metrics.Counter
+	Bytes          *metrics.Counter
+	FramesPerWrite *metrics.Histogram
+}
+
+// observe records one successful vectored write of frames totalling n
+// bytes.
+func (st *Stats) observe(frames int, n int) {
+	if st == nil {
+		return
+	}
+	st.Writes.Inc()
+	st.Frames.Add(uint64(frames))
+	st.Bytes.Add(uint64(n))
+	st.FramesPerWrite.Observe(int64(frames))
+}
 
 // Collect gathers one coalesced write batch from ch: it blocks until a
 // first frame arrives, then drains already-queued frames without
@@ -52,8 +78,8 @@ const (
 // the loop keeps draining (and recycling) without writing, so producers
 // never block on a dead peer. WriteLoop returns when ch is closed and
 // drained; closing ch is the caller's job, after the last producer is
-// done.
-func WriteLoop(nc net.Conn, ch <-chan *[]byte, maxFrames, maxBytes int, timeout time.Duration, put func(*[]byte), onBroken func(error)) {
+// done. st, when non-nil, meters each successful flush (see Stats).
+func WriteLoop(nc net.Conn, ch <-chan *[]byte, maxFrames, maxBytes int, timeout time.Duration, put func(*[]byte), onBroken func(error), st *Stats) {
 	broken := false
 	var slots []*[]byte
 	var backing net.Buffers
@@ -67,10 +93,18 @@ func WriteLoop(nc net.Conn, ch <-chan *[]byte, maxFrames, maxBytes int, timeout 
 		// backing array so the next batch reuses its capacity.
 		backing = bufs
 		if !broken {
+			total := 0
+			if st != nil {
+				for _, b := range bufs {
+					total += len(b)
+				}
+			}
 			nc.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck // surfaced by WriteTo
 			if _, err := bufs.WriteTo(nc); err != nil {
 				broken = true
 				onBroken(err)
+			} else {
+				st.observe(len(slots), total)
 			}
 		}
 		for _, bp := range slots {

@@ -6,6 +6,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"discovery/internal/metrics"
 )
 
 func frame(n int, fill byte) *[]byte {
@@ -182,12 +184,19 @@ func TestWriteLoopFlushesAndRecycles(t *testing.T) {
 	defer client.Close()
 	ch := make(chan *[]byte, 8)
 	recycled := make(chan *[]byte, 8)
+	reg := metrics.NewRegistry()
+	st := &Stats{
+		Writes:         reg.Counter("writes"),
+		Frames:         reg.Counter("frames"),
+		Bytes:          reg.Counter("bytes"),
+		FramesPerWrite: reg.Histogram("frames_per_write", 1),
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		WriteLoop(srv, ch, 0, 0, time.Second,
 			func(bp *[]byte) { recycled <- bp },
-			func(error) { srv.Close() })
+			func(error) { srv.Close() }, st)
 	}()
 	var want []byte
 	for i := 0; i < 5; i++ {
@@ -212,6 +221,18 @@ func TestWriteLoopFlushesAndRecycles(t *testing.T) {
 	if len(recycled) != 5 {
 		t.Fatalf("recycled %d of 5 frames", len(recycled))
 	}
+	if st.Frames.Value() != 5 {
+		t.Fatalf("Stats.Frames = %d, want 5", st.Frames.Value())
+	}
+	if w := st.Writes.Value(); w == 0 || w > 5 {
+		t.Fatalf("Stats.Writes = %d, want 1..5", w)
+	}
+	if st.Bytes.Value() != uint64(len(want)) {
+		t.Fatalf("Stats.Bytes = %d, want %d", st.Bytes.Value(), len(want))
+	}
+	if st.FramesPerWrite.Count() != st.Writes.Value() {
+		t.Fatalf("FramesPerWrite.Count = %d, want %d", st.FramesPerWrite.Count(), st.Writes.Value())
+	}
 }
 
 // TestWriteLoopSurvivesBrokenPeer pins the drain-after-error contract:
@@ -228,7 +249,7 @@ func TestWriteLoopSurvivesBrokenPeer(t *testing.T) {
 		defer close(done)
 		WriteLoop(srv, ch, 0, 0, 50*time.Millisecond,
 			func(*[]byte) { rec <- struct{}{} },
-			func(err error) { broke <- err; srv.Close() })
+			func(err error) { broke <- err; srv.Close() }, nil)
 	}()
 	// The peer never reads: the first write trips the deadline.
 	ch <- frame(10, 1)

@@ -39,12 +39,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	discovery "discovery"
 	"discovery/internal/batchio"
 	"discovery/internal/idspace"
+	"discovery/internal/metrics"
 	"discovery/internal/wire"
 )
 
@@ -59,6 +59,10 @@ type Config struct {
 	CallTimeout time.Duration
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the client's cluster.* counters
+	// (routed/relayed/refreshes). Nil keeps them in a private registry;
+	// Stats reads the same counters either way.
+	Metrics *metrics.Registry
 }
 
 // OriginAuto, passed as the origin of Insert/Lookup/Delete, lets the
@@ -97,9 +101,11 @@ type Client struct {
 	conns  map[string]*nodeConn
 	closed bool
 
-	routed    atomic.Uint64
-	relayed   atomic.Uint64
-	refreshes atomic.Uint64
+	// Registry-backed counters: Stats and a /metrics scrape of the same
+	// registry read the same atomics, so they can never disagree.
+	routed    *metrics.Counter
+	relayed   *metrics.Counter
+	refreshes *metrics.Counter
 
 	bufs sync.Pool // *[]byte outbound frame buffers
 }
@@ -119,12 +125,19 @@ func Dial(cfg Config) (*Client, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	c := &Client{
 		dialTimeout: cfg.DialTimeout,
 		callTimeout: cfg.CallTimeout,
 		logf:        cfg.Logf,
 		seeds:       append([]string(nil), cfg.Seeds...),
 		conns:       make(map[string]*nodeConn),
+		routed:      reg.Counter("cluster.routed"),
+		relayed:     reg.Counter("cluster.relayed"),
+		refreshes:   reg.Counter("cluster.refreshes"),
 	}
 	c.bufs.New = func() any {
 		b := make([]byte, 0, 512)
@@ -137,9 +150,11 @@ func Dial(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// Stats returns how requests traveled so far.
+// Stats returns how requests traveled so far. The counts are read from
+// the client's metrics registry, so they match a concurrent /metrics
+// scrape exactly; reads are atomic and safe under live traffic.
 func (c *Client) Stats() Stats {
-	return Stats{Routed: c.routed.Load(), Relayed: c.relayed.Load(), Refreshes: c.refreshes.Load()}
+	return Stats{Routed: c.routed.Value(), Relayed: c.relayed.Value(), Refreshes: c.refreshes.Value()}
 }
 
 // Members returns the current member table (a copy) and its fingerprint.
@@ -260,10 +275,10 @@ func (c *Client) do(typ wire.Type, key idspace.ID, origin uint32, value []byte, 
 			// just two hops instead of one.
 			req = &wire.Msg{Type: typ, Key: key, Origin: origin, Value: value}
 			addr = anchor
-			c.relayed.Add(1)
+			c.relayed.Inc()
 		} else {
 			req = &wire.Msg{Type: wire.TRoute, RouteKind: typ, Cluster: v.hash, Key: key, Origin: origin, Value: value}
-			c.routed.Add(1)
+			c.routed.Inc()
 		}
 		resp, err := c.call(addr, req)
 		if err != nil {
@@ -280,7 +295,7 @@ func (c *Client) do(typ wire.Type, key idspace.ID, origin uint32, value []byte, 
 			if attempt >= 1 {
 				return nil, fmt.Errorf("cluster: %s still refuses after refresh (its view %016x)", addr, resp.Cluster)
 			}
-			c.refreshes.Add(1)
+			c.refreshes.Inc()
 			if rerr := c.Refresh(); rerr != nil {
 				return nil, fmt.Errorf("cluster: view rejected by %s and refresh failed: %w", addr, rerr)
 			}

@@ -1,0 +1,51 @@
+// HTTP exposition for a Registry: a private mux serving Prometheus text
+// on /metrics, the full net/http/pprof surface under /debug/pprof/, and
+// expvar (Go runtime memstats + cmdline) on /debug/vars — everything a
+// soak run needs to be observed and profiled while it happens, without
+// touching http.DefaultServeMux.
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Mux returns a mux with /metrics (Prometheus text), /debug/pprof/* and
+// /debug/vars wired onto it. The pprof handlers are registered
+// explicitly so nothing leaks onto http.DefaultServeMux.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves the registry's Mux on
+// it in a background goroutine until the listener is closed. It returns
+// the bound address so callers can log it (and tests can scrape
+// ephemeral ports), plus a stop function.
+func (r *Registry) Serve(addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.Mux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

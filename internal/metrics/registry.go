@@ -1,0 +1,501 @@
+// Registry-backed instrumentation: lock-free counters, gauges, and
+// bounded log₂-bucket latency histograms with namespaced registration
+// and Prometheus text exposition. Unlike the accumulators in metrics.go
+// (which are single-goroutine experiment helpers), everything here is
+// safe for concurrent use and allocation-free on the hot paths
+// (Counter.Add, Gauge.Set, Histogram.Observe), so the serving layers can
+// instrument per-request work without perturbing what they measure.
+//
+// Metric names are namespaced dotted paths with optional {k=v,...}
+// labels, e.g. "server.requests{op=insert,shard=3}". The full string is
+// the identity: registering the same name twice returns the same metric,
+// which is how the wire-level TStats reply and the /metrics endpoint
+// stay sourced from a single set of counters.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. All methods are safe
+// for concurrent use and nil-safe: a nil *Counter ignores writes and
+// reads as zero, so components can instrument unconditionally whether or
+// not a registry was configured.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket geometry: values below 1<<histSubBits land in exact
+// unit buckets; above that, each power-of-two range splits into
+// 1<<histSubBits sub-buckets, so the relative bucket width is at most
+// 1/2^histSubBits = 12.5%. That bounds the whole structure — any uint64
+// observation fits in histBuckets counters (~4KB) — while keeping
+// percentile error within one bucket of the exact answer.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// exact buckets [0,histSub) + histSub sub-buckets for each exponent
+	// histSubBits..63.
+	histBuckets = histSub + (64-histSubBits)*histSub
+)
+
+// Histogram is a fixed-memory log₂-scale distribution of non-negative
+// int64 observations (typically latencies in nanoseconds or batch
+// sizes). Observe is lock-free and allocation-free; Quantile answers
+// nearest-rank percentile queries within one bucket (≤12.5% relative
+// error) of the exact value. Histograms merge across shards and
+// connections. Nil-safe like Counter.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// histBucketOf maps a value to its bucket index.
+func histBucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // exponent, >= histSubBits
+	m := (v >> (uint(e) - histSubBits)) & (histSub - 1)
+	return (e-histSubBits+1)*histSub + int(m)
+}
+
+// histBucketLower returns the smallest value mapping to bucket idx.
+func histBucketLower(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	e := uint(idx/histSub) + histSubBits - 1
+	m := uint64(idx % histSub)
+	return 1<<e | m<<(e-histSubBits)
+}
+
+// histBucketUpper returns the largest value mapping to bucket idx.
+func histBucketUpper(idx int) uint64 {
+	if idx >= histBuckets-1 {
+		return math.MaxUint64
+	}
+	return histBucketLower(idx+1) - 1
+}
+
+// Observe records one observation; negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(u)
+	h.buckets[histBucketOf(u)].Add(1)
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation seen (exact, not bucketed).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) by the nearest-rank
+// method over the buckets: the value returned is the upper bound of the
+// bucket holding the rank-th smallest observation (clamped to the exact
+// recorded max), so it is within one bucket of the exact order
+// statistic. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			v := histBucketUpper(i)
+			if m := h.max.Load(); m < v {
+				v = m
+			}
+			if lo := histBucketLower(i); v < lo {
+				v = lo
+			}
+			return float64(v)
+		}
+	}
+	return float64(h.max.Load())
+}
+
+// Merge folds another histogram's observations into h. Concurrent
+// Observes on either side during the merge are not lost, but the merged
+// view may be a slightly torn snapshot; callers merge quiesced or
+// tolerate that.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// metricKind discriminates registry entries for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// entry is one registered metric.
+type entry struct {
+	name  string // full name with labels, e.g. "server.requests{op=insert}"
+	kind  metricKind
+	ctr   *Counter
+	gauge *Gauge
+	fn    func() float64
+	hist  *Histogram
+	scale float64 // histogram exposition multiplier (e.g. 1e-9 ns→s)
+}
+
+// Registry is a named collection of metrics. Registration (Counter,
+// Gauge, Histogram, ...) takes a mutex and may allocate; the returned
+// metric pointers are then lock-free, so callers register once and keep
+// the pointer. Registering the same full name again returns the same
+// metric. A nil *Registry is valid and returns nil metrics, whose
+// methods are all no-ops — components can be instrumented
+// unconditionally and run unmetered when no registry is configured.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) lookup(name string, kind metricKind) *entry {
+	e := r.entries[name]
+	if e == nil {
+		return nil
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %q already registered with a different type", name))
+	}
+	return e
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindCounter); e != nil {
+		return e.ctr
+	}
+	e := &entry{name: name, kind: kindCounter, ctr: new(Counter)}
+	r.entries[name] = e
+	return e.ctr
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindGauge); e != nil {
+		return e.gauge
+	}
+	e := &entry{name: name, kind: kindGauge, gauge: new(Gauge)}
+	r.entries[name] = e
+	return e.gauge
+}
+
+// GaugeFunc registers fn to be sampled at exposition time (e.g. a queue
+// depth read live from len(ch)). Re-registering a name replaces the
+// function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindGaugeFunc); e != nil {
+		e.fn = fn
+		return
+	}
+	r.entries[name] = &entry{name: name, kind: kindGaugeFunc, fn: fn}
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given exposition scale if needed (observations are multiplied
+// by scale when rendered, so nanosecond observations with scale 1e-9
+// expose as seconds; pass 1 for unitless values). The scale of an
+// existing histogram is not changed.
+func (r *Registry) Histogram(name string, scale float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, kindHistogram); e != nil {
+		return e.hist
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	e := &entry{name: name, kind: kindHistogram, hist: new(Histogram), scale: scale}
+	r.entries[name] = e
+	return e.hist
+}
+
+// snapshot returns the registered entries sorted by name.
+func (r *Registry) snapshot() []*entry {
+	r.mu.Lock()
+	es := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		es = append(es, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	return es
+}
+
+// splitName separates "base{k=v,...}" into the base name and the label
+// list (empty when unlabelled).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}")
+		return base, labels
+	}
+	return name, ""
+}
+
+// promName sanitizes a dotted metric name into the Prometheus charset:
+// dots and any other invalid runes become underscores.
+func promName(base string) string {
+	var b strings.Builder
+	b.Grow(len(base))
+	for i, c := range base {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0) || c == ':'
+		if !ok {
+			c = '_'
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}
+
+// promLabels renders "k=v,k2=v2" (plus any extra pairs) as a
+// {k="v",k2="v2"} block, or "" when there are no labels.
+func promLabels(labels string, extra ...string) string {
+	var parts []string
+	if labels != "" {
+		for _, kv := range strings.Split(labels, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				k, v = kv, ""
+			}
+			parts = append(parts, fmt.Sprintf("%s=%q", promName(strings.TrimSpace(k)), strings.TrimSpace(v)))
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// fmtFloat renders a float without trailing zero noise: integral values
+// print as integers, everything else in %g form.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// histQuantiles are the quantiles exposed for every histogram; 1 is the
+// exact recorded max.
+var histQuantiles = []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format. Histograms are rendered as summaries (pre-computed
+// quantiles + _sum + _count) rather than 496 cumulative buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	typed := make(map[string]bool)
+	for _, e := range r.snapshot() {
+		base, labels := splitName(e.name)
+		fam := promName(base)
+		var typ string
+		switch e.kind {
+		case kindCounter:
+			typ = "counter"
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "summary"
+		}
+		if !typed[fam] {
+			typed[fam] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", fam, promLabels(labels), e.ctr.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", fam, promLabels(labels), e.gauge.Value())
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", fam, promLabels(labels), fmtFloat(e.fn()))
+		case kindHistogram:
+			err = writePromHistogram(w, fam, labels, e.hist, e.scale)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, fam, labels string, h *Histogram, scale float64) error {
+	for _, q := range histQuantiles {
+		v := h.Quantile(q)
+		if q == 1 {
+			v = float64(h.Max())
+		}
+		lbl := promLabels(labels, "quantile", fmtFloat(q))
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", fam, lbl, fmtFloat(v*scale)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, promLabels(labels), fmtFloat(float64(h.Sum())*scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, promLabels(labels), h.Count())
+	return err
+}

@@ -11,6 +11,7 @@ import (
 	discovery "discovery"
 	"discovery/internal/batchio"
 	"discovery/internal/idspace"
+	"discovery/internal/metrics"
 	"discovery/internal/wire"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	ProbeInterval time.Duration
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the node's p2p.* instrumentation
+	// (outbound call latency and coalescing, inbound peer-writer
+	// coalescing). Nil keeps the counters in a private registry, so
+	// Transport.WriteStats works either way.
+	Metrics *metrics.Registry
 }
 
 // Node is the per-process cluster runtime: the inbound peer listener, the
@@ -70,6 +76,11 @@ type Node struct {
 
 	wg sync.WaitGroup
 
+	// pwstats meters the inbound peer-connection writers (response
+	// coalescing), shared across connections; nil when Config.Metrics is
+	// nil, which leaves connWriter unmetered.
+	pwstats *batchio.Stats
+
 	bufs sync.Pool // *[]byte pooled peer-reply frame buffers
 }
 
@@ -89,11 +100,19 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:         cfg,
-		tr:          NewTransport(cfg.Cluster, cfg.Overlay, cfg.DialTimeout, cfg.CallTimeout, cfg.Logf),
+		tr:          NewTransport(cfg.Cluster, cfg.Overlay, cfg.DialTimeout, cfg.CallTimeout, cfg.Logf, cfg.Metrics),
 		fwdSem:      make(chan struct{}, cfg.MaxForwards),
 		quit:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
 		clientAddrs: make([]string, cfg.Cluster.N()),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		n.pwstats = &batchio.Stats{
+			Writes:         reg.Counter("p2p.peer_writes"),
+			Frames:         reg.Counter("p2p.peer_frames"),
+			Bytes:          reg.Counter("p2p.peer_write_bytes"),
+			FramesPerWrite: reg.Histogram("p2p.peer_frames_per_write", 1),
+		}
 	}
 	n.bufs.New = func() any {
 		b := make([]byte, 0, 512)
@@ -323,7 +342,7 @@ func (n *Node) connWriter(nc net.Conn, out <-chan *[]byte, done chan<- struct{})
 		func(err error) {
 			n.cfg.Logf("p2p: write to %v: %v", nc.RemoteAddr(), err)
 			nc.Close()
-		})
+		}, n.pwstats)
 }
 
 // handlePeer executes one decoded peer request into reply (reqID is

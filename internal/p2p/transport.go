@@ -6,10 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"discovery/internal/batchio"
+	"discovery/internal/metrics"
 	"discovery/internal/wire"
 )
 
@@ -48,11 +48,20 @@ type Transport struct {
 	proberQuit chan struct{}
 	proberWg   sync.WaitGroup
 
-	// Outbound syscall accounting: writes counts vectored write(2) calls,
-	// frames counts the frames they carried. frames/writes is the
-	// coalescing ratio — above 1.0 means pipelined calls shared syscalls.
-	writes    atomic.Uint64
-	framesOut atomic.Uint64
+	// Instrumentation, registry-backed so a process-wide /metrics scrape
+	// and WriteStats read the same atomics. writes counts vectored
+	// write(2) calls, framesOut the frames they carried — frames/writes
+	// is the coalescing ratio, with p2p.frames_per_write holding its
+	// distribution. calls/callErrors/callNanos meter Call round trips,
+	// dials/redials the connection churn.
+	writes         *metrics.Counter
+	framesOut      *metrics.Counter
+	framesPerWrite *metrics.Histogram
+	calls          *metrics.Counter
+	callErrors     *metrics.Counter
+	callNanos      *metrics.Histogram
+	dials          *metrics.Counter
+	redials        *metrics.Counter
 
 	bufs sync.Pool // *[]byte outbound frame buffers
 }
@@ -65,8 +74,10 @@ var errTransportClosed = errors.New("p2p: transport closed")
 const peerReadBuffer = 32 << 10
 
 // NewTransport builds the peer-connection table. Zero timeouts select
-// the defaults (500ms dial, 5s call).
-func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.Duration, logf func(string, ...any)) *Transport {
+// the defaults (500ms dial, 5s call). reg receives the transport's
+// p2p.* instrumentation; nil selects a private registry, so WriteStats
+// works either way.
+func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.Duration, logf func(string, ...any), reg *metrics.Registry) *Transport {
 	if dialTimeout <= 0 {
 		dialTimeout = 500 * time.Millisecond
 	}
@@ -76,14 +87,25 @@ func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.D
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	t := &Transport{
-		cluster:     c,
-		overlay:     ov,
-		dialTimeout: dialTimeout,
-		callTimeout: callTimeout,
-		logf:        logf,
-		peers:       make([]*peerConn, c.N()),
-		proberQuit:  make(chan struct{}),
+		cluster:        c,
+		overlay:        ov,
+		dialTimeout:    dialTimeout,
+		callTimeout:    callTimeout,
+		logf:           logf,
+		peers:          make([]*peerConn, c.N()),
+		proberQuit:     make(chan struct{}),
+		writes:         reg.Counter("p2p.writes"),
+		framesOut:      reg.Counter("p2p.frames"),
+		framesPerWrite: reg.Histogram("p2p.frames_per_write", 1),
+		calls:          reg.Counter("p2p.calls"),
+		callErrors:     reg.Counter("p2p.call_errors"),
+		callNanos:      reg.Histogram("p2p.call_seconds", 1e-9),
+		dials:          reg.Counter("p2p.dials"),
+		redials:        reg.Counter("p2p.redials"),
 	}
 	t.bufs.New = func() any {
 		b := make([]byte, 0, 512)
@@ -116,8 +138,11 @@ func (t *Transport) OnPeerClientAddr(fn func(i int, addr string)) {
 // WriteStats returns the cumulative outbound syscall counters: vectored
 // writes issued and frames they carried. frames >= writes always;
 // frames > writes means pipelined calls shared write(2) invocations.
+// The counters live in the transport's metrics registry (p2p.writes /
+// p2p.frames), so this is the same data a /metrics scrape sees; reads
+// are atomic and safe under concurrent traffic.
 func (t *Transport) WriteStats() (writes, frames uint64) {
-	return t.writes.Load(), t.framesOut.Load()
+	return t.writes.Value(), t.framesOut.Value()
 }
 
 // redialBackoff is how long after a SLOW dial failure (a timeout —
@@ -157,11 +182,12 @@ type peerConn struct {
 
 	wmu sync.Mutex // dial serialization
 
-	mu       sync.Mutex
-	cur      *connState
-	nextID   uint64
-	pending  map[uint64]chan *wire.Msg
-	lastFail time.Time // last failed dial, for redialBackoff
+	mu            sync.Mutex
+	cur           *connState
+	nextID        uint64
+	pending       map[uint64]chan *wire.Msg
+	lastFail      time.Time // last failed dial, for redialBackoff
+	everConnected bool      // a later dial is a redial, not a first dial
 }
 
 // Call sends m to peer i and waits for its response, dialing or redialing
@@ -169,6 +195,18 @@ type peerConn struct {
 // is owned by the caller. Transport health (RemoteOverlay.Alive) is
 // updated as a side effect.
 func (t *Transport) Call(i int, m *wire.Msg) (*wire.Msg, error) {
+	t.calls.Inc()
+	start := time.Now()
+	resp, err := t.call(i, m)
+	if err != nil {
+		t.callErrors.Inc()
+		return nil, err
+	}
+	t.callNanos.Observe(int64(time.Since(start)))
+	return resp, nil
+}
+
+func (t *Transport) call(i int, m *wire.Msg) (*wire.Msg, error) {
 	if i == t.cluster.Self() {
 		return nil, fmt.Errorf("p2p: call to self (index %d)", i)
 	}
@@ -275,7 +313,13 @@ func (pc *peerConn) conn() (*connState, error) {
 	}
 	pc.cur = cs
 	pc.lastFail = time.Time{}
+	redial := pc.everConnected
+	pc.everConnected = true
 	pc.mu.Unlock()
+	t.dials.Inc()
+	if redial {
+		t.redials.Inc()
+	}
 	go pc.readLoop(cs)
 	go pc.writeLoop(cs)
 	return cs, nil
@@ -344,8 +388,9 @@ func (pc *peerConn) writeLoop(cs *connState) {
 				t.logf("p2p: write to %s: %v", pc.addr, err)
 				pc.teardown(cs)
 			} else {
-				t.writes.Add(1)
+				t.writes.Inc()
 				t.framesOut.Add(uint64(n))
+				t.framesPerWrite.Observe(int64(n))
 			}
 		}
 		for _, bp := range slots {

@@ -18,7 +18,7 @@ func newInternalTransport(t *testing.T) *Transport {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewTransport(cluster, ov, 0, 0, t.Logf)
+	return NewTransport(cluster, ov, 0, 0, t.Logf, nil)
 }
 
 // TestCollectOutZeroAllocs pins the outbound drain path's allocation

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"testing"
+
+	discovery "discovery"
+	"discovery/internal/metrics"
+)
+
+// newMeteredTestServer is newTestServer with full instrumentation
+// attached: one registry shared by the pool and the server, exactly how
+// the daemons wire it when -metrics-listen is set. The benchmarks built
+// on it measure what observability costs on the hot path — the delta
+// against the unmetered variants is the price of the two time.Now calls
+// per request plus the per-op counter/histogram updates.
+func newMeteredTestServer(t testing.TB, shards, queueDepth int) (string, *metrics.Registry) {
+	t.Helper()
+	ov, err := discovery.CompleteOverlay(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	pool, err := discovery.NewPool(ov, shards,
+		discovery.WithMetrics(reg), discovery.WithSeed(1), discovery.WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Pool: pool, QueueDepth: queueDepth, Logf: t.Logf, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String(), reg
+}
+
+// newMeteredDurableTestServer is the durable counterpart: registry
+// shared across pool, WAL, and server.
+func newMeteredDurableTestServer(t testing.TB, dir string, shards, queueDepth int, fsync discovery.FsyncPolicy) (string, *metrics.Registry) {
+	t.Helper()
+	ov, err := discovery.CompleteOverlay(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	dp, _, err := discovery.OpenDurablePool(ov, shards, discovery.DurableConfig{
+		Dir:   dir,
+		Fsync: fsync,
+	}, discovery.WithMetrics(reg), discovery.WithSeed(1), discovery.WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Pool: dp.Pool, QueueDepth: queueDepth, Store: dp, Logf: t.Logf, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String(), reg
+}
+
+// BenchmarkDaemonThroughputMetered is BenchmarkDaemonThroughput with a
+// live registry attached (queue-wait and service-time histograms,
+// per-op counters, coalescing stats all recording).
+func BenchmarkDaemonThroughputMetered(b *testing.B) {
+	addr, reg := newMeteredTestServer(b, 4, 64)
+	benchThroughput(b, addr, 0)
+	if n := reg.Histogram("server.service_seconds{op=lookup}", 1e-9).Count(); n == 0 {
+		b.Fatal("metered benchmark recorded no service-time samples")
+	}
+}
+
+// BenchmarkDaemonMixedDurableMetered is BenchmarkDaemonMixedDurable
+// with the registry attached: server timings plus WAL append/fsync
+// histograms, the fully-instrumented durable write path.
+func BenchmarkDaemonMixedDurableMetered(b *testing.B) {
+	addr, reg := newMeteredDurableTestServer(b, b.TempDir(), 4, 64, discovery.FsyncBatch)
+	benchThroughput(b, addr, 0.10)
+	if n := reg.Counter("wal.fsyncs").Value(); n == 0 {
+		b.Fatal("metered durable benchmark recorded no fsyncs")
+	}
+}

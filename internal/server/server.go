@@ -51,6 +51,7 @@ import (
 	discovery "discovery"
 	"discovery/internal/batchio"
 	"discovery/internal/idspace"
+	"discovery/internal/metrics"
 	"discovery/internal/wire"
 )
 
@@ -110,6 +111,13 @@ type Config struct {
 	// are then read with at most one syscall of readahead — for tests
 	// that need byte-accurate backpressure).
 	ReadBuffer int
+	// Metrics, when non-nil, receives the serving layer's
+	// instrumentation: server.requests{op=...}, server.routed /
+	// forwarded / wrongview / shed counters, per-op service-time and
+	// queue-wait histograms, response coalescing stats, and live
+	// per-shard queue depth gauges. nil leaves the hot path unmetered
+	// (not even timestamped).
+	Metrics *metrics.Registry
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
 }
@@ -142,6 +150,24 @@ type Server struct {
 	connWg   sync.WaitGroup // writers and per-connection drainers
 
 	bufs sync.Pool // *[]byte response frame buffers
+
+	// Instrumentation (all nil without Config.Metrics; metered guards
+	// the timestamping so the unmetered hot path stays untouched).
+	metered    bool
+	reqInsert  *metrics.Counter
+	reqLookup  *metrics.Counter
+	reqDelete  *metrics.Counter
+	reqStats   *metrics.Counter
+	routed     *metrics.Counter // TRoute frames executed locally
+	forwarded  *metrics.Counter // keyed requests relayed to their owner
+	wrongview  *metrics.Counter // TRoute refusals for a stale fingerprint
+	shed       *metrics.Counter // connections severed by a stalled writer
+	queueWait  *metrics.Histogram // enqueue → batch execution start
+	svcInsert  *metrics.Histogram // per-op share of batch service time
+	svcLookup  *metrics.Histogram
+	svcDelete  *metrics.Histogram
+	batchTasks *metrics.Histogram // tasks per executed shard batch
+	wstats     batchio.Stats      // response writev coalescing
 }
 
 // task is one keyed request bound for a shard worker.
@@ -151,7 +177,8 @@ type task struct {
 	reqID  uint64
 	key    idspace.ID
 	origin uint32
-	value  []byte // insert payload, owned by the task
+	value  []byte    // insert payload, owned by the task
+	enq    time.Time // enqueue instant; zero when the server is unmetered
 }
 
 // conn pairs a network connection with its outbound response queue.
@@ -219,8 +246,41 @@ func New(cfg Config) (*Server, error) {
 		b := make([]byte, 0, 512)
 		return &b
 	}
+	if reg := cfg.Metrics; reg != nil {
+		s.metered = true
+		s.reqInsert = reg.Counter("server.requests{op=insert}")
+		s.reqLookup = reg.Counter("server.requests{op=lookup}")
+		s.reqDelete = reg.Counter("server.requests{op=delete}")
+		s.reqStats = reg.Counter("server.requests{op=stats}")
+		s.routed = reg.Counter("server.routed")
+		s.forwarded = reg.Counter("server.forwarded")
+		s.wrongview = reg.Counter("server.wrongview")
+		s.shed = reg.Counter("server.shed")
+		s.queueWait = reg.Histogram("server.queue_wait_seconds", 1e-9)
+		s.svcInsert = reg.Histogram("server.service_seconds{op=insert}", 1e-9)
+		s.svcLookup = reg.Histogram("server.service_seconds{op=lookup}", 1e-9)
+		s.svcDelete = reg.Histogram("server.service_seconds{op=delete}", 1e-9)
+		s.batchTasks = reg.Histogram("server.batch_tasks", 1)
+		s.wstats = batchio.Stats{
+			Writes:         reg.Counter("server.writes"),
+			Frames:         reg.Counter("server.frames"),
+			Bytes:          reg.Counter("server.write_bytes"),
+			FramesPerWrite: reg.Histogram("server.frames_per_write", 1),
+		}
+		reg.GaugeFunc("server.connections", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
+	}
 	for i := range s.queues {
 		s.queues[i] = make(chan task, depth)
+		if cfg.Metrics != nil {
+			q := s.queues[i]
+			cfg.Metrics.GaugeFunc(fmt.Sprintf("server.queue_depth{shard=%d}", i), func() float64 {
+				return float64(len(q))
+			})
+		}
 		s.workerWg.Add(1)
 		go s.shardWorker(i)
 	}
@@ -357,6 +417,7 @@ func (s *Server) readLoop(c *conn) {
 		}
 		switch m.Type {
 		case wire.TStats:
+			s.reqStats.Inc()
 			s.replyStats(c, m.ReqID)
 		case wire.TMembers:
 			s.replyMembers(c, m.ReqID)
@@ -375,12 +436,14 @@ func (s *Server) readLoop(c *conn) {
 			case s.clusterHash == 0:
 				s.replyError(c, m.ReqID, "not a cluster node: direct routing unavailable")
 			case m.Cluster != s.clusterHash:
+				s.wrongview.Inc()
 				s.send(c, &wire.Msg{Type: wire.TWrongView, ReqID: m.ReqID, Cluster: s.clusterHash})
 			case m.RouteKind != wire.TInsert && m.RouteKind != wire.TLookup && m.RouteKind != wire.TDelete:
 				s.replyError(c, m.ReqID, "unexpected route kind "+m.RouteKind.String())
 			case s.owns != nil && !s.owns(m.Key):
 				s.replyError(c, m.ReqID, fmt.Sprintf("not the owner of %v", m.Key))
 			default:
+				s.routed.Inc()
 				if !s.dispatchKeyed(c, m.RouteKind, &m, true) {
 					return
 				}
@@ -416,6 +479,14 @@ func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool)
 		s.replyError(c, m.ReqID, fmt.Sprintf("origin %d out of range (overlay has %d nodes)", origin, n))
 		return true
 	}
+	switch typ {
+	case wire.TInsert:
+		s.reqInsert.Inc()
+	case wire.TLookup:
+		s.reqLookup.Inc()
+	case wire.TDelete:
+		s.reqDelete.Inc()
+	}
 	if s.owns != nil && !routed && !s.owns(m.Key) {
 		// Another cluster node owns this key: relay the request and
 		// deliver the owner's reply under this reqID. The forwarder may
@@ -425,6 +496,7 @@ func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool)
 		if typ == wire.TInsert {
 			value = append([]byte(nil), m.Value...)
 		}
+		s.forwarded.Inc()
 		c.inflight.Add(1)
 		reqID := m.ReqID
 		var once sync.Once
@@ -438,6 +510,9 @@ func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool)
 		return true
 	}
 	t := task{c: c, typ: typ, reqID: m.ReqID, key: m.Key, origin: origin}
+	if s.metered {
+		t.enq = time.Now()
+	}
 	if typ == wire.TInsert {
 		t.value = append([]byte(nil), m.Value...)
 	}
@@ -517,6 +592,18 @@ func collectBatch(q <-chan task, tasks *[]task, max int) (ok, closed bool) {
 // after the batch's shared write-ahead sync on durable pools: an acked
 // mutation is durable, batched or not.
 func (s *Server) execBatch(tasks []task, ops *[]discovery.BatchOp) {
+	// One timestamp pair meters the whole batch: queue wait is measured
+	// from each task's enqueue to the batch's execution start, and the
+	// batch's service span is attributed evenly across its tasks — two
+	// time.Now() calls per batch, not per request.
+	var started time.Time
+	if s.metered {
+		started = time.Now()
+		s.batchTasks.Observe(int64(len(tasks)))
+		for k := range tasks {
+			s.queueWait.Observe(int64(started.Sub(tasks[k].enq)))
+		}
+	}
 	*ops = (*ops)[:0]
 	for k := range tasks {
 		t := &tasks[k]
@@ -532,6 +619,19 @@ func (s *Server) execBatch(tasks []task, ops *[]discovery.BatchOp) {
 		*ops = append(*ops, op)
 	}
 	s.pool.ExecBatch(*ops)
+	if s.metered {
+		share := int64(time.Since(started)) / int64(len(tasks))
+		for k := range tasks {
+			switch tasks[k].typ {
+			case wire.TInsert:
+				s.svcInsert.Observe(share)
+			case wire.TLookup:
+				s.svcLookup.Observe(share)
+			case wire.TDelete:
+				s.svcDelete.Observe(share)
+			}
+		}
+	}
 	for k := range tasks {
 		t := &tasks[k]
 		op := &(*ops)[k]
@@ -620,10 +720,11 @@ func (s *Server) writeLoop(c *conn) {
 	batchio.WriteLoop(c.nc, c.out, s.coFrames, s.coBytes, s.writeTimeout,
 		func(bp *[]byte) { s.bufs.Put(bp) },
 		func(err error) {
+			s.shed.Inc()
 			s.logf("server: write to %v: %v", c.nc.RemoteAddr(), err)
 			c.kill()
 			c.nc.Close()
-		})
+		}, &s.wstats)
 }
 
 // forgetConn drops a finished connection from the shutdown set.

@@ -57,6 +57,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"discovery/internal/metrics"
 )
 
 const (
@@ -141,6 +144,12 @@ type Options struct {
 	SegmentBytes int64
 	// Sync is the durability policy applied by Append.
 	Sync Policy
+	// Metrics, when non-nil, receives the log's instrumentation:
+	// wal.appends / wal.records / wal.fsyncs counters, and
+	// wal.append_seconds / wal.fsync_seconds / wal.batch_records
+	// histograms. A nil registry leaves the append path unmetered (the
+	// nil metrics are no-ops), at no allocation either way.
+	Metrics *metrics.Registry
 }
 
 // segment is one on-disk segment file.
@@ -166,6 +175,14 @@ type Log struct {
 	closed   bool
 
 	gc groupCommit
+
+	// Instrumentation (nil-safe no-ops without Options.Metrics).
+	appends      *metrics.Counter
+	records      *metrics.Counter
+	fsyncs       *metrics.Counter
+	appendNanos  *metrics.Histogram // full append incl. durability wait
+	fsyncNanos   *metrics.Histogram // each fsync issued on the append path
+	batchRecords *metrics.Histogram // records per append call
 }
 
 // groupCommit is the leader/follower fsync state shared by SyncBatch
@@ -191,6 +208,12 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts}
 	l.gc.cond = sync.NewCond(&l.gc.mu)
+	l.appends = opts.Metrics.Counter("wal.appends")
+	l.records = opts.Metrics.Counter("wal.records")
+	l.fsyncs = opts.Metrics.Counter("wal.fsyncs")
+	l.appendNanos = opts.Metrics.Histogram("wal.append_seconds", 1e-9)
+	l.fsyncNanos = opts.Metrics.Histogram("wal.fsync_seconds", 1e-9)
+	l.batchRecords = opts.Metrics.Histogram("wal.batch_records", 1)
 
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -288,6 +311,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) > MaxPayload {
 		return 0, ErrTooLarge
 	}
+	var start time.Time
+	if l.appendNanos != nil {
+		start = time.Now()
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -306,6 +333,12 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	if err := l.syncAppended(f, seq); err != nil {
 		return 0, err
+	}
+	if l.appendNanos != nil {
+		l.appendNanos.Observe(int64(time.Since(start)))
+		l.appends.Inc()
+		l.records.Inc()
+		l.batchRecords.Observe(1)
 	}
 	return seq, nil
 }
@@ -330,6 +363,10 @@ func (l *Log) AppendBatch(payloads [][]byte) (first uint64, err error) {
 	}
 	if len(payloads) == 0 {
 		return 0, nil
+	}
+	var start time.Time
+	if l.appendNanos != nil {
+		start = time.Now()
 	}
 	l.mu.Lock()
 	if l.closed {
@@ -356,6 +393,12 @@ func (l *Log) AppendBatch(payloads [][]byte) (first uint64, err error) {
 	last := first + uint64(len(payloads)) - 1
 	if err := l.syncAppended(f, last); err != nil {
 		return 0, err
+	}
+	if l.appendNanos != nil {
+		l.appendNanos.Observe(int64(time.Since(start)))
+		l.appends.Inc()
+		l.records.Add(uint64(len(payloads)))
+		l.batchRecords.Observe(int64(len(payloads)))
 	}
 	return first, nil
 }
@@ -386,6 +429,19 @@ func (l *Log) commitBufLocked(n int) (*os.File, error) {
 	return f, nil
 }
 
+// timedSync fsyncs f, metering duration and count when the log is
+// instrumented. Every fsync issued on the append path goes through it.
+func (l *Log) timedSync(f *os.File) error {
+	if l.fsyncNanos == nil {
+		return f.Sync()
+	}
+	t := time.Now()
+	err := f.Sync()
+	l.fsyncNanos.Observe(int64(time.Since(t)))
+	l.fsyncs.Inc()
+	return err
+}
+
 // syncAppended applies the durability policy to records up to seq, which
 // were just written to f (or fsynced already by a rotation).
 func (l *Log) syncAppended(f *os.File, seq uint64) error {
@@ -396,7 +452,7 @@ func (l *Log) syncAppended(f *os.File, seq uint64) error {
 		// A dedicated fsync per append. If rotation just happened, the
 		// record was fsynced as part of sealing the old segment and
 		// syncing the fresh file is a cheap no-op.
-		if err := f.Sync(); err != nil {
+		if err := l.timedSync(f); err != nil {
 			l.poison(err)
 			return err
 		}
@@ -442,7 +498,7 @@ func (l *Log) syncTo(seq uint64) error {
 		f := l.f
 		target := l.nextSeq - 1
 		l.mu.Unlock()
-		err := f.Sync()
+		err := l.timedSync(f)
 
 		if err != nil {
 			// Poison before re-taking g.mu so every waiter (and every
@@ -495,7 +551,7 @@ func (l *Log) Sync() error {
 	f := l.f
 	target := l.nextSeq - 1
 	l.mu.Unlock()
-	if err := f.Sync(); err != nil {
+	if err := l.timedSync(f); err != nil {
 		l.poison(err)
 		return err
 	}

@@ -53,20 +53,22 @@ type mutationHook func(kind opKind, node, origin uint32, key ID, value []byte) e
 // so none of them may execute.
 type batchHook func(ops []BatchOp) error
 
-// poolShard is one engine plus its serialization lock and counters.
-// Counters are guarded by mu, not atomics: they mutate only while the
-// shard executes a request, which already holds the lock.
+// poolShard is one engine plus its serialization lock and counters. The
+// counters live in the pool's metrics registry (a private one unless
+// WithMetrics supplied a shared registry), so a live /metrics scrape and
+// Pool.Stats read the same atomics; increments happen while the shard
+// executes a request under mu, reads are lock-free.
 type poolShard struct {
-	mu       sync.Mutex
-	svc      *Service
-	hook     mutationHook // nil for in-memory pools
-	batch    batchHook    // nil for in-memory pools
-	requests uint64
-	inserts  uint64
-	lookups  uint64
-	deletes  uint64
-	found    metrics.Rate
-	hops     metrics.Sample
+	mu    sync.Mutex
+	svc   *Service
+	hook  mutationHook // nil for in-memory pools
+	batch batchHook    // nil for in-memory pools
+
+	inserts      *metrics.Counter
+	lookups      *metrics.Counter
+	deletes      *metrics.Counter
+	lookupsFound *metrics.Counter
+	replyHops    *metrics.Counter // total first-reply hops over found lookups
 }
 
 // NewPool builds a pool of shards over one overlay. shards <= 0 selects
@@ -86,13 +88,26 @@ func NewPool(ov Overlay, shards int, opts ...Option) (*Pool, error) {
 	for _, opt := range opts {
 		opt(&base)
 	}
+	// Counters always live in a registry so Stats works unmetered; a
+	// shared registry (WithMetrics) additionally exposes them process-wide.
+	reg := base.metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		base.metrics = reg
+	}
 	p := &Pool{ov: ov, base: base, shards: make([]poolShard, shards)}
 	for i := range p.shards {
 		svc, err := New(ov, append(append([]Option(nil), opts...), WithSeed(base.seed+int64(i)))...)
 		if err != nil {
 			return nil, err
 		}
-		p.shards[i].svc = svc
+		s := &p.shards[i]
+		s.svc = svc
+		s.inserts = reg.Counter(fmt.Sprintf("pool.ops{op=insert,shard=%d}", i))
+		s.lookups = reg.Counter(fmt.Sprintf("pool.ops{op=lookup,shard=%d}", i))
+		s.deletes = reg.Counter(fmt.Sprintf("pool.ops{op=delete,shard=%d}", i))
+		s.lookupsFound = reg.Counter(fmt.Sprintf("pool.lookups_found{shard=%d}", i))
+		s.replyHops = reg.Counter(fmt.Sprintf("pool.reply_hops_total{shard=%d}", i))
 	}
 	return p, nil
 }
@@ -167,8 +182,7 @@ func (p *Pool) Insert(origin int, key ID, value []byte) (InsertResult, error) {
 			return InsertResult{}, err
 		}
 	}
-	s.requests++
-	s.inserts++
+	s.inserts.Inc()
 	return s.svc.Insert(origin, key, value), nil
 }
 
@@ -184,12 +198,11 @@ func (p *Pool) Lookup(origin int, key ID) LookupResult {
 	s := &p.shards[p.ShardOf(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.requests++
-	s.lookups++
+	s.lookups.Inc()
 	res := s.svc.Lookup(origin, key)
-	s.found.Record(res.Found)
 	if res.Found {
-		s.hops.AddInt(res.FirstReplyHops)
+		s.lookupsFound.Inc()
+		s.replyHops.Add(uint64(res.FirstReplyHops))
 	}
 	return res
 }
@@ -208,8 +221,7 @@ func (p *Pool) Delete(origin int, key ID) (int, error) {
 			return 0, err
 		}
 	}
-	s.requests++
-	s.deletes++
+	s.deletes.Inc()
 	return s.svc.Delete(origin, key), nil
 }
 
@@ -318,20 +330,17 @@ func (p *Pool) ExecBatch(ops []BatchOp) {
 		}
 		switch op.Kind {
 		case BatchInsert:
-			s.requests++
-			s.inserts++
+			s.inserts.Inc()
 			op.Insert = s.svc.Insert(op.Origin, op.Key, op.Value)
 		case BatchLookup:
-			s.requests++
-			s.lookups++
+			s.lookups.Inc()
 			op.Lookup = s.svc.Lookup(op.Origin, op.Key)
-			s.found.Record(op.Lookup.Found)
 			if op.Lookup.Found {
-				s.hops.AddInt(op.Lookup.FirstReplyHops)
+				s.lookupsFound.Inc()
+				s.replyHops.Add(uint64(op.Lookup.FirstReplyHops))
 			}
 		case BatchDelete:
-			s.requests++
-			s.deletes++
+			s.deletes.Inc()
 			op.Removed = s.svc.Delete(op.Origin, op.Key)
 		case BatchPut:
 			// Direct placements are anti-entropy traffic, not client
@@ -640,23 +649,27 @@ func (p *Pool) replicaCount() int {
 	return n
 }
 
-// Stats snapshots every shard's counters. It briefly locks each shard in
-// turn, so the snapshot is per-shard consistent.
+// Stats snapshots every shard's counters. Counters are atomics in the
+// pool's registry, so the snapshot takes no shard locks and is safe to
+// call concurrently with traffic (individual counters are exact; cross-
+// counter consistency is best-effort, as with any live scrape).
 func (p *Pool) Stats() PoolStats {
 	st := PoolStats{Shards: len(p.shards), PerShard: make([]ShardStats, len(p.shards))}
 	for i := range p.shards {
 		s := &p.shards[i]
-		s.mu.Lock()
 		ss := ShardStats{
-			Requests:         s.requests,
-			Inserts:          s.inserts,
-			Lookups:          s.lookups,
-			Deletes:          s.deletes,
-			LookupsFound:     uint64(s.found.Successes()),
-			LookupSuccessPct: s.found.Percent(),
-			MeanReplyHops:    s.hops.Mean(),
+			Inserts:      s.inserts.Value(),
+			Lookups:      s.lookups.Value(),
+			Deletes:      s.deletes.Value(),
+			LookupsFound: s.lookupsFound.Value(),
 		}
-		s.mu.Unlock()
+		ss.Requests = ss.Inserts + ss.Lookups + ss.Deletes
+		if ss.Lookups > 0 {
+			ss.LookupSuccessPct = 100 * float64(ss.LookupsFound) / float64(ss.Lookups)
+		}
+		if ss.LookupsFound > 0 {
+			ss.MeanReplyHops = float64(s.replyHops.Value()) / float64(ss.LookupsFound)
+		}
 		st.PerShard[i] = ss
 		st.Requests += ss.Requests
 		st.Inserts += ss.Inserts
