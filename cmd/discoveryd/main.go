@@ -35,6 +35,7 @@ import (
 	discovery "discovery"
 	"discovery/internal/metrics"
 	"discovery/internal/server"
+	"discovery/internal/trace"
 )
 
 func main() {
@@ -62,7 +63,9 @@ func run() int {
 		dataDir     = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 		fsync       = flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
 		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot a shard after N logged mutations (0 = only on shutdown)")
-		metricsAddr = flag.String("metrics-listen", "", "HTTP listen address serving /metrics (Prometheus text), /debug/pprof and /debug/vars (empty = disabled)")
+		metricsAddr = flag.String("metrics-listen", "", "HTTP listen address serving /metrics (Prometheus text), /debug/pprof, /debug/vars and /debug/traces (empty = disabled)")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N client requests (0 = tracing off)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log a rate-limited span breakdown for keyed requests slower than this (0 = off; requires -trace-sample)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,11 @@ func run() int {
 	// it, so TStats and a /metrics scrape read the same atomics and can
 	// never disagree.
 	reg := metrics.NewRegistry()
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: *traceSample})
+	}
 
 	opts := []discovery.Option{
 		discovery.WithMetrics(reg),
@@ -141,6 +149,8 @@ func run() int {
 		Store:          store,
 		Logf:           log.Printf,
 		Metrics:        reg,
+		Tracer:         tracer,
+		SlowThreshold:  *traceSlow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoveryd:", err)
@@ -155,7 +165,9 @@ func run() int {
 		*topo, ov.N(), addr, pool.NumShards(), *queue)
 
 	if *metricsAddr != "" {
-		maddr, stopMetrics, err := reg.Serve(*metricsAddr)
+		mux := reg.Mux()
+		mux.Handle("/debug/traces", tracer.Handler()) // 404s when tracing is off
+		maddr, stopMetrics, err := metrics.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "discoveryd:", err)
 			return 1

@@ -127,10 +127,11 @@ func scrapeMetrics(t *testing.T, addr string) map[string]float64 {
 
 // startNode launches one member and waits for its serving line. The
 // client listener is ephemeral (scraped from the log); the peer address
-// is fixed cluster configuration.
-func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir string) *nodeProc {
+// is fixed cluster configuration. extra flags are appended (e.g.
+// tracing knobs).
+func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir string, extra ...string) *nodeProc {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-listen", "127.0.0.1:0",
 		"-peer-listen", peerAddr,
 		"-bootstrap", strings.Join(peers, ","),
@@ -140,7 +141,9 @@ func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir strin
 		"-dial-timeout", "250ms",
 		"-call-timeout", "3s",
 		"-metrics-listen", "127.0.0.1:0",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

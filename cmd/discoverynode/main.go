@@ -40,6 +40,7 @@ import (
 	"discovery/internal/metrics"
 	"discovery/internal/p2p"
 	"discovery/internal/server"
+	"discovery/internal/trace"
 )
 
 func main() {
@@ -72,7 +73,9 @@ func run() int {
 		dataDir     = flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 		fsync       = flag.String("fsync", "batch", "wal fsync policy: always, batch, off")
 		snapEvery   = flag.Int("snapshot-every", 10000, "snapshot a shard after N logged mutations (0 = only on shutdown)")
-		metricsAddr = flag.String("metrics-listen", "", "HTTP listen address serving /metrics (Prometheus text), /debug/pprof and /debug/vars (empty = disabled)")
+		metricsAddr = flag.String("metrics-listen", "", "HTTP listen address serving /metrics (Prometheus text), /debug/pprof, /debug/vars and /debug/traces (empty = disabled)")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N direct client requests (0 = tracing off); routed requests inherit the sender's decision")
+		traceSlow   = flag.Duration("trace-slow", 0, "log a rate-limited span breakdown for keyed requests slower than this (0 = off; requires -trace-sample)")
 	)
 	flag.Parse()
 
@@ -103,6 +106,15 @@ func run() int {
 	// register into it, so TStats and a /metrics scrape read the same
 	// atomics and can never disagree.
 	reg := metrics.NewRegistry()
+
+	// One process-wide tracer, shared by the serving layer (sampling +
+	// local spans) and the p2p layer (peer hops, responder spans). The
+	// node index stamps every span, so joined cross-process traces show
+	// which member did what.
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{Node: uint32(cluster.Self()), SampleEvery: *traceSample})
+	}
 
 	opts := []discovery.Option{
 		discovery.WithMetrics(reg),
@@ -158,6 +170,7 @@ func run() int {
 		ProbeInterval: *probeEvery,
 		Logf:          log.Printf,
 		Metrics:       reg,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
@@ -183,6 +196,8 @@ func run() int {
 		Members:        node.Members,
 		Logf:           log.Printf,
 		Metrics:        reg,
+		Tracer:         tracer,
+		SlowThreshold:  *traceSlow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
@@ -197,7 +212,9 @@ func run() int {
 		addr, cluster.Self(), cluster.N(), pool.NumShards(), *queue)
 
 	if *metricsAddr != "" {
-		maddr, stopMetrics, err := reg.Serve(*metricsAddr)
+		mux := reg.Mux()
+		mux.Handle("/debug/traces", tracer.Handler()) // 404s when tracing is off
+		maddr, stopMetrics, err := metrics.ServeMux(*metricsAddr, mux)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "discoverynode:", err)
 			return 1

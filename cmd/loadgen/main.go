@@ -289,6 +289,11 @@ func run() int {
 		valueSize   = flag.Int("value-size", 32, "insert payload bytes")
 		seed        = flag.Int64("seed", 1, "workload seed (connection i uses seed+i)")
 		preload     = flag.Int("preload", 0, "insert N keys (round-robin over the population) before the measured window")
+		scrapeURL   = flag.String("scrape-url", "", "a daemon /metrics URL to poll during the run (empty = no scraping)")
+		scrapeEvery = flag.Duration("scrape-every", time.Second, "metrics scrape interval")
+		scrapeOut   = flag.String("scrape-out", "", "file for the scraped JSON metrics timeline (empty = print to stdout)")
+		traceEvery  = flag.Int("trace-every", 0, "stamp every Nth route-direct request with a trace ID (0 = off; needs -cluster)")
+		traceURLs   = flag.String("trace-urls", "", "comma-separated metrics-listen base URLs (http://host:port) to fetch /debug/traces from for exemplar dumps")
 	)
 	flag.Parse()
 	if *conns < 1 || *requests < 1 || *keys < 1 {
@@ -307,6 +312,12 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "loadgen: -rate must be non-negative")
 		return 2
 	}
+	if *traceEvery > 0 && !*clusterMode {
+		// Only TRoute envelopes carry the trace trailer, so client-side
+		// stamping needs the cluster-smart route-direct path.
+		fmt.Fprintln(os.Stderr, "loadgen: -trace-every requires -cluster (trace IDs ride the TRoute trailer)")
+		return 2
+	}
 
 	// Pre-hash the key population so key derivation is off the timed path.
 	keyIDs := make([]idspace.ID, *keys)
@@ -318,8 +329,26 @@ func run() int {
 		value[i] = byte('a' + i%26)
 	}
 
+	// The scraper spans the measured phases (preload included: its
+	// trajectory is often what explains the first measured samples).
+	var scr *scraper
+	if *scrapeURL != "" {
+		scr = startScraper(*scrapeURL, *scrapeEvery)
+	}
+	finishScrape := func() {
+		if scr == nil {
+			return
+		}
+		if err := writeTimeline(*scrapeOut, scr.finish(), scr.errs); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: metrics timeline: %v\n", err)
+		}
+	}
+
 	if *clusterMode {
-		return runCluster(*addr, *conns, *requests, *rate, *insertRatio, *seed, *preload, keyIDs, value)
+		code := runCluster(*addr, *conns, *requests, *rate, *insertRatio, *seed, *preload, keyIDs, value,
+			*traceEvery, splitList(*traceURLs))
+		finishScrape()
+		return code
 	}
 
 	// Warm-up phase: populate the store before the measured window so
@@ -355,11 +384,23 @@ func run() int {
 	if agg.total > 0 {
 		agg.print("  ")
 	}
+	finishScrape()
 	if agg.errs > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d errors (first: %v)\n", agg.errs, agg.first)
 		return 1
 	}
 	return 0
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // preloadKeys inserts n keys round-robin over the population using one
@@ -400,15 +441,12 @@ func preloadKeys(n, conns int, keyIDs []idspace.ID, value []byte, dial func(int)
 
 // runCluster runs the workload twice against a cluster — route-direct
 // through the cluster-smart client, then relayed through the first seed
-// — and reports the two side by side.
+// — and reports the two side by side. With traceEvery > 0, every Nth
+// route-direct request is stamped with a trace ID and the slowest
+// stamped requests are matched against the nodes' /debug/traces output.
 func runCluster(addrList string, conns, requests int, rate, insertRatio float64, seed int64, preload int,
-	keyIDs []idspace.ID, value []byte) int {
-	var seeds []string
-	for _, a := range strings.Split(addrList, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			seeds = append(seeds, a)
-		}
-	}
+	keyIDs []idspace.ID, value []byte, traceEvery int, traceURLs []string) int {
+	seeds := splitList(addrList)
 	if len(seeds) == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: -cluster needs at least one seed in -addr")
 		return 2
@@ -439,10 +477,19 @@ func runCluster(addrList string, conns, requests int, rate, insertRatio float64,
 
 	// Route-direct: all workers multiplex onto the shared cluster-smart
 	// client, whose per-node connections pipeline and coalesce.
+	var tc *tracedClient
+	var directReq requester = cc
+	if traceEvery > 0 {
+		tc = &tracedClient{inner: cc, every: int64(traceEvery)}
+		directReq = tc
+	}
 	direct := runPhase(conns, requests, rate, insertRatio, keyIDs, value, seed, func(int) (requester, func(), error) {
-		return cc, func() {}, nil
+		return directReq, func() {}, nil
 	})
 	st := cc.Stats()
+	if tc != nil {
+		dumpExemplars(traceURLs, tc.worst(5))
+	}
 
 	// Relay: the identical workload, cluster-unaware, through seed 0.
 	relay := runPhase(conns, requests, rate, insertRatio, keyIDs, value, seed, func(int) (requester, func(), error) {

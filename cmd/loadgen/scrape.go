@@ -1,0 +1,132 @@
+package main
+
+// Periodic /metrics scraping: while a workload runs, a background
+// goroutine polls a daemon's Prometheus text endpoint and keeps each
+// scrape as a timestamped sample. After the run the samples are emitted
+// as a JSON timeline — metric trajectories over the measured window
+// (queue depths climbing, WAL fsync shares, coalescing ratios), lined
+// up with the latency report by wall-clock time.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// metricSample is one scrape: when it happened and every series the
+// endpoint exposed (name with labels → value).
+type metricSample struct {
+	UnixMillis int64              `json:"unix_millis"`
+	Series     map[string]float64 `json:"series"`
+}
+
+// parseProm reads Prometheus text exposition into a flat series map.
+// Comment lines are skipped; histograms arrive pre-flattened (the
+// registry exposes quantiles, _count and _max as plain series).
+func parseProm(r io.Reader) map[string]float64 {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// scraper polls url every interval until finish is called.
+type scraper struct {
+	url     string
+	every   time.Duration
+	samples []metricSample
+	errs    int
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// startScraper launches the polling goroutine. One scrape fires
+// immediately so even a short run gets a baseline sample.
+func startScraper(url string, every time.Duration) *scraper {
+	s := &scraper{url: url, every: every, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		client := &http.Client{Timeout: 5 * time.Second}
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			s.scrapeOnce(client)
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *scraper) scrapeOnce(client *http.Client) {
+	resp, err := client.Get(s.url)
+	if err != nil {
+		s.errs++
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.errs++
+		return
+	}
+	s.samples = append(s.samples, metricSample{
+		UnixMillis: time.Now().UnixMilli(),
+		Series:     parseProm(resp.Body),
+	})
+}
+
+// finish stops the poller, takes one final sample, and returns the
+// timeline.
+func (s *scraper) finish() []metricSample {
+	close(s.stop)
+	<-s.done
+	s.scrapeOnce(&http.Client{Timeout: 5 * time.Second})
+	return s.samples
+}
+
+// writeTimeline emits the scraped samples as indented JSON: to path, or
+// to stdout when path is empty.
+func writeTimeline(path string, samples []metricSample, errs int) error {
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d metrics scrapes failed (timeline has gaps)\n", errs)
+	}
+	b, err := json.MarshalIndent(struct {
+		Samples []metricSample `json:"samples"`
+	}{samples}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		fmt.Printf("loadgen: metrics timeline (%d samples):\n%s\n", len(samples), b)
+		return nil
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: metrics timeline: %d samples written to %s\n", len(samples), path)
+	return nil
+}

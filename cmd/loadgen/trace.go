@@ -1,0 +1,161 @@
+package main
+
+// Trace stamping and exemplar dumping: in cluster mode, every Nth
+// route-direct request carries a caller-generated trace ID on its
+// TRoute trailer, so the serving node records spans for exactly those
+// requests (independent of its own sampling rate). The wrapper measures
+// each stamped request's client-side latency; after the run the worst
+// of them are matched against the owner's /debug/traces output, giving
+// a span breakdown for the tail the percentiles point at.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"discovery/internal/cluster"
+	"discovery/internal/idspace"
+	"discovery/internal/trace"
+	"discovery/internal/wire"
+)
+
+// tracedRecord pairs one stamped request's trace ID with its measured
+// client-side latency.
+type tracedRecord struct {
+	ID    uint64 `json:"-"`
+	Hex   string `json:"id"`
+	Nanos int64  `json:"client_ns"`
+}
+
+// tracedClient stamps every Nth request through the cluster-smart
+// client with a fresh trace ID. Safe for concurrent use, like the
+// client it wraps.
+type tracedClient struct {
+	inner *cluster.Client
+	every int64
+	n     atomic.Int64
+
+	mu   sync.Mutex
+	recs []tracedRecord
+}
+
+// next returns the trace ID for this request, or 0 when it falls
+// between sampling points. IDs mix the claim counter so concurrent
+// workers never collide.
+func (t *tracedClient) next() uint64 {
+	k := t.n.Add(1)
+	if k%t.every != 0 {
+		return 0
+	}
+	// splitmix64 over the counter: well-spread, deterministic per run.
+	z := uint64(k) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+func (t *tracedClient) record(id uint64, d time.Duration) {
+	t.mu.Lock()
+	t.recs = append(t.recs, tracedRecord{ID: id, Hex: fmt.Sprintf("%016x", id), Nanos: int64(d)})
+	t.mu.Unlock()
+}
+
+func (t *tracedClient) Insert(origin int, key idspace.ID, value []byte) (wire.InsertReply, error) {
+	id := t.next()
+	if id == 0 {
+		return t.inner.Insert(origin, key, value)
+	}
+	t0 := time.Now()
+	r, err := t.inner.InsertTraced(origin, key, value, id)
+	t.record(id, time.Since(t0))
+	return r, err
+}
+
+func (t *tracedClient) Lookup(origin int, key idspace.ID) (wire.LookupReply, error) {
+	id := t.next()
+	if id == 0 {
+		return t.inner.Lookup(origin, key)
+	}
+	t0 := time.Now()
+	r, err := t.inner.LookupTraced(origin, key, id)
+	t.record(id, time.Since(t0))
+	return r, err
+}
+
+// worst returns the k stamped requests with the largest client-side
+// latency, slowest first.
+func (t *tracedClient) worst(k int) []tracedRecord {
+	t.mu.Lock()
+	recs := append([]tracedRecord(nil), t.recs...)
+	t.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Nanos > recs[j].Nanos })
+	if len(recs) > k {
+		recs = recs[:k]
+	}
+	return recs
+}
+
+// dumpExemplars fetches /debug/traces from each base URL and prints the
+// server-side span trees for the worst stamped requests. A trace that
+// no node returned (ring overwritten, or the spans live on a node whose
+// URL was not given) is reported as missing rather than silently
+// skipped.
+func dumpExemplars(urls []string, worst []tracedRecord) {
+	if len(worst) == 0 {
+		fmt.Println("loadgen: no stamped requests to dump (run too short for -trace-every?)")
+		return
+	}
+	byID := make(map[string]trace.JSONTrace)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, u := range urls {
+		resp, err := client.Get(u + "/debug/traces?n=0")
+		if err != nil {
+			fmt.Printf("loadgen: fetch %s/debug/traces: %v\n", u, err)
+			continue
+		}
+		var body struct {
+			Traces []trace.JSONTrace `json:"traces"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Printf("loadgen: decode %s/debug/traces: %v\n", u, err)
+			continue
+		}
+		for _, tr := range body.Traces {
+			// Spans for one ID can live on several nodes (relay + owner);
+			// keep the longest rendering, which contains the most context.
+			if prev, ok := byID[tr.ID]; !ok || tr.Dur > prev.Dur {
+				byID[tr.ID] = tr
+			}
+		}
+	}
+	fmt.Printf("loadgen: exemplar traces for the %d slowest stamped requests:\n", len(worst))
+	for _, rec := range worst {
+		tr, ok := byID[rec.Hex]
+		if !ok {
+			fmt.Printf("  trace %s  client %.0fµs  (no spans retrieved — evicted or on an unlisted node)\n",
+				rec.Hex, float64(rec.Nanos)/1e3)
+			continue
+		}
+		fmt.Printf("  trace %s  client %.0fµs  server %.0fµs\n", rec.Hex, float64(rec.Nanos)/1e3, float64(tr.Dur)/1e3)
+		for _, sp := range tr.Spans {
+			printSpan(sp, "    ")
+		}
+	}
+}
+
+func printSpan(sp *trace.JSONSpan, indent string) {
+	fmt.Printf("%s%-12s node=%d  %.0fµs (extra=%d)\n", indent, sp.Kind, sp.Node, float64(sp.Dur)/1e3, sp.Extra)
+	for _, child := range sp.Spans {
+		printSpan(child, indent+"  ")
+	}
+}

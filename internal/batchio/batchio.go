@@ -80,13 +80,27 @@ func (st *Stats) observe(frames int, n int) {
 // drained; closing ch is the caller's job, after the last producer is
 // done. st, when non-nil, meters each successful flush (see Stats).
 func WriteLoop(nc net.Conn, ch <-chan *[]byte, maxFrames, maxBytes int, timeout time.Duration, put func(*[]byte), onBroken func(error), st *Stats) {
+	WriteLoopFunc(nc, ch, maxFrames, maxBytes, timeout, deref, put, onBroken, nil, st)
+}
+
+// deref is the frame accessor for the plain pooled-buffer instantiation.
+func deref(bp *[]byte) []byte { return *bp }
+
+// WriteLoopFunc is WriteLoop generalized over the queued frame type:
+// producers may send any record F that carries its encoded bytes
+// (extracted by buf) plus per-frame metadata — e.g. a trace ID and
+// enqueue timestamp. onFlushed, when non-nil, observes each batch right
+// after its successful vectored write and before the frames are
+// recycled, which is where enqueue→flush spans are measured. It is not
+// called for batches discarded on a broken connection.
+func WriteLoopFunc[F any](nc net.Conn, ch <-chan F, maxFrames, maxBytes int, timeout time.Duration, buf func(F) []byte, put func(F), onBroken func(error), onFlushed func([]F), st *Stats) {
 	broken := false
-	var slots []*[]byte
+	var slots []F
 	var backing net.Buffers
 	for {
 		slots = slots[:0]
 		bufs := backing[:0]
-		if !Collect(ch, &slots, &bufs, maxFrames, maxBytes) {
+		if !CollectFunc(ch, &slots, &bufs, maxFrames, maxBytes, buf) {
 			return
 		}
 		// WriteTo consumes the bufs header as it flushes; keep the grown
@@ -105,37 +119,48 @@ func WriteLoop(nc net.Conn, ch <-chan *[]byte, maxFrames, maxBytes int, timeout 
 				onBroken(err)
 			} else {
 				st.observe(len(slots), total)
+				if onFlushed != nil {
+					onFlushed(slots)
+				}
 			}
 		}
-		for _, bp := range slots {
-			put(bp)
+		for _, f := range slots {
+			put(f)
 		}
 	}
 }
 
 func Collect(ch <-chan *[]byte, slots *[]*[]byte, bufs *net.Buffers, maxFrames, maxBytes int) bool {
+	return CollectFunc(ch, slots, bufs, maxFrames, maxBytes, deref)
+}
+
+// CollectFunc is Collect generalized over the queued frame type; buf
+// extracts each frame's encoded bytes for the writev argument.
+func CollectFunc[F any](ch <-chan F, slots *[]F, bufs *net.Buffers, maxFrames, maxBytes int, buf func(F) []byte) bool {
 	if maxFrames <= 0 {
 		maxFrames = DefaultMaxFrames
 	}
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	bp, ok := <-ch
+	f, ok := <-ch
 	if !ok {
 		return false
 	}
-	*slots = append(*slots, bp)
-	*bufs = append(*bufs, *bp)
-	total := len(*bp)
+	b := buf(f)
+	*slots = append(*slots, f)
+	*bufs = append(*bufs, b)
+	total := len(b)
 	for len(*slots) < maxFrames && total < maxBytes {
 		select {
-		case bp, ok := <-ch:
+		case f, ok := <-ch:
 			if !ok {
 				return true
 			}
-			*slots = append(*slots, bp)
-			*bufs = append(*bufs, *bp)
-			total += len(*bp)
+			b := buf(f)
+			*slots = append(*slots, f)
+			*bufs = append(*bufs, b)
+			total += len(b)
 		default:
 			return true
 		}

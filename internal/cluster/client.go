@@ -227,7 +227,14 @@ func wireOrigin(origin int) uint32 {
 // Insert publishes key with the given payload on the owning node.
 // origin may be OriginAuto.
 func (c *Client) Insert(origin int, key idspace.ID, value []byte) (wire.InsertReply, error) {
-	resp, err := c.do(wire.TInsert, key, wireOrigin(origin), value, wire.TInsertOK)
+	return c.InsertTraced(origin, key, value, 0)
+}
+
+// InsertTraced is Insert with an explicit trace ID (0 = untraced): the
+// ID rides the TRoute trailer, so the serving node records spans under
+// it and /debug/traces joins them with the caller's measurements.
+func (c *Client) InsertTraced(origin int, key idspace.ID, value []byte, trc uint64) (wire.InsertReply, error) {
+	resp, err := c.do(wire.TInsert, key, wireOrigin(origin), value, wire.TInsertOK, trc)
 	if err != nil {
 		return wire.InsertReply{}, err
 	}
@@ -236,7 +243,12 @@ func (c *Client) Insert(origin int, key idspace.ID, value []byte) (wire.InsertRe
 
 // Lookup queries key on the owning node. origin may be OriginAuto.
 func (c *Client) Lookup(origin int, key idspace.ID) (wire.LookupReply, error) {
-	resp, err := c.do(wire.TLookup, key, wireOrigin(origin), nil, wire.TLookupOK)
+	return c.LookupTraced(origin, key, 0)
+}
+
+// LookupTraced is Lookup with an explicit trace ID (0 = untraced).
+func (c *Client) LookupTraced(origin int, key idspace.ID, trc uint64) (wire.LookupReply, error) {
+	resp, err := c.do(wire.TLookup, key, wireOrigin(origin), nil, wire.TLookupOK, trc)
 	if err != nil {
 		return wire.LookupReply{}, err
 	}
@@ -246,7 +258,12 @@ func (c *Client) Lookup(origin int, key idspace.ID) (wire.LookupReply, error) {
 // Delete removes origin's replicas of key on the owning node, returning
 // how many were removed.
 func (c *Client) Delete(origin int, key idspace.ID) (int, error) {
-	resp, err := c.do(wire.TDelete, key, wireOrigin(origin), nil, wire.TDeleteOK)
+	return c.DeleteTraced(origin, key, 0)
+}
+
+// DeleteTraced is Delete with an explicit trace ID (0 = untraced).
+func (c *Client) DeleteTraced(origin int, key idspace.ID, trc uint64) (int, error) {
+	resp, err := c.do(wire.TDelete, key, wireOrigin(origin), nil, wire.TDeleteOK, trc)
 	if err != nil {
 		return 0, err
 	}
@@ -256,7 +273,9 @@ func (c *Client) Delete(origin int, key idspace.ID) (int, error) {
 // do routes one request: owner computed locally from the current view,
 // TRoute envelope to the owner (or plain relay through the anchor when
 // the owner's address is unknown), one refresh-and-retry on TWrongView.
-func (c *Client) do(typ wire.Type, key idspace.ID, origin uint32, value []byte, want wire.Type) (*wire.Msg, error) {
+// trc, when nonzero, is stamped on the TRoute trailer — including the
+// post-refresh retry, so one trace ID covers the whole detour.
+func (c *Client) do(typ wire.Type, key idspace.ID, origin uint32, value []byte, want wire.Type, trc uint64) (*wire.Msg, error) {
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
 		v := c.view
@@ -278,6 +297,10 @@ func (c *Client) do(typ wire.Type, key idspace.ID, origin uint32, value []byte, 
 			c.relayed.Inc()
 		} else {
 			req = &wire.Msg{Type: wire.TRoute, RouteKind: typ, Cluster: v.hash, Key: key, Origin: origin, Value: value}
+			if trc != 0 {
+				req.Traced = true
+				req.Trace = trc
+			}
 			c.routed.Inc()
 		}
 		resp, err := c.call(addr, req)

@@ -12,6 +12,7 @@ import (
 	"discovery/internal/cluster"
 	"discovery/internal/p2p"
 	"discovery/internal/server"
+	"discovery/internal/trace"
 )
 
 // reserveAddrs grabs n distinct loopback addresses by binding and
@@ -54,9 +55,14 @@ func (cn *clusterNode) stop() {
 // startNode brings up one member: peer runtime on selfAddr, client
 // listener on clientAddr (may be ":0"). advertise=false withholds the
 // client address from probe gossip, leaving this member's table slot
-// empty cluster-wide — the relay-fallback scenario.
-func startNode(tb testing.TB, selfAddr string, peerAddrs []string, clientAddr string, advertise bool) *clusterNode {
+// empty cluster-wide — the relay-fallback scenario. An optional tracer
+// is wired into both the serving layer and the peer runtime.
+func startNode(tb testing.TB, selfAddr string, peerAddrs []string, clientAddr string, advertise bool, tracer ...*trace.Tracer) *clusterNode {
 	tb.Helper()
+	var tr *trace.Tracer
+	if len(tracer) > 0 {
+		tr = tracer[0]
+	}
 	cl, err := p2p.NewCluster(selfAddr, peerAddrs)
 	if err != nil {
 		tb.Fatal(err)
@@ -72,6 +78,7 @@ func startNode(tb testing.TB, selfAddr string, peerAddrs []string, clientAddr st
 	node, err := p2p.NewNode(p2p.Config{
 		Cluster: cl, Overlay: ov, Pool: pool,
 		DialTimeout: 200 * time.Millisecond, CallTimeout: 2 * time.Second, Logf: tb.Logf,
+		Tracer: tr,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -82,6 +89,7 @@ func startNode(tb testing.TB, selfAddr string, peerAddrs []string, clientAddr st
 	srv, err := server.New(server.Config{
 		Pool: pool, Owns: node.Owns, Forward: node.Forward,
 		ClusterHash: cl.Hash(), Members: node.Members, Logf: tb.Logf,
+		Tracer: tr,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -509,4 +517,101 @@ func BenchmarkClusterOwnerDirect(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestStaleRetryKeepsTraceID drives the client's own TWrongView
+// refresh-and-retry loop with a caller-stamped trace ID and checks the
+// ID survives the detour: the stale node records the zero-duration
+// wrong_view bounce and the new owner records the execution, both under
+// the one ID the caller chose.
+func TestStaleRetryKeepsTraceID(t *testing.T) {
+	peerAddrs := reserveAddrs(t, 3)
+	clientAddrs := reserveAddrs(t, 3)
+
+	// Cluster v1: two members on fixed client addresses.
+	v1 := make([]*clusterNode, 2)
+	for i, addr := range peerAddrs[:2] {
+		cn := startNode(t, addr, peerAddrs[:2], clientAddrs[i], true)
+		v1[cn.cluster.Self()] = cn
+	}
+	for _, cn := range v1 {
+		if err := cn.node.Join(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := cluster.Dial(cluster.Config{Seeds: []string{v1[0].clientAddr}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Insert(cluster.OriginAuto, discovery.NewID("warm"), []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	_, oldAddrs := cl.Members()
+
+	// Reconfigure to v2 with tracers on every member; the client's view
+	// is now stale.
+	for _, cn := range v1 {
+		cn.stop()
+	}
+	v2 := make([]*clusterNode, 3)
+	tracers := make([]*trace.Tracer, 3)
+	clientAddrOf := map[string]int{}
+	for i, addr := range peerAddrs {
+		tr := trace.New(trace.Config{SampleEvery: 1})
+		cn := startNode(t, addr, peerAddrs, clientAddrs[i], true, tr)
+		v2[cn.cluster.Self()] = cn
+		tracers[cn.cluster.Self()] = tr
+		clientAddrOf[cn.clientAddr] = cn.cluster.Self()
+	}
+	for _, cn := range v2 {
+		if err := cn.node.Join(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Key whose stale route lands on a v2 node that does not own it
+	// under the new split, so the retry really changes destination.
+	var name string
+	var staleSlot, newOwner int
+	for i := 0; ; i++ {
+		name = fmt.Sprintf("stale-trace-%d", i)
+		key := discovery.NewID(name)
+		staleAddr := oldAddrs[discovery.OwnerOf(key, len(oldAddrs))]
+		newOwner = discovery.OwnerOf(key, 3)
+		if hit, ok := clientAddrOf[staleAddr]; ok && hit != newOwner {
+			staleSlot = hit
+			break
+		}
+		if i > 10000 {
+			t.Fatal("no key maps stale-owner to a non-owner")
+		}
+	}
+
+	const fixedID uint64 = 0xFEEDBEEF12345678
+	if _, err := cl.InsertTraced(cluster.OriginAuto, discovery.NewID(name), []byte(name), fixedID); err != nil {
+		t.Fatalf("traced stale insert: %v", err)
+	}
+	if cl.Stats().Refreshes == 0 {
+		t.Fatal("stale view served without a refresh; TWrongView never fired")
+	}
+
+	kindsWithID := func(slot int) map[trace.Kind]int {
+		got := map[trace.Kind]int{}
+		for _, sp := range tracers[slot].Snapshot() {
+			if sp.Trace == fixedID {
+				got[sp.Kind]++
+			}
+		}
+		return got
+	}
+	if got := kindsWithID(staleSlot); got[trace.KindWrongView] == 0 {
+		t.Fatalf("stale node %d has no wrong_view span for %016x (has %v)", staleSlot, fixedID, got)
+	}
+	got := kindsWithID(newOwner)
+	for _, kind := range []trace.Kind{trace.KindDispatch, trace.KindQueueWait, trace.KindShardExec, trace.KindRespFlush} {
+		if got[kind] == 0 {
+			t.Fatalf("new owner %d missing %v span for %016x after the retry (has %v)", newOwner, kind, fixedID, got)
+		}
+	}
 }

@@ -41,11 +41,18 @@ func (r *Registry) Mux() *http.ServeMux {
 // the bound address so callers can log it (and tests can scrape
 // ephemeral ports), plus a stop function.
 func (r *Registry) Serve(addr string) (bound string, stop func(), err error) {
+	return ServeMux(addr, r.Mux())
+}
+
+// ServeMux is Serve for a caller-assembled handler — daemons use it to
+// mount extra debug surfaces (e.g. /debug/traces) next to the
+// registry's standard endpoints.
+func ServeMux(addr string, h http.Handler) (bound string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: r.Mux()}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }

@@ -440,7 +440,8 @@ var histQuantiles = []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1}
 
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format. Histograms are rendered as summaries (pre-computed
-// quantiles + _sum + _count) rather than 496 cumulative buckets.
+// quantiles + _sum + _count + the CAS-tracked exact _max) rather than
+// 496 cumulative buckets.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -496,6 +497,12 @@ func writePromHistogram(w io.Writer, fam, labels string, h *Histogram, scale flo
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, promLabels(labels), fmtFloat(float64(h.Sum())*scale)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, promLabels(labels), h.Count())
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, promLabels(labels), h.Count()); err != nil {
+		return err
+	}
+	// The quantile="1" line above is bucket-quantized in spirit but
+	// already exact (h.Max()); _max restates it as its own series so
+	// dashboards can plot worst-case without a quantile label matcher.
+	_, err := fmt.Fprintf(w, "%s_max%s %s\n", fam, promLabels(labels), fmtFloat(float64(h.Max())*scale))
 	return err
 }

@@ -239,6 +239,7 @@ func TestWritePrometheus(t *testing.T) {
 		`wal_fsync_seconds{quantile="0.5"} 0.001`,
 		"wal_fsync_seconds_count 1000\n",
 		"wal_fsync_seconds_sum 1\n",
+		"wal_fsync_seconds_max 0.001\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
@@ -246,6 +247,30 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if strings.Count(out, "# TYPE server_requests counter") != 1 {
 		t.Fatalf("TYPE line must appear once per family:\n%s", out)
+	}
+}
+
+// TestWritePrometheusMaxSeries pins the _max series to the histogram's
+// CAS-tracked exact maximum (not the bucket-quantized quantile), with
+// the registration scale applied and labels preserved.
+func TestWritePrometheusMaxSeries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("server.service_seconds{op=insert}", 1e-9)
+	h.Observe(1_000_000)
+	h.Observe(123_456_789) // an exact max no log2 bucket boundary hits
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	exact := fmtFloat(float64(123_456_789) * 1e-9)
+	want := `server_service_seconds_max{op="insert"} ` + exact + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+	// _max must agree with the quantile="1" line, which is already exact.
+	if !strings.Contains(out, `server_service_seconds{op="insert",quantile="1"} `+exact+"\n") {
+		t.Fatalf("quantile=1 disagrees with max:\n%s", out)
 	}
 }
 

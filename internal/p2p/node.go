@@ -12,6 +12,8 @@ import (
 	"discovery/internal/batchio"
 	"discovery/internal/idspace"
 	"discovery/internal/metrics"
+	"discovery/internal/ratelog"
+	"discovery/internal/trace"
 	"discovery/internal/wire"
 )
 
@@ -46,6 +48,13 @@ type Config struct {
 	// coalescing). Nil keeps the counters in a private registry, so
 	// Transport.WriteStats works either way.
 	Metrics *metrics.Registry
+	// Tracer, when set, records per-request spans (internal/trace): the
+	// outbound peer hop of every traced Transport.Call, and the
+	// responder-side execution of traced TRoute/TRepair/TTransfer
+	// requests — trace context rides the wire trailer, so spans from both
+	// processes join under one trace ID. Anti-entropy requests
+	// (PullRepair, Handoff) are sampled by the tracer's own rate.
+	Tracer *trace.Tracer
 }
 
 // Node is the per-process cluster runtime: the inbound peer listener, the
@@ -53,8 +62,14 @@ type Config struct {
 // traffic onto one engine pool. Wire Owns and Forward into
 // server.Config; peer traffic flows through Start's listener.
 type Node struct {
-	cfg Config
-	tr  *Transport
+	cfg    Config
+	tr     *Transport
+	tracer *trace.Tracer
+
+	// repairLogf rate-limits the per-page repair diagnostics (oversize
+	// skips, budget pagination): a deep repair emits one line per page,
+	// which a big store turns into a log flood.
+	repairLogf func(format string, args ...any)
 
 	fwdSem chan struct{}
 	// quit is closed by StopServing so background maintenance (Join
@@ -101,11 +116,14 @@ func NewNode(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:         cfg,
 		tr:          NewTransport(cfg.Cluster, cfg.Overlay, cfg.DialTimeout, cfg.CallTimeout, cfg.Logf, cfg.Metrics),
+		tracer:      cfg.Tracer,
+		repairLogf:  ratelog.New(4, 2).Wrap(cfg.Logf),
 		fwdSem:      make(chan struct{}, cfg.MaxForwards),
 		quit:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
 		clientAddrs: make([]string, cfg.Cluster.N()),
 	}
+	n.tr.tracer = cfg.Tracer
 	if reg := cfg.Metrics; reg != nil {
 		n.pwstats = &batchio.Stats{
 			Writes:         reg.Counter("p2p.peer_writes"),
@@ -164,15 +182,21 @@ func (n *Node) Owns(key idspace.ID) bool { return n.cfg.Cluster.Owns(key) }
 
 // Forward relays one client request to the owner of key and delivers the
 // owner's reply (or an error) to respond, exactly once. It has the
-// signature server.Config.Forward expects. The semaphore acquisition
-// blocks the calling connection reader at MaxForwards in-flight
-// forwards — deliberate backpressure.
-func (n *Node) Forward(typ wire.Type, key idspace.ID, origin uint32, value []byte, respond func(*wire.Msg)) {
+// signature server.Config.Forward expects. trc, when nonzero, is the
+// request's sampled trace ID and rides the TRoute wire trailer so the
+// owner's spans join the relay's. The semaphore acquisition blocks the
+// calling connection reader at MaxForwards in-flight forwards —
+// deliberate backpressure.
+func (n *Node) Forward(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64, respond func(*wire.Msg)) {
 	owner := n.cfg.Cluster.OwnerOf(key)
 	n.fwdSem <- struct{}{}
 	go func() {
 		defer func() { <-n.fwdSem }()
 		req := &wire.Msg{Type: wire.TRoute, RouteKind: typ, Cluster: n.cfg.Cluster.Hash(), Key: key, Origin: origin, Value: value}
+		if trc != 0 {
+			req.Traced = true
+			req.Trace = trc
+		}
 		resp, err := n.tr.Call(owner, req)
 		if err != nil {
 			respond(&wire.Msg{Type: wire.TError, Value: []byte(fmt.Sprintf("region %d owner %s unreachable: %v", owner, n.cfg.Cluster.Addr(owner), err))})
@@ -419,6 +443,17 @@ func (n *Node) handleRoute(m, reply *wire.Msg) {
 		reply.Value = []byte(fmt.Sprintf("origin %d out of range (%d cluster members)", origin, pool.Overlay().N()))
 		return
 	}
+	var start time.Time
+	traced := m.Traced && n.tracer != nil
+	if traced {
+		start = time.Now()
+		defer func() {
+			// route_exec is the owner-side span of a relayed request: it
+			// nests inside the relay's forward span and the sender's
+			// peer_call span under the same trace ID.
+			n.tracer.Record(m.Trace, trace.KindRouteExec, start, time.Since(start), uint64(m.RouteKind))
+		}()
+	}
 	switch m.RouteKind {
 	case wire.TInsert:
 		// Each inbound request decodes into its own Msg, so m.Value is a
@@ -475,6 +510,13 @@ func (n *Node) handleRepair(m, reply *wire.Msg) {
 		reply.Value = []byte(fmt.Sprintf("region %d out of range (%d members)", m.Region, n.cfg.Cluster.N()))
 		return
 	}
+	var start time.Time
+	if m.Traced && n.tracer != nil {
+		start = time.Now()
+		defer func() {
+			n.tracer.Record(m.Trace, trace.KindRepairExec, start, time.Since(start), uint64(m.Region))
+		}()
+	}
 	var entries []wire.TransferEntry
 	size, oversize := 0, 0
 	cur := discovery.ReplicaCursor{Shard: m.Cursor.Shard, Node: m.Cursor.Node, Key: m.Cursor.Key}
@@ -499,7 +541,7 @@ func (n *Node) handleRepair(m, reply *wire.Msg) {
 		return true
 	})
 	if oversize > 0 {
-		n.cfg.Logf("p2p: repair of region %d skipped %d replicas above wire.MaxValue (unrepairable; placed by direct import?)", m.Region, oversize)
+		n.repairLogf("p2p: repair of region %d skipped %d replicas above wire.MaxValue (unrepairable; placed by direct import?)", m.Region, oversize)
 	}
 	reply.Type = wire.TRepairOK
 	reply.Region = m.Region
@@ -507,7 +549,7 @@ func (n *Node) handleRepair(m, reply *wire.Msg) {
 	if !done {
 		reply.More = true
 		reply.Cursor = wire.RepairCursor{Shard: next.Shard, Node: next.Node, Key: next.Key}
-		n.cfg.Logf("p2p: repair of region %d paged at budget: %d entries (%d bytes) sent, cursor handed back", m.Region, len(entries), size)
+		n.repairLogf("p2p: repair of region %d paged at budget: %d entries (%d bytes) sent, cursor handed back", m.Region, len(entries), size)
 	}
 }
 
@@ -521,6 +563,12 @@ func (n *Node) handleRepair(m, reply *wire.Msg) {
 func (n *Node) handleTransfer(m, reply *wire.Msg) {
 	if !n.checkCluster(m, reply) {
 		return
+	}
+	if m.Traced && n.tracer != nil {
+		start := time.Now()
+		defer func() {
+			n.tracer.Record(m.Trace, trace.KindTransferExec, start, time.Since(start), uint64(len(m.Entries)))
+		}()
 	}
 	// Decoded entry values are freshly allocated (see wire), safe for the
 	// engine to retain.
@@ -648,7 +696,12 @@ func (n *Node) Handoff() (moved int, err error) {
 			}
 			batch := entries[:take]
 			entries = entries[take:]
-			resp, cerr := n.tr.Call(owner, &wire.Msg{Type: wire.TTransfer, Cluster: n.cfg.Cluster.Hash(), Entries: batch})
+			req := &wire.Msg{Type: wire.TTransfer, Cluster: n.cfg.Cluster.Hash(), Entries: batch}
+			if tr := n.tracer.Sample(); tr != 0 {
+				req.Traced = true
+				req.Trace = tr
+			}
+			resp, cerr := n.tr.Call(owner, req)
 			if cerr != nil {
 				if firstErr == nil {
 					firstErr = cerr
@@ -687,6 +740,10 @@ func (n *Node) PullRepair(i int) (applied int, err error) {
 	if _, err := n.tr.Probe(i); err != nil {
 		return 0, err
 	}
+	// One sampling decision covers the whole paged walk, so a sampled
+	// repair's pages share a trace ID (one peer_call + repair_exec pair
+	// per page).
+	tr := n.tracer.Sample()
 	var cursor wire.RepairCursor
 	for page := 0; ; page++ {
 		select {
@@ -694,7 +751,12 @@ func (n *Node) PullRepair(i int) (applied int, err error) {
 			return applied, errNodeClosed
 		default:
 		}
-		resp, err := n.tr.Call(i, &wire.Msg{Type: wire.TRepair, Cluster: n.cfg.Cluster.Hash(), Region: uint32(n.cfg.Cluster.Self()), Cursor: cursor})
+		req := &wire.Msg{Type: wire.TRepair, Cluster: n.cfg.Cluster.Hash(), Region: uint32(n.cfg.Cluster.Self()), Cursor: cursor}
+		if tr != 0 {
+			req.Traced = true
+			req.Trace = tr
+		}
+		resp, err := n.tr.Call(i, req)
 		if err != nil {
 			return applied, err
 		}

@@ -10,6 +10,7 @@ import (
 
 	"discovery/internal/batchio"
 	"discovery/internal/metrics"
+	"discovery/internal/trace"
 	"discovery/internal/wire"
 )
 
@@ -62,6 +63,10 @@ type Transport struct {
 	callNanos      *metrics.Histogram
 	dials          *metrics.Counter
 	redials        *metrics.Counter
+
+	// tracer records the outbound hop span of traced calls (set by
+	// NewNode from Config.Tracer; nil disables — Record is nil-safe).
+	tracer *trace.Tracer
 
 	bufs sync.Pool // *[]byte outbound frame buffers
 }
@@ -198,6 +203,11 @@ func (t *Transport) Call(i int, m *wire.Msg) (*wire.Msg, error) {
 	t.calls.Inc()
 	start := time.Now()
 	resp, err := t.call(i, m)
+	if m.Traced {
+		// The peer_call span covers encode → reply (or failure) for this
+		// hop; the responder's own spans nest inside it under the same ID.
+		t.tracer.Record(m.Trace, trace.KindPeerCall, start, time.Since(start), uint64(i))
+	}
 	if err != nil {
 		t.callErrors.Inc()
 		return nil, err

@@ -1,0 +1,90 @@
+// Package ratelog is a tiny lock-free token-bucket limiter for log
+// lines, shared by the server's slow-request breakdowns and p2p's
+// repair-truncation warnings: a saturated run gets a bounded trickle of
+// diagnostics instead of a stderr flood, and the suppressed-line count
+// is surfaced so nothing disappears silently.
+package ratelog
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Limiter admits a burst of events, then refills at perSec tokens per
+// second. All methods are safe for concurrent use and allocation-free.
+type Limiter struct {
+	burst  int64
+	perSec int64
+	tokens atomic.Int64
+	// last is the unix-nano timestamp the bucket last refilled at.
+	last    atomic.Int64
+	dropped atomic.Uint64
+	now     func() int64 // injectable clock for tests
+}
+
+// New builds a limiter that admits burst events immediately and then
+// perSec per second (perSec 0 means the burst is all there ever is).
+func New(burst, perSec int) *Limiter {
+	l := &Limiter{burst: int64(burst), perSec: int64(perSec), now: func() int64 { return time.Now().UnixNano() }}
+	l.tokens.Store(int64(burst))
+	l.last.Store(l.now())
+	return l
+}
+
+// Allow consumes one token if available, counting the event as dropped
+// otherwise.
+func (l *Limiter) Allow() bool {
+	if l.perSec > 0 {
+		now := l.now()
+		last := l.last.Load()
+		if elapsed := now - last; elapsed > 0 {
+			refill := elapsed * l.perSec / int64(time.Second)
+			// Advance last by exactly the time the minted tokens cost, so
+			// fractional refill intervals accumulate instead of resetting.
+			if refill > 0 && l.last.CompareAndSwap(last, last+refill*int64(time.Second)/l.perSec) {
+				for {
+					cur := l.tokens.Load()
+					next := cur + refill
+					if next > l.burst {
+						next = l.burst
+					}
+					if l.tokens.CompareAndSwap(cur, next) {
+						break
+					}
+				}
+			}
+		}
+	}
+	for {
+		cur := l.tokens.Load()
+		if cur <= 0 {
+			l.dropped.Add(1)
+			return false
+		}
+		if l.tokens.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// Dropped returns and resets the count of events suppressed since the
+// last call.
+func (l *Limiter) Dropped() uint64 { return l.dropped.Swap(0) }
+
+// Wrap returns a logf that forwards to base only when the limiter
+// admits the line, noting how many lines were suppressed in between.
+// A nil base yields a no-op logf.
+func (l *Limiter) Wrap(base func(format string, args ...any)) func(format string, args ...any) {
+	if base == nil {
+		return func(string, ...any) {}
+	}
+	return func(format string, args ...any) {
+		if !l.Allow() {
+			return
+		}
+		if d := l.Dropped(); d > 0 {
+			base("ratelog: %d similar lines suppressed", d)
+		}
+		base(format, args...)
+	}
+}

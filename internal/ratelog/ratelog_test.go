@@ -1,0 +1,119 @@
+package ratelog
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock makes refill deterministic.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+func newFake(burst, perSec int) (*Limiter, *fakeClock) {
+	c := &fakeClock{}
+	c.ns.Store(int64(time.Hour)) // arbitrary nonzero epoch
+	l := New(burst, perSec)
+	l.now = func() int64 { return c.ns.Load() }
+	l.last.Store(c.ns.Load())
+	return l, c
+}
+
+func TestBurstThenCap(t *testing.T) {
+	l, c := newFake(3, 2)
+	for i := 0; i < 3; i++ {
+		if !l.Allow() {
+			t.Fatalf("burst event %d refused", i)
+		}
+	}
+	if l.Allow() {
+		t.Fatal("admitted past the burst with no time elapsed")
+	}
+	// Half a second buys one token at 2/s.
+	c.advance(500 * time.Millisecond)
+	if !l.Allow() {
+		t.Fatal("refilled token refused")
+	}
+	if l.Allow() {
+		t.Fatal("admitted two tokens from a one-token refill")
+	}
+	if d := l.Dropped(); d != 2 {
+		t.Fatalf("dropped %d, want 2", d)
+	}
+}
+
+func TestRefillNeverExceedsBurst(t *testing.T) {
+	l, c := newFake(2, 10)
+	c.advance(time.Minute) // would mint 600 tokens; cap is 2
+	for i := 0; i < 2; i++ {
+		if !l.Allow() {
+			t.Fatalf("event %d refused after long idle", i)
+		}
+	}
+	if l.Allow() {
+		t.Fatal("idle refill exceeded the burst cap")
+	}
+}
+
+func TestFractionalIntervalsAccumulate(t *testing.T) {
+	l, c := newFake(1, 2) // one token per 500ms
+	if !l.Allow() {
+		t.Fatal("burst refused")
+	}
+	for i := 0; i < 4; i++ {
+		c.advance(200 * time.Millisecond)
+		l.Allow()
+	}
+	// 800ms elapsed in 200ms slices: exactly one 500ms token must have
+	// been minted (and consumed above), not zero and not two.
+	c.advance(200 * time.Millisecond) // cumulative 1s → second token
+	if !l.Allow() {
+		t.Fatal("accumulated fractional refill lost")
+	}
+}
+
+func TestWrapCountsSuppressed(t *testing.T) {
+	l, c := newFake(1, 1)
+	var lines []string
+	logf := l.Wrap(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	logf("first %d", 1)
+	logf("flood %d", 2)
+	logf("flood %d", 3)
+	c.advance(time.Second)
+	logf("after %d", 4)
+	want := []string{"first 1", "ratelog: 2 similar lines suppressed", "after 4"}
+	if len(lines) != len(want) {
+		t.Fatalf("lines: %q", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentAllowNeverOveradmits(t *testing.T) {
+	l, _ := newFake(100, 0)
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if l.Allow() {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 100 {
+		t.Fatalf("admitted %d of 8000 under a 100 burst, want exactly 100", got)
+	}
+}

@@ -37,22 +37,22 @@ func TestResponsePathZeroAllocs(t *testing.T) {
 	defer s.Close()
 
 	const burst = 8
-	c := &conn{out: make(chan *[]byte, burst), dead: make(chan struct{})}
+	c := &conn{out: make(chan outFrame, burst), dead: make(chan struct{})}
 	m := wire.Msg{Type: wire.TLookupOK, ReqID: 42, Lookup: wire.LookupReply{Found: true, FirstReplyHops: 2, Replies: 1}}
-	var slots []*[]byte
+	var slots []outFrame
 	var bufs net.Buffers
 
 	cycle := func() {
 		for i := 0; i < burst; i++ {
-			s.send(c, &m)
+			s.send(c, &m, 0)
 		}
 		slots = slots[:0]
 		bufs = bufs[:0]
-		if !batchio.Collect(c.out, &slots, &bufs, burst, 1<<20) || len(slots) != burst {
+		if !batchio.CollectFunc(c.out, &slots, &bufs, burst, 1<<20, func(f outFrame) []byte { return *f.bp }) || len(slots) != burst {
 			t.Fatal("collect failed")
 		}
-		for _, bp := range slots {
-			s.bufs.Put(bp)
+		for _, f := range slots {
+			s.bufs.Put(f.bp)
 		}
 	}
 	cycle() // warm the buffer pool and the coalesce slices

@@ -70,16 +70,16 @@ func TestWriteLoopShedsStalledReader(t *testing.T) {
 
 	srvSide, cliSide := net.Pipe()
 	defer cliSide.Close()
-	c := &conn{nc: srvSide, out: make(chan *[]byte, 4), dead: make(chan struct{})}
+	c := &conn{nc: srvSide, out: make(chan outFrame, 4), dead: make(chan struct{})}
 	s.connWg.Add(1)
 	go s.writeLoop(c)
 
-	frame := func() *[]byte {
+	frame := func() outFrame {
 		b, err := (&wire.Msg{Type: wire.TDeleteOK, ReqID: 1}).Append(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return &b
+		return outFrame{bp: &b}
 	}
 
 	// The peer never reads: the first write must give up within the
@@ -94,7 +94,7 @@ func TestWriteLoopShedsStalledReader(t *testing.T) {
 	// Producers no longer block: a send drains via the dead path even
 	// with the writer past its socket.
 	for i := 0; i < 10; i++ {
-		s.send(c, &wire.Msg{Type: wire.TDeleteOK, ReqID: uint64(i)})
+		s.send(c, &wire.Msg{Type: wire.TDeleteOK, ReqID: uint64(i)}, 0)
 	}
 	close(c.out)
 

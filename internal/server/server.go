@@ -52,6 +52,8 @@ import (
 	"discovery/internal/batchio"
 	"discovery/internal/idspace"
 	"discovery/internal/metrics"
+	"discovery/internal/ratelog"
+	"discovery/internal/trace"
 	"discovery/internal/wire"
 )
 
@@ -92,8 +94,10 @@ type Config struct {
 	// typically to the owning cluster node (internal/p2p). respond must
 	// be called exactly once, from any goroutine; the server stamps the
 	// request's reqID onto the response and delivers it. value is owned
-	// by the callee. Required when Owns is set.
-	Forward func(typ wire.Type, key idspace.ID, origin uint32, value []byte, respond func(*wire.Msg))
+	// by the callee. trc is the request's sampled trace ID (0 =
+	// untraced) for the forwarder to propagate across the peer hop.
+	// Required when Owns is set.
+	Forward func(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64, respond func(*wire.Msg))
 	// ClusterHash and Members enable cluster-smart clients. ClusterHash
 	// is the membership fingerprint (p2p.Cluster.Hash); Members returns
 	// the client-serving address table by cluster slot ("" = unknown;
@@ -118,6 +122,18 @@ type Config struct {
 	// per-shard queue depth gauges. nil leaves the hot path unmetered
 	// (not even timestamped).
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records per-request spans for sampled
+	// requests (internal/trace): dispatch, queue wait, WAL commit share,
+	// shard execution share, forward hop, response flush. Direct client
+	// requests are sampled by the tracer's own rate; TRoute requests are
+	// traced iff their wire trailer carries a trace ID, so a trace joins
+	// across every node the request touches. nil disables tracing
+	// entirely — the hot path is not even timestamped.
+	Tracer *trace.Tracer
+	// SlowThreshold, when positive, logs one rate-limited span breakdown
+	// (queue/exec/WAL shares, batch size, trace ID) for every keyed
+	// request whose enqueue→response time exceeds it.
+	SlowThreshold time.Duration
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
 }
@@ -129,7 +145,10 @@ type Server struct {
 	store        io.Closer
 	logf         func(format string, args ...any)
 	owns         func(key idspace.ID) bool
-	forward      func(typ wire.Type, key idspace.ID, origin uint32, value []byte, respond func(*wire.Msg))
+	forward      func(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64, respond func(*wire.Msg))
+	tracer       *trace.Tracer
+	slowNanos    int64
+	slowLogf     func(format string, args ...any)
 	queues       []chan task
 	writeTimeout time.Duration
 	maxBatch     int
@@ -178,13 +197,22 @@ type task struct {
 	key    idspace.ID
 	origin uint32
 	value  []byte    // insert payload, owned by the task
-	enq    time.Time // enqueue instant; zero when the server is unmetered
+	enq    time.Time // enqueue instant; zero when untimestamped
+	trace  uint64    // sampled trace ID; 0 = untraced
+}
+
+// outFrame is one encoded response bound for a connection writer: the
+// pooled frame buffer plus the trace context the flush span needs.
+type outFrame struct {
+	bp    *[]byte
+	trace uint64 // trace ID of the originating request; 0 = untraced
+	enq   int64  // unix-nano enqueue instant; set only when traced
 }
 
 // conn pairs a network connection with its outbound response queue.
 type conn struct {
 	nc       net.Conn
-	out      chan *[]byte  // encoded response frames (pooled)
+	out      chan outFrame // encoded response frames (pooled)
 	dead     chan struct{} // closed when the writer gives up
 	deadOnce sync.Once
 	inflight sync.WaitGroup // keyed requests not yet answered
@@ -231,6 +259,8 @@ func New(cfg Config) (*Server, error) {
 		logf:         logf,
 		owns:         cfg.Owns,
 		forward:      cfg.Forward,
+		tracer:       cfg.Tracer,
+		slowNanos:    int64(cfg.SlowThreshold),
 		queues:       make([]chan task, cfg.Pool.NumShards()),
 		writeTimeout: wt,
 		maxBatch:     maxBatch,
@@ -245,6 +275,11 @@ func New(cfg Config) (*Server, error) {
 	s.bufs.New = func() any {
 		b := make([]byte, 0, 512)
 		return &b
+	}
+	if s.slowNanos > 0 {
+		// A saturated run makes every request "slow"; the limiter keeps
+		// the breakdowns to a bounded trickle and counts what it drops.
+		s.slowLogf = ratelog.New(4, 2).Wrap(logf)
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.metered = true
@@ -322,7 +357,7 @@ func (s *Server) Serve(lis net.Listener) error {
 		}
 		c := &conn{
 			nc:   nc,
-			out:  make(chan *[]byte, 64),
+			out:  make(chan outFrame, 64),
 			dead: make(chan struct{}),
 		}
 		s.mu.Lock()
@@ -404,10 +439,17 @@ func (s *Server) readLoop(c *conn) {
 	}
 	var scratch []byte
 	var m wire.Msg
+	var rstart time.Time
 	for {
 		body, err := wire.ReadFrame(r, &scratch)
 		if err != nil {
 			return // EOF, peer reset, or framing error: drop the connection
+		}
+		if s.tracer != nil {
+			// Dispatch spans start when the frame is fully read; taken
+			// before sampling decides, so a sampled request's first span
+			// covers its own decode + validation.
+			rstart = time.Now()
 		}
 		if err := m.Decode(body); err != nil {
 			// Framing is intact, the body is not. Tell the client and
@@ -422,7 +464,7 @@ func (s *Server) readLoop(c *conn) {
 		case wire.TMembers:
 			s.replyMembers(c, m.ReqID)
 		case wire.TInsert, wire.TLookup, wire.TDelete:
-			if !s.dispatchKeyed(c, m.Type, &m, false) {
+			if !s.dispatchKeyed(c, m.Type, &m, false, rstart) {
 				return
 			}
 		case wire.TRoute:
@@ -437,14 +479,21 @@ func (s *Server) readLoop(c *conn) {
 				s.replyError(c, m.ReqID, "not a cluster node: direct routing unavailable")
 			case m.Cluster != s.clusterHash:
 				s.wrongview.Inc()
-				s.send(c, &wire.Msg{Type: wire.TWrongView, ReqID: m.ReqID, Cluster: s.clusterHash})
+				var tr uint64
+				if m.Traced && s.tracer != nil {
+					// A zero-duration span marks which node bounced the
+					// stale view, so the retry's trace shows the detour.
+					tr = m.Trace
+					s.tracer.Record(tr, trace.KindWrongView, rstart, 0, s.clusterHash)
+				}
+				s.send(c, &wire.Msg{Type: wire.TWrongView, ReqID: m.ReqID, Cluster: s.clusterHash}, tr)
 			case m.RouteKind != wire.TInsert && m.RouteKind != wire.TLookup && m.RouteKind != wire.TDelete:
 				s.replyError(c, m.ReqID, "unexpected route kind "+m.RouteKind.String())
 			case s.owns != nil && !s.owns(m.Key):
 				s.replyError(c, m.ReqID, fmt.Sprintf("not the owner of %v", m.Key))
 			default:
 				s.routed.Inc()
-				if !s.dispatchKeyed(c, m.RouteKind, &m, true) {
+				if !s.dispatchKeyed(c, m.RouteKind, &m, true, rstart) {
 					return
 				}
 			}
@@ -463,8 +512,11 @@ const defaultReadBuffer = 32 << 10
 // — for routed requests it comes from the TRoute envelope's RouteKind.
 // Routed requests skip the forward branch: their owner check already
 // ran in the caller, so route-direct traffic executes locally or not at
-// all. It reports false when the server shut down mid-enqueue.
-func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool) bool {
+// all. rstart is when the frame finished reading (zero without a
+// tracer); direct requests are sampled here, routed ones inherit the
+// trailer's trace ID. It reports false when the server shut down
+// mid-enqueue.
+func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool, rstart time.Time) bool {
 	if typ == wire.TInsert && len(m.Value) > wire.MaxValue {
 		// The limit is the forwardable maximum, enforced uniformly so an
 		// insert never succeeds on the owning node but fails through any
@@ -487,6 +539,18 @@ func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool)
 	case wire.TDelete:
 		s.reqDelete.Inc()
 	}
+	var tr uint64
+	if s.tracer != nil {
+		if routed {
+			// Trace decisions propagate: a routed request is traced iff
+			// the sender sampled it, so its spans join the sender's.
+			if m.Traced {
+				tr = m.Trace
+			}
+		} else {
+			tr = s.tracer.Sample()
+		}
+	}
 	if s.owns != nil && !routed && !s.owns(m.Key) {
 		// Another cluster node owns this key: relay the request and
 		// deliver the owner's reply under this reqID. The forwarder may
@@ -500,18 +564,26 @@ func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool)
 		c.inflight.Add(1)
 		reqID := m.ReqID
 		var once sync.Once
-		s.forward(typ, m.Key, origin, value, func(resp *wire.Msg) {
+		s.forward(typ, m.Key, origin, value, tr, func(resp *wire.Msg) {
 			once.Do(func() {
+				if tr != 0 {
+					// The forward span covers read-done → owner's reply in
+					// hand; the owner's own spans nest inside it.
+					s.tracer.Record(tr, trace.KindForward, rstart, time.Since(rstart), uint64(typ))
+				}
 				resp.ReqID = reqID
-				s.send(c, resp)
+				s.send(c, resp, tr)
 				c.inflight.Done()
 			})
 		})
 		return true
 	}
-	t := task{c: c, typ: typ, reqID: m.ReqID, key: m.Key, origin: origin}
-	if s.metered {
+	t := task{c: c, typ: typ, reqID: m.ReqID, key: m.Key, origin: origin, trace: tr}
+	if s.metered || tr != 0 || s.slowNanos > 0 {
 		t.enq = time.Now()
+	}
+	if tr != 0 {
+		s.tracer.Record(tr, trace.KindDispatch, rstart, t.enq.Sub(rstart), uint64(typ))
 	}
 	if typ == wire.TInsert {
 		t.value = append([]byte(nil), m.Value...)
@@ -535,7 +607,7 @@ func (s *Server) replyMembers(c *conn, reqID uint64) {
 		return
 	}
 	m := wire.Msg{Type: wire.TMembersOK, ReqID: reqID, Cluster: s.clusterHash, Members: s.members()}
-	s.send(c, &m)
+	s.send(c, &m, 0)
 }
 
 // shardWorker executes tasks for shard i in arrival order, a batch at a
@@ -596,9 +668,18 @@ func (s *Server) execBatch(tasks []task, ops *[]discovery.BatchOp) {
 	// from each task's enqueue to the batch's execution start, and the
 	// batch's service span is attributed evenly across its tasks — two
 	// time.Now() calls per batch, not per request.
+	traced := false
+	for k := range tasks {
+		if tasks[k].trace != 0 {
+			traced = true
+			break
+		}
+	}
 	var started time.Time
-	if s.metered {
+	if s.metered || traced || s.slowNanos > 0 {
 		started = time.Now()
+	}
+	if s.metered {
 		s.batchTasks.Observe(int64(len(tasks)))
 		for k := range tasks {
 			s.queueWait.Observe(int64(started.Sub(tasks[k].enq)))
@@ -618,9 +699,12 @@ func (s *Server) execBatch(tasks []task, ops *[]discovery.BatchOp) {
 		}
 		*ops = append(*ops, op)
 	}
-	s.pool.ExecBatch(*ops)
+	walNanos := s.pool.ExecBatchTimed(*ops)
+	var share int64
+	if s.metered || traced || s.slowNanos > 0 {
+		share = int64(time.Since(started)) / int64(len(tasks))
+	}
 	if s.metered {
-		share := int64(time.Since(started)) / int64(len(tasks))
 		for k := range tasks {
 			switch tasks[k].typ {
 			case wire.TInsert:
@@ -631,6 +715,33 @@ func (s *Server) execBatch(tasks []task, ops *[]discovery.BatchOp) {
 				s.svcDelete.Observe(share)
 			}
 		}
+	}
+	if traced {
+		// Batch time is attributed evenly: each traced task gets the WAL
+		// append+fsync share and the remaining execution share as two
+		// adjacent spans, so a trace shows where the batch spent its time
+		// even though the work was amortized.
+		walShare := walNanos / int64(len(tasks))
+		execShare := share - walShare
+		if execShare < 0 {
+			execShare = 0
+		}
+		startNanos := started.UnixNano()
+		for k := range tasks {
+			t := &tasks[k]
+			if t.trace == 0 {
+				continue
+			}
+			s.tracer.RecordNanos(t.trace, trace.KindQueueWait, t.enq.UnixNano(), startNanos-t.enq.UnixNano(), uint64(len(tasks)))
+			if walShare > 0 {
+				s.tracer.RecordNanos(t.trace, trace.KindWALCommit, startNanos, walShare, uint64(len(tasks)))
+			}
+			s.tracer.RecordNanos(t.trace, trace.KindShardExec, startNanos+walShare, execShare, uint64(len(tasks)))
+		}
+	}
+	var nowNanos int64
+	if s.slowNanos > 0 {
+		nowNanos = time.Now().UnixNano()
 	}
 	for k := range tasks {
 		t := &tasks[k]
@@ -655,7 +766,15 @@ func (s *Server) execBatch(tasks []task, ops *[]discovery.BatchOp) {
 			m.Type = wire.TDeleteOK
 			m.Deleted = uint32(op.Removed)
 		}
-		s.send(t.c, &m)
+		if s.slowNanos > 0 {
+			if total := nowNanos - t.enq.UnixNano(); total > s.slowNanos {
+				s.slowLogf("server: slow %v: total=%s queue=%s exec=%s wal=%s batch=%d trace=%016x",
+					t.typ, time.Duration(total), started.Sub(t.enq),
+					time.Duration(share), time.Duration(walNanos/int64(len(tasks))),
+					len(tasks), t.trace)
+			}
+		}
+		s.send(t.c, &m, t.trace)
 		t.c.inflight.Done()
 	}
 }
@@ -675,18 +794,20 @@ func (s *Server) replyStats(c *conn, reqID uint64) {
 	for i, ss := range st.PerShard {
 		m.Stats.ShardRequests[i] = ss.Requests
 	}
-	s.send(c, &m)
+	s.send(c, &m, 0)
 }
 
 // replyError sends a TError frame carrying text.
 func (s *Server) replyError(c *conn, reqID uint64, text string) {
 	m := wire.Msg{Type: wire.TError, ReqID: reqID, Value: []byte(text)}
-	s.send(c, &m)
+	s.send(c, &m, 0)
 }
 
 // send encodes m into a pooled buffer and offers it to the connection's
-// writer, dropping it if the writer is gone.
-func (s *Server) send(c *conn, m *wire.Msg) {
+// writer, dropping it if the writer is gone. tr is the originating
+// request's trace ID (0 = untraced); a traced frame is timestamped so
+// the writer can record its enqueue→flush span.
+func (s *Server) send(c *conn, m *wire.Msg, tr uint64) {
 	bp := s.bufs.Get().(*[]byte)
 	frame, err := m.Append((*bp)[:0])
 	if err != nil {
@@ -696,8 +817,12 @@ func (s *Server) send(c *conn, m *wire.Msg) {
 		frame, _ = (&wire.Msg{Type: wire.TError, ReqID: m.ReqID, Value: []byte("internal encode error")}).Append((*bp)[:0])
 	}
 	*bp = frame
+	f := outFrame{bp: bp, trace: tr}
+	if tr != 0 {
+		f.enq = time.Now().UnixNano()
+	}
 	select {
-	case c.out <- bp:
+	case c.out <- f:
 	case <-c.dead:
 		s.bufs.Put(bp)
 	}
@@ -717,14 +842,32 @@ func (s *Server) writeLoop(c *conn) {
 	defer s.forgetConn(c.nc)
 	defer c.nc.Close()
 	defer c.kill()
-	batchio.WriteLoop(c.nc, c.out, s.coFrames, s.coBytes, s.writeTimeout,
-		func(bp *[]byte) { s.bufs.Put(bp) },
+	var onFlushed func([]outFrame)
+	if s.tracer != nil {
+		onFlushed = func(batch []outFrame) {
+			// One clock read per flushed batch, taken lazily so batches
+			// with no traced frames cost nothing extra.
+			var now int64
+			for _, f := range batch {
+				if f.trace == 0 {
+					continue
+				}
+				if now == 0 {
+					now = time.Now().UnixNano()
+				}
+				s.tracer.RecordNanos(f.trace, trace.KindRespFlush, f.enq, now-f.enq, uint64(len(batch)))
+			}
+		}
+	}
+	batchio.WriteLoopFunc(c.nc, c.out, s.coFrames, s.coBytes, s.writeTimeout,
+		func(f outFrame) []byte { return *f.bp },
+		func(f outFrame) { s.bufs.Put(f.bp) },
 		func(err error) {
 			s.shed.Inc()
 			s.logf("server: write to %v: %v", c.nc.RemoteAddr(), err)
 			c.kill()
 			c.nc.Close()
-		}, &s.wstats)
+		}, onFlushed, &s.wstats)
 }
 
 // forgetConn drops a finished connection from the shutdown set.

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// JSONSpan is one span of a rendered trace; children are spans whose
+// interval the parent's contains.
+type JSONSpan struct {
+	Kind  string      `json:"kind"`
+	Node  uint32      `json:"node"`
+	Start int64       `json:"start_unix_ns"`
+	Dur   int64       `json:"dur_ns"`
+	Extra uint64      `json:"extra,omitempty"`
+	Spans []*JSONSpan `json:"spans,omitempty"`
+}
+
+// JSONTrace is one rendered trace: every recorded span sharing an ID,
+// nested by time containment.
+type JSONTrace struct {
+	ID string `json:"id"`
+	// Start is the earliest span start; Dur spans to the latest end.
+	Start int64       `json:"start_unix_ns"`
+	Dur   int64       `json:"dur_ns"`
+	Spans []*JSONSpan `json:"spans"`
+}
+
+// Traces groups the current snapshot into rendered traces, most recent
+// first, at most limit of them (0 = all).
+func (t *Tracer) Traces(limit int) []JSONTrace {
+	byID := make(map[uint64][]Span)
+	for _, sp := range t.Snapshot() {
+		byID[sp.Trace] = append(byID[sp.Trace], sp)
+	}
+	out := make([]JSONTrace, 0, len(byID))
+	for id, spans := range byID {
+		out = append(out, buildTrace(id, spans))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start > out[j].Start })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// buildTrace nests one trace's spans by time containment: a span becomes
+// a child of the nearest earlier span whose interval covers it.
+func buildTrace(id uint64, spans []Span) JSONTrace {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Dur > spans[j].Dur
+	})
+	tr := JSONTrace{ID: fmt.Sprintf("%016x", id), Start: spans[0].Start}
+	end := spans[0].Start
+	var stack []*JSONSpan
+	for _, sp := range spans {
+		js := &JSONSpan{
+			Kind:  sp.Kind.String(),
+			Node:  sp.Node,
+			Start: sp.Start,
+			Dur:   sp.Dur,
+			Extra: sp.Extra,
+		}
+		if e := sp.Start + sp.Dur; e > end {
+			end = e
+		}
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			if p.Start <= js.Start && p.Start+p.Dur >= js.Start+js.Dur {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			tr.Spans = append(tr.Spans, js)
+		} else {
+			p := stack[len(stack)-1]
+			p.Spans = append(p.Spans, js)
+		}
+		stack = append(stack, js)
+	}
+	tr.Dur = end - tr.Start
+	return tr
+}
+
+// Handler serves the recent sampled traces as JSON — mount it at
+// /debug/traces next to /metrics. ?n= caps the trace count (default
+// 64).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		limit := 64
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+				limit = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Traces []JSONTrace `json:"traces"`
+		}{t.Traces(limit)})
+	})
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSampleEveryN(t *testing.T) {
+	tr := New(Config{SampleEvery: 4, Seed: 7})
+	seen := map[uint64]bool{}
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		id := tr.Sample()
+		if id == 0 {
+			continue
+		}
+		sampled++
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %#x", id)
+		}
+		seen[id] = true
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-4 sampling over 400 calls picked %d, want 100", sampled)
+	}
+}
+
+func TestSampleDisabled(t *testing.T) {
+	tr := New(Config{SampleEvery: 0})
+	for i := 0; i < 100; i++ {
+		if id := tr.Sample(); id != 0 {
+			t.Fatalf("disabled sampler returned %#x", id)
+		}
+	}
+	var nilTracer *Tracer
+	if id := nilTracer.Sample(); id != 0 {
+		t.Fatalf("nil tracer sampled %#x", id)
+	}
+	// Nil and zero-trace records must be harmless no-ops.
+	nilTracer.Record(1, KindShardExec, time.Now(), time.Millisecond, 0)
+	tr.Record(0, KindShardExec, time.Now(), time.Millisecond, 0)
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("unsampled records left %d spans", len(got))
+	}
+}
+
+func TestRecordSnapshot(t *testing.T) {
+	tr := New(Config{Node: 2, SampleEvery: 1, Seed: 1})
+	id := tr.Sample()
+	base := time.Now()
+	tr.Record(id, KindQueueWait, base, 10*time.Microsecond, 0)
+	tr.Record(id, KindShardExec, base.Add(10*time.Microsecond), 5*time.Microsecond, 8)
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Trace != id {
+			t.Fatalf("span trace %#x, want %#x", sp.Trace, id)
+		}
+		if sp.Node != 2 {
+			t.Fatalf("span node %d, want 2", sp.Node)
+		}
+	}
+}
+
+func TestRingWrapKeepsBound(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Rings: 1, SlotsPerRing: 8, Seed: 3})
+	now := time.Now()
+	for i := 0; i < 100; i++ {
+		tr.Record(uint64(i+1), KindShardExec, now, time.Microsecond, 0)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("1x8 ring holds %d spans after 100 records, want 8", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Trace <= 100-8 {
+			t.Fatalf("ring kept stale trace %d", sp.Trace)
+		}
+	}
+}
+
+func TestTracesNestingByContainment(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Seed: 9})
+	const id = 0x42
+	// A 100µs forward containing a 60µs route_exec containing a 20µs
+	// wal_commit, plus a disjoint resp_flush sibling of route_exec.
+	tr.RecordNanos(id, KindForward, 1000, 100_000, 0)
+	tr.RecordNanos(id, KindRouteExec, 2000, 60_000, 0)
+	tr.RecordNanos(id, KindWALCommit, 3000, 20_000, 0)
+	tr.RecordNanos(id, KindRespFlush, 90_000, 10_000, 0)
+	got := tr.Traces(0)
+	if len(got) != 1 {
+		t.Fatalf("got %d traces, want 1", len(got))
+	}
+	root := got[0]
+	if root.ID != "0000000000000042" {
+		t.Fatalf("trace id %q", root.ID)
+	}
+	if len(root.Spans) != 1 || root.Spans[0].Kind != "forward" {
+		t.Fatalf("root spans: %+v", root.Spans)
+	}
+	fwd := root.Spans[0]
+	if len(fwd.Spans) != 2 || fwd.Spans[0].Kind != "route_exec" || fwd.Spans[1].Kind != "resp_flush" {
+		t.Fatalf("forward children: %+v", fwd.Spans)
+	}
+	if len(fwd.Spans[0].Spans) != 1 || fwd.Spans[0].Spans[0].Kind != "wal_commit" {
+		t.Fatalf("route_exec children: %+v", fwd.Spans[0].Spans)
+	}
+	if root.Start != 1000 || root.Dur != 100_000 {
+		t.Fatalf("trace window [%d +%d], want [1000 +100000]", root.Start, root.Dur)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	tr := New(Config{Node: 1, SampleEvery: 1, Seed: 5})
+	id := tr.Sample()
+	tr.RecordNanos(id, KindQueueWait, 100, 50, 0)
+	tr.RecordNanos(id, KindShardExec, 150, 30, 4)
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?n=10", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Traces []JSONTrace `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(body.Traces) != 1 || len(body.Traces[0].Spans) == 0 {
+		t.Fatalf("traces: %+v", body.Traces)
+	}
+}
+
+// TestRecordPathZeroAllocs is the CI alloc gate for the tentpole's
+// "zero-cost" claim: the unsampled path (nil tracer, disabled sampler,
+// trace-0 record) and the sampled record path both allocate nothing.
+func TestRecordPathZeroAllocs(t *testing.T) {
+	var nilTracer *Tracer
+	off := New(Config{SampleEvery: 0})
+	on := New(Config{SampleEvery: 1, Seed: 11})
+	start := time.Now()
+
+	if a := testing.AllocsPerRun(200, func() {
+		if nilTracer.Sample() != 0 {
+			t.Fatal("nil sampled")
+		}
+		nilTracer.Record(1, KindShardExec, start, time.Microsecond, 0)
+	}); a != 0 {
+		t.Fatalf("nil-tracer path allocates %.1f/op", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		if off.Sample() != 0 {
+			t.Fatal("disabled sampled")
+		}
+		off.Record(0, KindShardExec, start, time.Microsecond, 0)
+	}); a != 0 {
+		t.Fatalf("unsampled path allocates %.1f/op", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		id := on.Sample()
+		on.Record(id, KindShardExec, start, time.Microsecond, 7)
+	}); a != 0 {
+		t.Fatalf("sampled record path allocates %.1f/op", a)
+	}
+}
+
+// TestConcurrentRecordSnapshot drives writers against snapshotters so
+// the race detector can prove the seqlock protocol sound.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Rings: 2, SlotsPerRing: 64, Seed: 13})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := time.Now()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Record(uint64(w*1_000_000+i+1), Kind(1+i%11), base, time.Duration(i), uint64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		for _, sp := range tr.Snapshot() {
+			if sp.Trace == 0 || sp.Kind == 0 {
+				t.Errorf("torn span: %+v", sp)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

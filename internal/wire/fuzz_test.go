@@ -101,10 +101,10 @@ func FuzzPeerDecode(f *testing.F) {
 // FuzzPeerRoundTrip builds structured peer messages from fuzzed fields,
 // encodes them, and requires decode to reproduce the message exactly.
 func FuzzPeerRoundTrip(f *testing.F) {
-	f.Add(uint8(0), uint64(7), uint64(0xABCD), uint32(1), []byte("key"), []byte("value"), uint32(3), uint8(1))
-	f.Add(uint8(2), uint64(1), uint64(0), uint32(0), []byte(""), []byte(""), uint32(0), uint8(2))
-	f.Add(uint8(5), uint64(9), uint64(1), uint32(2), []byte("k2"), []byte("entry-payload"), uint32(7), uint8(3))
-	f.Fuzz(func(t *testing.T, ty uint8, reqID, cluster uint64, origin uint32, keySrc, value []byte, region uint32, kind uint8) {
+	f.Add(uint8(0), uint64(7), uint64(0xABCD), uint32(1), []byte("key"), []byte("value"), uint32(3), uint8(1), uint64(0))
+	f.Add(uint8(2), uint64(1), uint64(0), uint32(0), []byte(""), []byte(""), uint32(0), uint8(2), uint64(0xFEEDFACE))
+	f.Add(uint8(5), uint64(9), uint64(1), uint32(2), []byte("k2"), []byte("entry-payload"), uint32(7), uint8(3), uint64(1))
+	f.Fuzz(func(t *testing.T, ty uint8, reqID, cluster uint64, origin uint32, keySrc, value []byte, region uint32, kind uint8, traceID uint64) {
 		types := []Type{TPeerProbe, TRoute, TRepair, TTransfer, TPeerProbeOK, TRepairOK, TTransferOK, TWrongView}
 		m := Msg{
 			Type:      types[int(ty)%len(types)],
@@ -117,6 +117,14 @@ func FuzzPeerRoundTrip(f *testing.F) {
 			Region:    region,
 			Accepted:  region,
 			Value:     value,
+		}
+		// Trace trailers ride only on the peer requests that execute work;
+		// kind's high bit picks traced/untraced so both layouts are fuzzed.
+		if m.Type == TRoute || m.Type == TRepair || m.Type == TTransfer {
+			if kind&0x80 != 0 {
+				m.Traced = true
+				m.Trace = traceID
+			}
 		}
 		if m.Type == TPeerProbe || m.Type == TPeerProbeOK {
 			addr := keySrc

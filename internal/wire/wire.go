@@ -56,10 +56,10 @@
 // of executing them under a conflicting view.
 //
 //	TPeerProbe:   u64 clusterHash | u32 sender | u16 len | clientAddr
-//	TRoute:       u8 kind (TInsert|TLookup|TDelete) | u64 clusterHash |
+//	TRoute:       u8 kind (TInsert|TLookup|TDelete) | u64 clusterHash | trace |
 //	              key[20] | u32 origin | value...    (value only for insert kind)
-//	TRepair:      u64 clusterHash | u32 region | cursor
-//	TTransfer:    u64 clusterHash | u32 count | count x entry
+//	TRepair:      u64 clusterHash | trace | u32 region | cursor
+//	TTransfer:    u64 clusterHash | trace | u32 count | count x entry
 //	TPeerProbeOK: u64 clusterHash | u32 responder | u64 heldReplicas |
 //	              u16 len | clientAddr
 //	TRepairOK:    u32 region | u8 more | cursor | u32 count | count x entry
@@ -74,6 +74,15 @@
 // announces the receiver's own hash so the client knows a refresh is
 // worthwhile, and it is deliberately distinct from TError so clients can
 // tell "re-learn the cluster and retry" from a terminal failure.
+//
+// where trace = u8 tflags | [u64 traceID] is the optional trace-context
+// trailer every peer REQUEST that executes work carries right after its
+// cluster hash: tflags 0x00 means untraced (no ID follows), 0x01 means
+// the request is sampled and the u64 trace ID follows, and any other
+// flags value is rejected with ErrTrace (strict, canonical — there is
+// exactly one encoding of "untraced"). The ID joins the spans a request
+// leaves on every node it touches (internal/trace); responses carry no
+// trailer because the reqID already correlates them to the request.
 //
 // where entry = u32 node | u32 origin | key[20] | u32 valueLen | value,
 // and cursor = u32 shard | u32 node | key[20] — a resume position in the
@@ -113,7 +122,7 @@ const MaxFrame = 1 << 20
 //
 //	header 9 + region 4 + more 1 + cursor 28 + count 4 + entry 32 = 78
 //
-// (TRoute needs 42 and a single-entry TTransfer 53.)
+// (a traced TRoute needs 51 and a traced single-entry TTransfer 62.)
 const MaxValue = MaxFrame - maxValueOverhead
 
 // maxValueOverhead is the single-entry TRepairOK wrapper cost derived
@@ -234,6 +243,7 @@ var (
 	ErrCursor   = errors.New("wire: repair cursor present without more flag")
 	ErrMembers  = errors.New("wire: member list disagrees with body")
 	ErrAddr     = errors.New("wire: address exceeds 65535 bytes")
+	ErrTrace    = errors.New("wire: invalid trace trailer flags")
 )
 
 // InsertReply carries the insertion statistics of one request.
@@ -384,6 +394,12 @@ type Msg struct {
 	// order (TMembersOK). Cluster carries the matching fingerprint.
 	// Decoding allocates fresh strings — member lists are small and rare.
 	Members []string
+	// Trace is the propagated trace ID of a sampled peer request
+	// (TRoute, TRepair, TTransfer); meaningful only when Traced is set.
+	Trace uint64
+	// Traced reports that the peer request carries a trace ID, i.e. some
+	// node sampled it and every hop should record spans under Trace.
+	Traced bool
 }
 
 // ErrorText returns the error message of a TError response.
@@ -417,16 +433,16 @@ func (m *Msg) bodyLen() int {
 	case TPeerProbeOK:
 		n += 8 + 4 + 8 + 2 + len(m.ClientAddr)
 	case TRoute:
-		n += 1 + 8 + idspace.Bytes + 4
+		n += 1 + 8 + m.traceLen() + idspace.Bytes + 4
 		if m.RouteKind == TInsert {
 			n += len(m.Value)
 		}
 	case TRepair:
-		n += 8 + 4 + cursorLen
+		n += 8 + m.traceLen() + 4 + cursorLen
 	case TRepairOK:
 		n += 4 + 1 + cursorLen + 4 + entriesLen(m.Entries)
 	case TTransfer:
-		n += 8 + 4 + entriesLen(m.Entries)
+		n += 8 + m.traceLen() + 4 + entriesLen(m.Entries)
 	case TTransferOK:
 		n += 4
 	case TWrongView:
@@ -435,6 +451,15 @@ func (m *Msg) bodyLen() int {
 		n += len(m.Value)
 	}
 	return n
+}
+
+// traceLen is the encoded size of the trace trailer: the flags byte,
+// plus the trace ID when the request is traced.
+func (m *Msg) traceLen() int {
+	if m.Traced {
+		return 1 + 8
+	}
+	return 1
 }
 
 // entriesLen is the encoded size of a transfer entry list.
@@ -540,6 +565,7 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 	case TRoute:
 		dst = append(dst, byte(m.RouteKind))
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = m.appendTrace(dst)
 		dst = append(dst, m.Key[:]...)
 		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
 		if m.RouteKind == TInsert {
@@ -547,6 +573,7 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		}
 	case TRepair:
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = m.appendTrace(dst)
 		dst = binary.BigEndian.AppendUint32(dst, m.Region)
 		dst = appendCursor(dst, m.Cursor)
 	case TRepairOK:
@@ -560,6 +587,7 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		dst = appendEntries(dst, m.Entries)
 	case TTransfer:
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = m.appendTrace(dst)
 		dst = appendEntries(dst, m.Entries)
 	case TTransferOK:
 		dst = binary.BigEndian.AppendUint32(dst, m.Accepted)
@@ -571,6 +599,41 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		return dst[:len(dst)-body-lenWords], ErrType
 	}
 	return dst, nil
+}
+
+// appendTrace encodes the trace trailer onto dst: a lone 0x00 flags byte
+// when untraced, 0x01 followed by the trace ID when traced.
+func (m *Msg) appendTrace(dst []byte) []byte {
+	if !m.Traced {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.BigEndian.AppendUint64(dst, m.Trace)
+}
+
+// decodeTrace parses the trace trailer from the front of b, filling
+// m.Traced/m.Trace, and returns what follows it. Flags other than 0x00
+// and 0x01 are rejected so future trailer extensions cannot be silently
+// misread.
+func (m *Msg) decodeTrace(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, ErrShort
+	}
+	switch b[0] {
+	case 0:
+		m.Traced = false
+		m.Trace = 0
+		return b[1:], nil
+	case 1:
+		if len(b) < 1+8 {
+			return nil, ErrShort
+		}
+		m.Traced = true
+		m.Trace = binary.BigEndian.Uint64(b[1:])
+		return b[9:], nil
+	default:
+		return nil, ErrTrace
+	}
 }
 
 // appendCursor encodes a repair cursor onto dst.
@@ -745,14 +808,21 @@ func (m *Msg) Decode(body []byte) error {
 			return ErrTrailing
 		}
 	case TRoute:
-		if len(b) < 1+8+idspace.Bytes+4 {
+		if len(b) < 1+8 {
 			return ErrShort
 		}
 		m.RouteKind = Type(b[0])
 		m.Cluster = binary.BigEndian.Uint64(b[1:])
-		copy(m.Key[:], b[9:])
-		m.Origin = binary.BigEndian.Uint32(b[9+idspace.Bytes:])
-		rest := b[9+idspace.Bytes+4:]
+		rest, err := m.decodeTrace(b[9:])
+		if err != nil {
+			return err
+		}
+		if len(rest) < idspace.Bytes+4 {
+			return ErrShort
+		}
+		copy(m.Key[:], rest)
+		m.Origin = binary.BigEndian.Uint32(rest[idspace.Bytes:])
+		rest = rest[idspace.Bytes+4:]
 		switch m.RouteKind {
 		case TInsert:
 			m.Value = append(m.Value[:0], rest...)
@@ -764,12 +834,19 @@ func (m *Msg) Decode(body []byte) error {
 			return ErrRoute
 		}
 	case TRepair:
-		if len(b) != 8+4+cursorLen {
-			return sizeErr(len(b), 8+4+cursorLen)
+		if len(b) < 8 {
+			return ErrShort
 		}
 		m.Cluster = binary.BigEndian.Uint64(b[0:])
-		m.Region = binary.BigEndian.Uint32(b[8:])
-		m.Cursor = decodeCursor(b[12:])
+		rest, err := m.decodeTrace(b[8:])
+		if err != nil {
+			return err
+		}
+		if len(rest) != 4+cursorLen {
+			return sizeErr(len(rest), 4+cursorLen)
+		}
+		m.Region = binary.BigEndian.Uint32(rest[0:])
+		m.Cursor = decodeCursor(rest[4:])
 	case TRepairOK:
 		if len(b) < 4+1+cursorLen {
 			return ErrShort
@@ -795,7 +872,11 @@ func (m *Msg) Decode(body []byte) error {
 			return ErrShort
 		}
 		m.Cluster = binary.BigEndian.Uint64(b[0:])
-		if err := m.decodeEntries(b[8:]); err != nil {
+		rest, err := m.decodeTrace(b[8:])
+		if err != nil {
+			return err
+		}
+		if err := m.decodeEntries(rest); err != nil {
 			return err
 		}
 	case TTransferOK:

@@ -40,7 +40,12 @@ func sampleMsgs() []Msg {
 		{Type: TRoute, ReqID: 12, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1, Value: nil},
 		{Type: TRoute, ReqID: 13, RouteKind: TLookup, Cluster: 0xA1, Key: key, Origin: 0},
 		{Type: TRoute, ReqID: 14, RouteKind: TDelete, Cluster: 0xA1, Key: key, Origin: 2},
+		{Type: TRoute, ReqID: 24, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1,
+			Traced: true, Trace: 0xFEEDFACECAFEF00D, Value: []byte("tcp://node1:7700")},
+		{Type: TRoute, ReqID: 25, RouteKind: TLookup, Cluster: 0xA1, Key: key, Origin: 0,
+			Traced: true, Trace: 1},
 		{Type: TRepair, ReqID: 15, Cluster: 0xA1, Region: 1},
+		{Type: TRepair, ReqID: 26, Cluster: 0xA1, Region: 3, Traced: true, Trace: 0x1122334455667788},
 		{Type: TRepair, ReqID: 18, Cluster: 0xA1, Region: 2,
 			Cursor: RepairCursor{Shard: 3, Node: 17, Key: idspace.FromString("resume-here")}},
 		{Type: TRepairOK, ReqID: 15, Region: 1, Entries: []TransferEntry{
@@ -54,6 +59,8 @@ func sampleMsgs() []Msg {
 			{Node: 2, Origin: 0, Key: key, Value: []byte("moved")},
 		}},
 		{Type: TTransfer, ReqID: 17, Cluster: 0xA1, Entries: nil},
+		{Type: TTransfer, ReqID: 27, Cluster: 0xA1, Traced: true, Trace: 0xABCD,
+			Entries: []TransferEntry{{Node: 5, Origin: 1, Key: key, Value: []byte("traced")}}},
 		{Type: TTransferOK, ReqID: 16, Accepted: 1},
 	}
 }
@@ -134,11 +141,15 @@ func eq(t *testing.T, a, b *Msg) {
 		if a.RouteKind != b.RouteKind || a.Cluster != b.Cluster || a.Key != b.Key || a.Origin != b.Origin {
 			t.Fatalf("route mismatch: %+v vs %+v", a, b)
 		}
+		if a.Traced != b.Traced || a.Trace != b.Trace {
+			t.Fatalf("route trace mismatch: %+v vs %+v", a, b)
+		}
 		if a.RouteKind == TInsert && !bytes.Equal(a.Value, b.Value) {
 			t.Fatalf("route value mismatch: %q vs %q", a.Value, b.Value)
 		}
 	case TRepair:
-		if a.Cluster != b.Cluster || a.Region != b.Region || a.Cursor != b.Cursor {
+		if a.Cluster != b.Cluster || a.Region != b.Region || a.Cursor != b.Cursor ||
+			a.Traced != b.Traced || a.Trace != b.Trace {
 			t.Fatalf("repair mismatch: %+v vs %+v", a, b)
 		}
 	case TRepairOK:
@@ -146,7 +157,8 @@ func eq(t *testing.T, a, b *Msg) {
 			t.Fatalf("repair reply mismatch: %+v vs %+v", a, b)
 		}
 	case TTransfer:
-		if a.Cluster != b.Cluster || !entriesEq(a.Entries, b.Entries) {
+		if a.Cluster != b.Cluster || !entriesEq(a.Entries, b.Entries) ||
+			a.Traced != b.Traced || a.Trace != b.Trace {
 			t.Fatalf("transfer mismatch: %+v vs %+v", a, b)
 		}
 	case TTransferOK:
@@ -233,15 +245,33 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			return b
 		}(), ErrShards},
 		{"route bad kind", func() []byte {
-			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+idspace.Bytes+4)...)
+			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+1+idspace.Bytes+4)...)
 			b[9] = byte(TStats) // not a routable kind
 			return b
 		}(), ErrRoute},
 		{"route lookup trailing", func() []byte {
-			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+idspace.Bytes+4+3)...)
+			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+1+idspace.Bytes+4+3)...)
 			b[9] = byte(TLookup)
 			return b
 		}(), ErrTrailing},
+		{"route bad trace flags", func() []byte {
+			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+1+idspace.Bytes+4)...)
+			b[9] = byte(TLookup)
+			b[9+1+8] = 0x80 // undefined trailer flag bit
+			return b
+		}(), ErrTrace},
+		{"route traced id cut short", func() []byte {
+			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+1+4)...)
+			b[9] = byte(TLookup)
+			b[9+1+8] = 1 // sampled, but only 4 of the 8 ID bytes follow
+			return b
+		}(), ErrShort},
+		{"route traced key cut short", func() []byte {
+			b := append([]byte{byte(TRoute)}, make([]byte, 8+1+8+9+idspace.Bytes)...)
+			b[9] = byte(TLookup)
+			b[9+1+8] = 1 // full trailer, but origin is missing after the key
+			return b
+		}(), ErrShort},
 		{"probe short", append([]byte{byte(TPeerProbe)}, make([]byte, 8+11)...), ErrShort},
 		{"probe addr overruns body", func() []byte {
 			b := append([]byte{byte(TPeerProbe)}, make([]byte, 8+14)...)
@@ -266,8 +296,13 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		{"members-ok trailing", append([]byte{byte(TMembersOK)}, make([]byte, 8+12+1)...), ErrTrailing},
 		{"wrong-view short", append([]byte{byte(TWrongView)}, make([]byte, 8+4)...), ErrShort},
 		{"wrong-view trailing", append([]byte{byte(TWrongView)}, make([]byte, 8+9)...), ErrTrailing},
-		{"repair short", append([]byte{byte(TRepair)}, make([]byte, 8+8+5)...), ErrShort},
-		{"repair trailing", append([]byte{byte(TRepair)}, make([]byte, 8+8+4+28+2)...), ErrTrailing},
+		{"repair short", append([]byte{byte(TRepair)}, make([]byte, 8+8+1+5)...), ErrShort},
+		{"repair trailing", append([]byte{byte(TRepair)}, make([]byte, 8+8+1+4+28+2)...), ErrTrailing},
+		{"repair bad trace flags", func() []byte {
+			b := append([]byte{byte(TRepair)}, make([]byte, 8+8+1+4+28)...)
+			b[9+8] = 3 // trailer flags must be 0 or 1
+			return b
+		}(), ErrTrace},
 		{"repair-ok bad more byte", func() []byte {
 			b := append([]byte{byte(TRepairOK)}, make([]byte, 8+4+1+28+4)...)
 			b[9+4] = 7 // more must be 0 or 1
@@ -280,22 +315,27 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			return b
 		}(), ErrCursor},
 		{"transfer count overruns body", func() []byte {
-			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+4)...)
-			b[9+8+3] = 9 // claims 9 entries, carries none
+			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+1+4)...)
+			b[9+8+1+3] = 9 // claims 9 entries, carries none
 			return b
 		}(), ErrEntries},
 		{"transfer value overruns body", func() []byte {
 			// One entry whose value length claims more bytes than remain.
-			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+4+32)...)
-			b[9+8+3] = 1      // one entry
-			b[9+8+4+31] = 200 // vlen = 200, but the body ends here
+			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+1+4+32)...)
+			b[9+8+1+3] = 1      // one entry
+			b[9+8+1+4+31] = 200 // vlen = 200, but the body ends here
 			return b
 		}(), ErrEntries},
 		{"transfer trailing", func() []byte {
-			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+4+32+2)...)
-			b[9+8+3] = 1 // one entry with vlen 0, then 2 stray bytes
+			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+1+4+32+2)...)
+			b[9+8+1+3] = 1 // one entry with vlen 0, then 2 stray bytes
 			return b
 		}(), ErrTrailing},
+		{"transfer bad trace flags", func() []byte {
+			b := append([]byte{byte(TTransfer)}, make([]byte, 8+8+1+4)...)
+			b[9+8] = 0xFF
+			return b
+		}(), ErrTrace},
 	}
 	var m Msg
 	for _, tc := range cases {

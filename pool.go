@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"discovery/internal/metrics"
 	"discovery/internal/mpil"
@@ -275,8 +276,17 @@ type BatchOp struct {
 // intra-batch read-your-writes holds because mutations apply in batch
 // order before any later lookup in the same batch runs.
 func (p *Pool) ExecBatch(ops []BatchOp) {
+	p.ExecBatchTimed(ops)
+}
+
+// ExecBatchTimed is ExecBatch, additionally reporting how long the batch
+// spent in the write-ahead hook — the WAL append plus this batch's share
+// of the group-commit fsync. It is 0 for in-memory pools and lookup-only
+// batches, and feeds the tracing layer's wal_commit spans without the
+// WAL needing to know about tracing.
+func (p *Pool) ExecBatchTimed(ops []BatchOp) (walNanos int64) {
 	if len(ops) == 0 {
-		return
+		return 0
 	}
 	shard := p.ShardOf(ops[0].Key)
 	s := &p.shards[shard]
@@ -314,7 +324,10 @@ func (p *Pool) ExecBatch(ops []BatchOp) {
 		}
 	}
 	if mutations && s.batch != nil {
-		if err := s.batch(ops); err != nil {
+		walStart := time.Now()
+		err := s.batch(ops)
+		walNanos = int64(time.Since(walStart))
+		if err != nil {
 			for i := range ops {
 				op := &ops[i]
 				if op.Err == nil && op.Kind != BatchLookup {
@@ -348,6 +361,7 @@ func (p *Pool) ExecBatch(ops []BatchOp) {
 			op.Err = s.svc.eng.PutReplica(op.Node, mpil.Replica{Key: op.Key, Value: op.Value, Origin: op.Origin})
 		}
 	}
+	return walNanos
 }
 
 // ImportReplica places a replica directly at engine node without routing,
