@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"syscall"
+	"testing"
+
+	discovery "discovery"
+	"discovery/internal/cluster"
+)
+
+// BenchmarkClusterDurableMixed measures the replication tax end to end:
+// a live 3-node cluster (real processes, WAL-durable with batched
+// fsync), driven by the cluster-smart client with an alternating
+// insert/lookup mix, once at -replication 1 (single-owner, the
+// pre-replication wire shape) and once at -replication 3 (quorum-2
+// writes fanned to co-replicas). The delta between the two sub-
+// benchmarks is what a write pays for surviving any single node:
+// reads route to the owner either way and should barely move.
+func BenchmarkClusterDurableMixed(b *testing.B) {
+	bin := buildNode(b)
+	for _, r := range []int{1, 3} {
+		b.Run(fmt.Sprintf("replication=%d", r), func(b *testing.B) {
+			peerAddrs := reservePeerAddrs(b, 3)
+			sorted := append([]string(nil), peerAddrs...)
+			sort.Strings(sorted)
+			regionOf := make(map[string]int, 3)
+			for reg, a := range sorted {
+				regionOf[a] = reg
+			}
+			procs := make([]*nodeProc, 3)
+			for i := range procs {
+				procs[i] = startNode(b, bin, peerAddrs[i], peerAddrs, b.TempDir(),
+					"-replication", strconv.Itoa(r))
+			}
+			cc, err := cluster.Dial(cluster.Config{
+				Seeds: []string{procs[0].clientAddr, procs[1].clientAddr, procs[2].clientAddr},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cc.Close()
+			for i := range procs {
+				waitMemberSlot(b, cc, regionOf[peerAddrs[i]], procs[i].clientAddr)
+			}
+			// Warm the per-node connections so the first timed op is not a
+			// dial.
+			for i := 0; i < 30; i++ {
+				name := fmt.Sprintf("bench-warm-%d", i)
+				if _, err := cc.Insert(cluster.OriginAuto, discovery.NewID(name), []byte(name)); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("bench-key-%d", i/2)
+				key := discovery.NewID(name)
+				if i%2 == 0 {
+					if _, err := cc.Insert(cluster.OriginAuto, key, []byte(name)); err != nil {
+						b.Fatalf("insert %s: %v", name, err)
+					}
+				} else {
+					res, err := cc.Lookup(cluster.OriginAuto, key)
+					if err != nil {
+						b.Fatalf("lookup %s: %v", name, err)
+					}
+					if !res.Found {
+						b.Fatalf("acked key %s not found", name)
+					}
+				}
+			}
+			b.StopTimer()
+			for _, p := range procs {
+				p.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+				p.cmd.Wait()                          //nolint:errcheck
+			}
+		})
+	}
+}

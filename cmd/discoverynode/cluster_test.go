@@ -12,11 +12,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	discovery "discovery"
+	"discovery/internal/cluster"
 	"discovery/internal/server"
 )
 
@@ -38,7 +40,7 @@ import (
 // the daemons are separate processes).
 
 // buildNode compiles the discoverynode binary once per test run.
-func buildNode(t *testing.T) string {
+func buildNode(t testing.TB) string {
 	t.Helper()
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skipf("go toolchain not on PATH: %v", err)
@@ -54,7 +56,7 @@ func buildNode(t *testing.T) string {
 // reservePeerAddrs grabs n loopback addresses for peer listeners by
 // binding and releasing ephemeral ports. Peer addresses must be known to
 // every member before any process starts, so they cannot be ":0".
-func reservePeerAddrs(t *testing.T, n int) []string {
+func reservePeerAddrs(t testing.TB, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	liss := make([]net.Listener, n)
@@ -129,7 +131,7 @@ func scrapeMetrics(t *testing.T, addr string) map[string]float64 {
 // client listener is ephemeral (scraped from the log); the peer address
 // is fixed cluster configuration. extra flags are appended (e.g.
 // tracing knobs).
-func startNode(t *testing.T, bin, peerAddr string, peers []string, dataDir string, extra ...string) *nodeProc {
+func startNode(t testing.TB, bin, peerAddr string, peers []string, dataDir string, extra ...string) *nodeProc {
 	t.Helper()
 	args := []string{
 		"-listen", "127.0.0.1:0",
@@ -223,9 +225,12 @@ func TestClusterServeKillRecover(t *testing.T) {
 	}
 	ownerRegion := func(name string) int { return discovery.OwnerOf(discovery.NewID(name), 3) }
 
+	// Replication 1 pins the original single-owner semantics this test
+	// proves: a dead region fails fast and exactly one node holds each
+	// key. TestClusterReplicatedKillFailover covers the replicated mode.
 	procs := make([]*nodeProc, 3)
 	for i := range procs {
-		procs[i] = startNode(t, bin, peerAddrs[i], peerAddrs, dirs[i])
+		procs[i] = startNode(t, bin, peerAddrs[i], peerAddrs, dirs[i], "-replication", "1")
 	}
 	clients := make([]*server.Client, 3)
 	for i := range clients {
@@ -419,7 +424,7 @@ func TestClusterServeKillRecover(t *testing.T) {
 	// recover its region from WAL + snapshots and rejoin; after that,
 	// every insert ever acked is findable from every node again —
 	// zero acked-insert loss.
-	procs[victim] = startNode(t, bin, peerAddrs[victim], peerAddrs, dirs[victim])
+	procs[victim] = startNode(t, bin, peerAddrs[victim], peerAddrs, dirs[victim], "-replication", "1")
 	c, err := server.Dial(procs[victim].clientAddr)
 	if err != nil {
 		t.Fatal(err)
@@ -460,6 +465,265 @@ func TestClusterServeKillRecover(t *testing.T) {
 
 	// Phase 5: the whole cluster drains cleanly on SIGTERM (containers
 	// stop nodes this way).
+	for i, p := range procs {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.cmd.Wait(); err != nil {
+			t.Fatalf("node %d exit after SIGTERM: %v", i, err)
+		}
+	}
+}
+
+// waitMemberSlot polls the cluster-smart client's member table until
+// slot advertises addr (gossip fills the table; a restarted node's new
+// ephemeral client address replaces its old one the same way).
+func waitMemberSlot(t testing.TB, cc *cluster.Client, slot int, addr string) {
+	t.Helper()
+	for deadline := time.Now().Add(20 * time.Second); ; {
+		_, members := cc.Members()
+		if slot < len(members) && members[slot] == addr {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("member table slot %d never advertised %s: %v", slot, addr, members)
+		}
+		time.Sleep(200 * time.Millisecond)
+		cc.Refresh() //nolint:errcheck // retried until the deadline
+	}
+}
+
+// lookupSmartRetry is lookupWithRetry for the cluster-smart client: the
+// client already fails over across replicas, so retries only cover
+// transient redials around a node (re)start.
+func lookupSmartRetry(c *cluster.Client, key discovery.ID) (found bool, err error) {
+	for attempt := 0; attempt < 5; attempt++ {
+		res, lerr := c.Lookup(cluster.OriginAuto, key)
+		if lerr == nil {
+			return res.Found, nil
+		}
+		err = lerr
+		time.Sleep(200 * time.Millisecond)
+	}
+	return false, err
+}
+
+// TestClusterReplicatedKillFailover is the end-to-end proof of N-way
+// replication: three nodes at the default -replication (3, quorum 2),
+// one SIGKILLed under live traffic. The contract under test:
+//
+//   - with any one node dead, every region keeps serving reads (the
+//     client fails over to a live replica) and quorum writes (any live
+//     replica coordinates and reaches quorum on the survivors),
+//   - no acked insert is ever lost: after the victim restarts and
+//     anti-entropy converges, every key acked at any point — including
+//     during the outage — is findable, on the restarted node itself.
+func TestClusterReplicatedKillFailover(t *testing.T) {
+	bin := buildNode(t)
+	peerAddrs := reservePeerAddrs(t, 3)
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+
+	sorted := append([]string(nil), peerAddrs...)
+	sort.Strings(sorted)
+	regionOf := make(map[string]int, 3)
+	for r, a := range sorted {
+		regionOf[a] = r
+	}
+	ownerRegion := func(name string) int { return discovery.OwnerOf(discovery.NewID(name), 3) }
+
+	procs := make([]*nodeProc, 3)
+	for i := range procs {
+		procs[i] = startNode(t, bin, peerAddrs[i], peerAddrs, dirs[i])
+	}
+
+	// The cluster-smart client learns replicas from the member table and
+	// is the failover path under test. Gossip fills the table; wait for
+	// every slot.
+	cc, err := cluster.Dial(cluster.Config{
+		Seeds: []string{procs[0].clientAddr, procs[1].clientAddr, procs[2].clientAddr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	for i := range procs {
+		waitMemberSlot(t, cc, regionOf[peerAddrs[i]], procs[i].clientAddr)
+	}
+
+	// Phase 1: quorum-acked inserts across every region, each read back
+	// through its owner route.
+	const total = 120
+	var keys []string
+	perRegion := make([]int, 3)
+	for i := 0; i < total; i++ {
+		name := fmt.Sprintf("repl-key-%d", i)
+		if _, err := cc.Insert(cluster.OriginAuto, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatalf("insert %s: %v", name, err)
+		}
+		keys = append(keys, name)
+		perRegion[ownerRegion(name)]++
+		res, err := cc.Lookup(cluster.OriginAuto, discovery.NewID(name))
+		if err != nil {
+			t.Fatalf("read-back %s: %v", name, err)
+		}
+		if !res.Found {
+			t.Fatalf("acked insert %s not visible through its owner", name)
+		}
+	}
+	for r, n := range perRegion {
+		if n == 0 {
+			t.Fatalf("region %d owns no test keys; ownership split is broken", r)
+		}
+	}
+
+	// Phase 2: SIGKILL one node while a background inserter keeps mixed
+	// traffic flowing through the kill. Only acked inserts carry a
+	// durability promise; errors during the transition are tolerated.
+	const victim = 1
+	victimRegion := regionOf[peerAddrs[victim]]
+	var mu sync.Mutex
+	var ackedDuring []string
+	stop := make(chan struct{})
+	insDone := make(chan struct{})
+	go func() {
+		defer close(insDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("repl-live-%d", i)
+			if _, err := cc.Insert(cluster.OriginAuto, discovery.NewID(name), []byte(name)); err == nil {
+				mu.Lock()
+				ackedDuring = append(ackedDuring, name)
+				mu.Unlock()
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if err := procs[victim].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[victim].cmd.Wait() //nolint:errcheck // killed on purpose
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	<-insDone
+	t.Logf("killed node %d (region %d) under traffic; %d inserts acked around the kill", victim, victimRegion, len(ackedDuring))
+
+	// Every settled pre-kill key stays readable: the client fails over
+	// from the dead owner to a live replica.
+	deadOwned := 0
+	for _, name := range keys {
+		found, err := lookupSmartRetry(cc, discovery.NewID(name))
+		if err != nil {
+			t.Fatalf("lookup %s with node %d dead: %v", name, victim, err)
+		}
+		if !found {
+			t.Fatalf("settled key %s unreadable with one replica dead", name)
+		}
+		if ownerRegion(name) == victimRegion {
+			deadOwned++
+		}
+	}
+	if deadOwned == 0 {
+		t.Fatal("no dead-owner keys exercised")
+	}
+	if fo := cc.Stats().Failovers; fo == 0 {
+		t.Fatal("client reports zero failovers despite a dead owner in the read path")
+	}
+
+	// Quorum writes keep landing for every region — including the dead
+	// node's — and are immediately readable through their coordinator.
+	newKeys := make([]string, 0, 45)
+	perRegionNew := make([]int, 3)
+	for i := 0; len(newKeys) < 45; i++ {
+		name := fmt.Sprintf("repl-postkill-%d", i)
+		if _, err := cc.Insert(cluster.OriginAuto, discovery.NewID(name), []byte(name)); err != nil {
+			t.Fatalf("quorum insert %s with node %d dead: %v", name, victim, err)
+		}
+		res, err := cc.Lookup(cluster.OriginAuto, discovery.NewID(name))
+		if err != nil {
+			t.Fatalf("read-back %s with node %d dead: %v", name, victim, err)
+		}
+		if !res.Found {
+			t.Fatalf("quorum-acked insert %s not visible with node %d dead", name, victim)
+		}
+		newKeys = append(newKeys, name)
+		perRegionNew[ownerRegion(name)]++
+	}
+	for r, n := range perRegionNew {
+		if n == 0 {
+			t.Fatalf("no post-kill writes landed in region %d", r)
+		}
+	}
+	keys = append(keys, newKeys...)
+
+	// A cluster-unaware client on a survivor answers dead-region reads
+	// locally: with one node down the quorum was both survivors, so
+	// every post-kill key is on this node deterministically.
+	pc, err := server.Dial(procs[(victim+1)%3].clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	for _, name := range newKeys {
+		if ownerRegion(name) != victimRegion {
+			continue
+		}
+		res, err := pc.Lookup(server.OriginAuto, discovery.NewID(name))
+		if err != nil {
+			t.Fatalf("plain-client lookup %s via survivor: %v", name, err)
+		}
+		if !res.Found {
+			t.Fatalf("post-kill key %s missing from survivor replica", name)
+		}
+	}
+
+	// Phase 3: restart the victim on its data directory. WAL recovery
+	// restores what it committed; anti-entropy pulls every region it
+	// replicates, catching up on everything acked while it was dead.
+	procs[victim] = startNode(t, bin, peerAddrs[victim], peerAddrs, dirs[victim])
+	waitMemberSlot(t, cc, victimRegion, procs[victim].clientAddr)
+
+	mu.Lock()
+	keys = append(keys, ackedDuring...)
+	mu.Unlock()
+
+	// Zero acked-insert loss, proven on the restarted node itself: it
+	// replicates every region, so after convergence a local answer must
+	// find every key ever acked.
+	vc, err := server.Dial(procs[victim].clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	deadline := time.Now().Add(45 * time.Second)
+	for _, name := range keys {
+		for {
+			res, err := vc.Lookup(server.OriginAuto, discovery.NewID(name))
+			if err == nil && res.Found {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("acked insert %s not on the restarted node after the convergence window (last err %v)", name, err)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	// And through the owner route from the smart client.
+	for _, name := range keys {
+		found, err := lookupSmartRetry(cc, discovery.NewID(name))
+		if err != nil {
+			t.Fatalf("post-restart lookup %s: %v", name, err)
+		}
+		if !found {
+			t.Fatalf("acked insert %s lost after restart", name)
+		}
+	}
+	t.Logf("verified %d acked inserts after SIGKILL, failover, and recovery (failovers: %d)", len(keys), cc.Stats().Failovers)
+
+	// The cluster drains cleanly on SIGTERM with replication active.
 	for i, p := range procs {
 		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 			t.Fatal(err)

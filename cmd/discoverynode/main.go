@@ -18,11 +18,19 @@
 // be configured with the same spellings); a node's rank in that order is
 // its keyspace region. Clients may connect to any node's -listen
 // address with the ordinary client protocol: requests for keys the node
-// owns execute locally, everything else is relayed to the owner and the
-// reply relayed back. If a region's owner is down, requests for its keys
-// fail with an explicit error while all other regions keep serving; a
-// node restarted on its -data-dir recovers every acknowledged mutation
-// for its region and resumes serving it.
+// replicates execute locally, everything else is relayed to a replica
+// and the reply relayed back.
+//
+// Each key lives on -replication consecutive regions (default 3,
+// clamped to the member count; every member must agree). Mutations ack
+// only after a quorum of replicas — ⌈(R+1)/2⌉ — has committed, and
+// reads fail over: with any single node down, every region keeps
+// serving reads and quorum writes. Only when every replica of a region
+// is unreachable do requests for its keys fail with an explicit error
+// while all other regions keep serving. With -replication 1 a region is
+// down whenever its one owner is. A node restarted on its -data-dir
+// recovers every acknowledged mutation for its regions and resumes
+// serving them.
 package main
 
 import (
@@ -54,6 +62,7 @@ func run() int {
 		advertise   = flag.String("advertise", "", "peer address other members know this node by (default: -peer-listen)")
 		advClient   = flag.String("advertise-client", "", "client address gossiped to peers for cluster-smart clients (default: the bound -listen address; \"none\" withholds it)")
 		bootstrap   = flag.String("bootstrap", "", "comma-separated peer addresses of every cluster member (self may be included)")
+		replication = flag.Int("replication", 3, "regions holding each key (clamped to member count; every member must agree)")
 		joinTimeout = flag.Duration("join-timeout", 10*time.Second, "how long to retry the initial peer probes")
 		dialTimeout = flag.Duration("dial-timeout", 500*time.Millisecond, "peer dial timeout")
 		callTimeout = flag.Duration("call-timeout", 5*time.Second, "peer request timeout")
@@ -89,7 +98,7 @@ func run() int {
 			peers = append(peers, a)
 		}
 	}
-	cluster, err := p2p.NewCluster(self, peers)
+	cluster, err := p2p.NewCluster(self, peers, *replication)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
 		return 2
@@ -99,8 +108,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
 		return 2
 	}
-	log.Printf("discoverynode: region %d of %d, members %v (fingerprint %016x)",
-		cluster.Self(), cluster.N(), cluster.Addrs(), cluster.Hash())
+	log.Printf("discoverynode: region %d of %d, replication %d (quorum %d), members %v (fingerprint %016x)",
+		cluster.Self(), cluster.N(), cluster.R(), cluster.Quorum(), cluster.Addrs(), cluster.Hash())
 
 	// One process-wide registry: pool, WAL, server, and p2p layers all
 	// register into it, so TStats and a /metrics scrape read the same
@@ -124,6 +133,7 @@ func run() int {
 		discovery.WithDigitBits(*digitB),
 		discovery.WithDuplicateSuppression(*ds),
 		discovery.WithRegion(cluster.Self(), cluster.N()),
+		discovery.WithReplication(cluster.R()),
 	}
 	if *maxHops > 0 {
 		opts = append(opts, discovery.WithMaxHops(*maxHops))
@@ -183,7 +193,7 @@ func run() int {
 	}
 	log.Printf("discoverynode: peer listener on %s", peerAddr)
 
-	srv, err := server.New(server.Config{
+	srvCfg := server.Config{
 		Pool:           pool,
 		QueueDepth:     *queue,
 		MaxBatch:       *batch,
@@ -192,13 +202,21 @@ func run() int {
 		Store:          store,
 		Owns:           node.Owns,
 		Forward:        node.Forward,
+		Replication:    uint32(cluster.R()),
 		ClusterHash:    cluster.Hash(),
 		Members:        node.Members,
 		Logf:           log.Printf,
 		Metrics:        reg,
 		Tracer:         tracer,
 		SlowThreshold:  *traceSlow,
-	})
+	}
+	if cluster.Quorum() > 1 {
+		// Locally-coordinated mutations fan out to co-replicas and ack
+		// only after a quorum commits. With a quorum of one the hook is
+		// left nil: there is nothing to wait for.
+		srvCfg.Replicate = node.Replicate
+	}
+	srv, err := server.New(srvCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
 		return 2

@@ -130,7 +130,7 @@ func TestClusterTracing(t *testing.T) {
 	procs := make([]*nodeProc, 3)
 	for i := range procs {
 		procs[i] = startNode(t, bin, peerAddrs[i], peerAddrs, t.TempDir(),
-			"-trace-sample", "1", "-trace-slow", "1ns")
+			"-replication", "1", "-trace-sample", "1", "-trace-slow", "1ns")
 	}
 	procByRegion := make([]*nodeProc, 3)
 	for i, p := range procs {

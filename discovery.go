@@ -35,6 +35,7 @@ type config struct {
 	seed                 int64
 	regionIndex          int
 	regionCount          int
+	replication          int
 	metrics              *metrics.Registry
 }
 
@@ -90,6 +91,17 @@ func WithRegion(index, count int) Option {
 	}
 }
 
+// WithReplication declares that each keyspace region lives on r of the
+// cluster's nodes (see ReplicasOf): the pool accepts mutations for every
+// key whose replica set contains its region index, not only keys it
+// primarily owns. Durable pools pin r in their MANIFEST alongside the
+// region, so a data directory cannot be recovered into a node with a
+// different replica-set layout. The default (1) is the unreplicated
+// layout: exactly one region accepts each key.
+func WithReplication(r int) Option {
+	return func(c *config) { c.replication = r }
+}
+
 // New builds a Service over the given overlay.
 func New(ov Overlay, opts ...Option) (*Service, error) {
 	if ov == nil {
@@ -101,12 +113,16 @@ func New(ov Overlay, opts ...Option) (*Service, error) {
 		perFlowReplicas: 5,
 		seed:            1,
 		regionCount:     1,
+		replication:     1,
 	}
 	for _, opt := range opts {
 		opt(&c)
 	}
 	if c.regionCount < 1 || c.regionIndex < 0 || c.regionIndex >= c.regionCount {
 		return nil, fmt.Errorf("discovery: region %d of %d is not a valid ownership slice", c.regionIndex, c.regionCount)
+	}
+	if c.replication < 1 || c.replication > c.regionCount {
+		return nil, fmt.Errorf("discovery: replication %d is not in [1, %d regions]", c.replication, c.regionCount)
 	}
 	space, err := idspace.NewSpace(c.digitBits)
 	if err != nil {

@@ -549,6 +549,19 @@ const manifestName = "MANIFEST"
 func manifestFor(p *Pool) string {
 	c := p.base
 	return fmt.Sprintf(
+		"discovery-manifest v3\nshards %d\nseed %d\ndigitbits %d\nmaxflows %d\nreplicas %d\ndupsupp %t\nmaxhops %d\nregion %d/%d\nreplication %d\noverlay %016x\n",
+		len(p.shards), c.seed, c.digitBits, c.maxFlows, c.perFlowReplicas, c.duplicateSuppression, c.maxHops,
+		c.regionIndex, c.regionCount, c.replication,
+		overlayFingerprint(p.ov),
+	)
+}
+
+// v2ManifestFor renders the v2 manifest (pre-replication). A v2
+// directory is semantically identical to v3 with replication 1, so
+// unreplicated pools accept and upgrade it.
+func v2ManifestFor(p *Pool) string {
+	c := p.base
+	return fmt.Sprintf(
 		"discovery-manifest v2\nshards %d\nseed %d\ndigitbits %d\nmaxflows %d\nreplicas %d\ndupsupp %t\nmaxhops %d\nregion %d/%d\noverlay %016x\n",
 		len(p.shards), c.seed, c.digitBits, c.maxFlows, c.perFlowReplicas, c.duplicateSuppression, c.maxHops,
 		c.regionIndex, c.regionCount,
@@ -609,10 +622,14 @@ func checkManifest(dir string, p *Pool) error {
 	if string(got) == want {
 		return nil
 	}
-	// Migration: a v1 directory opened by an unrestricted pool (region
-	// 0/1, the only region semantics v1 could have) is compatible;
-	// upgrade its manifest in place.
-	if p.base.regionCount == 1 && string(got) == legacyManifestFor(p) {
+	// Migrations: a v2 directory opened by an unreplicated pool
+	// (replication 1, the only replication semantics v2 could have) is
+	// compatible, as is a v1 directory opened by an unrestricted pool
+	// (region 0/1). Upgrade the manifest in place.
+	if p.base.replication == 1 && string(got) == v2ManifestFor(p) {
+		return writeManifest(path, want)
+	}
+	if p.base.regionCount == 1 && p.base.replication == 1 && string(got) == legacyManifestFor(p) {
 		return writeManifest(path, want)
 	}
 	return fmt.Errorf("discovery: %s was created with different parameters:\n--- stored\n%s--- this pool\n%s", dir, got, want)

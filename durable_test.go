@@ -361,6 +361,60 @@ func TestDurablePoolAcceptsLegacyV1Manifest(t *testing.T) {
 	}
 }
 
+func TestDurablePoolAcceptsV2Manifest(t *testing.T) {
+	// A pre-replication (v2) data directory is semantically a v3
+	// directory with replication 1: an unreplicated pool must accept and
+	// upgrade it; a replicated pool must refuse it.
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff})
+	if _, err := dp.Insert(0, NewID("v2-key"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	dp.Close()
+
+	v2 := v2ManifestFor(dp.Pool)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(v2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dp2, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncOff})
+	if res := dp2.Lookup(1, NewID("v2-key")); !res.Found {
+		t.Fatal("state behind a v2 manifest not recovered")
+	}
+	dp2.Close()
+	got, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != manifestFor(dp.Pool) {
+		t.Fatalf("manifest not upgraded to v3:\n%s", got)
+	}
+
+	// Replicated pools refuse v2 directories: a directory populated
+	// under replication 1 may lack the extra regions this node now
+	// replicates, so convergence must go through anti-entropy, not a
+	// silent manifest upgrade.
+	ovR, err := CompleteOverlay(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirR := t.TempDir()
+	dpR, _, err := OpenDurablePool(ovR, 2, DurableConfig{Dir: dirR, Fsync: FsyncOff},
+		WithRegion(0, 3), WithReplication(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpR.Close()
+	if err := os.WriteFile(filepath.Join(dirR, manifestName), []byte(v2ManifestFor(dpR.Pool)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenDurablePool(ovR, 2, DurableConfig{Dir: dirR, Fsync: FsyncOff},
+		WithRegion(0, 3), WithReplication(2)); err == nil {
+		t.Fatal("replicated pool accepted a v2 manifest")
+	}
+}
+
 // TestDurablePoolExecBatchCrashReplay pins the batched write-ahead
 // contract: every mutation of an ExecBatch is logged (one multi-record
 // append, one shared fsync) before any of them applies, so a crash after

@@ -23,6 +23,18 @@
 // request goes to the anchor node, which forwards it over the peer
 // transport exactly like any cluster-unaware client's request.
 //
+// # Failover
+//
+// The member table also carries the cluster's replication factor, so
+// the client knows every replica of a key, not just its owner. A
+// connection-level failure against one replica — dial refused, the
+// connection dropped, the call timed out — fails over to the key's next
+// replica in rank order; any replica coordinates reads and quorum
+// writes. A served response, including TError, is authoritative and is
+// never retried elsewhere. A timed-out write may have been applied
+// before the failover re-executes it (at-least-once, as with any
+// retry); MPIL replica placement makes the re-execution benign.
+//
 // # Connections
 //
 // The client keeps one pipelined connection per node, multiplexing
@@ -69,22 +81,28 @@ type Config struct {
 // serving node pick the entry node deterministically from the key.
 const OriginAuto = -1
 
-// view is one fetched membership table: the fingerprint and the
-// client-serving address per cluster slot ("" = not yet advertised).
+// view is one fetched membership table: the fingerprint, the
+// client-serving address per cluster slot ("" = not yet advertised),
+// and the cluster's replication factor.
 type view struct {
 	hash  uint64
 	addrs []string
+	repl  int
 }
 
 // Stats counts how the client's requests traveled.
 type Stats struct {
-	// Routed requests went directly to the key's owner (one hop).
+	// Routed requests went directly to the key's first tried replica
+	// (one hop).
 	Routed uint64
-	// Relayed requests fell back to the anchor node because the owner's
-	// client address was unknown; the anchor forwarded them (two hops).
+	// Relayed requests fell back to the anchor node because no replica's
+	// client address was known; the anchor forwarded them (two hops).
 	Relayed uint64
 	// Refreshes counts member-table re-fetches forced by TWrongView.
 	Refreshes uint64
+	// Failovers counts per-replica retries after a connection-level
+	// failure (dead node, dropped connection, call timeout).
+	Failovers uint64
 }
 
 // Client routes requests directly to owning nodes. Safe for concurrent
@@ -106,6 +124,7 @@ type Client struct {
 	routed    *metrics.Counter
 	relayed   *metrics.Counter
 	refreshes *metrics.Counter
+	failovers *metrics.Counter
 
 	bufs sync.Pool // *[]byte outbound frame buffers
 }
@@ -138,6 +157,7 @@ func Dial(cfg Config) (*Client, error) {
 		routed:      reg.Counter("cluster.routed"),
 		relayed:     reg.Counter("cluster.relayed"),
 		refreshes:   reg.Counter("cluster.refreshes"),
+		failovers:   reg.Counter("cluster.failovers"),
 	}
 	c.bufs.New = func() any {
 		b := make([]byte, 0, 512)
@@ -154,7 +174,7 @@ func Dial(cfg Config) (*Client, error) {
 // the client's metrics registry, so they match a concurrent /metrics
 // scrape exactly; reads are atomic and safe under live traffic.
 func (c *Client) Stats() Stats {
-	return Stats{Routed: c.routed.Value(), Relayed: c.relayed.Value(), Refreshes: c.refreshes.Value()}
+	return Stats{Routed: c.routed.Value(), Relayed: c.relayed.Value(), Refreshes: c.refreshes.Value(), Failovers: c.failovers.Value()}
 }
 
 // Members returns the current member table (a copy) and its fingerprint.
@@ -201,7 +221,13 @@ func (c *Client) Refresh() error {
 			errs = append(errs, fmt.Errorf("cluster: %s: %s", addr, resp.ErrorText()))
 			continue
 		}
-		v := &view{hash: resp.Cluster, addrs: append([]string(nil), resp.Members...)}
+		repl := int(resp.Replication)
+		if repl < 1 {
+			// Pre-replication servers omit the field; a zero factor means
+			// an unreplicated cluster either way.
+			repl = 1
+		}
+		v := &view{hash: resp.Cluster, addrs: append([]string(nil), resp.Members...), repl: repl}
 		if len(v.addrs) == 0 {
 			errs = append(errs, fmt.Errorf("cluster: %s advertised an empty member table", addr))
 			continue
@@ -270,11 +296,12 @@ func (c *Client) DeleteTraced(origin int, key idspace.ID, trc uint64) (int, erro
 	return int(resp.Deleted), nil
 }
 
-// do routes one request: owner computed locally from the current view,
-// TRoute envelope to the owner (or plain relay through the anchor when
-// the owner's address is unknown), one refresh-and-retry on TWrongView.
-// trc, when nonzero, is stamped on the TRoute trailer — including the
-// post-refresh retry, so one trace ID covers the whole detour.
+// do routes one request: replicas computed locally from the current
+// view and tried in failover rank order (or plain relay through the
+// anchor when no replica's address is known), one refresh-and-retry on
+// TWrongView. trc, when nonzero, is stamped on the TRoute trailer —
+// including failover and post-refresh retries, so one trace ID covers
+// the whole detour.
 func (c *Client) do(typ wire.Type, key idspace.ID, origin uint32, value []byte, want wire.Type, trc uint64) (*wire.Msg, error) {
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
@@ -284,28 +311,58 @@ func (c *Client) do(typ wire.Type, key idspace.ID, origin uint32, value []byte, 
 		if v == nil {
 			return nil, errors.New("cluster: no member table (closed?)")
 		}
-		owner := discovery.OwnerOf(key, len(v.addrs))
-		addr := v.addrs[owner]
 
-		var req *wire.Msg
-		if addr == "" {
-			// Owner address unknown: relay the plain request through the
-			// anchor, which forwards it over the peer transport. Correct,
-			// just two hops instead of one.
-			req = &wire.Msg{Type: typ, Key: key, Origin: origin, Value: value}
-			addr = anchor
-			c.relayed.Inc()
-		} else {
-			req = &wire.Msg{Type: wire.TRoute, RouteKind: typ, Cluster: v.hash, Key: key, Origin: origin, Value: value}
+		// Walk the key's replicas in rank order, skipping members whose
+		// client address is unknown. A connection-level failure moves to
+		// the next replica — any replica coordinates — while a served
+		// response, including TError, is authoritative and ends the walk.
+		var resp *wire.Msg
+		var addr string
+		var lastErr error
+		tried := 0
+		for _, r := range discovery.ReplicasOf(key, len(v.addrs), v.repl) {
+			raddr := v.addrs[r]
+			if raddr == "" {
+				continue
+			}
+			req := &wire.Msg{Type: wire.TRoute, RouteKind: typ, Cluster: v.hash, Key: key, Origin: origin, Value: value}
 			if trc != 0 {
 				req.Traced = true
 				req.Trace = trc
 			}
-			c.routed.Inc()
+			if tried == 0 {
+				c.routed.Inc()
+			} else {
+				c.failovers.Inc()
+				c.logf("cluster: %v failing over to %s: %v", typ, raddr, lastErr)
+			}
+			tried++
+			m, err := c.call(raddr, req)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			resp = m
+			addr = raddr
+			break
 		}
-		resp, err := c.call(addr, req)
-		if err != nil {
-			return nil, err
+		switch {
+		case resp != nil:
+		case tried > 0:
+			return nil, fmt.Errorf("cluster: all %d reachable replicas failed, last: %w", tried, lastErr)
+		default:
+			// No replica address known yet: relay the plain request
+			// through the anchor, which forwards it over the peer
+			// transport (with the server side's own replica failover).
+			// Correct, just two hops instead of one.
+			req := &wire.Msg{Type: typ, Key: key, Origin: origin, Value: value}
+			c.relayed.Inc()
+			m, err := c.call(anchor, req)
+			if err != nil {
+				return nil, err
+			}
+			resp = m
+			addr = anchor
 		}
 		switch resp.Type {
 		case want:

@@ -63,7 +63,7 @@ func startNode(tb testing.TB, selfAddr string, peerAddrs []string, clientAddr st
 	if len(tracer) > 0 {
 		tr = tracer[0]
 	}
-	cl, err := p2p.NewCluster(selfAddr, peerAddrs)
+	cl, err := p2p.NewCluster(selfAddr, peerAddrs, 1)
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -176,19 +176,27 @@ func (n *Node) Members() []string {
 	return append([]string(nil), n.clientAddrs...)
 }
 
-// Owns reports whether this node's region owns key. It has the signature
-// server.Config.Owns expects.
+// Owns reports whether this node's region replicates key. It has the
+// signature server.Config.Owns expects.
 func (n *Node) Owns(key idspace.ID) bool { return n.cfg.Cluster.Owns(key) }
 
-// Forward relays one client request to the owner of key and delivers the
-// owner's reply (or an error) to respond, exactly once. It has the
-// signature server.Config.Forward expects. trc, when nonzero, is the
-// request's sampled trace ID and rides the TRoute wire trailer so the
-// owner's spans join the relay's. The semaphore acquisition blocks the
-// calling connection reader at MaxForwards in-flight forwards —
-// deliberate backpressure.
+// Forward relays one client request to a replica of key and delivers the
+// replica's reply (or an error) to respond, exactly once. Replicas are
+// tried in rank order (owner first): a connection failure or call
+// timeout fails over to the key's next replica, so a dead owner costs a
+// retry, not an outage. Only when every replica is unreachable does the
+// client hear an error. It has the signature server.Config.Forward
+// expects. trc, when nonzero, is the request's sampled trace ID and
+// rides the TRoute wire trailer so the executing node's spans join the
+// relay's. The semaphore acquisition blocks the calling connection
+// reader at MaxForwards in-flight forwards — deliberate backpressure.
+//
+// Failover makes forwarded writes at-least-once in one more way: a
+// timed-out call to one replica may have committed before the retry
+// executes on the next, which MPIL placement tolerates (re-inserting a
+// key overwrites the same per-node replica slots).
 func (n *Node) Forward(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64, respond func(*wire.Msg)) {
-	owner := n.cfg.Cluster.OwnerOf(key)
+	replicas := n.cfg.Cluster.ReplicasOf(key)
 	n.fwdSem <- struct{}{}
 	go func() {
 		defer func() { <-n.fwdSem }()
@@ -197,18 +205,95 @@ func (n *Node) Forward(typ wire.Type, key idspace.ID, origin uint32, value []byt
 			req.Traced = true
 			req.Trace = trc
 		}
-		resp, err := n.tr.Call(owner, req)
-		if err != nil {
-			respond(&wire.Msg{Type: wire.TError, Value: []byte(fmt.Sprintf("region %d owner %s unreachable: %v", owner, n.cfg.Cluster.Addr(owner), err))})
+		var lastErr error
+		for _, r := range replicas {
+			if r == n.cfg.Cluster.Self() {
+				continue // Forward is only called for keys this node does not replicate
+			}
+			resp, err := n.tr.Call(r, req)
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", n.cfg.Cluster.Addr(r), err)
+				continue // fail over to the key's next replica
+			}
+			switch resp.Type {
+			case wire.TInsertOK, wire.TLookupOK, wire.TDeleteOK, wire.TError:
+				respond(resp)
+			default:
+				respond(&wire.Msg{Type: wire.TError, Value: []byte("unexpected peer response " + resp.Type.String())})
+			}
 			return
 		}
-		switch resp.Type {
-		case wire.TInsertOK, wire.TLookupOK, wire.TDeleteOK, wire.TError:
-			respond(resp)
-		default:
-			respond(&wire.Msg{Type: wire.TError, Value: []byte("unexpected peer response " + resp.Type.String())})
-		}
+		respond(&wire.Msg{Type: wire.TError, Value: []byte(fmt.Sprintf(
+			"region %d unreachable: all %d replicas down: %v", replicas[0], len(replicas), lastErr))})
 	}()
+}
+
+// Replicate fans one committed mutation to the key's co-replicas as
+// TReplicate frames and waits until enough of them ack that the
+// mutation is quorum-committed: the caller has (or is about to) commit
+// locally, so Quorum()-1 remote acks complete the quorum. With R=1 (or
+// a quorum of 1) it returns nil immediately. It has the signature
+// server.Config.Replicate expects. trc, when nonzero, joins the
+// replicas' apply spans to the coordinator's trace.
+//
+// The fan-out is parallel and returns as soon as the quorum is in;
+// slower replicas finish in the background (their acks are simply
+// dropped — the buffered channel never blocks them) and any replica
+// that missed the write converges through anti-entropy.
+func (n *Node) Replicate(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64) error {
+	c := n.cfg.Cluster
+	need := c.Quorum() - 1 // the caller's local commit is the first vote
+	if need <= 0 {
+		return nil
+	}
+	replicas := c.ReplicasOf(key)
+	peers := make([]int, 0, len(replicas))
+	for _, r := range replicas {
+		if r != c.Self() {
+			peers = append(peers, r)
+		}
+	}
+	if len(peers) < need {
+		return fmt.Errorf("p2p: quorum impossible for %v: %d co-replicas, need %d acks", key, len(peers), need)
+	}
+	results := make(chan error, len(peers))
+	for _, p := range peers {
+		go func(p int) {
+			req := &wire.Msg{Type: wire.TReplicate, RouteKind: typ, Cluster: c.Hash(), Key: key, Origin: origin, Value: value}
+			if trc != 0 {
+				req.Traced = true
+				req.Trace = trc
+			}
+			resp, err := n.tr.Call(p, req)
+			switch {
+			case err != nil:
+				results <- fmt.Errorf("%s: %w", c.Addr(p), err)
+			case resp.Type == wire.TReplicateOK:
+				results <- nil
+			case resp.Type == wire.TError:
+				results <- fmt.Errorf("%s: %s", c.Addr(p), resp.ErrorText())
+			default:
+				results <- fmt.Errorf("%s: unexpected replicate response %v", c.Addr(p), resp.Type)
+			}
+		}(p)
+	}
+	acked := 0
+	var failures []error
+	for range peers {
+		err := <-results
+		if err == nil {
+			if acked++; acked >= need {
+				return nil
+			}
+			continue
+		}
+		failures = append(failures, err)
+		if len(peers)-len(failures) < need {
+			break // even if every outstanding call acks, the quorum is lost
+		}
+	}
+	return fmt.Errorf("p2p: quorum not reached for %v: %d of %d replicas committed (need %d): %v",
+		key, acked+1, len(replicas), need+1, failures)
 }
 
 // Start listens for peer connections on addr and serves them in the
@@ -317,6 +402,13 @@ func (n *Node) handleConn(nc net.Conn) {
 		n.mu.Unlock()
 	}()
 	sem := make(chan struct{}, inboundWorkers)
+	// TReplicate executes under its own worker budget: a route handler
+	// occupying a regular worker may be blocked waiting for THIS node's
+	// replication acks, so if replicate applies had to queue behind route
+	// handlers, two nodes coordinating writes at each other could starve
+	// one another's fan-outs into a distributed deadlock. A separate
+	// semaphore guarantees replicate applies always make progress.
+	replSem := make(chan struct{}, inboundWorkers)
 	// Sized buffered reader: a pipelined burst from a peer decodes
 	// several frames per read(2), the symmetric twin of the coalesced
 	// writer on the other side.
@@ -331,10 +423,14 @@ func (n *Node) handleConn(nc net.Conn) {
 		// copies of every variable-length field.
 		m := new(wire.Msg)
 		derr := m.Decode(body)
-		sem <- struct{}{} // backpressure: stop reading at the cap
+		lane := sem
+		if derr == nil && m.Type == wire.TReplicate {
+			lane = replSem
+		}
+		lane <- struct{}{} // backpressure: stop reading at the cap
 		reqWg.Add(1)
 		go func() {
-			defer func() { <-sem; reqWg.Done() }()
+			defer func() { <-lane; reqWg.Done() }()
 			var reply wire.Msg
 			if derr != nil {
 				reply = wire.Msg{Type: wire.TError, ReqID: m.ReqID, Value: []byte("bad peer frame: " + derr.Error())}
@@ -400,6 +496,8 @@ func (n *Node) handlePeer(m, reply *wire.Msg) {
 		n.handleRepair(m, reply)
 	case wire.TTransfer:
 		n.handleTransfer(m, reply)
+	case wire.TReplicate:
+		n.handleReplicate(m, reply)
 	default:
 		reply.Type = wire.TError
 		reply.Value = []byte("unexpected peer message " + m.Type.String())
@@ -421,16 +519,21 @@ func (n *Node) checkCluster(m, reply *wire.Msg) bool {
 }
 
 // handleRoute executes one forwarded client request on the local pool.
-// The owner check is what terminates routing: with full membership there
-// is exactly one hop, so a mis-routed request means the sender disagrees
-// about ownership and must hear an error, not a second forward.
+// The replica check is what terminates routing: with full membership
+// there is exactly one hop, so a mis-routed request means the sender
+// disagrees about key placement and must hear an error, not a second
+// forward. This node acts as the mutation's coordinator: inserts and
+// deletes fan out to the key's co-replicas and the reply is withheld
+// until a quorum of replicas (this one included) has committed — the
+// sender may be failing over from the dead primary, so ANY live replica
+// can coordinate.
 func (n *Node) handleRoute(m, reply *wire.Msg) {
 	if !n.checkCluster(m, reply) {
 		return
 	}
 	if !n.cfg.Cluster.Owns(m.Key) {
 		reply.Type = wire.TError
-		reply.Value = []byte(fmt.Sprintf("not the owner of %v (its region is %d, mine is %d)",
+		reply.Value = []byte(fmt.Sprintf("not a replica of %v (its region is %d, mine is %d)",
 			m.Key, n.cfg.Cluster.OwnerOf(m.Key), n.cfg.Cluster.Self()))
 		return
 	}
@@ -448,11 +551,24 @@ func (n *Node) handleRoute(m, reply *wire.Msg) {
 	if traced {
 		start = time.Now()
 		defer func() {
-			// route_exec is the owner-side span of a relayed request: it
-			// nests inside the relay's forward span and the sender's
+			// route_exec is the executing-side span of a relayed request:
+			// it nests inside the relay's forward span and the sender's
 			// peer_call span under the same trace ID.
 			n.tracer.Record(m.Trace, trace.KindRouteExec, start, time.Since(start), uint64(m.RouteKind))
 		}()
+	}
+	var trc uint64
+	if m.Traced {
+		trc = m.Trace
+	}
+	// Start the replication fan-out before the local execution so the
+	// co-replicas' WAL commits overlap this node's; the quorum wait
+	// below then usually finds the acks already in.
+	var repl chan error
+	if (m.RouteKind == wire.TInsert || m.RouteKind == wire.TDelete) && n.cfg.Cluster.Quorum() > 1 {
+		repl = make(chan error, 1)
+		kind, key, value := m.RouteKind, m.Key, m.Value
+		go func() { repl <- n.Replicate(kind, key, origin, value, trc) }()
 	}
 	switch m.RouteKind {
 	case wire.TInsert:
@@ -480,6 +596,63 @@ func (n *Node) handleRoute(m, reply *wire.Msg) {
 		reply.Type = wire.TDeleteOK
 		reply.Deleted = uint32(removed)
 	}
+	if repl != nil {
+		if rerr := <-repl; rerr != nil {
+			// Local commit survived but the quorum did not: the write must
+			// not be acked (the client may never find it after this node
+			// dies). Anti-entropy reconciles the surviving local copy.
+			reply.Type = wire.TError
+			reply.Value = []byte("replication: " + rerr.Error())
+		}
+	}
+}
+
+// handleReplicate applies one fanned-out mutation from the coordinating
+// replica. It is a leaf operation: the apply is local (WAL-committed
+// like any pool mutation) and never re-forwards or re-replicates — the
+// coordinator is the one counting acks. The replica check mirrors
+// handleRoute's: a TReplicate for a key this node does not replicate
+// means the sender's placement view disagrees.
+func (n *Node) handleReplicate(m, reply *wire.Msg) {
+	if !n.checkCluster(m, reply) {
+		return
+	}
+	if !n.cfg.Cluster.Owns(m.Key) {
+		reply.Type = wire.TError
+		reply.Value = []byte(fmt.Sprintf("not a replica of %v (its region is %d, mine is %d)",
+			m.Key, n.cfg.Cluster.OwnerOf(m.Key), n.cfg.Cluster.Self()))
+		return
+	}
+	pool := n.cfg.Pool
+	origin := m.Origin
+	if origin == wire.OriginAuto {
+		origin = uint32(pool.AutoOrigin(m.Key))
+	} else if origin >= uint32(pool.Overlay().N()) {
+		reply.Type = wire.TError
+		reply.Value = []byte(fmt.Sprintf("origin %d out of range (%d cluster members)", origin, pool.Overlay().N()))
+		return
+	}
+	if m.Traced && n.tracer != nil {
+		start := time.Now()
+		defer func() {
+			n.tracer.Record(m.Trace, trace.KindReplicateExec, start, time.Since(start), uint64(m.RouteKind))
+		}()
+	}
+	switch m.RouteKind {
+	case wire.TInsert:
+		if _, err := pool.Insert(int(origin), m.Key, m.Value); err != nil {
+			reply.Type = wire.TError
+			reply.Value = []byte("storage: " + err.Error())
+			return
+		}
+	case wire.TDelete:
+		if _, err := pool.Delete(int(origin), m.Key); err != nil {
+			reply.Type = wire.TError
+			reply.Value = []byte("storage: " + err.Error())
+			return
+		}
+	}
+	reply.Type = wire.TReplicateOK
 }
 
 // repairBudget bounds the entry bytes of one TRepairOK page well below
@@ -644,23 +817,23 @@ func (n *Node) Join(timeout time.Duration) error {
 // encodable within wire.MaxFrame.
 const transferBatch = 128
 
-// Handoff pushes every locally-held replica whose key belongs to another
-// region to its owner, dropping the local copy once the owner has
-// acknowledged the whole batch. It is how a node sheds data that became
-// foreign — typically state recovered from a data directory written
-// under a different membership. Data the owner does not fully accept is
-// kept locally for a later retry. Each owner is probe-verified before
-// any batch is sent: Handoff is the one path that DELETES local data on
-// a peer's say-so, so a peer whose membership fingerprint disagrees
-// must never receive (and ack) a batch under a conflicting ownership
-// view.
+// Handoff pushes every locally-held replica whose key this node does
+// not replicate to the key's primary owner, dropping the local copy
+// once the owner has acknowledged the whole batch. It is how a node
+// sheds data that became foreign — typically state recovered from a
+// data directory written under a different membership or replication
+// factor. Data the owner does not fully accept is kept locally for a
+// later retry. Each owner is probe-verified before any batch is sent:
+// Handoff is the one path that DELETES local data on a peer's say-so,
+// so a peer whose membership fingerprint disagrees must never receive
+// (and ack) a batch under a conflicting ownership view.
 func (n *Node) Handoff() (moved int, err error) {
 	byOwner := make(map[int][]wire.TransferEntry)
 	n.cfg.Pool.ForEachReplica(func(node int, origin uint32, key idspace.ID, value []byte) {
-		owner := n.cfg.Cluster.OwnerOf(key)
-		if owner == n.cfg.Cluster.Self() {
-			return
+		if n.cfg.Cluster.Owns(key) {
+			return // key lives here (owner or co-replica): nothing to shed
 		}
+		owner := n.cfg.Cluster.OwnerOf(key)
 		byOwner[owner] = append(byOwner[owner], wire.TransferEntry{Node: uint32(node), Origin: origin, Key: key, Value: value})
 	})
 	var firstErr error
@@ -708,10 +881,26 @@ func (n *Node) Handoff() (moved int, err error) {
 				}
 				break
 			}
-			if resp.Type != wire.TTransferOK || int(resp.Accepted) != len(batch) {
+			// Distinguish a refusal from a short accept: a TError (or
+			// TWrongView) reply carries the peer's actual reason — e.g. a
+			// membership fingerprint mismatch — and Accepted is garbage in
+			// that frame, so formatting it as "accepted 0 of N" would bury
+			// the diagnosis (mirrors PullRepair's response handling).
+			switch {
+			case resp.Type == wire.TError:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("p2p: %s: transfer refused: %s", n.cfg.Cluster.Addr(owner), resp.ErrorText())
+				}
+			case resp.Type != wire.TTransferOK:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("p2p: %s: unexpected transfer response %v", n.cfg.Cluster.Addr(owner), resp.Type)
+				}
+			case int(resp.Accepted) != len(batch):
 				if firstErr == nil {
 					firstErr = fmt.Errorf("p2p: %s accepted %d of %d transferred replicas", n.cfg.Cluster.Addr(owner), resp.Accepted, len(batch))
 				}
+			}
+			if resp.Type != wire.TTransferOK || int(resp.Accepted) != len(batch) {
 				break
 			}
 			for i := range batch {
@@ -725,15 +914,17 @@ func (n *Node) Handoff() (moved int, err error) {
 	return moved, firstErr
 }
 
-// PullRepair asks peer i for every replica of this node's region that
-// the peer holds, streaming the peer's store in budgeted pages: each
-// TRepairOK that was cut by the byte budget carries a resume cursor,
-// which the loop sends back verbatim until the peer reports the walk
-// complete — so any amount of repairable state converges, not just the
-// first frame's worth. It is additive (the peer keeps its copies;
-// Handoff on the peer is the shedding side) and idempotent —
-// re-importing an existing placement overwrites it in place.
-func (n *Node) PullRepair(i int) (applied int, err error) {
+// PullRepair asks peer i for every replica of region that the peer
+// holds (region identity is the key's primary owner; a replicated node
+// pulls each region it replicates in turn — see AntiEntropy), streaming
+// the peer's store in budgeted pages: each TRepairOK that was cut by
+// the byte budget carries a resume cursor, which the loop sends back
+// verbatim until the peer reports the walk complete — so any amount of
+// repairable state converges, not just the first frame's worth. It is
+// additive (the peer keeps its copies; Handoff on the peer is the
+// shedding side) and idempotent — re-importing an existing placement
+// overwrites it in place.
+func (n *Node) PullRepair(i, region int) (applied int, err error) {
 	// Verify the peer shares this cluster's membership view first; a
 	// peer with a different member list computes different owners, and
 	// its idea of "region Self" is not this node's region.
@@ -751,7 +942,7 @@ func (n *Node) PullRepair(i int) (applied int, err error) {
 			return applied, errNodeClosed
 		default:
 		}
-		req := &wire.Msg{Type: wire.TRepair, Cluster: n.cfg.Cluster.Hash(), Region: uint32(n.cfg.Cluster.Self()), Cursor: cursor}
+		req := &wire.Msg{Type: wire.TRepair, Cluster: n.cfg.Cluster.Hash(), Region: uint32(region), Cursor: cursor}
 		if tr != 0 {
 			req.Traced = true
 			req.Trace = tr
@@ -789,37 +980,61 @@ func (n *Node) PullRepair(i int) (applied int, err error) {
 			return applied, nil
 		}
 		// A well-behaved responder's cursor always advances; a stuck one
-		// (same cursor, empty page) would otherwise loop forever.
-		if resp.Cursor == cursor && len(resp.Entries) == 0 {
-			return applied, fmt.Errorf("p2p: %s: repair cursor made no progress at page %d", n.cfg.Cluster.Addr(i), page)
+		// would otherwise loop forever. Page size is irrelevant: a
+		// responder resending the same NON-empty page with the same
+		// cursor is just as stuck (we would re-import the same batch
+		// every iteration), so any repeated cursor under More is fatal.
+		if resp.Cursor == cursor {
+			return applied, fmt.Errorf("p2p: %s: repair cursor made no progress at page %d (%d entries re-sent)",
+				n.cfg.Cluster.Addr(i), page, len(resp.Entries))
 		}
 		cursor = resp.Cursor
 	}
 }
 
-// AntiEntropy runs one full maintenance pass: shed foreign replicas to
-// their owners, then pull this region's replicas from every reachable
-// peer. On a steady cluster both halves are no-ops; after a membership
-// change they converge data onto the new owners.
+// AntiEntropy runs one full maintenance pass: shed replicas of keys
+// this node no longer holds to their owners, then pull every region
+// this node replicates from every other peer. On a steady cluster both
+// halves are no-ops; after a crash, restart, or membership change they
+// converge data back onto the replica set — a node that missed quorum
+// writes while dead catches up here. The error (if any) aggregates the
+// whole pass: the handoff failure plus one entry per unreachable peer,
+// so an operator sees exactly which peers kept the pass incomplete
+// while every reachable peer's regions still converged.
 func (n *Node) AntiEntropy() (moved, pulled int, err error) {
-	moved, err = n.Handoff()
+	var handoffErr error
+	moved, handoffErr = n.Handoff()
+	regions := n.cfg.Cluster.ReplicatedRegions()
+	var unreachable []string
 	for i := 0; i < n.cfg.Cluster.N(); i++ {
 		if i == n.cfg.Cluster.Self() {
 			continue
 		}
-		select {
-		case <-n.quit:
-			if err == nil {
-				err = errNodeClosed
+		var peerErr error
+		for _, region := range regions {
+			select {
+			case <-n.quit:
+				return moved, pulled, errNodeClosed
+			default:
 			}
-			return moved, pulled, err
-		default:
+			got, perr := n.PullRepair(i, region)
+			pulled += got
+			if perr != nil {
+				peerErr = perr
+				break // the peer is down or confused; its other regions can wait
+			}
 		}
-		got, perr := n.PullRepair(i)
-		pulled += got
-		if perr != nil && err == nil {
-			err = perr
+		if peerErr != nil {
+			unreachable = append(unreachable, fmt.Sprintf("%s: %v", n.cfg.Cluster.Addr(i), peerErr))
 		}
+	}
+	switch {
+	case handoffErr != nil && len(unreachable) > 0:
+		err = fmt.Errorf("p2p: anti-entropy incomplete: handoff: %v; %d peers unreachable: %v", handoffErr, len(unreachable), unreachable)
+	case handoffErr != nil:
+		err = handoffErr
+	case len(unreachable) > 0:
+		err = fmt.Errorf("p2p: anti-entropy incomplete: %d peers unreachable: %v", len(unreachable), unreachable)
 	}
 	return moved, pulled, err
 }

@@ -52,7 +52,7 @@ type testNode struct {
 // handoff cleans up).
 func startTestNode(t testing.TB, selfAddr string, peerAddrs []string, regioned bool) *testNode {
 	t.Helper()
-	cluster, err := p2p.NewCluster(selfAddr, peerAddrs)
+	cluster, err := p2p.NewCluster(selfAddr, peerAddrs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,12 +113,12 @@ func keysOwnedBy(region, n, count int, salt string) []string {
 
 func TestClusterMembershipDeterministic(t *testing.T) {
 	addrs := []string{"10.0.0.2:7801", "10.0.0.1:7801", "10.0.0.3:7801"}
-	a, err := p2p.NewCluster("10.0.0.1:7801", addrs)
+	a, err := p2p.NewCluster("10.0.0.1:7801", addrs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A different bootstrap ordering, and self omitted from the list.
-	b, err := p2p.NewCluster("10.0.0.3:7801", []string{"10.0.0.2:7801", "10.0.0.1:7801"})
+	b, err := p2p.NewCluster("10.0.0.3:7801", []string{"10.0.0.2:7801", "10.0.0.1:7801"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestClusterMembershipDeterministic(t *testing.T) {
 			t.Fatalf("key %d owner disagreement", i)
 		}
 	}
-	c, err := p2p.NewCluster("10.0.0.1:7801", []string{"10.0.0.9:7801"})
+	c, err := p2p.NewCluster("10.0.0.1:7801", []string{"10.0.0.9:7801"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestClusterMembershipDeterministic(t *testing.T) {
 }
 
 func TestRemoteOverlayIsCompleteAndAlwaysOnline(t *testing.T) {
-	cluster, err := p2p.NewCluster("h1:1", []string{"h2:1", "h3:1"})
+	cluster, err := p2p.NewCluster("h1:1", []string{"h2:1", "h3:1"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestProbeRefusesMembershipMismatch(t *testing.T) {
 
 	// A node configured with an extra phantom member disagrees about
 	// ownership; the probe handshake must catch it.
-	wrong, err := p2p.NewCluster(peerAddrs[1], append(append([]string(nil), peerAddrs...), "10.9.9.9:1"))
+	wrong, err := p2p.NewCluster(peerAddrs[1], append(append([]string(nil), peerAddrs...), "10.9.9.9:1"), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +359,7 @@ func TestHandoffRefusesUnverifiedPeer(t *testing.T) {
 	startTestNode(t, peerAddrs[0], peerAddrs, true)
 
 	phantom := append(append([]string(nil), peerAddrs...), "10.9.9.9:1")
-	cluster, err := p2p.NewCluster(peerAddrs[1], phantom)
+	cluster, err := p2p.NewCluster(peerAddrs[1], phantom, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +465,7 @@ func TestHandoffAndPullRepair(t *testing.T) {
 			from = i
 		}
 	}
-	applied, err := n1.node.PullRepair(from)
+	applied, err := n1.node.PullRepair(from, n1.cluster.Self())
 	if err != nil {
 		t.Fatalf("pull repair: %v", err)
 	}
@@ -555,7 +555,7 @@ func TestPullRepairPaginatesLargeState(t *testing.T) {
 
 	// Then the real puller: every replica lands on node 1 with its exact
 	// value and placement.
-	applied, err := n1.node.PullRepair(r0)
+	applied, err := n1.node.PullRepair(r0, n1.cluster.Self())
 	if err != nil {
 		t.Fatalf("pull repair: %v", err)
 	}
@@ -663,7 +663,7 @@ func TestProberFlipsAliveEagerly(t *testing.T) {
 	peerAddrs := reserveAddrs(t, 2)
 	peer := startTestNode(t, peerAddrs[1], peerAddrs, true)
 
-	cluster, err := p2p.NewCluster(peerAddrs[0], peerAddrs)
+	cluster, err := p2p.NewCluster(peerAddrs[0], peerAddrs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

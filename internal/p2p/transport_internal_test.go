@@ -1,7 +1,10 @@
 package p2p
 
 import (
+	"bufio"
 	"net"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -10,7 +13,7 @@ import (
 
 func newInternalTransport(t *testing.T) *Transport {
 	t.Helper()
-	cluster, err := NewCluster("h1:1", []string{"h2:1"})
+	cluster, err := NewCluster("h1:1", []string{"h2:1"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,6 +124,127 @@ func TestWriteLoopCoalescesQueuedFrames(t *testing.T) {
 	}
 	pc.teardown(cs)
 	<-done
+}
+
+// TestCallTimeoutLateReply audits the timed-out call path end to end: a
+// reply that lands AFTER the caller's timeout deleted its pending entry
+// must be dropped cleanly — no stray delivery, no pending-map leak, no
+// connection teardown — and the connection (plus the outbound frame
+// pool) must keep serving subsequent calls without a redial.
+func TestCallTimeoutLateReply(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	cluster, err := NewCluster("h1:1", []string{lis.Addr().String()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := NewRemoteOverlay(cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransport(cluster, ov, 0, 150*time.Millisecond, t.Logf, nil)
+	defer tr.Close()
+	// Count trips through the pool's allocator: if the request-frame
+	// buffers round-trip (Get -> write -> Put), steady sequential calls
+	// reuse one buffer and the allocator runs a bounded number of times.
+	var fresh atomic.Int64
+	tr.bufs.New = func() any {
+		fresh.Add(1)
+		b := make([]byte, 0, 512)
+		return &b
+	}
+	var peer int
+	for i := 0; i < cluster.N(); i++ {
+		if cluster.Addr(i) == lis.Addr().String() {
+			peer = i
+		}
+	}
+
+	// Stub peer: the FIRST request's reply is withheld until released
+	// (well past the call timeout); every later request is answered
+	// immediately.
+	release := make(chan struct{})
+	lateSent := make(chan struct{})
+	go func() {
+		nc, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		br := bufio.NewReader(nc)
+		var scratch []byte
+		first := true
+		for {
+			body, err := wire.ReadFrame(br, &scratch)
+			if err != nil {
+				return
+			}
+			var m wire.Msg
+			if err := m.Decode(body); err != nil {
+				return
+			}
+			reply := wire.Msg{Type: wire.TPeerProbeOK, ReqID: m.ReqID, Cluster: m.Cluster}
+			frame, err := reply.Append(nil)
+			if err != nil {
+				return
+			}
+			if first {
+				first = false
+				go func() {
+					<-release
+					nc.Write(frame) //nolint:errcheck // test stub
+					close(lateSent)
+				}()
+				continue
+			}
+			if _, err := nc.Write(frame); err != nil {
+				return
+			}
+		}
+	}()
+
+	probe := func() *wire.Msg {
+		return &wire.Msg{Type: wire.TPeerProbe, Cluster: cluster.Hash(), Origin: uint32(cluster.Self())}
+	}
+	if _, err := tr.Call(peer, probe()); err == nil || !strings.Contains(err.Error(), "no reply within") {
+		t.Fatalf("withheld reply did not time out: %v", err)
+	}
+	pc := tr.peers[peer]
+	pc.mu.Lock()
+	leaked := len(pc.pending)
+	pc.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d pending entries leaked after the timeout", leaked)
+	}
+
+	// Deliver the late reply, then prove the connection survived it: the
+	// reader must discard the orphan (no pending entry matches) without
+	// tearing the connection down or mis-delivering it to the next call.
+	close(release)
+	<-lateSent
+	for i := 0; i < 20; i++ {
+		resp, err := tr.Call(peer, probe())
+		if err != nil {
+			t.Fatalf("call %d after the late reply: %v", i, err)
+		}
+		if resp.Type != wire.TPeerProbeOK {
+			t.Fatalf("call %d got %v, want TPeerProbeOK", i, resp.Type)
+		}
+	}
+	if got := tr.dials.Value(); got != 1 {
+		t.Fatalf("%d dials; the late reply should not cost a reconnect", got)
+	}
+	// Pool round-trip: 21 sequential calls needed far fewer fresh
+	// buffers (the race detector disables sync.Pool caching, so the
+	// bound only holds in a normal build).
+	if !raceEnabled {
+		if got := fresh.Load(); got > 3 {
+			t.Fatalf("allocator built %d frame buffers over 21 sequential calls; pooled buffers are not round-tripping", got)
+		}
+	}
 }
 
 // TestCollectOutDeath pins the writer's shutdown contract: a dead

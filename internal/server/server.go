@@ -98,6 +98,18 @@ type Config struct {
 	// untraced) for the forwarder to propagate across the peer hop.
 	// Required when Owns is set.
 	Forward func(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64, respond func(*wire.Msg))
+	// Replicate, when set, fans one locally-accepted mutation out to the
+	// key's co-replicas and returns once a quorum of them (coordinator
+	// excluded) has committed — p2p.Node.Replicate has the right shape.
+	// The fan-out runs concurrently with local shard execution; the ack
+	// is withheld until both land, and a fan-out error turns the reply
+	// into TError even when the local commit succeeded (the replicas
+	// reconcile via anti-entropy). Leave nil with replication 1: every
+	// mutation would pay a no-op goroutine for a quorum of one.
+	Replicate func(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64) error
+	// Replication is the cluster's replication factor as reported to
+	// cluster-smart clients in TMembersOK; 0 is reported as 1.
+	Replication uint32
 	// ClusterHash and Members enable cluster-smart clients. ClusterHash
 	// is the membership fingerprint (p2p.Cluster.Hash); Members returns
 	// the client-serving address table by cluster slot ("" = unknown;
@@ -146,6 +158,8 @@ type Server struct {
 	logf         func(format string, args ...any)
 	owns         func(key idspace.ID) bool
 	forward      func(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64, respond func(*wire.Msg))
+	replicate    func(typ wire.Type, key idspace.ID, origin uint32, value []byte, trc uint64) error
+	replication  uint32
 	tracer       *trace.Tracer
 	slowNanos    int64
 	slowLogf     func(format string, args ...any)
@@ -196,9 +210,10 @@ type task struct {
 	reqID  uint64
 	key    idspace.ID
 	origin uint32
-	value  []byte    // insert payload, owned by the task
-	enq    time.Time // enqueue instant; zero when untimestamped
-	trace  uint64    // sampled trace ID; 0 = untraced
+	value  []byte     // insert payload, owned by the task
+	enq    time.Time  // enqueue instant; zero when untimestamped
+	trace  uint64     // sampled trace ID; 0 = untraced
+	repl   chan error // in-flight replica fan-out result; nil = none
 }
 
 // outFrame is one encoded response bound for a connection writer: the
@@ -259,6 +274,8 @@ func New(cfg Config) (*Server, error) {
 		logf:         logf,
 		owns:         cfg.Owns,
 		forward:      cfg.Forward,
+		replicate:    cfg.Replicate,
+		replication:  cfg.Replication,
 		tracer:       cfg.Tracer,
 		slowNanos:    int64(cfg.SlowThreshold),
 		queues:       make([]chan task, cfg.Pool.NumShards()),
@@ -271,6 +288,9 @@ func New(cfg Config) (*Server, error) {
 		members:      cfg.Members,
 		conns:        make(map[net.Conn]struct{}),
 		done:         make(chan struct{}),
+	}
+	if s.replication == 0 {
+		s.replication = 1
 	}
 	s.bufs.New = func() any {
 		b := make([]byte, 0, 512)
@@ -588,6 +608,16 @@ func (s *Server) dispatchKeyed(c *conn, typ wire.Type, m *wire.Msg, routed bool,
 	if typ == wire.TInsert {
 		t.value = append([]byte(nil), m.Value...)
 	}
+	if s.replicate != nil && (typ == wire.TInsert || typ == wire.TDelete) {
+		// Start the replica fan-out before the task even queues so the
+		// peer round trips overlap the local shard execution; execBatch
+		// withholds the ack until both the local commit and the quorum
+		// land. The value is shared with the task — both sides only read
+		// it.
+		t.repl = make(chan error, 1)
+		repl, key, value := t.repl, m.Key, t.value
+		go func() { repl <- s.replicate(typ, key, origin, value, tr) }()
+	}
 	c.inflight.Add(1)
 	select {
 	case s.queues[s.pool.ShardOf(m.Key)] <- t: // may block: backpressure
@@ -606,7 +636,7 @@ func (s *Server) replyMembers(c *conn, reqID uint64) {
 		s.replyError(c, reqID, "not a cluster node: no member table")
 		return
 	}
-	m := wire.Msg{Type: wire.TMembersOK, ReqID: reqID, Cluster: s.clusterHash, Members: s.members()}
+	m := wire.Msg{Type: wire.TMembersOK, ReqID: reqID, Cluster: s.clusterHash, Replication: s.replication, Members: s.members()}
 	s.send(c, &m, 0)
 }
 
@@ -773,6 +803,27 @@ func (s *Server) execBatch(tasks []task, ops *[]discovery.BatchOp) {
 					time.Duration(share), time.Duration(walNanos/int64(len(tasks))),
 					len(tasks), t.trace)
 			}
+		}
+		if t.repl != nil && op.Err == nil {
+			// The local commit landed but the ack must also wait for the
+			// replica quorum. The wait parks a goroutine, not the shard
+			// worker, so a slow peer cannot stall the shard's other
+			// traffic; task and reply are copied because the batch slices
+			// are reused for the next batch.
+			s.connWg.Add(1)
+			go func(t task, m wire.Msg) {
+				defer s.connWg.Done()
+				if rerr := <-t.repl; rerr != nil {
+					// Local commit without quorum must not be acked: the
+					// client would treat it as replicated. The replicas
+					// reconcile via anti-entropy.
+					s.logf("server: %v: %v", t.typ, rerr)
+					m = wire.Msg{Type: wire.TError, ReqID: t.reqID, Value: []byte("replication: " + rerr.Error())}
+				}
+				s.send(t.c, &m, t.trace)
+				t.c.inflight.Done()
+			}(*t, m)
+			continue
 		}
 		s.send(t.c, &m, t.trace)
 		t.c.inflight.Done()

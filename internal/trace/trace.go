@@ -67,6 +67,9 @@ const (
 	// KindWrongView is a refusal of a stale-membership TRoute; zero
 	// duration, it marks which node bounced the request.
 	KindWrongView
+	// KindReplicateExec is the co-replica-side apply of one TReplicate
+	// (quorum-write fan-out) mutation.
+	KindReplicateExec
 )
 
 // String returns the JSON/log name of the kind.
@@ -94,6 +97,8 @@ func (k Kind) String() string {
 		return "transfer_exec"
 	case KindWrongView:
 		return "wrong_view"
+	case KindReplicateExec:
+		return "replicate_exec"
 	default:
 		return "unknown"
 	}

@@ -56,7 +56,7 @@ func FuzzDecode(f *testing.F) {
 // re-encode to the exact input bytes, from both a fresh and a dirty Msg.
 func FuzzPeerDecode(f *testing.F) {
 	for _, m := range sampleMsgs() {
-		if !m.Type.IsPeerRequest() && m.Type != TPeerProbeOK && m.Type != TRepairOK && m.Type != TTransferOK && m.Type != TWrongView {
+		if !m.Type.IsPeerRequest() && m.Type != TPeerProbeOK && m.Type != TRepairOK && m.Type != TTransferOK && m.Type != TReplicateOK && m.Type != TWrongView {
 			continue
 		}
 		frame, err := m.Append(nil)
@@ -105,7 +105,7 @@ func FuzzPeerRoundTrip(f *testing.F) {
 	f.Add(uint8(2), uint64(1), uint64(0), uint32(0), []byte(""), []byte(""), uint32(0), uint8(2), uint64(0xFEEDFACE))
 	f.Add(uint8(5), uint64(9), uint64(1), uint32(2), []byte("k2"), []byte("entry-payload"), uint32(7), uint8(3), uint64(1))
 	f.Fuzz(func(t *testing.T, ty uint8, reqID, cluster uint64, origin uint32, keySrc, value []byte, region uint32, kind uint8, traceID uint64) {
-		types := []Type{TPeerProbe, TRoute, TRepair, TTransfer, TPeerProbeOK, TRepairOK, TTransferOK, TWrongView}
+		types := []Type{TPeerProbe, TRoute, TRepair, TTransfer, TReplicate, TPeerProbeOK, TRepairOK, TTransferOK, TReplicateOK, TWrongView}
 		m := Msg{
 			Type:      types[int(ty)%len(types)],
 			ReqID:     reqID,
@@ -118,9 +118,14 @@ func FuzzPeerRoundTrip(f *testing.F) {
 			Accepted:  region,
 			Value:     value,
 		}
+		// Replicated mutations carry no lookup kind; keep the built
+		// message canonical so Append never rejects it.
+		if m.Type == TReplicate {
+			m.RouteKind = []Type{TInsert, TDelete}[int(kind)%2]
+		}
 		// Trace trailers ride only on the peer requests that execute work;
 		// kind's high bit picks traced/untraced so both layouts are fuzzed.
-		if m.Type == TRoute || m.Type == TRepair || m.Type == TTransfer {
+		if m.Type == TRoute || m.Type == TRepair || m.Type == TTransfer || m.Type == TReplicate {
 			if kind&0x80 != 0 {
 				m.Traced = true
 				m.Trace = traceID
@@ -202,6 +207,7 @@ func FuzzRoundTrip(f *testing.F) {
 			m.Cluster = n
 		}
 		if m.Type == TMembersOK {
+			m.Replication = origin%8 + 1
 			addr := value
 			if len(addr) > 1024 {
 				addr = addr[:1024]

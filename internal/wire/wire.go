@@ -33,14 +33,16 @@
 //	TDeleteOK: u32 removed
 //	TStatsOK:  u32 shards | u64 inserts | u64 lookups | u64 deletes |
 //	           u64 found | shards x u64 perShardRequests
-//	TMembersOK: u64 clusterHash | u32 count | count x (u16 len | addr)
+//	TMembersOK: u64 clusterHash | u32 replication | u32 count | count x (u16 len | addr)
 //	TError:    text...                                 (UTF-8, rest of frame)
 //
 // TMembers/TMembersOK let a cluster-aware client learn the member list
 // and its fingerprint from any node: the reply's addresses are the
 // cluster's client-serving endpoints in region order (an empty address
-// means that member's endpoint is not yet known), and the hash is the
-// membership fingerprint every routed request must echo.
+// means that member's endpoint is not yet known), the hash is the
+// membership fingerprint every routed request must echo, and
+// replication is how many consecutive regions replicate each key
+// (discovery.ReplicasOf) so clients can fail reads over to a co-replica.
 //
 // # Peer bodies
 //
@@ -60,11 +62,24 @@
 //	              key[20] | u32 origin | value...    (value only for insert kind)
 //	TRepair:      u64 clusterHash | trace | u32 region | cursor
 //	TTransfer:    u64 clusterHash | trace | u32 count | count x entry
+//	TReplicate:   u8 kind (TInsert|TDelete) | u64 clusterHash | trace |
+//	              key[20] | u32 origin | value...    (value only for insert kind)
 //	TPeerProbeOK: u64 clusterHash | u32 responder | u64 heldReplicas |
 //	              u16 len | clientAddr
 //	TRepairOK:    u32 region | u8 more | cursor | u32 count | count x entry
 //	TTransferOK:  u32 accepted
+//	TReplicateOK: (empty)
 //	TWrongView:   u64 clusterHash                    (the receiver's hash)
+//
+// TReplicate is the quorum-write fan-out: the coordinator of a mutation
+// executes it locally and sends the same mutation to the key's other
+// replicas, acking the client only once a quorum of them (itself
+// included) has committed. Its body is TRoute-shaped — same hash, trace
+// trailer, key, origin and value — but its kind is restricted to the
+// mutations (lookups fail over instead of fanning out) and the receiver
+// applies it locally without re-forwarding or re-replicating.
+// TReplicateOK's empty body is the commit acknowledgement; a failure is
+// a TError or TWrongView like any other peer request.
 //
 // Probes piggyback the sender's (and responder's) client-serving address
 // so every node learns where its peers accept client connections without
@@ -122,7 +137,8 @@ const MaxFrame = 1 << 20
 //
 //	header 9 + region 4 + more 1 + cursor 28 + count 4 + entry 32 = 78
 //
-// (a traced TRoute needs 51 and a traced single-entry TTransfer 62.)
+// (a traced TRoute or TReplicate needs 51 and a traced single-entry
+// TTransfer 62.)
 const MaxValue = MaxFrame - maxValueOverhead
 
 // maxValueOverhead is the single-entry TRepairOK wrapper cost derived
@@ -166,10 +182,12 @@ const (
 	TRoute     Type = 0x11
 	TRepair    Type = 0x12
 	TTransfer  Type = 0x13
+	TReplicate Type = 0x14
 
 	TPeerProbeOK Type = 0x90
 	TRepairOK    Type = 0x92
 	TTransferOK  Type = 0x93
+	TReplicateOK Type = 0x94
 	TWrongView   Type = 0x95
 )
 
@@ -204,12 +222,16 @@ func (t Type) String() string {
 		return "repair"
 	case TTransfer:
 		return "transfer"
+	case TReplicate:
+		return "replicate"
 	case TPeerProbeOK:
 		return "peer-probe-ok"
 	case TRepairOK:
 		return "repair-ok"
 	case TTransferOK:
 		return "transfer-ok"
+	case TReplicateOK:
+		return "replicate-ok"
 	case TWrongView:
 		return "wrong-view"
 	case TError:
@@ -223,7 +245,7 @@ func (t Type) String() string {
 func (t Type) IsRequest() bool { return t >= TInsert && t <= TMembers }
 
 // IsPeerRequest reports whether t is a node-to-node request type.
-func (t Type) IsPeerRequest() bool { return t >= TPeerProbe && t <= TTransfer }
+func (t Type) IsPeerRequest() bool { return t >= TPeerProbe && t <= TReplicate }
 
 // OriginAuto is the origin sentinel meaning "server picks the entry node"
 // (derived deterministically from the key).
@@ -239,6 +261,7 @@ var (
 	ErrBool     = errors.New("wire: boolean byte not 0 or 1")
 	ErrShards   = errors.New("wire: stats shard count out of range")
 	ErrRoute    = errors.New("wire: route kind must be insert, lookup or delete")
+	ErrRepl     = errors.New("wire: replicate kind must be insert or delete")
 	ErrEntries  = errors.New("wire: transfer entry count disagrees with body")
 	ErrCursor   = errors.New("wire: repair cursor present without more flag")
 	ErrMembers  = errors.New("wire: member list disagrees with body")
@@ -362,7 +385,7 @@ type Msg struct {
 	// Peer-message fields.
 
 	// RouteKind is the wrapped request type of a TRoute (TInsert,
-	// TLookup or TDelete).
+	// TLookup or TDelete) or a TReplicate (TInsert or TDelete).
 	RouteKind Type
 	// Cluster is the membership hash carried by probes, letting peers
 	// refuse to serve a node configured with a different member list.
@@ -394,6 +417,9 @@ type Msg struct {
 	// order (TMembersOK). Cluster carries the matching fingerprint.
 	// Decoding allocates fresh strings — member lists are small and rare.
 	Members []string
+	// Replication is how many consecutive regions replicate each key
+	// (TMembersOK); 1 means unreplicated.
+	Replication uint32
 	// Trace is the propagated trace ID of a sampled peer request
 	// (TRoute, TRepair, TTransfer); meaningful only when Traced is set.
 	Trace uint64
@@ -424,7 +450,7 @@ func (m *Msg) bodyLen() int {
 	case TStatsOK:
 		n += 4 + 4*8 + 8*len(m.Stats.ShardRequests)
 	case TMembersOK:
-		n += 8 + 4
+		n += 8 + 4 + 4
 		for _, a := range m.Members {
 			n += 2 + len(a)
 		}
@@ -445,6 +471,12 @@ func (m *Msg) bodyLen() int {
 		n += 8 + m.traceLen() + 4 + entriesLen(m.Entries)
 	case TTransferOK:
 		n += 4
+	case TReplicate:
+		n += 1 + 8 + m.traceLen() + idspace.Bytes + 4
+		if m.RouteKind == TInsert {
+			n += len(m.Value)
+		}
+	case TReplicateOK:
 	case TWrongView:
 		n += 8
 	case TError:
@@ -486,6 +518,9 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 	}
 	if m.Type == TRoute && m.RouteKind != TInsert && m.RouteKind != TLookup && m.RouteKind != TDelete {
 		return dst, ErrRoute
+	}
+	if m.Type == TReplicate && m.RouteKind != TInsert && m.RouteKind != TDelete {
+		return dst, ErrRepl
 	}
 	if m.Type == TRepairOK && !m.More && !m.Cursor.IsZero() {
 		return dst, ErrCursor
@@ -546,6 +581,7 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		}
 	case TMembersOK:
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = binary.BigEndian.AppendUint32(dst, m.Replication)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Members)))
 		for _, a := range m.Members {
 			dst = binary.BigEndian.AppendUint16(dst, uint16(len(a)))
@@ -591,6 +627,16 @@ func (m *Msg) Append(dst []byte) ([]byte, error) {
 		dst = appendEntries(dst, m.Entries)
 	case TTransferOK:
 		dst = binary.BigEndian.AppendUint32(dst, m.Accepted)
+	case TReplicate:
+		dst = append(dst, byte(m.RouteKind))
+		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
+		dst = m.appendTrace(dst)
+		dst = append(dst, m.Key[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, m.Origin)
+		if m.RouteKind == TInsert {
+			dst = append(dst, m.Value...)
+		}
+	case TReplicateOK:
 	case TWrongView:
 		dst = binary.BigEndian.AppendUint64(dst, m.Cluster)
 	case TError:
@@ -780,12 +826,13 @@ func (m *Msg) Decode(body []byte) error {
 		}
 		m.ClientAddr = append(m.ClientAddr[:0], b[22:]...)
 	case TMembersOK:
-		if len(b) < 8+4 {
+		if len(b) < 8+4+4 {
 			return ErrShort
 		}
 		m.Cluster = binary.BigEndian.Uint64(b[0:])
-		count := binary.BigEndian.Uint32(b[8:])
-		rest := b[12:]
+		m.Replication = binary.BigEndian.Uint32(b[8:])
+		count := binary.BigEndian.Uint32(b[12:])
+		rest := b[16:]
 		// Each member costs at least its length word; the early check
 		// keeps an adversarial count from forcing allocation.
 		if uint64(count)*2 > uint64(len(rest)) {
@@ -884,6 +931,36 @@ func (m *Msg) Decode(body []byte) error {
 			return sizeErr(len(b), 4)
 		}
 		m.Accepted = binary.BigEndian.Uint32(b)
+	case TReplicate:
+		if len(b) < 1+8 {
+			return ErrShort
+		}
+		m.RouteKind = Type(b[0])
+		m.Cluster = binary.BigEndian.Uint64(b[1:])
+		rest, err := m.decodeTrace(b[9:])
+		if err != nil {
+			return err
+		}
+		if len(rest) < idspace.Bytes+4 {
+			return ErrShort
+		}
+		copy(m.Key[:], rest)
+		m.Origin = binary.BigEndian.Uint32(rest[idspace.Bytes:])
+		rest = rest[idspace.Bytes+4:]
+		switch m.RouteKind {
+		case TInsert:
+			m.Value = append(m.Value[:0], rest...)
+		case TDelete:
+			if len(rest) != 0 {
+				return ErrTrailing
+			}
+		default:
+			return ErrRepl
+		}
+	case TReplicateOK:
+		if len(b) != 0 {
+			return ErrTrailing
+		}
 	case TWrongView:
 		if len(b) != 8 {
 			return sizeErr(len(b), 8)

@@ -27,9 +27,9 @@ func sampleMsgs() []Msg {
 			ShardRequests: []uint64{101, 99, 103},
 		}},
 		{Type: TMembers, ReqID: 19},
-		{Type: TMembersOK, ReqID: 19, Cluster: 0xA1,
+		{Type: TMembersOK, ReqID: 19, Cluster: 0xA1, Replication: 3,
 			Members: []string{"127.0.0.1:7701", "", "127.0.0.1:7703"}},
-		{Type: TMembersOK, ReqID: 20, Cluster: 0xA2, Members: nil},
+		{Type: TMembersOK, ReqID: 20, Cluster: 0xA2, Replication: 1, Members: nil},
 		{Type: TWrongView, ReqID: 21, Cluster: 0xBEEF},
 		{Type: TError, ReqID: 9, Value: []byte("origin 9000 out of range")},
 		{Type: TPeerProbe, ReqID: 10, Cluster: 0xDEADBEEF01234567, Origin: 2, ClientAddr: []byte("127.0.0.1:7702")},
@@ -62,6 +62,13 @@ func sampleMsgs() []Msg {
 		{Type: TTransfer, ReqID: 27, Cluster: 0xA1, Traced: true, Trace: 0xABCD,
 			Entries: []TransferEntry{{Node: 5, Origin: 1, Key: key, Value: []byte("traced")}}},
 		{Type: TTransferOK, ReqID: 16, Accepted: 1},
+		{Type: TReplicate, ReqID: 28, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1,
+			Value: []byte("tcp://node1:7700")},
+		{Type: TReplicate, ReqID: 29, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1, Value: nil},
+		{Type: TReplicate, ReqID: 30, RouteKind: TDelete, Cluster: 0xA1, Key: key, Origin: 2},
+		{Type: TReplicate, ReqID: 31, RouteKind: TInsert, Cluster: 0xA1, Key: key, Origin: 1,
+			Traced: true, Trace: 0xFEEDFACECAFEF00D, Value: []byte("replicated")},
+		{Type: TReplicateOK, ReqID: 28},
 	}
 }
 
@@ -117,7 +124,7 @@ func eq(t *testing.T, a, b *Msg) {
 		}
 	case TMembers:
 	case TMembersOK:
-		if a.Cluster != b.Cluster || len(a.Members) != len(b.Members) {
+		if a.Cluster != b.Cluster || a.Replication != b.Replication || len(a.Members) != len(b.Members) {
 			t.Fatalf("members mismatch: %+v vs %+v", a, b)
 		}
 		for i := range a.Members {
@@ -165,6 +172,17 @@ func eq(t *testing.T, a, b *Msg) {
 		if a.Accepted != b.Accepted {
 			t.Fatalf("transfer reply mismatch: %d vs %d", a.Accepted, b.Accepted)
 		}
+	case TReplicate:
+		if a.RouteKind != b.RouteKind || a.Cluster != b.Cluster || a.Key != b.Key || a.Origin != b.Origin {
+			t.Fatalf("replicate mismatch: %+v vs %+v", a, b)
+		}
+		if a.Traced != b.Traced || a.Trace != b.Trace {
+			t.Fatalf("replicate trace mismatch: %+v vs %+v", a, b)
+		}
+		if a.RouteKind == TInsert && !bytes.Equal(a.Value, b.Value) {
+			t.Fatalf("replicate value mismatch: %q vs %q", a.Value, b.Value)
+		}
+	case TReplicateOK:
 	case TError:
 		if !bytes.Equal(a.Value, b.Value) {
 			t.Fatalf("error text mismatch: %q vs %q", a.Value, b.Value)
@@ -281,19 +299,19 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		{"probe addr trailing", append([]byte{byte(TPeerProbe)}, make([]byte, 8+14+3)...), ErrTrailing},
 		{"probe-ok short", append([]byte{byte(TPeerProbeOK)}, make([]byte, 8+20)...), ErrShort},
 		{"members with body", append([]byte{byte(TMembers)}, make([]byte, 8+1)...), ErrTrailing},
-		{"members-ok short", append([]byte{byte(TMembersOK)}, make([]byte, 8+10)...), ErrShort},
+		{"members-ok short", append([]byte{byte(TMembersOK)}, make([]byte, 8+14)...), ErrShort},
 		{"members-ok count overruns body", func() []byte {
-			b := append([]byte{byte(TMembersOK)}, make([]byte, 8+12)...)
-			b[9+11] = 9 // claims 9 members, carries none
+			b := append([]byte{byte(TMembersOK)}, make([]byte, 8+16)...)
+			b[9+15] = 9 // claims 9 members, carries none
 			return b
 		}(), ErrMembers},
 		{"members-ok len overruns body", func() []byte {
-			b := append([]byte{byte(TMembersOK)}, make([]byte, 8+12+2)...)
-			b[9+11] = 1  // one member...
-			b[9+13] = 40 // ...claiming 40 bytes the body lacks
+			b := append([]byte{byte(TMembersOK)}, make([]byte, 8+16+2)...)
+			b[9+15] = 1  // one member...
+			b[9+17] = 40 // ...claiming 40 bytes the body lacks
 			return b
 		}(), ErrMembers},
-		{"members-ok trailing", append([]byte{byte(TMembersOK)}, make([]byte, 8+12+1)...), ErrTrailing},
+		{"members-ok trailing", append([]byte{byte(TMembersOK)}, make([]byte, 8+16+1)...), ErrTrailing},
 		{"wrong-view short", append([]byte{byte(TWrongView)}, make([]byte, 8+4)...), ErrShort},
 		{"wrong-view trailing", append([]byte{byte(TWrongView)}, make([]byte, 8+9)...), ErrTrailing},
 		{"repair short", append([]byte{byte(TRepair)}, make([]byte, 8+8+1+5)...), ErrShort},
@@ -336,6 +354,28 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			b[9+8] = 0xFF
 			return b
 		}(), ErrTrace},
+		{"replicate bad kind", func() []byte {
+			b := append([]byte{byte(TReplicate)}, make([]byte, 8+1+8+1+idspace.Bytes+4)...)
+			b[9] = byte(TLookup) // lookups fail over, they are never replicated
+			return b
+		}(), ErrRepl},
+		{"replicate delete trailing", func() []byte {
+			b := append([]byte{byte(TReplicate)}, make([]byte, 8+1+8+1+idspace.Bytes+4+3)...)
+			b[9] = byte(TDelete)
+			return b
+		}(), ErrTrailing},
+		{"replicate bad trace flags", func() []byte {
+			b := append([]byte{byte(TReplicate)}, make([]byte, 8+1+8+1+idspace.Bytes+4)...)
+			b[9] = byte(TInsert)
+			b[9+1+8] = 0x80 // undefined trailer flag bit
+			return b
+		}(), ErrTrace},
+		{"replicate key cut short", func() []byte {
+			b := append([]byte{byte(TReplicate)}, make([]byte, 8+1+8+1+4)...)
+			b[9] = byte(TDelete)
+			return b
+		}(), ErrShort},
+		{"replicate-ok with body", append([]byte{byte(TReplicateOK)}, make([]byte, 8+1)...), ErrTrailing},
 	}
 	var m Msg
 	for _, tc := range cases {

@@ -85,7 +85,7 @@ func NewPool(ov Overlay, shards int, opts ...Option) (*Pool, error) {
 	}
 	// Recover the base seed the caller configured (default 1) so the
 	// per-shard seeds are derived from it.
-	base := config{seed: 1, regionCount: 1}
+	base := config{seed: 1, regionCount: 1, replication: 1}
 	for _, opt := range opts {
 		opt(&base)
 	}
@@ -125,21 +125,27 @@ func (p *Pool) Region() (index, count int) {
 	return p.base.regionIndex, p.base.regionCount
 }
 
-// Owns reports whether this pool's region owns key. Unrestricted pools
+// Replication returns how many regions replicate each key (1 when
+// unreplicated). See WithReplication.
+func (p *Pool) Replication() int { return p.base.replication }
+
+// Owns reports whether this pool's region is in key's replica set (with
+// replication 1, whether it is key's primary owner). Unrestricted pools
 // own everything.
 func (p *Pool) Owns(key ID) bool {
-	return p.base.regionCount <= 1 || OwnerOf(key, p.base.regionCount) == p.base.regionIndex
+	return p.base.regionCount <= 1 ||
+		Replicates(key, p.base.regionIndex, p.base.regionCount, p.base.replication)
 }
 
-// checkOwned refuses mutations for keys outside the pool's region: in a
-// cluster those must be routed to the owning node (internal/p2p), never
+// checkOwned refuses mutations for keys outside the pool's replica set:
+// in a cluster those must be routed to a replica (internal/p2p), never
 // applied locally where no other node would find them.
 func (p *Pool) checkOwned(key ID) error {
 	if p.Owns(key) {
 		return nil
 	}
-	return fmt.Errorf("discovery: key %v belongs to region %d, this pool owns region %d of %d",
-		key, OwnerOf(key, p.base.regionCount), p.base.regionIndex, p.base.regionCount)
+	return fmt.Errorf("discovery: key %v belongs to region %d (replication %d), this pool owns region %d of %d",
+		key, OwnerOf(key, p.base.regionCount), p.base.replication, p.base.regionIndex, p.base.regionCount)
 }
 
 // fnv1a hashes the key bytes with FNV-1a, the shard-routing hash.

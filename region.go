@@ -28,6 +28,50 @@ func OwnerOf(key ID, n int) int {
 	return int(q)
 }
 
+// ReplicasOf returns the indices of the r regions that replicate key
+// among n regions: the owner first, then the next r-1 region indices in
+// ascending order, wrapping around the end of the keyspace. Like
+// OwnerOf it is a pure function of (key, n, r) — deterministic, total,
+// and coordination-free — so every node that agrees on (n, r) agrees on
+// every key's replica set. r is clamped to [1, n].
+func ReplicasOf(key ID, n, r int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	owner := OwnerOf(key, n)
+	set := make([]int, r)
+	for i := 0; i < r; i++ {
+		set[i] = (owner + i) % n
+	}
+	return set
+}
+
+// Replicates reports whether region index is one of the r replicas of
+// key among n regions, without allocating the replica slice. It is
+// exactly "index ∈ ReplicasOf(key, n, r)".
+func Replicates(key ID, index, n, r int) bool {
+	if n < 1 {
+		n = 1
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	if index < 0 || index >= n {
+		return false
+	}
+	owner := OwnerOf(key, n)
+	return (index-owner+n)%n < r
+}
+
 // RegionStart returns the first ID of region i among n regions: the
 // smallest ID whose owner is i. Useful for boundary tests and range
 // scans; RegionStart(0, n) is the zero ID.

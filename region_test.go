@@ -115,6 +115,79 @@ func TestOwnerOfBalance(t *testing.T) {
 	}
 }
 
+func TestReplicasOfTotalAndDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	keys := make([]ID, 0, 1024)
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, RandomID(rng))
+	}
+	keys = append(keys,
+		ID{},
+		idWithHi(0, 0xFF),
+		idWithHi(^uint64(0), 0x00),
+		idWithHi(^uint64(0), 0xFF),
+		idWithHi(1<<63, 0),
+		idWithHi(1<<63-1, 0),
+	)
+	for n := 1; n <= 8; n++ {
+		for r := 1; r <= n+2; r++ {
+			want := r
+			if want > n {
+				want = n
+			}
+			for _, key := range keys {
+				set := ReplicasOf(key, n, r)
+				if len(set) != want {
+					t.Fatalf("ReplicasOf(%v, %d, %d) has %d members, want %d", key, n, r, len(set), want)
+				}
+				if set[0] != OwnerOf(key, n) {
+					t.Fatalf("ReplicasOf(%v, %d, %d)[0] = %d, want owner %d", key, n, r, set[0], OwnerOf(key, n))
+				}
+				seen := make(map[int]bool, len(set))
+				for i, idx := range set {
+					if idx < 0 || idx >= n {
+						t.Fatalf("ReplicasOf(%v, %d, %d)[%d] = %d, outside [0,%d)", key, n, r, i, idx, n)
+					}
+					if seen[idx] {
+						t.Fatalf("ReplicasOf(%v, %d, %d) repeats region %d", key, n, r, idx)
+					}
+					seen[idx] = true
+					// Successive ranks: the set is the owner plus the next
+					// r-1 regions, wrapping — contiguous mod n.
+					if wantIdx := (set[0] + i) % n; idx != wantIdx {
+						t.Fatalf("ReplicasOf(%v, %d, %d)[%d] = %d, want rank %d", key, n, r, i, idx, wantIdx)
+					}
+				}
+				again := ReplicasOf(key, n, r)
+				for i := range set {
+					if set[i] != again[i] {
+						t.Fatalf("ReplicasOf(%v, %d, %d) flapped: %v then %v", key, n, r, set, again)
+					}
+				}
+				// Replicates must agree with set membership for every index.
+				for idx := 0; idx < n; idx++ {
+					if got := Replicates(key, idx, n, r); got != seen[idx] {
+						t.Fatalf("Replicates(%v, %d, %d, %d) = %t, set says %t", key, idx, n, r, got, seen[idx])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReplicasOfDegenerateInputs(t *testing.T) {
+	key := NewID("edge")
+	if set := ReplicasOf(key, 1, 3); len(set) != 1 || set[0] != 0 {
+		t.Fatalf("single-region cluster: ReplicasOf = %v, want [0]", set)
+	}
+	if set := ReplicasOf(key, 3, 0); len(set) != 1 || set[0] != OwnerOf(key, 3) {
+		t.Fatalf("r=0 clamps to 1: got %v", set)
+	}
+	if Replicates(key, -1, 3, 3) || Replicates(key, 3, 3, 3) {
+		t.Fatal("out-of-range index must never replicate")
+	}
+}
+
 func TestPoolRefusesForeignMutations(t *testing.T) {
 	ov, err := CompleteOverlay(16, 1)
 	if err != nil {
