@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"discovery/internal/chaos"
+)
+
+// TestChaosMatrix runs every internal/chaos scenario against a real
+// 3-process, replication-3 cluster whose peer and client links are all
+// interposed by internal/faultnet proxies. Each cell is its own
+// subtest, so a red cell is identifiable by name in CI output. Under
+// -short only the Short subset runs (the PR gate); the full matrix —
+// all fault classes: hard/asymmetric partitions, latency/jitter, frame
+// reordering, bandwidth caps, connection-reset storms, flapping
+// membership, rolling restarts, and WAL fsync failure — runs on push.
+//
+// Every cell asserts the same four invariants (see internal/chaos):
+// acked-insert durability, no false not-found for settled keys,
+// explicit below-quorum write errors where a quorum is severed, and
+// full replica convergence after heal.
+func TestChaosMatrix(t *testing.T) {
+	bin := buildNode(t)
+	for _, sc := range chaos.Matrix {
+		sc := sc
+		if testing.Short() && !sc.Short {
+			continue
+		}
+		t.Run(sc.Name, func(t *testing.T) {
+			chaos.Run(t, bin, sc)
+		})
+	}
+}

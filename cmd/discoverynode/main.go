@@ -34,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -64,9 +66,13 @@ func run() int {
 		bootstrap   = flag.String("bootstrap", "", "comma-separated peer addresses of every cluster member (self may be included)")
 		replication = flag.Int("replication", 3, "regions holding each key (clamped to member count; every member must agree)")
 		joinTimeout = flag.Duration("join-timeout", 10*time.Second, "how long to retry the initial peer probes")
-		dialTimeout = flag.Duration("dial-timeout", 500*time.Millisecond, "peer dial timeout")
-		callTimeout = flag.Duration("call-timeout", 5*time.Second, "peer request timeout")
+		dialTimeout = flag.Duration("dial-timeout", p2p.DefaultDialTimeout, "peer dial timeout")
+		callTimeout = flag.Duration("call-timeout", p2p.DefaultCallTimeout, "peer request timeout")
+		redialWait  = flag.Duration("redial-backoff", p2p.DefaultRedialBackoff, "fail-fast window after a timed-out peer dial (shorten for fast post-partition recovery, lengthen on flaky WANs)")
+		peerVia     = flag.String("peer-via", "", "comma-separated peer=dialaddr pairs rewriting where peer connections are dialed (fault-injection proxies, NAT hops); membership identity stays on the real addresses")
 		antiEntropy = flag.Bool("anti-entropy", true, "after joining, hand off foreign replicas and pull this region's replicas from peers")
+		aeEvery     = flag.Duration("anti-entropy-every", 0, "re-run anti-entropy on this interval so healed partitions re-converge without a restart (0 = once after join only)")
+		chaosFsync  = flag.Bool("chaos-fsync-fail", false, "chaos hook: SIGUSR1 permanently arms injected fsync failures on the WAL append path (requires -data-dir)")
 		probeEvery  = flag.Duration("probe-interval", 2*time.Second, "background peer health probe interval (0 = lazy health only)")
 		shards      = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 128, "per-shard request queue depth")
@@ -102,6 +108,17 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "discoverynode:", err)
 		return 2
+	}
+	dialVia := map[string]string{}
+	if *peerVia != "" {
+		for _, pair := range strings.Split(*peerVia, ",") {
+			peer, via, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || peer == "" || via == "" {
+				fmt.Fprintf(os.Stderr, "discoverynode: -peer-via: bad pair %q (want peer=dialaddr)\n", pair)
+				return 2
+			}
+			dialVia[peer] = via
+		}
 	}
 	ov, err := p2p.NewRemoteOverlay(cluster)
 	if err != nil {
@@ -139,6 +156,24 @@ func run() int {
 		opts = append(opts, discovery.WithMaxHops(*maxHops))
 	}
 
+	// Chaos fsync injection: inert until SIGUSR1 arms it, then every
+	// append-path fsync fails permanently — the WAL poisons itself and
+	// the node keeps serving reads while refusing further mutations.
+	var fsyncFailArmed atomic.Bool
+	if *chaosFsync {
+		if *dataDir == "" {
+			log.Printf("discoverynode: -chaos-fsync-fail ignored without -data-dir")
+		} else {
+			armCh := make(chan os.Signal, 1)
+			signal.Notify(armCh, syscall.SIGUSR1)
+			go func() {
+				<-armCh
+				fsyncFailArmed.Store(true)
+				log.Printf("discoverynode: chaos: fsync failures armed by SIGUSR1")
+			}()
+		}
+	}
+
 	var pool *discovery.Pool
 	var store io.Closer
 	if *dataDir != "" {
@@ -147,12 +182,21 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "discoverynode:", err)
 			return 2
 		}
-		dp, rec, err := discovery.OpenDurablePool(ov, *shards, discovery.DurableConfig{
+		dcfg := discovery.DurableConfig{
 			Dir:           *dataDir,
 			Fsync:         policy,
 			SnapshotEvery: *snapEvery,
 			Logf:          log.Printf,
-		}, opts...)
+		}
+		if *chaosFsync {
+			dcfg.WALSyncErr = func() error {
+				if fsyncFailArmed.Load() {
+					return errors.New("chaos: injected fsync failure")
+				}
+				return nil
+			}
+		}
+		dp, rec, err := discovery.OpenDurablePool(ov, *shards, dcfg, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "discoverynode:", err)
 			return 2
@@ -177,6 +221,8 @@ func run() int {
 		Pool:          pool,
 		DialTimeout:   *dialTimeout,
 		CallTimeout:   *callTimeout,
+		RedialBackoff: *redialWait,
+		DialVia:       dialVia,
 		ProbeInterval: *probeEvery,
 		Logf:          log.Printf,
 		Metrics:       reg,
@@ -260,6 +306,7 @@ func run() int {
 	// it) because anti-entropy mutates the pool — the store must quiesce
 	// before it is sealed.
 	maintDone := make(chan struct{})
+	maintStop := make(chan struct{})
 	go func() {
 		defer close(maintDone)
 		if err := node.Join(*joinTimeout); err != nil {
@@ -267,7 +314,29 @@ func run() int {
 		} else {
 			log.Printf("discoverynode: joined all %d peers", cluster.N()-1)
 		}
-		if *antiEntropy {
+		if !*antiEntropy {
+			return
+		}
+		moved, pulled, err := node.AntiEntropy()
+		if moved > 0 || pulled > 0 || err != nil {
+			log.Printf("discoverynode: anti-entropy: %d replicas handed off, %d pulled, err=%v", moved, pulled, err)
+		}
+		if *aeEvery <= 0 {
+			return
+		}
+		// Periodic anti-entropy: a partition heals without a restart
+		// because every node keeps pulling its replicated regions back
+		// into sync. Errors are expected while a fault is live (the
+		// whole point of running during one), so only eventful passes
+		// log.
+		tick := time.NewTicker(*aeEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-maintStop:
+				return
+			case <-tick.C:
+			}
 			moved, pulled, err := node.AntiEntropy()
 			if moved > 0 || pulled > 0 || err != nil {
 				log.Printf("discoverynode: anti-entropy: %d replicas handed off, %d pulled, err=%v", moved, pulled, err)
@@ -284,6 +353,7 @@ func run() int {
 	// store must quiesce before it is sealed), then the client side
 	// drains — forwarding to other nodes keeps working through the
 	// drain — then outbound peer connections close.
+	close(maintStop)
 	node.StopServing()
 	<-maintDone
 	if err := srv.Close(); err != nil {

@@ -185,9 +185,17 @@ func TestClusterTracing(t *testing.T) {
 	if len(flat) < 4 {
 		t.Fatalf("joined trace has %d spans, want >= 4: %+v", len(flat), flat)
 	}
+	// resp_flush is excluded from the e2e bound: its closing timestamp is
+	// read by the writer goroutine after writev returns, but the client
+	// can have the reply as soon as the kernel has the bytes, so under
+	// CPU contention the span legitimately extends past the client's
+	// measured window. The other stages all end before the reply leaves
+	// the server, so their sum must fit inside what the client measured.
 	var spanSum int64
 	for _, sp := range flat {
-		spanSum += sp.Dur
+		if sp.Kind != "resp_flush" {
+			spanSum += sp.Dur
+		}
 	}
 	for _, kind := range []string{"queue_wait", "shard_exec", "wal_commit", "resp_flush"} {
 		if len(byKind[kind]) == 0 {
@@ -198,13 +206,13 @@ func TestClusterTracing(t *testing.T) {
 			t.Fatalf("trace is missing a %s span (has %v)", kind, kinds)
 		}
 	}
-	// The recorded stages are sequential sub-intervals of the request's
-	// server-side residence, so their sum cannot exceed what the client
-	// measured around the call.
 	if spanSum > int64(e2e) {
-		t.Fatalf("span sum %v exceeds measured e2e time %v", time.Duration(spanSum), e2e)
+		for _, sp := range flat {
+			t.Logf("  span %s dur=%v start=%d", sp.Kind, time.Duration(sp.Dur), sp.Start)
+		}
+		t.Fatalf("pre-flush span sum %v exceeds measured e2e time %v", time.Duration(spanSum), e2e)
 	}
-	t.Logf("route-direct trace: %d spans summing to %v within e2e %v", len(flat), time.Duration(spanSum), e2e)
+	t.Logf("route-direct trace: %d spans, %v pre-flush within e2e %v", len(flat), time.Duration(spanSum), e2e)
 
 	// Phase 2: relayed insert through a non-owner. Sampling is 1-in-1, so
 	// the relay traces it and the trailer carries the ID to the owner:

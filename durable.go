@@ -161,6 +161,12 @@ type DurableConfig struct {
 	// Logf, when set, receives background snapshot errors and recovery
 	// notes.
 	Logf func(format string, args ...any)
+	// WALSyncErr, when non-nil, is installed as the write-ahead log's
+	// injectable fsync-failure hook (wal.Options.SyncErr): a non-nil
+	// return is treated exactly like a failed fsync — the mutation that
+	// hit it is never acked and the log poisons itself. Chaos-testing
+	// hook; production leaves it nil.
+	WALSyncErr func() error
 }
 
 // RecoveryStats reports what reopening a data directory recovered.
@@ -283,7 +289,7 @@ func OpenDurablePool(ov Overlay, shards int, cfg DurableConfig, opts ...Option) 
 	// The WAL shares the pool's metrics registry (NewPool guarantees one,
 	// private unless WithMetrics supplied a shared registry), so wal.*
 	// series land next to pool.* under one /metrics scrape.
-	log, err := wal.Open(cfg.Dir, wal.Options{SegmentBytes: cfg.SegmentBytes, Sync: cfg.Fsync, Metrics: p.base.metrics})
+	log, err := wal.Open(cfg.Dir, wal.Options{SegmentBytes: cfg.SegmentBytes, Sync: cfg.Fsync, Metrics: p.base.metrics, SyncErr: cfg.WALSyncErr})
 	if err != nil {
 		return nil, stats, err
 	}
@@ -397,7 +403,7 @@ func (dp *DurablePool) batchHookFor(i int) batchHook {
 		ds.offs = ds.offs[:0]
 		for k := range ops {
 			op := &ops[k]
-			if op.Err != nil {
+			if op.Err != nil || op.skip {
 				continue
 			}
 			var kind opKind

@@ -49,7 +49,7 @@ func TestImportBatchCrashChild(t *testing.T) {
 	dp, _ := openDurable(t, ov, dir, DurableConfig{Fsync: FsyncBatch})
 	for n := 0; ; n++ {
 		entries := importCrashEntries(n, ov.N())
-		accepted, err := dp.ImportBatch(entries)
+		accepted, _, err := dp.ImportBatch(entries)
 		if err != nil || accepted != len(entries) {
 			t.Fatalf("batch %d: accepted %d, err %v", n, accepted, err)
 		}

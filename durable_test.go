@@ -1,11 +1,13 @@
 package discovery
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"discovery/internal/snapshot"
@@ -519,7 +521,7 @@ func TestDurablePoolImportBatchCrashReplay(t *testing.T) {
 			Value:  []byte(fmt.Sprintf("payload-%d", i)),
 		})
 	}
-	accepted, err := dp.ImportBatch(entries)
+	accepted, _, err := dp.ImportBatch(entries)
 	if err != nil || accepted != len(entries) {
 		t.Fatalf("ImportBatch: accepted %d, err %v", accepted, err)
 	}
@@ -560,11 +562,134 @@ func TestDurablePoolImportBatchSharesAppends(t *testing.T) {
 		entries = append(entries, ReplicaEntry{Node: i % ov.N(), Origin: 1, Key: k, Value: []byte("v")})
 	}
 	before, _ := dp.log.Bounds()
-	if accepted, err := dp.ImportBatch(entries); err != nil || accepted != len(entries) {
+	if accepted, _, err := dp.ImportBatch(entries); err != nil || accepted != len(entries) {
 		t.Fatalf("ImportBatch: accepted %d, err %v", accepted, err)
 	}
 	_, after := dp.log.Bounds()
 	if int(after-before) != len(entries) {
 		t.Fatalf("batch logged %d records, want %d", after-before, len(entries))
+	}
+}
+
+// TestDurablePoolFsyncFailureNeverAcks proves the poison-on-sync-error
+// contract end to end through DurablePool: once the injected fsync
+// failure fires, the failing mutation is rejected (never acked) and
+// never applied to the engine — the write-ahead hook runs before apply
+// — and the log refuses every further append, even after the injected
+// fault is lifted. A fresh reopen without the hook recovers cleanly and
+// serves every previously-acked key.
+func TestDurablePoolFsyncFailureNeverAcks(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	var fail atomic.Bool
+	cfg := DurableConfig{
+		Dir:   dir,
+		Fsync: FsyncAlways,
+		Logf:  t.Logf,
+		WALSyncErr: func() error {
+			if fail.Load() {
+				return fmt.Errorf("chaos: injected fsync failure")
+			}
+			return nil
+		},
+	}
+	dp, _, err := OpenDurablePool(ov, 4, cfg, WithSeed(1), WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := NewID("fsync-acked")
+	if _, err := dp.Insert(0, acked, []byte("safe")); err != nil {
+		t.Fatalf("healthy insert: %v", err)
+	}
+
+	fail.Store(true)
+	lost := NewID("fsync-lost")
+	if _, err := dp.Insert(1, lost, []byte("gone")); err == nil {
+		t.Fatal("insert through failed fsync was acked")
+	}
+	// Write-ahead: the failed append aborted the mutation before apply.
+	if res := dp.Lookup(2, lost); res.Found {
+		t.Fatal("failed-sync insert is visible in the engine")
+	}
+	// Poisoned log refuses further appends — including after the
+	// injected fault heals. Only a restart (recovery) clears it.
+	if _, err := dp.Insert(2, NewID("fsync-refused"), []byte("no")); err == nil {
+		t.Fatal("insert on poisoned log was acked")
+	}
+	fail.Store(false)
+	if _, err := dp.Insert(3, NewID("fsync-still-refused"), []byte("no")); err == nil {
+		t.Fatal("insert after fault heal was acked; poison must be sticky")
+	}
+	// Reads keep working on the poisoned pool.
+	if res := dp.Lookup(3, acked); !res.Found {
+		t.Fatal("acked key unreadable on poisoned pool")
+	}
+	dp.Close()
+
+	dp2, _, err := OpenDurablePool(ov, 4, DurableConfig{Dir: dir, Fsync: FsyncAlways, Logf: t.Logf}, WithSeed(1), WithMaxHops(8))
+	if err != nil {
+		t.Fatalf("reopen after poison: %v", err)
+	}
+	defer dp2.Close()
+	if res := dp2.Lookup(1, acked); !res.Found {
+		t.Fatal("acked key lost across poison + restart")
+	}
+	if _, err := dp2.Insert(0, NewID("fsync-after-recovery"), []byte("v")); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+// TestDurablePoolImportBatchIdenticalReplayWritesNothing proves the
+// skip-identical import at the durability layer: after a batch lands,
+// re-importing it byte-identically appends NOTHING to the write-ahead
+// log. The proof arms the injectable fsync-failure hook — any append
+// would poison the log and error — and the replay must still succeed,
+// while a genuinely changed entry under the same hook must fail.
+func TestDurablePoolImportBatchIdenticalReplayWritesNothing(t *testing.T) {
+	ov := newDurableTestOverlay(t)
+	dir := t.TempDir()
+	var failSync atomic.Bool
+	dp, _ := openDurable(t, ov, dir, DurableConfig{
+		Fsync: FsyncAlways,
+		WALSyncErr: func() error {
+			if failSync.Load() {
+				return errors.New("injected fsync failure")
+			}
+			return nil
+		},
+	})
+	defer dp.Close()
+
+	var entries []ReplicaEntry
+	for i := 0; i < 24; i++ {
+		entries = append(entries, ReplicaEntry{
+			Node: i % ov.N(), Origin: 1,
+			Key: NewID(fmt.Sprintf("replay-durable-%d", i)), Value: []byte(fmt.Sprintf("v-%d", i)),
+		})
+	}
+	if accepted, fresh, err := dp.ImportBatch(entries); err != nil || accepted != len(entries) || fresh != len(entries) {
+		t.Fatalf("first import: accepted %d fresh %d err %v", accepted, fresh, err)
+	}
+	before, after := dp.log.Bounds()
+	_ = before
+
+	// Every fsync now fails. An identical replay must not notice: no
+	// record is appended, so the poisoned-sync path never runs.
+	failSync.Store(true)
+	if accepted, fresh, err := dp.ImportBatch(entries); err != nil || accepted != len(entries) || fresh != 0 {
+		t.Fatalf("identical replay under failing fsync: accepted %d fresh %d err %v", accepted, fresh, err)
+	}
+	if _, a := dp.log.Bounds(); a != after {
+		t.Fatalf("identical replay appended to the log: seq %d -> %d", after, a)
+	}
+
+	// A changed entry DOES need an append, which must now fail — and
+	// the write-ahead contract holds: the failed entry is not applied.
+	changed := []ReplicaEntry{{Node: entries[5].Node, Origin: 1, Key: entries[5].Key, Value: []byte("new")}}
+	if _, _, err := dp.ImportBatch(changed); err == nil {
+		t.Fatal("changed import under failing fsync succeeded")
+	}
+	if v, ok := dp.Value(changed[0].Node, changed[0].Key); !ok || string(v) == "new" {
+		t.Fatalf("failed import applied anyway: ok=%v v=%q", ok, v)
 	}
 }

@@ -32,6 +32,15 @@ type Config struct {
 	DialTimeout time.Duration
 	// CallTimeout bounds one peer round trip (default 5s).
 	CallTimeout time.Duration
+	// RedialBackoff is the fail-fast window armed after a slow (timed
+	// out) peer dial failure (default DefaultRedialBackoff). Chaos
+	// harnesses shorten it so partitioned peers are retried quickly
+	// after heal; operators on flaky WANs may lengthen it.
+	RedialBackoff time.Duration
+	// DialVia rewrites peer dial targets (cluster address -> address to
+	// actually connect to) without touching protocol identity. Used to
+	// interpose fault-injection proxies or NAT hops on peer links.
+	DialVia map[string]string
 	// MaxForwards caps concurrently in-flight forwarded client requests
 	// (default 256). At the cap the client reader blocks, which turns
 	// into TCP backpressure exactly like a full shard queue.
@@ -114,8 +123,15 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.MaxForwards = 256
 	}
 	n := &Node{
-		cfg:         cfg,
-		tr:          NewTransport(cfg.Cluster, cfg.Overlay, cfg.DialTimeout, cfg.CallTimeout, cfg.Logf, cfg.Metrics),
+		cfg: cfg,
+		tr: NewTransport(cfg.Cluster, cfg.Overlay, TransportConfig{
+			DialTimeout:   cfg.DialTimeout,
+			CallTimeout:   cfg.CallTimeout,
+			RedialBackoff: cfg.RedialBackoff,
+			DialVia:       cfg.DialVia,
+			Logf:          cfg.Logf,
+			Metrics:       cfg.Metrics,
+		}),
 		tracer:      cfg.Tracer,
 		repairLogf:  ratelog.New(4, 2).Wrap(cfg.Logf),
 		fwdSem:      make(chan struct{}, cfg.MaxForwards),
@@ -754,7 +770,10 @@ func (n *Node) handleTransfer(m, reply *wire.Msg) {
 		}
 		batch = append(batch, discovery.ReplicaEntry{Node: int(e.Node), Origin: e.Origin, Key: e.Key, Value: e.Value})
 	}
-	accepted, err := n.cfg.Pool.ImportBatch(batch)
+	// accepted (not fresh) is what the sender needs: it may drop its
+	// copy of every entry this pool now holds, whether or not the import
+	// had to write anything.
+	accepted, _, err := n.cfg.Pool.ImportBatch(batch)
 	if err != nil {
 		n.cfg.Logf("p2p: transfer apply: %v", err)
 	}
@@ -922,8 +941,10 @@ func (n *Node) Handoff() (moved int, err error) {
 // verbatim until the peer reports the walk complete — so any amount of
 // repairable state converges, not just the first frame's worth. It is
 // additive (the peer keeps its copies; Handoff on the peer is the
-// shedding side) and idempotent — re-importing an existing placement
-// overwrites it in place.
+// shedding side) and idempotent — a byte-identical placement is skipped
+// by the import with no write-ahead record, so applied counts only the
+// replicas this pull actually changed: 0 means the peer and this node
+// were already in sync for the region, however many pages were walked.
 func (n *Node) PullRepair(i, region int) (applied int, err error) {
 	// Verify the peer shares this cluster's membership view first; a
 	// peer with a different member list computes different owners, and
@@ -968,8 +989,12 @@ func (n *Node) PullRepair(i, region int) (applied int, err error) {
 			}
 			batch = append(batch, discovery.ReplicaEntry{Node: int(e.Node), Origin: e.Origin, Key: e.Key, Value: e.Value})
 		}
-		got, ierr := n.cfg.Pool.ImportBatch(batch)
-		applied += got
+		// Count fresh imports only: a steady-state re-walk of an
+		// in-sync peer pulls pages but applies nothing, and must read
+		// as 0 — periodic anti-entropy logs would otherwise report the
+		// full keyspace as "pulled" every pass forever.
+		_, fresh, ierr := n.cfg.Pool.ImportBatch(batch)
+		applied += fresh
 		if ierr != nil {
 			return applied, ierr
 		}

@@ -311,7 +311,7 @@ func TestProbeRefusesMembershipMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := p2p.NewTransport(wrong, ov, 200*time.Millisecond, 2*time.Second, t.Logf, nil)
+	tr := p2p.NewTransport(wrong, ov, p2p.TransportConfig{DialTimeout: 200 * time.Millisecond, CallTimeout: 2 * time.Second, Logf: t.Logf})
 	defer tr.Close()
 	var target int
 	for i := 0; i < wrong.N(); i++ {
@@ -672,7 +672,7 @@ func TestProberFlipsAliveEagerly(t *testing.T) {
 		t.Fatal(err)
 	}
 	peerIdx := peer.cluster.Self()
-	tr := p2p.NewTransport(cluster, ov, 200*time.Millisecond, 2*time.Second, t.Logf, nil)
+	tr := p2p.NewTransport(cluster, ov, p2p.TransportConfig{DialTimeout: 200 * time.Millisecond, CallTimeout: 2 * time.Second, Logf: t.Logf})
 	defer tr.Close()
 	tr.StartProber(50 * time.Millisecond)
 

@@ -28,12 +28,13 @@ import (
 // batch instead of one per call, while reqID multiplexing and per-call
 // timeouts are untouched.
 type Transport struct {
-	cluster     *Cluster
-	overlay     *RemoteOverlay
-	dialTimeout time.Duration
-	callTimeout time.Duration
-	logf        func(format string, args ...any)
-	peers       []*peerConn
+	cluster       *Cluster
+	overlay       *RemoteOverlay
+	dialTimeout   time.Duration
+	callTimeout   time.Duration
+	redialBackoff time.Duration
+	logf          func(format string, args ...any)
+	peers         []*peerConn
 
 	mu      sync.Mutex
 	closed  bool
@@ -78,28 +79,71 @@ var errTransportClosed = errors.New("p2p: transport closed")
 // so a burst of pipelined responses decodes several frames per read(2).
 const peerReadBuffer = 32 << 10
 
-// NewTransport builds the peer-connection table. Zero timeouts select
-// the defaults (500ms dial, 5s call). reg receives the transport's
-// p2p.* instrumentation; nil selects a private registry, so WriteStats
-// works either way.
-func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.Duration, logf func(string, ...any), reg *metrics.Registry) *Transport {
-	if dialTimeout <= 0 {
-		dialTimeout = 500 * time.Millisecond
+// Transport retry/timeout defaults, shared with the cmd flag layer so
+// flag help and behavior can never drift apart.
+const (
+	// DefaultDialTimeout bounds one TCP connect to a peer.
+	DefaultDialTimeout = 500 * time.Millisecond
+	// DefaultCallTimeout bounds one peer request round trip.
+	DefaultCallTimeout = 5 * time.Second
+	// DefaultRedialBackoff is how long after a SLOW dial failure (a
+	// timeout — e.g. a blackholed peer) further calls fail fast instead
+	// of queueing up behind serial dial attempts, each burning its own
+	// dial timeout. Fast failures (connection refused, as on a
+	// crashed-but-routable peer) never arm the backoff: retrying them is
+	// nearly free, and a peer that just restarted must be reachable
+	// immediately.
+	DefaultRedialBackoff = 250 * time.Millisecond
+)
+
+// TransportConfig parameterizes NewTransport. The zero value selects
+// every default.
+type TransportConfig struct {
+	// DialTimeout bounds one TCP connect (default DefaultDialTimeout).
+	DialTimeout time.Duration
+	// CallTimeout bounds one request round trip (default DefaultCallTimeout).
+	CallTimeout time.Duration
+	// RedialBackoff is the fail-fast window armed by a slow dial failure
+	// (default DefaultRedialBackoff).
+	RedialBackoff time.Duration
+	// DialVia rewrites dial targets: when a peer's cluster address has
+	// an entry, the transport connects to the mapped address instead
+	// while all protocol-level identity (fingerprints, member slots)
+	// stays on the real address. This is the hook fault-injection
+	// proxies (internal/faultnet) and NAT-style indirection plug into.
+	DialVia map[string]string
+	// Logf receives connection-level error lines (nil = silent).
+	Logf func(format string, args ...any)
+	// Metrics receives the transport's p2p.* instrumentation; nil
+	// selects a private registry, so WriteStats works either way.
+	Metrics *metrics.Registry
+}
+
+// NewTransport builds the peer-connection table.
+func NewTransport(c *Cluster, ov *RemoteOverlay, cfg TransportConfig) *Transport {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
 	}
-	if callTimeout <= 0 {
-		callTimeout = 5 * time.Second
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = DefaultCallTimeout
 	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = DefaultRedialBackoff
+	}
+	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	t := &Transport{
 		cluster:        c,
 		overlay:        ov,
-		dialTimeout:    dialTimeout,
-		callTimeout:    callTimeout,
+		dialTimeout:    cfg.DialTimeout,
+		callTimeout:    cfg.CallTimeout,
+		redialBackoff:  cfg.RedialBackoff,
 		logf:           logf,
 		peers:          make([]*peerConn, c.N()),
 		proberQuit:     make(chan struct{}),
@@ -117,7 +161,12 @@ func NewTransport(c *Cluster, ov *RemoteOverlay, dialTimeout, callTimeout time.D
 		return &b
 	}
 	for i := range t.peers {
-		t.peers[i] = &peerConn{t: t, idx: i, addr: c.Addr(i), pending: make(map[uint64]chan *wire.Msg)}
+		addr := c.Addr(i)
+		dialAddr := addr
+		if via, ok := cfg.DialVia[addr]; ok && via != "" {
+			dialAddr = via
+		}
+		t.peers[i] = &peerConn{t: t, idx: i, addr: addr, dialAddr: dialAddr, pending: make(map[uint64]chan *wire.Msg)}
 	}
 	return t
 }
@@ -150,14 +199,6 @@ func (t *Transport) WriteStats() (writes, frames uint64) {
 	return t.writes.Value(), t.framesOut.Value()
 }
 
-// redialBackoff is how long after a SLOW dial failure (a timeout —
-// e.g. a blackholed peer) further calls fail fast instead of queueing
-// up behind serial dial attempts, each burning its own dial timeout.
-// Fast failures (connection refused, as on a crashed-but-routable peer)
-// never arm the backoff: retrying them is nearly free, and a peer that
-// just restarted must be reachable immediately.
-const redialBackoff = 250 * time.Millisecond
-
 // connState is one live connection: the socket, its out-queue, and the
 // death signal that tells producers to stop offering frames. A peerConn
 // replaces its connState wholesale on reconnect, so the writer and
@@ -181,9 +222,10 @@ func (cs *connState) kill() { cs.once.Do(func() { close(cs.dead) }) }
 // connection's writer goroutine alone, so no caller ever blocks on a
 // peer's socket — it blocks, at worst, on the out-queue (backpressure).
 type peerConn struct {
-	t    *Transport
-	idx  int
-	addr string
+	t        *Transport
+	idx      int
+	addr     string // the peer's cluster (protocol-identity) address
+	dialAddr string // where to actually connect (DialVia indirection)
 
 	wmu sync.Mutex // dial serialization
 
@@ -284,7 +326,7 @@ func (pc *peerConn) conn() (*connState, error) {
 	defer pc.wmu.Unlock()
 	pc.mu.Lock()
 	cs := pc.cur
-	backoff := !pc.lastFail.IsZero() && time.Since(pc.lastFail) < redialBackoff
+	backoff := !pc.lastFail.IsZero() && time.Since(pc.lastFail) < t.redialBackoff
 	pc.mu.Unlock()
 	if cs != nil {
 		return cs, nil
@@ -299,12 +341,15 @@ func (pc *peerConn) conn() (*connState, error) {
 		return nil, fmt.Errorf("p2p: %s: unreachable (in redial backoff)", pc.addr)
 	}
 	dialStart := time.Now()
-	nc, err := net.DialTimeout("tcp", pc.addr, t.dialTimeout)
+	nc, err := net.DialTimeout("tcp", pc.dialAddr, t.dialTimeout)
 	if err != nil {
 		if time.Since(dialStart) >= t.dialTimeout/2 {
 			pc.mu.Lock()
 			pc.lastFail = time.Now()
 			pc.mu.Unlock()
+		}
+		if pc.dialAddr != pc.addr {
+			return nil, fmt.Errorf("p2p: dial %s (via %s): %w", pc.addr, pc.dialAddr, err)
 		}
 		return nil, fmt.Errorf("p2p: dial %s: %w", pc.addr, err)
 	}

@@ -21,7 +21,7 @@ func newInternalTransport(t *testing.T) *Transport {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewTransport(cluster, ov, 0, 0, t.Logf, nil)
+	return NewTransport(cluster, ov, TransportConfig{Logf: t.Logf})
 }
 
 // TestCollectOutZeroAllocs pins the outbound drain path's allocation
@@ -145,7 +145,7 @@ func TestCallTimeoutLateReply(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := NewTransport(cluster, ov, 0, 150*time.Millisecond, t.Logf, nil)
+	tr := NewTransport(cluster, ov, TransportConfig{CallTimeout: 150 * time.Millisecond, Logf: t.Logf})
 	defer tr.Close()
 	// Count trips through the pool's allocator: if the request-frame
 	// buffers round-trip (Get -> write -> Put), steady sequential calls

@@ -150,6 +150,15 @@ type Options struct {
 	// histograms. A nil registry leaves the append path unmetered (the
 	// nil metrics are no-ops), at no allocation either way.
 	Metrics *metrics.Registry
+	// SyncErr, when non-nil, is consulted before every fsync the append
+	// path issues (Append, AppendBatch, Sync): a non-nil return is
+	// treated exactly like a failed fsync(2) — the in-flight mutation is
+	// not acked and the log poisons itself, refusing all further
+	// appends. This is a fault-injection hook for chaos testing the
+	// poison-on-sync-error contract end to end; production leaves it
+	// nil. It does not fire on segment-seal or Close syncs, which are
+	// not ack barriers.
+	SyncErr func() error
 }
 
 // segment is one on-disk segment file.
@@ -430,8 +439,14 @@ func (l *Log) commitBufLocked(n int) (*os.File, error) {
 }
 
 // timedSync fsyncs f, metering duration and count when the log is
-// instrumented. Every fsync issued on the append path goes through it.
+// instrumented. Every fsync issued on the append path goes through it,
+// so Options.SyncErr injected here hits exactly the ack barrier.
 func (l *Log) timedSync(f *os.File) error {
+	if l.opts.SyncErr != nil {
+		if err := l.opts.SyncErr(); err != nil {
+			return err
+		}
+	}
 	if l.fsyncNanos == nil {
 		return f.Sync()
 	}

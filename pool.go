@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sort"
@@ -263,6 +264,12 @@ type BatchOp struct {
 	Lookup  LookupResult
 	Removed int
 	Err     error
+
+	// skip marks a BatchPut whose exact replica (node, origin, value)
+	// is already stored: it succeeds without a write-ahead record or an
+	// engine write. Anti-entropy re-pulls the same pages over and over;
+	// without this, every periodic pass would re-log the whole keyspace.
+	skip bool
 }
 
 // ExecBatch executes ops — whose keys must all map to the same shard —
@@ -299,6 +306,17 @@ func (p *Pool) ExecBatchTimed(ops []BatchOp) (walNanos int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	// The already-stored check below reads pre-batch engine state, so it
+	// is only valid for a put no earlier op of this batch shadows: a
+	// touched set guards that, allocated only when the batch has puts
+	// (client insert/delete batches never pay for it).
+	var touched map[ID]struct{}
+	for i := range ops {
+		if ops[i].Kind == BatchPut {
+			touched = make(map[ID]struct{}, len(ops))
+			break
+		}
+	}
 	mutations := false
 	for i := range ops {
 		op := &ops[i]
@@ -314,6 +332,9 @@ func (p *Pool) ExecBatchTimed(ops []BatchOp) (walNanos int64) {
 				continue
 			}
 			mutations = true
+			if touched != nil {
+				touched[op.Key] = struct{}{}
+			}
 		case BatchPut:
 			if err := p.checkOwned(op.Key); err != nil {
 				op.Err = err
@@ -323,7 +344,19 @@ func (p *Pool) ExecBatchTimed(ops []BatchOp) (walNanos int64) {
 				op.Err = fmt.Errorf("discovery: batch op %d: import node %d out of range (overlay has %d nodes)", i, op.Node, p.ov.N())
 				continue
 			}
+			op.skip = false
+			if _, shadowed := touched[op.Key]; !shadowed {
+				if r, ok := s.svc.eng.Stored(op.Node, op.Key); ok &&
+					r.Origin == op.Origin && bytes.Equal(r.Value, op.Value) {
+					// Byte-identical replica already stored (and already
+					// durably logged when it first landed): succeed with
+					// no write-ahead record and no engine write.
+					op.skip = true
+					continue
+				}
+			}
 			mutations = true
+			touched[op.Key] = struct{}{}
 		case BatchLookup:
 		default:
 			op.Err = fmt.Errorf("discovery: batch op %d: unknown kind %d", i, op.Kind)
@@ -362,6 +395,9 @@ func (p *Pool) ExecBatchTimed(ops []BatchOp) (walNanos int64) {
 			s.deletes.Inc()
 			op.Removed = s.svc.Delete(op.Origin, op.Key)
 		case BatchPut:
+			if op.skip {
+				continue // identical replica already stored and durable
+			}
 			// Direct placements are anti-entropy traffic, not client
 			// requests, so like ImportReplica they skip the counters.
 			op.Err = s.svc.eng.PutReplica(op.Node, mpil.Replica{Key: op.Key, Value: op.Value, Origin: op.Origin})
@@ -413,13 +449,18 @@ type ReplicaEntry struct {
 // The result state is exactly what applying the entries one by one
 // through ImportReplica would produce: placement order within a shard is
 // preserved, and a refused entry (foreign region, node out of range)
-// skips only itself. accepted counts the entries applied; firstErr is
-// the first refusal or failure encountered, nil when every entry landed.
-// A failed group append fails that whole group — none of its entries is
-// known durable, so none of them executes.
-func (p *Pool) ImportBatch(entries []ReplicaEntry) (accepted int, firstErr error) {
+// skips only itself. accepted counts the entries the pool now holds —
+// including entries whose byte-identical replica was already stored,
+// which succeed without a write-ahead record or engine write — so a
+// transfer sender may drop its copy of every accepted entry. fresh
+// counts the subset that actually mutated state: anti-entropy uses it
+// to tell a converging pull from a steady-state re-walk. firstErr is
+// the first refusal or failure encountered, nil when every entry
+// landed. A failed group append fails that whole group — none of its
+// entries is known durable, so none of them executes.
+func (p *Pool) ImportBatch(entries []ReplicaEntry) (accepted, fresh int, firstErr error) {
 	if len(entries) == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	byShard := make([][]BatchOp, len(p.shards))
 	for _, e := range entries {
@@ -445,9 +486,12 @@ func (p *Pool) ImportBatch(entries []ReplicaEntry) (accepted int, firstErr error
 				continue
 			}
 			accepted++
+			if !ops[i].skip {
+				fresh++
+			}
 		}
 	}
-	return accepted, firstErr
+	return accepted, fresh, firstErr
 }
 
 // DropReplica removes the replica of key stored at engine node, if any,

@@ -485,7 +485,7 @@ func TestPoolImportBatchMatchesPerEntry(t *testing.T) {
 		t.Fatalf("test needs both owned (%d) and refused (%d) entries", owned, refused)
 	}
 
-	accepted, firstErr := batched.ImportBatch(entries)
+	accepted, _, firstErr := batched.ImportBatch(entries)
 	if accepted != owned {
 		t.Fatalf("ImportBatch accepted %d entries, want %d (err %v)", accepted, owned, firstErr)
 	}
@@ -520,7 +520,7 @@ func TestPoolImportBatchEmptyAndUnrestricted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, err := p.ImportBatch(nil); n != 0 || err != nil {
+	if n, _, err := p.ImportBatch(nil); n != 0 || err != nil {
 		t.Fatalf("empty batch: %d %v", n, err)
 	}
 	var entries []ReplicaEntry
@@ -529,10 +529,81 @@ func TestPoolImportBatchEmptyAndUnrestricted(t *testing.T) {
 			Node: i % ov.N(), Origin: uint32(i), Key: NewID(fmt.Sprintf("unres-%d", i)), Value: []byte("v"),
 		})
 	}
-	if n, err := p.ImportBatch(entries); n != len(entries) || err != nil {
+	if n, _, err := p.ImportBatch(entries); n != len(entries) || err != nil {
 		t.Fatalf("unrestricted batch: %d %v", n, err)
 	}
 	if got := p.ReplicaCount(); got != len(entries) {
 		t.Fatalf("stored %d replicas, want %d", got, len(entries))
+	}
+}
+
+// TestPoolImportBatchSkipsIdenticalReplays pins the convergence signal
+// periodic anti-entropy runs on: re-importing entries the pool already
+// holds byte-identically is accepted in full (a transfer sender may
+// still drop its copies) but reports fresh == 0 and mutates nothing,
+// while any entry that differs — and any entry shadowed by an earlier
+// op of the same batch — still applies. Without the skip, every
+// steady-state anti-entropy pass would re-log the entire keyspace.
+func TestPoolImportBatchSkipsIdenticalReplays(t *testing.T) {
+	ov, err := CompleteOverlay(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(ov, 4, WithSeed(1), WithMaxHops(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []ReplicaEntry
+	for i := 0; i < 40; i++ {
+		entries = append(entries, ReplicaEntry{
+			Node: i % ov.N(), Origin: uint32(i % 5),
+			Key: NewID(fmt.Sprintf("replay-%d", i)), Value: []byte(fmt.Sprintf("v-%d", i)),
+		})
+	}
+	if accepted, fresh, err := p.ImportBatch(entries); err != nil || accepted != 40 || fresh != 40 {
+		t.Fatalf("first import: accepted %d fresh %d err %v, want 40/40/nil", accepted, fresh, err)
+	}
+	want := exportAll(p)
+
+	// Identical replay: fully accepted, zero fresh, state untouched.
+	if accepted, fresh, err := p.ImportBatch(entries); err != nil || accepted != 40 || fresh != 0 {
+		t.Fatalf("identical replay: accepted %d fresh %d err %v, want 40/0/nil", accepted, fresh, err)
+	}
+	if got := exportAll(p); !reflect.DeepEqual(got, want) {
+		t.Fatal("identical replay mutated pool state")
+	}
+
+	// One changed value: exactly that entry is fresh, and it lands.
+	entries[7].Value = []byte("changed")
+	if accepted, fresh, err := p.ImportBatch(entries); err != nil || accepted != 40 || fresh != 1 {
+		t.Fatalf("one-changed replay: accepted %d fresh %d err %v, want 40/1/nil", accepted, fresh, err)
+	}
+	if v, ok := p.Value(entries[7].Node, entries[7].Key); !ok || string(v) != "changed" {
+		t.Fatalf("changed entry not applied: ok=%v v=%q", ok, v)
+	}
+	// Same bytes under a different origin are NOT identical: origin is
+	// replica state too (heartbeat target), so the entry must re-apply.
+	// (Entry 7's new value landed above, so it skips this time.)
+	entries[3].Origin++
+	if _, fresh, err := p.ImportBatch(entries); err != nil || fresh != 1 {
+		t.Fatalf("origin-changed replay: fresh %d err %v, want exactly the origin change fresh", fresh, err)
+	}
+
+	// Intra-batch shadowing: with K already stored as v0, the batch
+	// [put K v1, put K v0] must end at v0 (exact one-by-one
+	// equivalence) — the second put matches pre-batch state but is
+	// shadowed by the first, so it cannot be skipped.
+	k := NewID("replay-shadow")
+	if _, _, err := p.ImportBatch([]ReplicaEntry{{Node: 1, Origin: 2, Key: k, Value: []byte("v0")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.ImportBatch([]ReplicaEntry{
+		{Node: 1, Origin: 2, Key: k, Value: []byte("v1")},
+		{Node: 1, Origin: 2, Key: k, Value: []byte("v0")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p.Value(1, k); !ok || string(v) != "v0" {
+		t.Fatalf("shadowed put skipped: ok=%v v=%q, want v0", ok, v)
 	}
 }
